@@ -1,0 +1,64 @@
+// Fig. 3 — "Application of the constant sensitivity method to an 11 gate
+// path": the family of sizings obtained by imposing the same sensitivity
+// a = dT/dCIN(i) on every gate, for a swept from 0 (the Tmin point)
+// towards large negative values (the minimum-area end). The series is the
+// path's delay/area trade-off curve.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "pops/core/bounds.hpp"
+#include "pops/core/sensitivity.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/util/csv.hpp"
+
+int main() {
+  using namespace pops;
+  using namespace bench_common;
+
+  const liberty::Library lib(process::Technology::cmos025());
+  const timing::DelayModel dm(lib);
+
+  print_header(
+      "Fig. 3 — constant sensitivity method on an 11-gate path (eq. 5/6)",
+      "a = 0 gives Tmin; decreasing a trades delay for area monotonically");
+
+  // The paper's didactic workload: an 11-gate mixed path.
+  netlist::Netlist nl = netlist::make_fig3_path(lib);
+  const timing::Sta sta(nl, dm);
+  const timing::TimedPath tp = sta.critical_path(sta.run());
+  timing::BoundedPath path =
+      timing::BoundedPath::extract(nl, tp, dm.default_input_slew_ps());
+  std::printf("workload: 11-gate mixed path (inv/nand/nor), terminal load "
+              "%.0f x CREF\n\n", path.terminal_ff() / lib.cref_ff());
+
+  const double a_scale = path.stage_coefficient(dm, 0) / path.cin(0);
+
+  util::Table t({"a (ps/fF)", "a/a0", "delay (ps)", "sum W (um)",
+                 "sum CIN/CREF"});
+  for (std::size_t c = 0; c < 5; ++c) t.set_align(c, util::Align::Right);
+
+  util::CsvWriter csv("fig3_sensitivity.csv");
+  csv.row(std::vector<std::string>{"a_ps_per_ff", "delay_ps", "area_um"});
+
+  const double factors[] = {0.0,  0.01, 0.02, 0.06, 0.1, 0.2,
+                            0.35, 0.6,  0.8,  1.2,  2.0, 4.0};
+  for (double f : factors) {
+    const double a = -f * a_scale;
+    const timing::BoundedPath sized = core::size_at_sensitivity(path, dm, a);
+    const double delay = sized.delay_ps(dm);
+    const double area = sized.area_um();
+    t.add_row({util::fmt(a, 3), util::fmt(-f, 2), util::fmt(delay, 1),
+               util::fmt(area, 1), util::fmt(sized.normalized_size(), 1)});
+    csv.row(std::vector<double>{a, delay, area});
+  }
+  std::printf("%s", t.str().c_str());
+
+  const core::PathBounds bounds = core::compute_bounds(path, dm);
+  std::printf("\nT(a=0)              = %.1f ps  (the Tmin bound: %.1f ps)\n",
+              core::size_at_sensitivity(path, dm, 0.0).delay_ps(dm),
+              bounds.tmin_ps);
+  std::printf("Tmax (all minimum)  = %.1f ps\n", bounds.tmax_ps);
+  std::printf("\nseries written to fig3_sensitivity.csv\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension — technology scaling study (beyond the paper).
+//
+// The paper evaluates a single 0.25µm process. The library here carries
+// generic 0.18µm and 0.13µm parameter sets, so the protocol's behaviour
+// can be checked across nodes: Tmin scales with tau, the constraint
+// domains keep their structure, and the Flimit metric stays in the same
+// band (it is a ratio of delays, so first-order node-independent).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "pops/core/buffer.hpp"
+#include "pops/core/protocol.hpp"
+
+int main() {
+  using namespace pops;
+  using namespace bench_common;
+
+  print_header(
+      "Extension — the protocol across technology nodes (0.25/0.18/0.13um)",
+      "Tmin tracks tau; Flimit and the domain structure are "
+      "first-order node-invariant");
+
+  const process::Technology nodes[] = {
+      process::Technology::cmos025(),
+      process::Technology::cmos018(),
+      process::Technology::cmos013(),
+  };
+
+  util::Table t({"node", "tau (ps)", "Tmin c1355 (ns)", "Flimit inv",
+                 "Flimit nor3", "area @1.2Tmin (um)"});
+  for (std::size_t c = 1; c < 6; ++c) t.set_align(c, util::Align::Right);
+
+  for (const process::Technology& tech : nodes) {
+    const liberty::Library lib(tech);
+    const timing::DelayModel dm(lib);
+    core::FlimitTable table;
+
+    PathCase pc = critical_path_case(lib, dm, "c1355");
+    const core::PathBounds bounds = core::compute_bounds(pc.path, dm);
+    const core::SizingResult sized =
+        core::size_for_constraint(pc.path, dm, 1.2 * bounds.tmin_ps);
+
+    t.add_row({tech.name, util::fmt(tech.tau_ps, 1),
+               util::fmt(bounds.tmin_ps * 1e-3, 3),
+               util::fmt(table.get(dm, liberty::CellKind::Inv,
+                                   liberty::CellKind::Inv), 2),
+               util::fmt(table.get(dm, liberty::CellKind::Inv,
+                                   liberty::CellKind::Nor3), 2),
+               util::fmt(sized.area_um, 1)});
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+// Shared plumbing for the reproduction benches: every experiment starts
+// from the critical path of a benchmark circuit, extracted exactly the way
+// POPS does it (STA -> most critical PI->PO path -> bounded path with
+// frozen off-path loads).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pops/core/protocol.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/sta.hpp"
+#include "pops/util/table.hpp"
+
+namespace bench_common {
+
+using pops::liberty::Library;
+using pops::netlist::Netlist;
+using pops::timing::BoundedPath;
+using pops::timing::DelayModel;
+
+/// A named benchmark critical path ready for optimisation.
+struct PathCase {
+  std::string name;
+  std::size_t gate_count;  ///< gates on the extracted path
+  BoundedPath path;
+};
+
+/// Extract the critical path of a named benchmark.
+inline PathCase critical_path_case(const Library& lib, const DelayModel& dm,
+                                   const std::string& name) {
+  Netlist nl = pops::netlist::make_benchmark(lib, name);
+  const pops::timing::Sta sta(nl, dm);
+  const pops::timing::StaResult res = sta.run();
+  const pops::timing::TimedPath tp = sta.critical_path(res);
+  BoundedPath bp =
+      BoundedPath::extract(nl, tp, dm.default_input_slew_ps());
+  return PathCase{name, bp.size(), std::move(bp)};
+}
+
+/// The Table 1 benchmark list (paper order).
+inline const std::vector<std::string>& paper_circuit_names() {
+  static const std::vector<std::string> names = {
+      "Adder16", "fpd",   "c432",  "c499",  "c880",  "c1355",
+      "c1908",   "c3540", "c5315", "c6288", "c7552",
+  };
+  return names;
+}
+
+/// Milliseconds spent in `fn` (single shot; the workloads here are large
+/// enough that one run is representative, mirroring the paper's Table 1).
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Print a standard bench header.
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reference shape: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench_common

@@ -1,0 +1,111 @@
+// Full circuit flow on an ISCAS-style benchmark — the way POPS is meant to
+// be used on a real design:
+//
+//   1. load the circuit (.bench or built-in benchmark),
+//   2. run STA, look at the K most critical paths,
+//   3. pick a delay constraint, run the Fig. 7 protocol circuit-wide,
+//   4. re-verify with STA and report delay / area / power before-after.
+//
+// Usage: example_iscas_flow [circuit] [tc_ratio]
+//   circuit   benchmark name (default c880)
+//   tc_ratio  target as a fraction of the initial critical delay (0.8)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pops/core/power.hpp"
+#include "pops/core/protocol.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/report.hpp"
+#include "pops/timing/sta.hpp"
+#include "pops/util/rng.hpp"
+#include "pops/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pops;
+
+  const std::string circuit = argc > 1 ? argv[1] : "c880";
+  const double ratio = argc > 2 ? std::atof(argv[2]) : 0.8;
+
+  const liberty::Library lib(process::Technology::cmos025());
+  const timing::DelayModel dm(lib);
+
+  netlist::Netlist nl = netlist::make_benchmark(lib, circuit);
+  const netlist::NetlistStats stats = nl.stats();
+  std::printf("circuit %s: %zu gates, %zu PIs, %zu POs, depth %zu\n",
+              circuit.c_str(), stats.n_gates, stats.n_inputs, stats.n_outputs,
+              stats.depth);
+
+  // --- initial timing ---------------------------------------------------------
+  const timing::Sta sta(nl, dm);
+  const timing::StaResult before = sta.run();
+  std::printf("\ninitial critical delay: %.1f ps\n", before.critical_delay_ps);
+
+  const auto paths = sta.k_critical_paths(before, 5);
+  util::Table pt({"#", "delay (ps)", "gates", "endpoint"});
+  pt.set_align(1, util::Align::Right);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    pt.add_row({std::to_string(i + 1), util::fmt(paths[i].delay_ps, 1),
+                std::to_string(paths[i].points.size() - 1),
+                nl.node(paths[i].points.back().node).name});
+  }
+  std::printf("top critical paths:\n%s\n", pt.str().c_str());
+
+  util::Rng rng_before(1);
+  const core::PowerReport p_before = core::estimate_power(nl, rng_before);
+
+  // --- optimise ----------------------------------------------------------------
+  const double tc = ratio * before.critical_delay_ps;
+  std::printf("running the optimization protocol for Tc = %.1f ps "
+              "(%.0f%% of initial)...\n", tc, 100.0 * ratio);
+
+  core::FlimitTable table;
+  const core::CircuitResult result =
+      core::optimize_circuit(nl, dm, table, tc, {});
+
+  // --- report -------------------------------------------------------------------
+  util::Rng rng_after(1);
+  const core::PowerReport p_after = core::estimate_power(nl, rng_after);
+
+  util::Table t({"metric", "before", "after"});
+  t.set_align(1, util::Align::Right);
+  t.set_align(2, util::Align::Right);
+  t.add_row({"critical delay (ps)", util::fmt(before.critical_delay_ps, 1),
+             util::fmt(result.achieved_delay_ps, 1)});
+  t.add_row({"sum W (um)", util::fmt(p_before.area_um, 1),
+             util::fmt(p_after.area_um, 1)});
+  t.add_row({"dynamic power (uW @100MHz)", util::fmt(p_before.dynamic_uw, 1),
+             util::fmt(p_after.dynamic_uw, 1)});
+  t.add_row({"leakage (uW)", util::fmt(p_before.leakage_uw, 2),
+             util::fmt(p_after.leakage_uw, 2)});
+  std::printf("\n%s", t.str().c_str());
+  std::printf("\nconstraint %s after %zu path optimisations\n",
+              result.met ? "MET" : "NOT met", result.paths_optimized);
+
+  // Per-path protocol decisions (first few).
+  if (!result.per_path.empty()) {
+    util::Table d({"path", "domain", "method", "delay (ps)", "area (um)"});
+    const std::size_t n = std::min<std::size_t>(result.per_path.size(), 6);
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::ProtocolResult& pr = result.per_path[i];
+      d.add_row({std::to_string(i + 1), core::to_string(pr.domain),
+                 core::to_string(pr.method), util::fmt(pr.sizing.delay_ps, 1),
+                 util::fmt(pr.total_area_um(), 1)});
+    }
+    std::printf("\nprotocol decisions (first %zu paths):\n%s", n,
+                d.str().c_str());
+  }
+
+  // Final sign-off style reports.
+  const timing::StaResult final_sta = sta.run();
+  timing::ReportOptions ropt;
+  ropt.tc_ps = tc;
+  ropt.max_paths = 1;
+  std::printf("\n%s", timing::report_paths(nl, sta, final_sta, ropt).c_str());
+  std::printf("%s",
+              timing::report_slack_histogram(nl, sta, final_sta, ropt).c_str());
+  return result.met ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Quickstart: size one combinational path under a delay constraint.
+//
+// Walks the full POPS flow on a small inverter/NAND chain:
+//   1. build the 0.25µm library,
+//   2. describe a bounded path (fixed input drive, fixed terminal load),
+//   3. compute its feasibility bounds Tmax / Tmin (paper §3.1),
+//   4. distribute a delay constraint with the constant-sensitivity method
+//      (paper §3.2) and print the resulting sizes,
+//   5. show what the Fig. 7 protocol decides at several constraints.
+
+#include <cstdio>
+
+#include "pops/core/protocol.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/delay_model.hpp"
+#include "pops/util/table.hpp"
+
+int main() {
+  using namespace pops;
+  using liberty::CellKind;
+
+  const liberty::Library lib(process::Technology::cmos025());
+  const timing::DelayModel dm(lib);
+
+  // An 8-stage path: inverters and NAND/NOR gates, with a heavy off-path
+  // load mid-way (a long wire plus off-path sinks), driven through a fixed
+  // 2x-minimum input capacitance, ending on a 20xCREF register load.
+  std::vector<timing::PathStage> stages;
+  const CellKind kinds[] = {CellKind::Inv,   CellKind::Nand2, CellKind::Inv,
+                            CellKind::Nor2,  CellKind::Nand3, CellKind::Inv,
+                            CellKind::Nand2, CellKind::Inv};
+  for (CellKind k : kinds) {
+    timing::PathStage st;
+    st.kind = k;
+    stages.push_back(st);
+  }
+  stages[3].off_path_ff = 25.0 * lib.cref_ff();  // the overloaded node
+
+  timing::BoundedPath path(lib, stages, /*cin_first_ff=*/2.0 * lib.cref_ff(),
+                           /*terminal_ff=*/20.0 * lib.cref_ff(),
+                           timing::Edge::Rise, dm.default_input_slew_ps());
+
+  // --- Bounds ---------------------------------------------------------------
+  const core::PathBounds bounds = core::compute_bounds(path, dm);
+  std::printf("Path of %zu gates:\n", path.size());
+  std::printf("  Tmax (all minimum drive) = %8.1f ps\n", bounds.tmax_ps);
+  std::printf("  Tmin (link equations)    = %8.1f ps  (%d sweeps)\n\n",
+              bounds.tmin_ps, bounds.sweeps);
+
+  // --- Constraint distribution -----------------------------------------------
+  const double tc = 1.4 * bounds.tmin_ps;
+  const core::SizingResult sized = core::size_for_constraint(path, dm, tc);
+  std::printf("Constraint Tc = 1.4*Tmin = %.1f ps\n", tc);
+  std::printf("  constant-sensitivity fit: delay %.1f ps, area %.1f um, a = %.3g ps/fF\n",
+              sized.delay_ps, sized.area_um, sized.a);
+
+  util::Table t({"stage", "cell", "CIN (fF)", "CIN/CREF", "drive Wn (um)"});
+  for (std::size_t c = 2; c < 5; ++c) t.set_align(c, util::Align::Right);
+  for (std::size_t i = 0; i < sized.path.size(); ++i) {
+    const liberty::Cell& cell = sized.path.cell(i);
+    t.add_row({std::to_string(i), cell.name, util::fmt(sized.path.cin(i), 2),
+               util::fmt(sized.path.cin(i) / lib.cref_ff(), 2),
+               util::fmt(cell.wn_for_cin(lib.tech(), sized.path.cin(i)), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // --- Protocol decisions -----------------------------------------------------
+  core::FlimitTable flimits;
+  util::Table p({"Tc/Tmin", "domain", "method", "delay (ps)", "area (um)"});
+  for (double ratio : {0.9, 1.1, 1.6, 3.0}) {
+    const core::ProtocolResult r =
+        core::optimize_path(path, dm, flimits, ratio * bounds.tmin_ps);
+    p.add_row({util::fmt(ratio, 1), core::to_string(r.domain),
+               core::to_string(r.method), util::fmt(r.sizing.delay_ps, 1),
+               util::fmt(r.total_area_um(), 1)});
+  }
+  std::printf("Fig.7 protocol decisions:\n%s", p.str().c_str());
+
+  // --- Library characterisation ----------------------------------------------
+  util::Table f({"gate (driven by inv)", "Flimit"});
+  for (CellKind k : {CellKind::Inv, CellKind::Nand2, CellKind::Nand3,
+                     CellKind::Nor2, CellKind::Nor3}) {
+    f.add_row({lib.cell(k).name,
+               util::fmt(flimits.get(dm, CellKind::Inv, k), 2)});
+  }
+  std::printf("\nLoad buffer insertion limits (Table 2 metric):\n%s",
+              f.str().c_str());
+  return 0;
+}

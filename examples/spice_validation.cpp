@@ -1,0 +1,76 @@
+// Transistor-level validation demo — what the paper does with HSPICE:
+// size a path with the closed-form flow, expand it to an alpha-power-law
+// transistor netlist, simulate the transient, and compare the model's
+// per-stage delays against the measured waveform crossings.
+
+#include <cstdio>
+
+#include "pops/core/bounds.hpp"
+#include "pops/core/sensitivity.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/spice/measure.hpp"
+#include "pops/timing/delay_model.hpp"
+#include "pops/util/stats.hpp"
+#include "pops/util/table.hpp"
+
+int main() {
+  using namespace pops;
+  using liberty::CellKind;
+
+  const liberty::Library lib(process::Technology::cmos025());
+  const timing::DelayModel dm(lib);
+
+  // A mixed path using the transistor-expandable cells.
+  const std::vector<CellKind> kinds = {CellKind::Inv,  CellKind::Nand2,
+                                       CellKind::Inv,  CellKind::Nor2,
+                                       CellKind::Nand3, CellKind::Inv};
+  std::vector<timing::PathStage> stages;
+  for (CellKind k : kinds) {
+    timing::PathStage st;
+    st.kind = k;
+    stages.push_back(st);
+  }
+  timing::BoundedPath path(lib, stages, 2.0 * lib.cref_ff(),
+                           12.0 * lib.cref_ff(), timing::Edge::Rise,
+                           dm.default_input_slew_ps());
+
+  const core::PathBounds bounds = core::compute_bounds(path, dm);
+  const core::SizingResult sized =
+      core::size_for_constraint(path, dm, 1.25 * bounds.tmin_ps);
+  std::printf("6-gate path sized for Tc = 1.25*Tmin = %.1f ps "
+              "(model delay %.1f ps)\n\n",
+              1.25 * bounds.tmin_ps, sized.delay_ps);
+
+  // Expand to transistors and measure.
+  spice::ChainSpec spec;
+  spec.kinds = kinds;
+  for (std::size_t i = 0; i < sized.path.size(); ++i)
+    spec.wn_um.push_back(sized.path.cell(i).wn_for_cin(lib.tech(),
+                                                       sized.path.cin(i)));
+  spec.terminal_load_ff = 12.0 * lib.cref_ff();
+  spec.input_ramp_ps = dm.default_input_slew_ps();
+  const spice::ChainMeasurement m = spice::measure_chain(lib, spec);
+
+  const std::vector<double> model_stage = sized.path.stage_delays_ps(dm);
+
+  util::Table t({"stage", "cell", "Wn (um)", "model (ps)", "spice (ps)",
+                 "delta"});
+  for (std::size_t c = 2; c < 6; ++c) t.set_align(c, util::Align::Right);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    t.add_row({std::to_string(i), lib.cell(kinds[i]).name,
+               util::fmt(spec.wn_um[i], 2), util::fmt(model_stage[i], 1),
+               util::fmt(m.stage_delay_ps[i], 1),
+               util::fmt_percent(
+                   util::rel_diff(model_stage[i], m.stage_delay_ps[i]), 0)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\npath delay: model %.1f ps, transistor-level %.1f ps "
+              "(delta %.0f%%)\n",
+              sized.delay_ps, m.path_delay_ps,
+              100.0 * util::rel_diff(sized.delay_ps, m.path_delay_ps));
+  std::printf("\n(one input polarity simulated; the model figure is the "
+              "worst-edge chain, so a\nmodest systematic gap is expected — "
+              "see EXPERIMENTS.md for the calibration band)\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "pops/baseline/amps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pops/util/rng.hpp"
+
+namespace pops::baseline {
+
+using timing::BoundedPath;
+using timing::DelayModel;
+
+namespace {
+
+/// One steepest-descent pass in the TILOS family: monotone upsizing over
+/// the discrete drive grid — repeatedly apply the single coarse up-step
+/// that reduces the path delay the most; stop when no step improves.
+/// Every probe is a full-path evaluation (counted).
+double greedy_descend(BoundedPath& path, const DelayModel& dm,
+                      const AmpsOptions& opt, long& evaluations) {
+  double best = path.delay_ps(dm);
+  ++evaluations;
+  for (int move = 0; move < opt.max_moves; ++move) {
+    int best_stage = -1;
+    double best_cin = 0.0;
+    double best_delay = best;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (!path.sizable(i)) continue;
+      const double original = path.cin(i);
+      path.set_cin(i, original * opt.upsize_factor);
+      const double d = path.delay_ps(dm);
+      ++evaluations;
+      if (d < best_delay) {
+        best_delay = d;
+        best_stage = static_cast<int>(i);
+        best_cin = path.cin(i);
+      }
+      path.set_cin(i, original);
+    }
+    if (best_stage < 0) break;
+    path.set_cin(static_cast<std::size_t>(best_stage), best_cin);
+    best = best_delay;
+  }
+  return best;
+}
+
+}  // namespace
+
+AmpsResult minimize_delay(const BoundedPath& path, const DelayModel& dm,
+                          const AmpsOptions& opt) {
+  util::Rng rng(opt.seed);
+  AmpsResult res{path, 0.0, 0.0, true, 0};
+
+  // Descent from minimum sizes.
+  BoundedPath work = path;
+  work.set_all_min_drive();
+  double best_delay = greedy_descend(work, dm, opt, res.evaluations);
+  BoundedPath best_path = work;
+
+  // Pseudo-random restarts: log-uniform perturbations around the incumbent.
+  for (int r = 0; r < opt.random_restarts; ++r) {
+    BoundedPath probe = best_path;
+    for (std::size_t i = 1; i < probe.size(); ++i) {
+      if (!probe.sizable(i)) continue;
+      const double f =
+          std::exp(rng.uniform(-opt.restart_spread, opt.restart_spread));
+      probe.set_cin(i, probe.cin(i) * f);
+    }
+    const double d = greedy_descend(probe, dm, opt, res.evaluations);
+    if (d < best_delay) {
+      best_delay = d;
+      best_path = std::move(probe);
+    }
+  }
+
+  res.path = std::move(best_path);
+  res.delay_ps = best_delay;
+  res.area_um = res.path.area_um();
+  return res;
+}
+
+AmpsResult meet_constraint(const BoundedPath& path, const DelayModel& dm,
+                           double tc_ps, const AmpsOptions& opt) {
+  if (!(tc_ps > 0.0))
+    throw std::invalid_argument("meet_constraint: Tc must be > 0");
+
+  AmpsResult res{path, 0.0, 0.0, false, 0};
+  BoundedPath work = path;
+  work.set_all_min_drive();
+  double delay = work.delay_ps(dm);
+  ++res.evaluations;
+
+  // The industrial guard band (see AmpsOptions::safety_margin).
+  const double target_ps = tc_ps * (1.0 - opt.safety_margin);
+
+  for (int move = 0; move < opt.max_moves && delay > target_ps; ++move) {
+    // TILOS step: the upsize with the best delay reduction per added area.
+    int best_stage = -1;
+    double best_score = 0.0;
+    double best_delay = delay;
+    double best_cin = 0.0;
+    for (std::size_t i = 1; i < work.size(); ++i) {
+      if (!work.sizable(i)) continue;
+      const double original = work.cin(i);
+      const double candidate = original * opt.upsize_factor;
+      if (candidate <= original * 1.0000001) continue;  // clamped at max
+      work.set_cin(i, candidate);
+      const double d = work.delay_ps(dm);
+      ++res.evaluations;
+      const double darea = work.cin(i) - original;  // ~ area increase proxy
+      work.set_cin(i, original);
+      const double gain = delay - d;
+      if (gain <= 0.0 || darea <= 0.0) continue;
+      const double score = gain / darea;
+      if (score > best_score) {
+        best_score = score;
+        best_stage = static_cast<int>(i);
+        best_delay = d;
+        best_cin = candidate;
+      }
+    }
+    if (best_stage < 0) break;  // stuck: constraint unreachable by sizing
+    work.set_cin(static_cast<std::size_t>(best_stage), best_cin);
+    delay = best_delay;
+  }
+
+  res.path = std::move(work);
+  res.delay_ps = delay;
+  res.area_um = res.path.area_um();
+  res.feasible = delay <= tc_ps * (1.0 + opt.tc_rel_tol);
+  return res;
+}
+
+}  // namespace pops::baseline

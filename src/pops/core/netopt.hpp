@@ -1,0 +1,64 @@
+#pragma once
+// Netlist-level optimisation passes.
+//
+// The path-at-a-time protocol (protocol.hpp) sizes gates; these passes
+// perform the *structural* half of the job on the whole netlist, with
+// functional equivalence guaranteed (and tested exhaustively):
+//
+//  * cancel_inverter_pairs — peephole: a chain INV(INV(x)) is rewired so
+//    the second inverter's sinks read x directly. De Morgan rewrites
+//    (restructure.hpp) create such pairs by design; this pass absorbs
+//    them, completing §4.2's "the necessary inverters used to conserve
+//    the logic function".
+//  * sweep_dead — remove logic with no transitive fanout to any primary
+//    output (rewrites leave such residue; real netlists should not carry
+//    it into area/power accounting).
+//  * shield_high_fanout_nets — the Flimit metric applied circuit-wide:
+//    each net whose fanout exceeds the limit of its weakest (driver,
+//    sink) pair gets a buffer that takes over every sink except the most
+//    timing-critical one, unloading the critical path (the netlist-level
+//    counterpart of the path shield in buffer.hpp).
+
+#include <cstddef>
+
+#include "pops/core/buffer.hpp"
+#include "pops/netlist/netlist.hpp"
+#include "pops/timing/delay_model.hpp"
+
+namespace pops::core {
+
+/// Rewire sinks of INV(INV(x)) to x. Does not delete the bypassed
+/// inverters (run sweep_dead afterwards); never bypasses a primary
+/// output's defining gate. Returns the number of sink rewires performed.
+std::size_t cancel_inverter_pairs(netlist::Netlist& nl);
+
+/// Rebuild the netlist without gates that cannot reach any primary
+/// output. Primary inputs are always preserved (they are the interface).
+/// Names, drives, wire loads and PO annotations survive.
+netlist::Netlist sweep_dead(const netlist::Netlist& nl);
+
+/// Options for the circuit-wide shielding pass.
+struct ShieldOptions {
+  double margin = 1.0;        ///< flag nets with F > margin * Flimit
+  std::size_t max_buffers = 64;  ///< insertion budget
+  /// Buffer drive rule: the shield drives its sinks at about this fanout.
+  double shield_fanout = 4.0;
+};
+
+/// Result summary of shield_high_fanout_nets.
+struct ShieldReport {
+  std::size_t buffers_inserted = 0;
+  double area_added_um = 0.0;
+  double delay_before_ps = 0.0;
+  double delay_after_ps = 0.0;
+};
+
+/// Insert shield buffers on overloaded nets, keeping the most
+/// timing-critical sink directly driven. Non-inverting buffers only, so
+/// the function is untouched. Nets are processed worst-overload-first.
+ShieldReport shield_high_fanout_nets(netlist::Netlist& nl,
+                                     const timing::DelayModel& dm,
+                                     FlimitTable& table,
+                                     const ShieldOptions& opt = {});
+
+}  // namespace pops::core

@@ -1,0 +1,259 @@
+#include "pops/core/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pops::core {
+
+using liberty::CellKind;
+using timing::BoundedPath;
+using timing::DelayModel;
+
+const char* to_string(ConstraintDomain d) noexcept {
+  switch (d) {
+    case ConstraintDomain::Infeasible: return "infeasible";
+    case ConstraintDomain::Hard: return "hard";
+    case ConstraintDomain::Medium: return "medium";
+    case ConstraintDomain::Weak: return "weak";
+  }
+  return "?";
+}
+
+const char* to_string(Method m) noexcept {
+  switch (m) {
+    case Method::Sizing: return "sizing";
+    case Method::LocalBufferSizing: return "local-buffer+sizing";
+    case Method::GlobalBufferSizing: return "global-buffer+sizing";
+    case Method::Restructure: return "restructure+sizing";
+  }
+  return "?";
+}
+
+ConstraintDomain classify_constraint(double tc_ps, double tmin_ps,
+                                     const ProtocolOptions& opt) {
+  if (tc_ps < tmin_ps) return ConstraintDomain::Infeasible;
+  if (tc_ps < opt.hard_ratio * tmin_ps) return ConstraintDomain::Hard;
+  if (tc_ps <= opt.weak_ratio * tmin_ps) return ConstraintDomain::Medium;
+  return ConstraintDomain::Weak;
+}
+
+namespace {
+
+/// A buffered variant of a path plus its bookkeeping.
+struct Buffered {
+  BoundedPath path;
+  std::size_t n_buffers;
+  double shield_area_um;
+};
+
+/// Apply the Flimit-guided insertions (shields / in-path, see buffer.hpp)
+/// on the implementation as given. `freeze_buffers` keeps the inserted
+/// in-path buffers at their locally optimal size during later global
+/// sizing (the Fig. 8 "Local Buff" method); otherwise they are free
+/// variables ("Global Buff").
+Buffered with_buffers(const BoundedPath& path, const DelayModel& dm,
+                      FlimitTable& table, bool freeze_buffers) {
+  BufferInsertionResult r = insert_buffers_local(path, dm, table);
+  Buffered b{std::move(r.path), r.buffers_inserted, r.shield_area_um};
+  if (freeze_buffers) {
+    for (std::size_t i = 0; i < b.path.size(); ++i)
+      if (b.path.stage(i).kind == CellKind::Buf &&
+          b.path.stage(i).node == netlist::kNoNode)
+        b.path.set_sizable(i, false);
+  }
+  return b;
+}
+
+}  // namespace
+
+SizingResult optimize_with_method(const BoundedPath& path,
+                                  const DelayModel& dm, FlimitTable& table,
+                                  double tc_ps, Method method,
+                                  const ProtocolOptions& opt) {
+  switch (method) {
+    case Method::Sizing:
+      return size_for_constraint(path, dm, tc_ps, opt.sensitivity);
+    case Method::LocalBufferSizing: {
+      Buffered b = with_buffers(path, dm, table, /*freeze_buffers=*/true);
+      SizingResult sr = size_for_constraint(b.path, dm, tc_ps, opt.sensitivity);
+      sr.area_um += b.shield_area_um;
+      return sr;
+    }
+    case Method::GlobalBufferSizing: {
+      Buffered b = with_buffers(path, dm, table, /*freeze_buffers=*/false);
+      SizingResult sr = size_for_constraint(b.path, dm, tc_ps, opt.sensitivity);
+      sr.area_um += b.shield_area_um;
+      return sr;
+    }
+    case Method::Restructure: {
+      RestructureResult rr = restructure_path(path, dm, table);
+      SizingResult sr = size_for_constraint(rr.path, dm, tc_ps, opt.sensitivity);
+      sr.area_um += rr.off_path_area_um;
+      return sr;
+    }
+  }
+  throw std::logic_error("optimize_with_method: unreachable");
+}
+
+ProtocolResult optimize_path(const BoundedPath& path, const DelayModel& dm,
+                             FlimitTable& table, double tc_ps,
+                             const ProtocolOptions& opt) {
+  if (!(tc_ps > 0.0))
+    throw std::invalid_argument("optimize_path: Tc must be > 0");
+
+  ProtocolResult res(SizingResult{path, 0.0, 0.0, 0.0, false, 0});
+
+  // --- Characterise the optimisation space (bounds) -------------------------
+  const PathBounds bounds = compute_bounds(path, dm, opt.bounds);
+  res.tmin_ps = bounds.tmin_ps;
+  res.tmax_ps = bounds.tmax_ps;
+  res.domain = classify_constraint(tc_ps, bounds.tmin_ps, opt);
+
+  // --- Infeasible: structure modification required ---------------------------
+  if (res.domain == ConstraintDomain::Infeasible) {
+    Buffered b = with_buffers(path, dm, table, /*freeze_buffers=*/false);
+    SizingResult best =
+        size_for_constraint(b.path, dm, tc_ps, opt.sensitivity);
+    double best_extra = b.shield_area_um;
+    res.method = Method::GlobalBufferSizing;
+    res.buffers_inserted = b.n_buffers;
+
+    if (!best.feasible && opt.allow_restructuring) {
+      // Try restructuring the path's inefficient NOR stages, buffers on top.
+      RestructureResult rr = restructure_path(path, dm, table);
+      Buffered b2 = with_buffers(rr.path, dm, table, false);
+      SizingResult alt =
+          size_for_constraint(b2.path, dm, tc_ps, opt.sensitivity);
+      const double alt_extra = rr.off_path_area_um + b2.shield_area_um;
+      if ((alt.feasible && !best.feasible) ||
+          (alt.feasible == best.feasible &&
+           alt.area_um + alt_extra < best.area_um + best_extra)) {
+        best = std::move(alt);
+        best_extra = alt_extra;
+        res.method = Method::Restructure;
+        res.buffers_inserted = b2.n_buffers;
+        res.gates_restructured = rr.gates_restructured;
+      }
+    }
+    res.extra_area_um = best_extra;
+    res.sizing = std::move(best);
+    return res;
+  }
+
+  // --- Feasible domains -------------------------------------------------------
+  // Weak: sizing is enough and cheapest (buffers only add area).
+  SizingResult sizing_only =
+      size_for_constraint(path, dm, tc_ps, opt.sensitivity);
+  if (res.domain == ConstraintDomain::Weak) {
+    res.method = Method::Sizing;
+    res.sizing = std::move(sizing_only);
+    return res;
+  }
+
+  // Medium: buffer insertion is "not necessary, but allows path
+  // implementation with area reduction" — evaluate and keep the smaller.
+  Buffered local = with_buffers(path, dm, table, /*freeze_buffers=*/true);
+  SizingResult local_sized =
+      size_for_constraint(local.path, dm, tc_ps, opt.sensitivity);
+  const double local_total = local_sized.area_um + local.shield_area_um;
+
+  if (res.domain == ConstraintDomain::Medium) {
+    if (local_sized.feasible &&
+        (!sizing_only.feasible || local_total < sizing_only.area_um)) {
+      res.method = Method::LocalBufferSizing;
+      res.buffers_inserted = local.n_buffers;
+      res.extra_area_um = local.shield_area_um;
+      res.sizing = std::move(local_sized);
+    } else {
+      res.method = Method::Sizing;
+      res.sizing = std::move(sizing_only);
+    }
+    return res;
+  }
+
+  // Hard: buffer insertion & global sizing; pick the best feasible of the
+  // three alternatives.
+  Buffered global = with_buffers(path, dm, table, /*freeze_buffers=*/false);
+  SizingResult global_sized =
+      size_for_constraint(global.path, dm, tc_ps, opt.sensitivity);
+
+  struct Candidate {
+    Method method;
+    SizingResult* sizing;
+    std::size_t buffers;
+    double extra_area;
+  };
+  Candidate candidates[] = {
+      {Method::Sizing, &sizing_only, 0, 0.0},
+      {Method::LocalBufferSizing, &local_sized, local.n_buffers,
+       local.shield_area_um},
+      {Method::GlobalBufferSizing, &global_sized, global.n_buffers,
+       global.shield_area_um},
+  };
+  Candidate* best = nullptr;
+  for (Candidate& c : candidates) {
+    if (!c.sizing->feasible) continue;
+    if (!best || c.sizing->area_um + c.extra_area <
+                     best->sizing->area_um + best->extra_area)
+      best = &c;
+  }
+  if (!best) best = &candidates[2];  // none feasible: global buffering is
+                                     // the strongest fallback
+  res.method = best->method;
+  res.buffers_inserted = best->buffers;
+  res.extra_area_um = best->extra_area;
+  res.sizing = std::move(*best->sizing);
+  return res;
+}
+
+CircuitResult optimize_circuit(netlist::Netlist& nl, const DelayModel& dm,
+                               FlimitTable& table, double tc_ps,
+                               const CircuitOptions& opt) {
+  CircuitResult out;
+  out.tc_ps = tc_ps;
+
+  timing::StaOptions sta_opt;
+  sta_opt.pi_slew_ps = opt.pi_slew_ps;
+  const timing::Sta sta(nl, dm, sta_opt);
+  const double input_slew =
+      opt.pi_slew_ps > 0.0 ? opt.pi_slew_ps : dm.default_input_slew_ps();
+
+  for (int round = 0; round < opt.max_rounds; ++round) {
+    const timing::StaResult result = sta.run();
+    if (result.critical_delay_ps <= tc_ps) break;
+
+    // Tighten per-path targets round by round: resizing one path loads its
+    // neighbours, so a straight Tc target leaves residual violations.
+    const double margin =
+        std::pow(opt.tc_margin, static_cast<double>(round + 1));
+    const double path_tc = tc_ps * margin;
+
+    const std::vector<timing::TimedPath> paths =
+        sta.k_critical_paths(result, opt.max_paths);
+    bool any_change = false;
+    for (const timing::TimedPath& tp : paths) {
+      if (tp.delay_ps <= path_tc) continue;  // already fast enough
+      if (tp.points.size() < 2) continue;
+      BoundedPath bp = BoundedPath::extract(nl, tp, input_slew);
+      // Circuit mode applies sizing only (see header); the protocol's
+      // structural rewrites are evaluated but only surviving stages carry
+      // their sizes back to the netlist.
+      ProtocolResult pr = optimize_path(bp, dm, table, path_tc, opt.protocol);
+      pr.sizing.path.apply_sizes_to(nl);
+      out.per_path.push_back(std::move(pr));
+      ++out.paths_optimized;
+      any_change = true;
+    }
+    if (!any_change) break;
+  }
+
+  const timing::StaResult final_sta = sta.run();
+  out.achieved_delay_ps = final_sta.critical_delay_ps;
+  out.area_um = nl.total_width_um();
+  out.met = final_sta.critical_delay_ps <= tc_ps * 1.0001;
+  return out;
+}
+
+}  // namespace pops::core

@@ -1,0 +1,125 @@
+#pragma once
+// The optimization protocol — paper Fig. 7.
+//
+//   Library characterization (Flimit determination)
+//   Characterisation of the optimization space:
+//     - path classification
+//     - delay bounds determination: Tmax, Tmin
+//   Delay constraint Tc distribution:
+//     - Tc <  Tmin                  -> structure modification (buffers,
+//                                      then De Morgan restructuring)
+//     - weak   (Tc > 2.5 Tmin)      -> gate sizing
+//     - medium (1.2 Tmin < Tc < 2.5 Tmin) -> buffer insertion
+//     - hard   (Tc < 1.2 Tmin)     -> buffer insertion & global sizing
+//
+// For the medium and hard domains the protocol evaluates the admissible
+// alternatives and returns the smallest-area implementation that meets Tc
+// (the paper's target: "delay constraint satisfaction at minimum area
+// cost"). A circuit-level driver applies the protocol path-by-path over
+// the K most critical paths, with iterative STA re-verification (gate
+// sizing "may slow down adjacent upward paths", §1).
+
+#include <string>
+#include <vector>
+
+#include "pops/core/bounds.hpp"
+#include "pops/core/buffer.hpp"
+#include "pops/core/restructure.hpp"
+#include "pops/core/sensitivity.hpp"
+#include "pops/netlist/netlist.hpp"
+#include "pops/timing/sta.hpp"
+
+namespace pops::core {
+
+/// Where a constraint falls relative to the path's feasible range.
+enum class ConstraintDomain { Infeasible, Hard, Medium, Weak };
+const char* to_string(ConstraintDomain d) noexcept;
+
+/// Which alternative the protocol settled on.
+enum class Method {
+  Sizing,              ///< constant-sensitivity sizing only
+  LocalBufferSizing,   ///< locally sized buffers + sizing of the rest
+  GlobalBufferSizing,  ///< buffers + global re-distribution of all stages
+  Restructure,         ///< De Morgan rewrite + buffers + sizing
+};
+const char* to_string(Method m) noexcept;
+
+struct ProtocolOptions {
+  double hard_ratio = 1.2;  ///< Tc < hard_ratio*Tmin  -> hard
+  double weak_ratio = 2.5;  ///< Tc > weak_ratio*Tmin  -> weak
+  bool allow_restructuring = true;
+  BoundsOptions bounds;
+  SensitivityOptions sensitivity;
+};
+
+/// Classify `tc` against `tmin` with the Fig. 6 thresholds.
+ConstraintDomain classify_constraint(double tc_ps, double tmin_ps,
+                                     const ProtocolOptions& opt = {});
+
+/// Outcome of the protocol on one path.
+struct ProtocolResult {
+  /// SizingResult (and the BoundedPath inside it) has no empty state, so a
+  /// ProtocolResult is seeded with an initial sizing that the protocol
+  /// then replaces.
+  explicit ProtocolResult(SizingResult seed) : sizing(std::move(seed)) {}
+
+  ConstraintDomain domain = ConstraintDomain::Weak;
+  Method method = Method::Sizing;
+  SizingResult sizing;              ///< final sized path + delay/area
+  double tmin_ps = 0.0;             ///< of the *original* structure
+  double tmax_ps = 0.0;
+  std::size_t buffers_inserted = 0;
+  std::size_t gates_restructured = 0;
+  double extra_area_um = 0.0;       ///< off-path inverters (restructuring)
+  /// Total implementation area: path ΣW + off-path overhead.
+  double total_area_um() const { return sizing.area_um + extra_area_um; }
+};
+
+/// Run the Fig. 7 protocol on one bounded path.
+ProtocolResult optimize_path(const timing::BoundedPath& path,
+                             const timing::DelayModel& dm, FlimitTable& table,
+                             double tc_ps, const ProtocolOptions& opt = {});
+
+/// The Fig. 8 comparison: size the path with one *forced* method (no
+/// selection), for the Sizing / Local Buff / Global Buff series.
+SizingResult optimize_with_method(const timing::BoundedPath& path,
+                                  const timing::DelayModel& dm,
+                                  FlimitTable& table, double tc_ps,
+                                  Method method,
+                                  const ProtocolOptions& opt = {});
+
+/// Circuit-level outcome.
+struct CircuitResult {
+  double tc_ps = 0.0;
+  double achieved_delay_ps = 0.0;   ///< STA critical delay after optimisation
+  double area_um = 0.0;             ///< ΣW over the whole netlist
+  bool met = false;
+  std::size_t paths_optimized = 0;
+  std::vector<ProtocolResult> per_path;
+};
+
+struct CircuitOptions {
+  std::size_t max_paths = 24;   ///< K most critical paths per round
+  int max_rounds = 6;           ///< STA re-verification rounds
+  /// Per-path constraint tightening: paths are optimised to margin*Tc so
+  /// that the off-path loading changes caused by resizing *other* paths
+  /// (the interaction of §1: sizing "may slow down adjacent upward paths")
+  /// still leave the circuit under Tc at re-verification.
+  double tc_margin = 0.97;
+  ProtocolOptions protocol;
+  double pi_slew_ps = -1.0;     ///< forwarded to STA
+};
+
+/// Apply the protocol to a netlist: repeatedly extract the K most critical
+/// paths, optimise each as a bounded path (off-path loads frozen), write
+/// the sizes back, and re-run STA until the constraint holds everywhere or
+/// the round budget is exhausted. Buffer/restructure edits are *not*
+/// applied to the netlist (sizing only) — structural rewrites are offered
+/// at the path level where their cost can be judged; this mirrors POPS's
+/// path-by-path operation.
+CircuitResult optimize_circuit(netlist::Netlist& nl,
+                               const timing::DelayModel& dm,
+                               FlimitTable& table, double tc_ps,
+                               const CircuitOptions& opt = {});
+
+}  // namespace pops::core

@@ -1,0 +1,235 @@
+#include "pops/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace pops::core {
+
+using timing::BoundedPath;
+using timing::DelayModel;
+
+namespace {
+
+/// One symmetric Gauss-Seidel sweep of eq. (6) at sensitivity `a`
+/// (forward then backward, see bounds.cpp); returns max relative CIN
+/// change. A non-positive denominator means the wanted sensitivity cannot
+/// be reached at finite size — clamp to the maximum.
+double sensitivity_sweep(BoundedPath& path, const DelayModel& dm, double a) {
+  double worst = 0.0;
+  const std::size_t n = path.size();
+  auto update = [&](std::size_t i) {
+    if (!path.sizable(i)) return;
+    const double a_prev = path.stage_coefficient(dm, i - 1);
+    const double a_own = path.stage_coefficient(dm, i);
+    const double load = path.load_ff(i);
+    const double denom = a_prev / path.cin(i - 1) - a;
+    const double before = path.cin(i);
+    if (denom <= 0.0) {
+      path.set_cin(i, path.cin_max(i));
+    } else {
+      path.set_cin(i, std::sqrt(a_own * load / denom));
+    }
+    worst = std::max(worst,
+                     std::abs(path.cin(i) - before) / std::max(before, 1e-12));
+  };
+  for (std::size_t i = 1; i < n; ++i) update(i);
+  for (std::size_t i = n; i-- > 1;) update(i);
+  return worst;
+}
+
+}  // namespace
+
+BoundedPath size_at_sensitivity(BoundedPath path, const DelayModel& dm,
+                                double a, const SensitivityOptions& opt,
+                                int* sweeps_used) {
+  if (a > 0.0)
+    throw std::invalid_argument("size_at_sensitivity: a must be <= 0");
+  int sweeps = 0;
+  double prev_delay = path.delay_ps(dm);
+  int delay_stable = 0;
+  for (; sweeps < opt.max_sweeps; ++sweeps) {
+    if (sensitivity_sweep(path, dm, a) < opt.tol) {
+      ++sweeps;
+      break;
+    }
+    // Delay-stabilisation early stop (see bounds.cpp).
+    const double delay = path.delay_ps(dm);
+    delay_stable =
+        std::abs(delay - prev_delay) < 1e-9 * delay ? delay_stable + 1 : 0;
+    prev_delay = delay;
+    if (delay_stable >= 3) {
+      ++sweeps;
+      break;
+    }
+  }
+  if (sweeps_used) *sweeps_used = sweeps;
+  return path;
+}
+
+SizingResult size_for_constraint(const BoundedPath& path, const DelayModel& dm,
+                                 double tc_ps, const SensitivityOptions& opt) {
+  if (!(tc_ps > 0.0))
+    throw std::invalid_argument("size_for_constraint: Tc must be > 0");
+
+  SizingResult res{path, 0.0, 0.0, 0.0, false, 0};
+
+  // a = 0: the Tmin end of the curve.
+  int sw = 0;
+  BoundedPath at0 = size_at_sensitivity(path, dm, 0.0, opt, &sw);
+  res.sweeps += sw;
+  const double tmin = at0.delay_ps(dm);
+
+  if (tc_ps <= tmin * (1.0 + opt.tc_rel_tol)) {
+    // Infeasible (or exactly Tmin): best effort is the Tmin sizing.
+    res.path = std::move(at0);
+    res.delay_ps = res.path.delay_ps(dm);
+    res.area_um = res.path.area_um();
+    res.a = 0.0;
+    res.feasible = tc_ps >= tmin * (1.0 - opt.tc_rel_tol);
+    return res;
+  }
+
+  // All-minimum end (the a -> -inf limit).
+  BoundedPath at_min = path;
+  at_min.set_all_min_drive();
+  const double tmax = at_min.delay_ps(dm);
+  if (tc_ps >= tmax) {
+    res.path = std::move(at_min);
+    res.delay_ps = res.path.delay_ps(dm);
+    res.area_um = res.path.area_um();
+    res.a = -std::numeric_limits<double>::infinity();
+    res.feasible = true;
+    return res;
+  }
+
+  // Bracket: T(a) increases as a decreases. Grow |a| geometrically until
+  // T(a) >= Tc. Scale the probe by a representative sensitivity magnitude
+  // so bracketing is technology-independent.
+  const double a_scale =
+      path.stage_coefficient(dm, 0) / std::max(path.cin(0), 1e-9);
+  double a_hi = 0.0;                      // T(a_hi) <= Tc
+  double a_lo = -a_scale * 1e-3;          // will grow until T(a_lo) >= Tc
+  BoundedPath warm = at0;                 // warm-start consecutive solves
+  double t_lo = 0.0;
+  for (int grow = 0; grow < 80; ++grow) {
+    warm = size_at_sensitivity(warm, dm, a_lo, opt, &sw);
+    res.sweeps += sw;
+    t_lo = warm.delay_ps(dm);
+    if (t_lo >= tc_ps) break;
+    a_hi = a_lo;
+    a_lo *= 4.0;
+  }
+
+  // Bisection on a in [a_lo, a_hi] (a_lo more negative, slower).
+  BoundedPath best = warm;
+  double best_delay = t_lo;
+  for (int it = 0; it < opt.max_bisect; ++it) {
+    const double a_mid = 0.5 * (a_lo + a_hi);
+    warm = size_at_sensitivity(warm, dm, a_mid, opt, &sw);
+    res.sweeps += sw;
+    const double t_mid = warm.delay_ps(dm);
+    if (t_mid <= tc_ps) {
+      a_hi = a_mid;  // feasible side: remember the smallest-area feasible fit
+      best = warm;
+      best_delay = t_mid;
+      if (std::abs(t_mid - tc_ps) <= opt.tc_rel_tol * tc_ps) break;
+    } else {
+      a_lo = a_mid;
+    }
+  }
+
+  res.path = std::move(best);
+  res.delay_ps = best_delay;
+  res.area_um = res.path.area_um();
+  res.a = a_hi;
+  res.feasible = best_delay <= tc_ps * (1.0 + opt.tc_rel_tol);
+  return res;
+}
+
+SizingResult size_equal_effort(const BoundedPath& path, const DelayModel& dm,
+                               double tc_ps, const SensitivityOptions& opt) {
+  if (!(tc_ps > 0.0))
+    throw std::invalid_argument("size_equal_effort: Tc must be > 0");
+
+  const std::size_t n = path.size();
+
+  // Given a per-stage delay budget d, solve backward for the CINs: stage
+  // i's delay is (slope term) + miller/2 * S * tau * (CL+Cpar)/CIN, and the
+  // slope term depends on the previous stage's output transition, so we
+  // iterate the slew profile a few times per budget evaluation.
+  auto size_for_budget = [&](BoundedPath p, double budget) {
+    for (int round = 0; round < 6; ++round) {
+      // Current slews along the path (eq. 2 — independent of input slew).
+      std::vector<double> slews(n);
+      for (std::size_t i = 0; i < n; ++i)
+        slews[i] = dm.transition_ps(p.cell(i), p.out_edge(i), p.cin(i),
+                                    p.total_load_ff(i));
+      // Backward pass: choose CIN(i) so that stage i's delay == budget.
+      for (std::size_t ri = 0; ri + 1 < n; ++ri) {
+        const std::size_t i = n - 1 - ri;
+        const double tin_i = i == 0 ? p.input_slew_ps() : slews[i - 1];
+        const double slope =
+            0.5 * dm.reduced_vt(p.out_edge(i)) * tin_i;
+        const double own_budget = budget - slope;
+        if (own_budget <= 0.0) {
+          p.set_cin(i, p.cin_max(i));
+          continue;
+        }
+        // delay_own = miller/2 * S * tau * (CLext + cpar_coeff*CIN)/CIN.
+        // Solve with miller & cpar frozen at the current iterate.
+        const double miller = dm.miller_factor(p.cell(i), p.out_edge(i),
+                                               p.cin(i), p.total_load_ff(i));
+        const double s = dm.symmetry_factor(p.cell(i), p.out_edge(i));
+        const double tau = dm.lib().tech().tau_ps;
+        const double cpar_per_cin = p.cpar_ff(i) / std::max(p.cin(i), 1e-12);
+        const double k_eff = 0.5 * miller * s * tau;
+        const double denom = own_budget - k_eff * cpar_per_cin;
+        if (denom <= 0.0) {
+          p.set_cin(i, p.cin_max(i));
+        } else {
+          p.set_cin(i, k_eff * p.load_ff(i) / denom);
+        }
+      }
+    }
+    return p;
+  };
+
+  // Bisect the per-stage budget to meet Tc.
+  BoundedPath fastest = size_for_budget(path, 1e-3);
+  const double t_fast = fastest.delay_ps(dm);
+  BoundedPath slowest = path;
+  slowest.set_all_min_drive();
+  const double t_slow = slowest.delay_ps(dm);
+
+  SizingResult res{path, 0.0, 0.0, 0.0, false, 0};
+  if (tc_ps >= t_slow) {
+    res.path = std::move(slowest);
+  } else if (tc_ps <= t_fast) {
+    res.path = std::move(fastest);
+  } else {
+    double lo = 1e-3, hi = tc_ps;  // per-stage budget bracket
+    BoundedPath best = fastest;
+    for (int it = 0; it < opt.max_bisect; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      BoundedPath p = size_for_budget(path, mid);
+      const double t = p.delay_ps(dm);
+      if (t <= tc_ps) {
+        lo = mid;
+        best = std::move(p);
+        if (std::abs(t - tc_ps) <= opt.tc_rel_tol * tc_ps) break;
+      } else {
+        hi = mid;
+      }
+    }
+    res.path = std::move(best);
+  }
+  res.delay_ps = res.path.delay_ps(dm);
+  res.area_um = res.path.area_um();
+  res.feasible = res.delay_ps <= tc_ps * (1.0 + opt.tc_rel_tol);
+  return res;
+}
+
+}  // namespace pops::core

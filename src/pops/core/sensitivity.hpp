@@ -1,0 +1,74 @@
+#pragma once
+// The constant sensitivity method — paper §3.2 ("Constraint distribution").
+//
+// Impose the same delay sensitivity on every free gate of the path:
+//
+//     dT/dCIN(i) = a        for all i,  a <= 0            (eq. 5)
+//
+// which expands (eq. 6) to the chain
+//
+//     A_(i-1)/CIN(i-1) - A_i * (Coff(i) + CIN(i+1)) / CIN(i)^2 = a
+//
+// solved here by Gauss-Seidel sweeps of
+//
+//     CIN(i) <- sqrt( A_i * (Coff(i)+CIN(i+1)) / (A_(i-1)/CIN(i-1) - a) ).
+//
+// a = 0 reproduces the Tmin link equations; decreasing a walks the
+// delay/area trade-off curve (Fig. 3). A few bisection iterations on `a`
+// meet a delay constraint Tc at minimum area (the paper's claim, backed by
+// the convexity of the bounded-path delay).
+//
+// The Sutherland / logical-effort *equal effort-delay* distribution
+// (ref [4] of the paper) is provided as the comparison baseline: fast, but
+// oversizes gates with a large logical weight.
+
+#include "pops/core/bounds.hpp"
+#include "pops/timing/delay_model.hpp"
+#include "pops/timing/path.hpp"
+
+namespace pops::core {
+
+/// Knobs for the sensitivity solver.
+struct SensitivityOptions {
+  int max_sweeps = 800;  ///< per solve; each sweep is O(N)
+  double tol = 1e-7;
+  /// Bisection iterations on `a` when meeting a constraint.
+  int max_bisect = 80;
+  /// Constraint satisfaction tolerance, relative to Tc.
+  double tc_rel_tol = 1e-4;
+};
+
+/// Result of a constraint-distribution run.
+struct SizingResult {
+  timing::BoundedPath path;  ///< the sized path
+  double delay_ps = 0.0;
+  double area_um = 0.0;
+  double a = 0.0;            ///< realised sensitivity coefficient
+  bool feasible = false;     ///< Tc >= Tmin (met within tolerance)
+  int sweeps = 0;            ///< total fixed-point sweeps spent
+};
+
+/// Size the path so every free gate sees sensitivity `a` (<= 0).
+/// Starts from the provided sizing. Returns the converged path.
+timing::BoundedPath size_at_sensitivity(timing::BoundedPath path,
+                                        const timing::DelayModel& dm, double a,
+                                        const SensitivityOptions& opt = {},
+                                        int* sweeps_used = nullptr);
+
+/// Meet delay constraint `tc_ps` at minimum area by bisecting `a`:
+///  * Tc <= Tmin  -> returns the Tmin sizing with feasible=false;
+///  * Tc >= Tmax  -> returns the all-minimum sizing (a -> -inf limit);
+///  * otherwise   -> the unique a with T(a) = Tc.
+SizingResult size_for_constraint(const timing::BoundedPath& path,
+                                 const timing::DelayModel& dm, double tc_ps,
+                                 const SensitivityOptions& opt = {});
+
+/// Sutherland-style equal effort-delay distribution (the paper's "simplest
+/// method"): every stage receives the same delay budget, realised by a
+/// backward solve per stage and a bisection on the budget to meet Tc.
+/// Oversizes heavy gates relative to the constant-sensitivity method.
+SizingResult size_equal_effort(const timing::BoundedPath& path,
+                               const timing::DelayModel& dm, double tc_ps,
+                               const SensitivityOptions& opt = {});
+
+}  // namespace pops::core

@@ -1,0 +1,270 @@
+#include "pops/netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pops::netlist {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+struct PendingGate {
+  std::string target;
+  std::string op;
+  std::vector<std::string> args;
+  int line_no;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, const liberty::Library& lib,
+                   const BenchReadOptions& options) {
+  Netlist nl(lib, options.name);
+
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+  std::string line;
+  int line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::string uline = upper(line);
+    auto paren_arg = [&](std::size_t open) {
+      const std::size_t close = line.rfind(')');
+      if (close == std::string::npos || close <= open)
+        fail(line_no, "missing ')'");
+      return trim(line.substr(open + 1, close - open - 1));
+    };
+
+    if (uline.rfind("INPUT", 0) == 0) {
+      const std::size_t open = line.find('(');
+      if (open == std::string::npos) fail(line_no, "missing '(' after INPUT");
+      nl.add_input(paren_arg(open));
+      continue;
+    }
+    if (uline.rfind("OUTPUT", 0) == 0) {
+      const std::size_t open = line.find('(');
+      if (open == std::string::npos) fail(line_no, "missing '(' after OUTPUT");
+      output_names.push_back(paren_arg(open));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected assignment: " + line);
+    PendingGate g;
+    g.target = trim(line.substr(0, eq));
+    g.line_no = line_no;
+    std::string rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+      fail(line_no, "expected OP(args): " + rhs);
+    g.op = upper(trim(rhs.substr(0, open)));
+    std::stringstream args(rhs.substr(open + 1, close - open - 1));
+    std::string arg;
+    while (std::getline(args, arg, ',')) {
+      arg = trim(arg);
+      if (!arg.empty()) g.args.push_back(arg);
+    }
+    if (g.args.empty()) fail(line_no, "gate with no inputs: " + g.target);
+    pending.push_back(std::move(g));
+  }
+
+  // .bench files list gates in arbitrary order; resolve iteratively.
+  // Each pass instantiates every gate whose fanins already exist.
+  std::size_t remaining = pending.size();
+  std::vector<bool> done(pending.size(), false);
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t gi = 0; gi < pending.size(); ++gi) {
+      if (done[gi]) continue;
+      const PendingGate& g = pending[gi];
+      std::vector<NodeId> fanins;
+      bool ready = true;
+      for (const std::string& a : g.args) {
+        const NodeId id = nl.find(a);
+        if (id == kNoNode) {
+          ready = false;
+          break;
+        }
+        fanins.push_back(id);
+      }
+      if (!ready) continue;
+
+      if (nl.find(g.target) != kNoNode)
+        fail(g.line_no, "signal redefined: " + g.target);
+
+      using liberty::CellKind;
+      const std::size_t n = fanins.size();
+      auto direct = [&](CellKind kind) { nl.add_gate(kind, g.target, fanins); };
+      auto wide = [&](bool is_and, bool invert) {
+        // Build the NAND/NOR/INV tree under temp names; the root gate then
+        // takes the target's public name. If the root happens to be a
+        // pre-existing node (single-term identity), alias it with a BUF.
+        const NodeId before = static_cast<NodeId>(nl.size());
+        const NodeId root =
+            build_wide_gate(nl, is_and, invert, fanins, g.target + "_w");
+        if (root >= before)
+          nl.rename(root, g.target);
+        else
+          nl.add_gate(CellKind::Buf, g.target, {root});
+      };
+
+      if (g.op == "NOT" || g.op == "INV") {
+        if (n != 1) fail(g.line_no, "NOT needs 1 input");
+        direct(CellKind::Inv);
+      } else if (g.op == "BUF" || g.op == "BUFF") {
+        if (n != 1) fail(g.line_no, "BUF needs 1 input");
+        direct(CellKind::Buf);
+      } else if (g.op == "NAND") {
+        if (n == 2) direct(CellKind::Nand2);
+        else if (n == 3) direct(CellKind::Nand3);
+        else if (n == 4) direct(CellKind::Nand4);
+        else wide(/*is_and=*/true, /*invert=*/true);
+      } else if (g.op == "NOR") {
+        if (n == 2) direct(CellKind::Nor2);
+        else if (n == 3) direct(CellKind::Nor3);
+        else if (n == 4) direct(CellKind::Nor4);
+        else wide(/*is_and=*/false, /*invert=*/true);
+      } else if (g.op == "AND") {
+        wide(/*is_and=*/true, /*invert=*/false);
+      } else if (g.op == "OR") {
+        wide(/*is_and=*/false, /*invert=*/false);
+      } else if (g.op == "XOR") {
+        if (n == 2) direct(CellKind::Xor2);
+        else {
+          // Chain XORs for arity > 2.
+          NodeId acc = fanins[0];
+          for (std::size_t i = 1; i + 1 < n; ++i)
+            acc = nl.add_gate(CellKind::Xor2, nl.fresh_name(g.target + "_x"),
+                              {acc, fanins[i]});
+          nl.add_gate(CellKind::Xor2, g.target, {acc, fanins[n - 1]});
+        }
+      } else if (g.op == "XNOR") {
+        if (n == 2) direct(CellKind::Xnor2);
+        else {
+          NodeId acc = fanins[0];
+          for (std::size_t i = 1; i + 1 < n; ++i)
+            acc = nl.add_gate(CellKind::Xor2, nl.fresh_name(g.target + "_x"),
+                              {acc, fanins[i]});
+          nl.add_gate(CellKind::Xnor2, g.target, {acc, fanins[n - 1]});
+        }
+      } else {
+        fail(g.line_no, "unknown op " + g.op);
+      }
+
+      done[gi] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    for (std::size_t gi = 0; gi < pending.size(); ++gi)
+      if (!done[gi])
+        fail(pending[gi].line_no,
+             "unresolved signals (cycle or undefined input) for " +
+                 pending[gi].target);
+  }
+
+  for (const std::string& name : output_names) {
+    const NodeId id = nl.find(name);
+    if (id == kNoNode)
+      throw std::runtime_error("bench: OUTPUT(" + name + ") never defined");
+    nl.mark_output(id, options.po_load_ff);
+  }
+  return nl;
+}
+
+Netlist read_bench_string(const std::string& text, const liberty::Library& lib,
+                          const BenchReadOptions& options) {
+  std::istringstream in(text);
+  return read_bench(in, lib, options);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  using liberty::CellKind;
+  out << "# " << nl.name() << " — written by POPS\n";
+  for (NodeId id : nl.inputs()) out << "INPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.outputs()) out << "OUTPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.is_input) continue;
+
+    // AOI/OAI have no .bench operator: emit their exact two-line
+    // decomposition under a derived helper name ("$" cannot appear in
+    // library names, so the helper never collides).
+    if (n.kind == CellKind::Aoi21 || n.kind == CellKind::Oai21) {
+      const std::string& a = nl.node(n.fanins[0]).name;
+      const std::string& b = nl.node(n.fanins[1]).name;
+      const std::string& c = nl.node(n.fanins[2]).name;
+      const std::string helper = n.name + "$inner";
+      if (n.kind == CellKind::Aoi21) {
+        // !((a&b)|c) == NOR(AND(a,b), c)
+        out << helper << " = AND(" << a << ", " << b << ")\n";
+        out << n.name << " = NOR(" << helper << ", " << c << ")\n";
+      } else {
+        // !((a|b)&c) == NAND(OR(a,b), c)
+        out << helper << " = OR(" << a << ", " << b << ")\n";
+        out << n.name << " = NAND(" << helper << ", " << c << ")\n";
+      }
+      continue;
+    }
+
+    const char* op = nullptr;
+    switch (n.kind) {
+      case CellKind::Inv: op = "NOT"; break;
+      case CellKind::Buf: op = "BUFF"; break;
+      case CellKind::Nand2:
+      case CellKind::Nand3:
+      case CellKind::Nand4: op = "NAND"; break;
+      case CellKind::Nor2:
+      case CellKind::Nor3:
+      case CellKind::Nor4: op = "NOR"; break;
+      case CellKind::Xor2: op = "XOR"; break;
+      case CellKind::Xnor2: op = "XNOR"; break;
+      case CellKind::Aoi21:
+      case CellKind::Oai21: break;  // handled above
+    }
+    out << n.name << " = " << op << "(";
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.node(n.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(out, nl);
+  return out.str();
+}
+
+}  // namespace pops::netlist

@@ -1,0 +1,51 @@
+#pragma once
+// Reader / writer for the ISCAS-85 `.bench` netlist format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//   G11 = NOT(G1)
+//
+// Supported operators: NOT, BUF(F), AND, NAND, OR, NOR, XOR, XNOR with any
+// arity >= 1 (>=2 for the binary ops). Operators or arities not present in
+// the POPS library (AND/OR, arity > 4) are decomposed on the fly into
+// NAND/NOR/INV trees via build_wide_gate(), so any ISCAS-85 file maps onto
+// library cells while preserving the logic function (verified in tests).
+
+#include <iosfwd>
+#include <string>
+
+#include "pops/netlist/netlist.hpp"
+
+namespace pops::netlist {
+
+/// Options for `read_bench`.
+struct BenchReadOptions {
+  /// External load (fF) applied to every primary output.
+  double po_load_ff = 12.0;
+  /// Netlist name to assign (defaults to "bench").
+  std::string name = "bench";
+};
+
+/// Parse a `.bench` stream. Throws std::runtime_error with a line-numbered
+/// diagnostic on malformed input (unknown op, undefined signal, redefined
+/// signal, bad arity).
+Netlist read_bench(std::istream& in, const liberty::Library& lib,
+                   const BenchReadOptions& options = {});
+
+/// Convenience: parse from a string.
+Netlist read_bench_string(const std::string& text, const liberty::Library& lib,
+                          const BenchReadOptions& options = {});
+
+/// Serialise a netlist to `.bench`. Library kinds map as:
+/// inv->NOT, buf->BUFF, nandN->NAND, norN->NOR, xor2->XOR, xnor2->XNOR.
+/// aoi21/oai21 have no .bench operator and are emitted as their exact
+/// two-line AND+NOR / OR+NAND decomposition (functionally identical; the
+/// reader maps those back onto library cells).
+void write_bench(std::ostream& out, const Netlist& nl);
+
+/// Convenience: serialise to a string.
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace pops::netlist

@@ -1,0 +1,75 @@
+#pragma once
+// Benchmark circuit provider.
+//
+// The paper evaluates on ISCAS'85 circuits (c432..c7552), a 16-bit adder
+// ("Adder16") and a small datapath fragment ("fpd"), all on a 0.25µm
+// process. The original ISCAS netlists are not redistributable inside this
+// offline reproduction, so (per DESIGN.md "Substitutions"):
+//
+//   * `c17` is embedded verbatim (6 NAND2, public-domain tiny example);
+//   * `Adder16` is a real structural 16-bit ripple-carry adder built from
+//     9-NAND full adders;
+//   * the remaining benchmarks are generated deterministically (fixed seed
+//     per circuit) to match the published profile that actually matters to
+//     the paper's experiments: the *critical-path gate count* of Table 1
+//     (c432: 29 ... c6288: 116), plus realistic total gate counts, PI/PO
+//     counts and gate-kind mixes.
+//
+// The generator guarantees: acyclic netlist, all arities satisfied, no
+// dangling internal nodes, spine (deepest path) length == `path_depth`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pops/netlist/netlist.hpp"
+
+namespace pops::netlist {
+
+/// Shape parameters of one generated benchmark.
+struct BenchmarkSpec {
+  std::string name;
+  int n_pi;          ///< primary inputs
+  int n_po;          ///< primary outputs (approximate; dangling gates add)
+  int n_gates;       ///< total gate target
+  int path_depth;    ///< critical-path gate count (Table 1 "Gate nb")
+  std::uint64_t seed;
+};
+
+/// The benchmark suite of the paper, in its Table 1 order. `Adder16` and
+/// `c17` carry structural (non-synthetic) netlists; their spec entries
+/// document the realised shape.
+const std::vector<BenchmarkSpec>& paper_benchmarks();
+
+/// Look up a spec by name; throws std::invalid_argument if unknown.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+/// Materialise a benchmark by name ("c17", "Adder16", "fpd", "c432", ...).
+/// Throws std::invalid_argument for unknown names.
+Netlist make_benchmark(const liberty::Library& lib, const std::string& name);
+
+/// The verbatim ISCAS-85 c17 netlist (6 NAND2).
+Netlist make_c17(const liberty::Library& lib);
+
+/// Structural 16-bit ripple-carry adder from 9-NAND full adders.
+/// PIs a0..a15, b0..b15, cin; POs s0..s15, cout.
+Netlist make_adder16(const liberty::Library& lib);
+
+/// Synthetic ISCAS-like circuit for `spec` (deterministic in spec.seed).
+Netlist make_synthetic(const liberty::Library& lib, const BenchmarkSpec& spec);
+
+/// A linear chain of `kinds.size()` gates: PI -> g1 -> ... -> gN -> PO.
+/// Off-path fanins of multi-input gates are tied to dedicated PIs. Useful
+/// for unit tests and the paper's didactic arrays (11-gate path of Fig. 3,
+/// 13-gate array of Fig. 6).
+Netlist make_chain(const liberty::Library& lib,
+                   const std::vector<liberty::CellKind>& kinds,
+                   double po_load_ff, const std::string& name = "chain");
+
+/// The 11-gate mixed path used for Fig. 3.
+Netlist make_fig3_path(const liberty::Library& lib);
+
+/// The 13-gate array used for Fig. 6 (heavily loaded interior nodes).
+Netlist make_fig6_array(const liberty::Library& lib);
+
+}  // namespace pops::netlist

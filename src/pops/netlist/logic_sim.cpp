@@ -1,0 +1,158 @@
+#include "pops/netlist/logic_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pops::netlist {
+
+std::vector<bool> LogicSimulator::eval_all(const std::vector<bool>& pi_values) const {
+  const Netlist& nl = *nl_;
+  if (pi_values.size() != nl.inputs().size())
+    throw std::invalid_argument("LogicSimulator: expected " +
+                                std::to_string(nl.inputs().size()) +
+                                " PI values, got " +
+                                std::to_string(pi_values.size()));
+  std::vector<bool> value(nl.size(), false);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    value[static_cast<std::size_t>(nl.inputs()[i])] = pi_values[i];
+
+  bool scratch[8];  // library arity is at most 4
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.is_input) continue;
+    const std::size_t arity = n.fanins.size();
+    if (arity > std::size(scratch))
+      throw std::logic_error("eval_all: gate arity exceeds library maximum");
+    for (std::size_t k = 0; k < arity; ++k)
+      scratch[k] = value[static_cast<std::size_t>(n.fanins[k])];
+    value[static_cast<std::size_t>(id)] =
+        nl.cell_of(id).eval({scratch, arity});
+  }
+  return value;
+}
+
+std::vector<bool> LogicSimulator::eval_outputs(const std::vector<bool>& pi_values) const {
+  const std::vector<bool> all = eval_all(pi_values);
+  std::vector<bool> out;
+  for (NodeId id : nl_->outputs()) out.push_back(all[static_cast<std::size_t>(id)]);
+  return out;
+}
+
+namespace {
+
+/// PI index mapping of `b` onto the PI order of `a`, matched by name.
+std::vector<std::size_t> match_inputs(const Netlist& a, const Netlist& b) {
+  if (a.inputs().size() != b.inputs().size())
+    throw std::invalid_argument("equivalent: PI count mismatch");
+  std::vector<std::size_t> map(b.inputs().size());
+  for (std::size_t i = 0; i < b.inputs().size(); ++i) {
+    const std::string& name = b.node(b.inputs()[i]).name;
+    NodeId in_a = a.find(name);
+    bool found = false;
+    for (std::size_t j = 0; j < a.inputs().size(); ++j) {
+      if (a.inputs()[j] == in_a) {
+        map[i] = j;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::invalid_argument("equivalent: PI " + name + " missing in lhs");
+  }
+  return map;
+}
+
+/// PO name list of `nl`, sorted for stable comparison order.
+std::vector<std::string> sorted_po_names(const Netlist& nl) {
+  std::vector<std::string> names;
+  for (NodeId id : nl.outputs()) names.push_back(nl.node(id).name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool outputs_match(const Netlist& a, const Netlist& b,
+                   const std::vector<bool>& values_a,
+                   const std::vector<bool>& values_b,
+                   const std::vector<std::string>& po_names) {
+  for (const std::string& name : po_names) {
+    const NodeId ia = a.find(name);
+    const NodeId ib = b.find(name);
+    if (values_a[static_cast<std::size_t>(ia)] !=
+        values_b[static_cast<std::size_t>(ib)])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool equivalent(const Netlist& a, const Netlist& b, util::Rng& rng,
+                int n_random_vectors, int exhaustive_limit) {
+  const std::vector<std::size_t> pi_map = match_inputs(a, b);
+  const std::vector<std::string> po_a = sorted_po_names(a);
+  const std::vector<std::string> po_b = sorted_po_names(b);
+  if (po_a != po_b)
+    throw std::invalid_argument("equivalent: PO name sets differ");
+  for (const std::string& name : po_b)
+    if (b.find(name) == kNoNode || a.find(name) == kNoNode)
+      throw std::invalid_argument("equivalent: PO lookup failed for " + name);
+
+  const LogicSimulator sim_a(a), sim_b(b);
+  const std::size_t n_pi = a.inputs().size();
+
+  auto check_vector = [&](const std::vector<bool>& va) {
+    std::vector<bool> vb(n_pi);
+    for (std::size_t i = 0; i < n_pi; ++i) vb[i] = va[pi_map[i]];
+    return outputs_match(a, b, sim_a.eval_all(va), sim_b.eval_all(vb), po_a);
+  };
+
+  if (n_pi <= static_cast<std::size_t>(exhaustive_limit)) {
+    const std::uint64_t total = 1ull << n_pi;
+    for (std::uint64_t pattern = 0; pattern < total; ++pattern) {
+      std::vector<bool> va(n_pi);
+      for (std::size_t i = 0; i < n_pi; ++i) va[i] = (pattern >> i) & 1ull;
+      if (!check_vector(va)) return false;
+    }
+    return true;
+  }
+
+  for (int v = 0; v < n_random_vectors; ++v) {
+    std::vector<bool> va(n_pi);
+    for (std::size_t i = 0; i < n_pi; ++i) va[i] = rng.bernoulli(0.5);
+    if (!check_vector(va)) return false;
+  }
+  return true;
+}
+
+ActivityReport estimate_activity(const Netlist& nl, util::Rng& rng,
+                                 int n_vectors) {
+  if (n_vectors < 2)
+    throw std::invalid_argument("estimate_activity: need at least 2 vectors");
+  const LogicSimulator sim(nl);
+  const std::size_t n_pi = nl.inputs().size();
+
+  std::vector<int> toggles(nl.size(), 0);
+  std::vector<bool> prev;
+  for (int v = 0; v < n_vectors; ++v) {
+    std::vector<bool> pi(n_pi);
+    for (std::size_t i = 0; i < n_pi; ++i) pi[i] = rng.bernoulli(0.5);
+    std::vector<bool> cur = sim.eval_all(pi);
+    if (v > 0)
+      for (std::size_t i = 0; i < cur.size(); ++i)
+        if (cur[i] != prev[i]) ++toggles[i];
+    prev = std::move(cur);
+  }
+
+  ActivityReport report;
+  report.toggle_rate.resize(nl.size());
+  const double pairs = static_cast<double>(n_vectors - 1);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    report.toggle_rate[i] = static_cast<double>(toggles[i]) / pairs;
+    report.switched_cap_ff_per_vec +=
+        report.toggle_rate[i] * nl.load_ff(static_cast<NodeId>(i));
+  }
+  return report;
+}
+
+}  // namespace pops::netlist

@@ -1,0 +1,105 @@
+#include "pops/process/technology.hpp"
+
+#include <stdexcept>
+
+namespace pops::process {
+
+void Technology::validate() const {
+  auto positive = [&](double v, const char* what) {
+    if (!(v > 0.0))
+      throw std::invalid_argument("Technology " + name + ": " + what +
+                                  " must be positive");
+  };
+  positive(feature_um, "feature_um");
+  positive(vdd, "vdd");
+  positive(vtn, "vtn");
+  positive(vtp, "vtp");
+  positive(tau_ps, "tau_ps");
+  positive(r_ratio, "r_ratio");
+  positive(cgate_ff_per_um, "cgate_ff_per_um");
+  positive(cdiff_ff_per_um, "cdiff_ff_per_um");
+  positive(wmin_um, "wmin_um");
+  positive(wmax_um, "wmax_um");
+  positive(alpha_n, "alpha_n");
+  positive(alpha_p, "alpha_p");
+  positive(idsat_n_ma_um, "idsat_n_ma_um");
+  positive(idsat_p_ma_um, "idsat_p_ma_um");
+
+  if (vtn >= vdd / 2.0 || vtp >= vdd / 2.0)
+    throw std::invalid_argument("Technology " + name +
+                                ": thresholds must be below VDD/2 for the "
+                                "fast-input-range delay model to hold");
+  if (wmin_um >= wmax_um)
+    throw std::invalid_argument("Technology " + name + ": wmin >= wmax");
+  if (r_ratio < 1.0)
+    throw std::invalid_argument("Technology " + name +
+                                ": r_ratio is defined as N-over-P and must be >= 1");
+}
+
+Technology Technology::cmos025() {
+  Technology t;
+  t.name = "generic-cmos025";
+  t.feature_um = 0.25;
+  t.vdd = 2.5;
+  t.vtn = 0.50;
+  t.vtp = 0.55;
+  // Internally consistent with the alpha-power devices below:
+  // tau = VDD * Cgate / Idsat_n  (2.5 * 1.8 / 0.55 ~ 8.2 ps); yields the
+  // textbook ~90 ps FO4 inverter delay at this node.
+  t.tau_ps = 8.0;
+  t.r_ratio = 2.4;
+  t.cgate_ff_per_um = 1.80;
+  t.cdiff_ff_per_um = 1.60;
+  t.wmin_um = 0.60;
+  t.wmax_um = 12.0;   // X20 drive: realistic std-cell library ceiling
+  t.alpha_n = 1.30;
+  t.alpha_p = 1.45;
+  t.idsat_n_ma_um = 0.55;
+  t.idsat_p_ma_um = 0.23;
+  t.validate();
+  return t;
+}
+
+Technology Technology::cmos018() {
+  Technology t = cmos025();
+  t.name = "generic-cmos018";
+  t.feature_um = 0.18;
+  t.vdd = 1.8;
+  t.vtn = 0.42;
+  t.vtp = 0.45;
+  t.tau_ps = 4.5;   // VDD*Cg/Idsat, see cmos025
+  t.r_ratio = 2.3;
+  t.cgate_ff_per_um = 1.50;
+  t.cdiff_ff_per_um = 1.25;
+  t.wmin_um = 0.44;
+  t.wmax_um = 9.0;
+  t.alpha_n = 1.25;
+  t.alpha_p = 1.40;
+  t.idsat_n_ma_um = 0.60;
+  t.idsat_p_ma_um = 0.26;
+  t.validate();
+  return t;
+}
+
+Technology Technology::cmos013() {
+  Technology t = cmos025();
+  t.name = "generic-cmos013";
+  t.feature_um = 0.13;
+  t.vdd = 1.2;
+  t.vtn = 0.33;
+  t.vtp = 0.35;
+  t.tau_ps = 2.4;   // VDD*Cg/Idsat, see cmos025
+  t.r_ratio = 2.2;
+  t.cgate_ff_per_um = 1.20;
+  t.cdiff_ff_per_um = 0.95;
+  t.wmin_um = 0.32;
+  t.wmax_um = 6.5;
+  t.alpha_n = 1.20;
+  t.alpha_p = 1.35;
+  t.idsat_n_ma_um = 0.62;
+  t.idsat_p_ma_um = 0.28;
+  t.validate();
+  return t;
+}
+
+}  // namespace pops::process

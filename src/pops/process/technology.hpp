@@ -1,0 +1,67 @@
+#pragma once
+// Technology node description.
+//
+// The paper evaluates on a 0.25µm CMOS foundry process. The proprietary kit
+// is not available, so `Technology::cmos025()` provides a generic parameter
+// set with textbook-accurate magnitudes for that node (VDD 2.5 V,
+// VTN ~ 0.5 V, tau ~ 18 ps, N/P mobility ratio ~ 2.4). The 0.18µm and
+// 0.13µm sets support scaling studies beyond the paper.
+//
+// Unit discipline (used across the whole code base):
+//   time          picoseconds (ps)
+//   capacitance   femtofarads (fF)
+//   width/length  micrometers (µm)
+//   voltage       volts (V)
+//   current       milliamperes (mA)   [note: fF*V/mA = ps, so units close]
+
+#include <string>
+
+namespace pops::process {
+
+/// Process parameters consumed by the delay model (eq. 1-3 of the paper),
+/// the cell library, and the alpha-power transient simulator.
+struct Technology {
+  std::string name;        ///< e.g. "generic-cmos025"
+  double feature_um;       ///< drawn feature size, e.g. 0.25
+
+  // Supply and thresholds.
+  double vdd;              ///< supply voltage (V)
+  double vtn;              ///< NMOS threshold (V, positive)
+  double vtp;              ///< PMOS threshold magnitude (V, positive)
+
+  // First-order timing calibration (eq. 2-3).
+  double tau_ps;           ///< process metric time unit tau (ps)
+  double r_ratio;          ///< N/P current ratio at equal width (R in eq. 3)
+
+  // Capacitance calibration.
+  double cgate_ff_per_um;  ///< gate capacitance per µm of transistor width
+  double cdiff_ff_per_um;  ///< drain junction + overlap cap per µm of width
+
+  // Geometry limits.
+  double wmin_um;          ///< minimum transistor width (defines CREF drive)
+  double wmax_um;          ///< maximum realistic transistor width
+
+  // Alpha-power-law MOSFET parameters for the transient simulator
+  // (Sakurai-Newton model), per µm of width.
+  double alpha_n;          ///< velocity saturation index, NMOS (~1.3 at 0.25µm)
+  double alpha_p;          ///< velocity saturation index, PMOS (~1.45)
+  double idsat_n_ma_um;    ///< NMOS saturation current at VGS=VDD (mA/µm)
+  double idsat_p_ma_um;    ///< PMOS saturation current magnitude (mA/µm)
+
+  /// Reduced thresholds v_T = V_T / V_DD used directly in eq. (1).
+  double vtn_reduced() const noexcept { return vtn / vdd; }
+  double vtp_reduced() const noexcept { return vtp / vdd; }
+
+  /// Throws std::invalid_argument if any parameter is non-physical
+  /// (non-positive, thresholds above VDD/2, wmin >= wmax, ...).
+  void validate() const;
+
+  /// Generic 0.25µm process — the node used throughout the paper.
+  static Technology cmos025();
+  /// Generic 0.18µm process (extension / scaling studies).
+  static Technology cmos018();
+  /// Generic 0.13µm process (extension / scaling studies).
+  static Technology cmos013();
+};
+
+}  // namespace pops::process

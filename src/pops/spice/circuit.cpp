@@ -1,0 +1,201 @@
+#include "pops/spice/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pops::spice {
+
+using liberty::Cell;
+using liberty::CellKind;
+
+double Pwl::at(double t_ps) const {
+  if (points.empty()) throw std::logic_error("Pwl: empty");
+  if (t_ps <= points.front().first) return points.front().second;
+  if (t_ps >= points.back().first) return points.back().second;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (t_ps <= points[i].first) {
+      const auto& [t0, v0] = points[i - 1];
+      const auto& [t1, v1] = points[i];
+      const double w = (t_ps - t0) / (t1 - t0);
+      return v0 + w * (v1 - v0);
+    }
+  }
+  return points.back().second;
+}
+
+double Pwl::slope_at(double t_ps) const {
+  if (points.size() < 2) return 0.0;
+  if (t_ps <= points.front().first || t_ps >= points.back().first) return 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (t_ps <= points[i].first) {
+      const auto& [t0, v0] = points[i - 1];
+      const auto& [t1, v1] = points[i];
+      return (v1 - v0) / (t1 - t0);
+    }
+  }
+  return 0.0;
+}
+
+Circuit::Circuit(const process::Technology& tech)
+    : tech_(&tech), nmos_(nmos_params(tech)), pmos_(pmos_params(tech)) {
+  // Node 0 = GND, node 1 = VDD, both driven at constant voltage.
+  names_ = {"gnd", "vdd"};
+  driven_ = {true, true};
+  stimuli_.resize(2);
+  stimuli_[0].points = {{0.0, 0.0}, {1.0, 0.0}};
+  stimuli_[1].points = {{0.0, tech.vdd}, {1.0, tech.vdd}};
+}
+
+NodeIndex Circuit::add_node(const std::string& name, double cap_ff) {
+  const NodeIndex n = static_cast<NodeIndex>(names_.size());
+  names_.push_back(name);
+  driven_.push_back(false);
+  stimuli_.emplace_back();
+  if (cap_ff > 0.0) add_cap(n, cap_ff);
+  return n;
+}
+
+NodeIndex Circuit::add_driven_node(const std::string& name, Pwl stimulus) {
+  if (stimulus.points.empty())
+    throw std::invalid_argument("add_driven_node: empty stimulus");
+  const NodeIndex n = static_cast<NodeIndex>(names_.size());
+  names_.push_back(name);
+  driven_.push_back(true);
+  stimuli_.push_back(std::move(stimulus));
+  return n;
+}
+
+void Circuit::add_cap(NodeIndex a, double c_ff, NodeIndex b) {
+  if (c_ff < 0.0) throw std::invalid_argument("add_cap: negative capacitance");
+  if (a == b) throw std::invalid_argument("add_cap: self-loop");
+  caps_.push_back({a, b, c_ff});
+}
+
+void Circuit::add_device(bool is_pmos, double w_um, NodeIndex gate,
+                         NodeIndex drain, NodeIndex source) {
+  devices_.push_back({is_pmos, w_um, gate, drain, source});
+}
+
+NodeIndex Circuit::find_node(const std::string& name) const {
+  const NodeIndex n = try_find_node(name);
+  if (n < 0) throw std::invalid_argument("find_node: " + name);
+  return n;
+}
+
+NodeIndex Circuit::try_find_node(const std::string& name) const noexcept {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) return -1;
+  return static_cast<NodeIndex>(it - names_.begin());
+}
+
+const Pwl& Circuit::stimulus(NodeIndex n) const {
+  if (!is_driven(n)) throw std::invalid_argument("stimulus: node not driven");
+  return stimuli_.at(static_cast<std::size_t>(n));
+}
+
+void Circuit::add_gate_load(const Cell& cell, double wn_um, NodeIndex node) {
+  add_cap(node, cell.cin_ff(*tech_, wn_um));
+}
+
+namespace {
+
+int series_length(CellKind kind) {
+  switch (kind) {
+    case CellKind::Nand2:
+    case CellKind::Nor2: return 2;
+    case CellKind::Nand3:
+    case CellKind::Nor3: return 3;
+    case CellKind::Nand4:
+    case CellKind::Nor4: return 4;
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+NodeIndex Circuit::expand_gate(const Cell& cell, double wn_um, NodeIndex in,
+                               const std::string& prefix) {
+  const double k = cell.k_ratio;
+  const double wp = k * wn_um;
+  const double cj = tech_->cdiff_ff_per_um;
+
+  // The driven node carries the gate input capacitance of this cell.
+  add_gate_load(cell, wn_um, in);
+  // Input-output Miller coupling (Cgd overlap): half the device gate cap,
+  // split per polarity, consistent with DelayModel::coupling_ff.
+  const double cm = 0.25 * cell.cin_ff(*tech_, wn_um);
+
+  switch (cell.kind) {
+    case CellKind::Inv: {
+      const NodeIndex out = add_node(prefix + "_out", cj * (wn_um + wp));
+      add_device(false, wn_um, in, out, gnd());
+      add_device(true, wp, in, out, vdd());
+      add_cap(in, cm, out);
+      return out;
+    }
+    case CellKind::Buf: {
+      const NodeIndex mid = add_node(prefix + "_mid", cj * (wn_um + wp));
+      add_device(false, wn_um, in, mid, gnd());
+      add_device(true, wp, in, mid, vdd());
+      add_cap(in, cm, mid);
+      // Second stage slightly larger (internal taper of a real buffer).
+      const double wn2 = 1.5 * wn_um, wp2 = 1.5 * wp;
+      add_cap(mid, tech_->cgate_ff_per_um * (wn2 + wp2));
+      const NodeIndex out = add_node(prefix + "_out", cj * (wn2 + wp2));
+      add_device(false, wn2, mid, out, gnd());
+      add_device(true, wp2, mid, out, vdd());
+      add_cap(mid, 0.25 * tech_->cgate_ff_per_um * (wn2 + wp2), out);
+      return out;
+    }
+    case CellKind::Nand2:
+    case CellKind::Nand3:
+    case CellKind::Nand4: {
+      const int n = series_length(cell.kind);
+      const NodeIndex out = add_node(prefix + "_out", cj * (wn_um + static_cast<double>(n) * wp));
+      // Series NMOS stack, switching input at the BOTTOM (worst case);
+      // side inputs tied to VDD (non-controlling for NAND).
+      NodeIndex below = gnd();
+      for (int d = 0; d < n; ++d) {
+        const bool switching = (d == 0);  // bottom of the stack
+        const NodeIndex above =
+            d == n - 1 ? out
+                       : add_node(prefix + "_s" + std::to_string(d), 0.5 * cj * wn_um);
+        add_device(false, wn_um, switching ? in : vdd(), above, below);
+        below = above;
+      }
+      // Parallel PMOS; only the switching one toggles, others stay off
+      // (gate at VDD keeps PMOS off -> worst-case single pull-up).
+      add_device(true, wp, in, out, vdd());
+      for (int d = 1; d < n; ++d) add_device(true, wp, vdd(), out, vdd());
+      add_cap(in, cm, out);
+      return out;
+    }
+    case CellKind::Nor2:
+    case CellKind::Nor3:
+    case CellKind::Nor4: {
+      const int n = series_length(cell.kind);
+      const NodeIndex out = add_node(prefix + "_out", cj * (static_cast<double>(n) * wn_um + wp));
+      // Series PMOS stack, switching input at the TOP (nearest VDD, worst
+      // case); side inputs tied to GND (non-controlling for NOR).
+      NodeIndex above = vdd();
+      for (int d = 0; d < n; ++d) {
+        const bool switching = (d == 0);  // top of the stack
+        const NodeIndex below =
+            d == n - 1 ? out
+                       : add_node(prefix + "_s" + std::to_string(d), 0.5 * cj * wp);
+        add_device(true, wp, switching ? in : gnd(), below, above);
+        above = below;
+      }
+      // Parallel NMOS; only the switching one toggles, others off.
+      add_device(false, wn_um, in, out, gnd());
+      for (int d = 1; d < n; ++d) add_device(false, wn_um, gnd(), out, gnd());
+      add_cap(in, cm, out);
+      return out;
+    }
+    default:
+      throw std::invalid_argument(
+          std::string("expand_gate: unsupported kind ") + cell.name);
+  }
+}
+
+}  // namespace pops::spice

@@ -1,0 +1,108 @@
+#pragma once
+// Transistor-level circuit representation for the transient simulator.
+//
+// A circuit is a set of nodes (voltages), two-terminal linear capacitors,
+// MOSFETs, and driven nodes (GND, VDD, and piecewise-linear stimulus
+// inputs). Gates of the POPS library are expanded into their pull-up /
+// pull-down networks by `expand_gate` with the same physical convention
+// the abstract model uses: a gate of drive `wn` instantiates series NMOS
+// devices of width wn (NAND stacks), parallel PMOS of width k*wn, etc., so
+// the logical weights DW of eq. (3) emerge from the device physics instead
+// of being assumed.
+
+#include <string>
+#include <vector>
+
+#include "pops/liberty/library.hpp"
+#include "pops/spice/mosfet.hpp"
+
+namespace pops::spice {
+
+using NodeIndex = int;
+
+/// A piecewise-linear voltage stimulus (time ps -> volts).
+struct Pwl {
+  std::vector<std::pair<double, double>> points;  ///< sorted by time
+  double at(double t_ps) const;
+  double slope_at(double t_ps) const;  ///< dV/dt (V/ps)
+};
+
+/// One MOSFET instance.
+struct Device {
+  bool is_pmos = false;
+  double w_um = 1.0;
+  NodeIndex gate = -1;
+  NodeIndex drain = -1;
+  NodeIndex source = -1;
+};
+
+/// One linear capacitor between two nodes (node b may be ground).
+struct Capacitor {
+  NodeIndex a = -1;
+  NodeIndex b = -1;
+  double c_ff = 0.0;
+};
+
+class Circuit {
+ public:
+  /// Construct with calibrated device parameters for `tech`.
+  explicit Circuit(const process::Technology& tech);
+
+  const process::Technology& tech() const noexcept { return *tech_; }
+  const AlphaPowerParams& nmos() const noexcept { return nmos_; }
+  const AlphaPowerParams& pmos() const noexcept { return pmos_; }
+
+  /// Fixed rails, created by the constructor.
+  NodeIndex gnd() const noexcept { return 0; }
+  NodeIndex vdd() const noexcept { return 1; }
+
+  /// Add a floating (solved) node; `cap_ff` is its grounded capacitance.
+  NodeIndex add_node(const std::string& name, double cap_ff = 0.0);
+
+  /// Add a node driven by a PWL source (not solved).
+  NodeIndex add_driven_node(const std::string& name, Pwl stimulus);
+
+  /// Extra capacitance between two nodes (b defaults to ground).
+  void add_cap(NodeIndex a, double c_ff, NodeIndex b = 0);
+
+  /// Raw device.
+  void add_device(bool is_pmos, double w_um, NodeIndex gate, NodeIndex drain,
+                  NodeIndex source);
+
+  /// Expand one library gate driven at node `in` (all logic inputs tied to
+  /// `in`? No: side inputs are tied to their non-controlling rail so the
+  /// path through `in` is sensitised, with the switching device placed at
+  /// the worst position of the stack). Returns the output node. Supported
+  /// kinds: Inv, Buf (two cascaded inverters), Nand2-4, Nor2-4; others
+  /// throw std::invalid_argument.
+  NodeIndex expand_gate(const liberty::Cell& cell, double wn_um, NodeIndex in,
+                        const std::string& prefix);
+
+  /// Attach the *input capacitance* a gate presents, as an explicit linear
+  /// cap on `node` (the device model here is current-only; gate loading is
+  /// carried by these lumps, mirroring the abstract model's CIN).
+  void add_gate_load(const liberty::Cell& cell, double wn_um, NodeIndex node);
+
+  // Introspection for the solver.
+  std::size_t node_count() const noexcept { return names_.size(); }
+  const std::string& node_name(NodeIndex n) const { return names_.at(static_cast<std::size_t>(n)); }
+  NodeIndex find_node(const std::string& name) const;
+  /// Like find_node but returns -1 instead of throwing.
+  NodeIndex try_find_node(const std::string& name) const noexcept;
+  bool is_driven(NodeIndex n) const { return driven_.at(static_cast<std::size_t>(n)); }
+  const Pwl& stimulus(NodeIndex n) const;
+  const std::vector<Device>& devices() const noexcept { return devices_; }
+  const std::vector<Capacitor>& caps() const noexcept { return caps_; }
+
+ private:
+  const process::Technology* tech_;
+  AlphaPowerParams nmos_;
+  AlphaPowerParams pmos_;
+  std::vector<std::string> names_;
+  std::vector<bool> driven_;
+  std::vector<Pwl> stimuli_;  ///< parallel to nodes; empty for free nodes
+  std::vector<Device> devices_;
+  std::vector<Capacitor> caps_;
+};
+
+}  // namespace pops::spice

@@ -1,0 +1,42 @@
+#pragma once
+// High-level delay measurement on gate chains — the reproduction's stand-in
+// for the paper's HSPICE validation runs ("The delay values are obtained
+// from SPICE simulations of the corresponding path implementations").
+//
+// A ChainSpec describes a linear path of library gates with explicit
+// drives, per-stage extra loads and a terminal load; `measure_chain`
+// expands it to transistors, applies a ramp at the input and reports 50%
+// propagation delays and full-swing-equivalent transition times.
+
+#include <vector>
+
+#include "pops/liberty/library.hpp"
+#include "pops/spice/circuit.hpp"
+#include "pops/spice/transient.hpp"
+
+namespace pops::spice {
+
+/// A linear chain of gates for transistor-level measurement.
+struct ChainSpec {
+  std::vector<liberty::CellKind> kinds;   ///< stage cells, input to output
+  std::vector<double> wn_um;              ///< per-stage drives
+  std::vector<double> extra_load_ff;      ///< fixed extra cap per stage output
+  double terminal_load_ff = 0.0;          ///< extra cap on the last output
+  double input_ramp_ps = 50.0;            ///< input 0-100% ramp duration
+  bool input_rising = true;               ///< direction of the input step
+};
+
+/// Measured timing of one chain.
+struct ChainMeasurement {
+  double path_delay_ps = 0.0;              ///< input 50% -> last output 50%
+  std::vector<double> stage_delay_ps;      ///< per-stage 50%-50% delays
+  std::vector<double> stage_transition_ps; ///< per-stage output transitions
+};
+
+/// Build, simulate and measure. Throws std::runtime_error if an output
+/// never settles (simulation window is auto-extended a few times first).
+ChainMeasurement measure_chain(const liberty::Library& lib,
+                               const ChainSpec& spec,
+                               const TransientOptions& opt = {});
+
+}  // namespace pops::spice

@@ -1,0 +1,45 @@
+#include "pops/spice/mosfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pops::spice {
+
+namespace {
+AlphaPowerParams calibrate(bool is_pmos, double vt, double alpha,
+                           double idsat_ma_um, double vdd) {
+  AlphaPowerParams p;
+  p.is_pmos = is_pmos;
+  p.vt = vt;
+  p.alpha = alpha;
+  p.vdd = vdd;
+  p.kd_ma_um = idsat_ma_um / std::pow(vdd - vt, alpha);
+  // Generic magnitude: Vd0 at full gate drive is about 40% of (VDD-VT) for
+  // short-channel devices; PMOS saturates slightly later.
+  p.vd0_ref = (is_pmos ? 0.48 : 0.42) * (vdd - vt);
+  return p;
+}
+}  // namespace
+
+AlphaPowerParams nmos_params(const process::Technology& tech) {
+  return calibrate(false, tech.vtn, tech.alpha_n, tech.idsat_n_ma_um, tech.vdd);
+}
+
+AlphaPowerParams pmos_params(const process::Technology& tech) {
+  return calibrate(true, tech.vtp, tech.alpha_p, tech.idsat_p_ma_um, tech.vdd);
+}
+
+double drain_current_ma(const AlphaPowerParams& p, double w_um, double vgs,
+                        double vds) {
+  if (!(w_um > 0.0)) throw std::invalid_argument("drain_current_ma: w <= 0");
+  if (vgs <= p.vt || vds <= 0.0) return 0.0;
+  const double overdrive = vgs - p.vt;
+  const double idsat = p.kd_ma_um * w_um * std::pow(overdrive, p.alpha);
+  const double vd0 =
+      p.vd0_ref * std::pow(overdrive / (p.vdd - p.vt), 0.5 * p.alpha);
+  if (vds >= vd0) return idsat;
+  const double x = vds / vd0;
+  return idsat * (2.0 - x) * x;
+}
+
+}  // namespace pops::spice

@@ -1,0 +1,39 @@
+#pragma once
+// Alpha-power-law MOSFET model (Sakurai-Newton, JSSC 1990) — the device
+// model behind the transient simulator that stands in for the paper's
+// HSPICE validation runs.
+//
+//   saturation:  Id = (W * Kd) * (Vgs - Vt)^alpha            (Vds >= Vd0)
+//   linear:      Id = Id_sat * (2 - Vds/Vd0) * (Vds/Vd0)     (Vds <  Vd0)
+//   cutoff:      Id = 0                                      (Vgs <= Vt)
+//
+// with Vd0 = Vd0_ref * ((Vgs-Vt)/(VDD-Vt))^(alpha/2). Kd is calibrated so
+// that Id(VDD, VDD) equals the technology's quoted Idsat per µm. PMOS uses
+// mirrored voltages. Currents in mA, voltages in V, widths in µm — with
+// capacitance in fF and time in ps the units close (fF*V/mA = ps).
+
+#include "pops/process/technology.hpp"
+
+namespace pops::spice {
+
+/// Calibrated parameters of one device polarity.
+struct AlphaPowerParams {
+  bool is_pmos = false;
+  double vt = 0.5;          ///< threshold magnitude (V)
+  double alpha = 1.3;       ///< velocity-saturation index
+  double kd_ma_um = 0.0;    ///< drive coefficient: Idsat = kd*W*(Vgs-Vt)^alpha
+  double vd0_ref = 0.9;     ///< saturation drain voltage at Vgs = VDD (V)
+  double vdd = 2.5;         ///< calibration supply (V)
+};
+
+/// Calibrate the NMOS / PMOS parameter set for a technology.
+AlphaPowerParams nmos_params(const process::Technology& tech);
+AlphaPowerParams pmos_params(const process::Technology& tech);
+
+/// Drain current magnitude (mA) for a device of width `w_um`.
+/// For NMOS: vgs/vds are taken w.r.t. the source as usual.
+/// For PMOS: pass the *magnitudes* |Vgs|, |Vds| (the caller mirrors).
+double drain_current_ma(const AlphaPowerParams& p, double w_um, double vgs,
+                        double vds);
+
+}  // namespace pops::spice

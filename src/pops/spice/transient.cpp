@@ -1,0 +1,228 @@
+#include "pops/spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pops::spice {
+
+namespace {
+
+/// Dense LU with partial pivoting (the systems here are tiny: one row per
+/// free node of a gate chain).
+class Lu {
+ public:
+  explicit Lu(std::vector<std::vector<double>> a) : a_(std::move(a)) {
+    const std::size_t n = a_.size();
+    piv_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+    for (std::size_t col = 0; col < n; ++col) {
+      std::size_t best = col;
+      for (std::size_t r = col + 1; r < n; ++r)
+        if (std::abs(a_[r][col]) > std::abs(a_[best][col])) best = r;
+      if (std::abs(a_[best][col]) < 1e-12)
+        throw std::runtime_error(
+            "transient: singular capacitance matrix (a free node without "
+            "capacitance to anywhere?)");
+      std::swap(a_[col], a_[best]);
+      std::swap(piv_[col], piv_[best]);
+      for (std::size_t r = col + 1; r < n; ++r) {
+        a_[r][col] /= a_[col][col];
+        for (std::size_t c = col + 1; c < n; ++c)
+          a_[r][c] -= a_[r][col] * a_[col][c];
+      }
+    }
+  }
+
+  std::vector<double> solve(const std::vector<double>& b) const {
+    const std::size_t n = a_.size();
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+    for (std::size_t i = 1; i < n; ++i)
+      for (std::size_t j = 0; j < i; ++j) x[i] -= a_[i][j] * x[j];
+    for (std::size_t ri = n; ri-- > 0;) {
+      for (std::size_t j = ri + 1; j < n; ++j) x[ri] -= a_[ri][j] * x[j];
+      x[ri] /= a_[ri][ri];
+    }
+    return x;
+  }
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> piv_;
+};
+
+/// Signed drain current (mA) *into* `into_node` for one device, with
+/// symmetric terminal handling.
+double device_current_into(const Device& d, const AlphaPowerParams& nmos,
+                           const AlphaPowerParams& pmos,
+                           const std::vector<double>& v, NodeIndex into_node) {
+  const double vg = v[static_cast<std::size_t>(d.gate)];
+  const double va = v[static_cast<std::size_t>(d.drain)];
+  const double vb = v[static_cast<std::size_t>(d.source)];
+  double mag = 0.0;
+  NodeIndex from, to;  // conventional current flows from -> to
+  if (!d.is_pmos) {
+    const double vhi = std::max(va, vb), vlo = std::min(va, vb);
+    mag = drain_current_ma(nmos, d.w_um, vg - vlo, vhi - vlo);
+    from = va >= vb ? d.drain : d.source;
+    to = va >= vb ? d.source : d.drain;
+  } else {
+    const double vhi = std::max(va, vb), vlo = std::min(va, vb);
+    mag = drain_current_ma(pmos, d.w_um, vhi - vg, vhi - vlo);
+    from = va >= vb ? d.drain : d.source;
+    to = va >= vb ? d.source : d.drain;
+  }
+  if (into_node == to) return mag;
+  if (into_node == from) return -mag;
+  return 0.0;
+}
+
+}  // namespace
+
+double TransientResult::crossing_ps(NodeIndex n, double v_target, bool rising,
+                                    double t_after_ps) const {
+  const auto& vv = voltage(n);
+  for (std::size_t i = 1; i < vv.size(); ++i) {
+    if (time_ps_[i] < t_after_ps) continue;
+    const double v0 = vv[i - 1], v1 = vv[i];
+    const bool crossed =
+        rising ? (v0 < v_target && v1 >= v_target)
+               : (v0 > v_target && v1 <= v_target);
+    if (crossed) {
+      const double w = (v_target - v0) / (v1 - v0);
+      return time_ps_[i - 1] + w * (time_ps_[i] - time_ps_[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double TransientResult::transition_ps(NodeIndex n, double vdd, bool rising,
+                                      double t_after_ps) const {
+  const double lo = 0.2 * vdd, hi = 0.8 * vdd;
+  const double t_first =
+      crossing_ps(n, rising ? lo : hi, rising, t_after_ps);
+  if (t_first < 0.0) return -1.0;
+  const double t_second = crossing_ps(n, rising ? hi : lo, rising, t_first);
+  if (t_second < 0.0) return -1.0;
+  return (t_second - t_first) / 0.6;
+}
+
+TransientResult simulate(const Circuit& circuit, double t_end_ps,
+                         const std::vector<bool>& initial_high,
+                         const TransientOptions& opt) {
+  if (!(t_end_ps > 0.0) || !(opt.dt_ps > 0.0))
+    throw std::invalid_argument("simulate: bad time parameters");
+
+  const std::size_t n_all = circuit.node_count();
+
+  // Free-node indexing.
+  std::vector<int> free_index(n_all, -1);
+  std::vector<NodeIndex> free_nodes;
+  for (std::size_t i = 0; i < n_all; ++i) {
+    if (!circuit.is_driven(static_cast<NodeIndex>(i))) {
+      free_index[i] = static_cast<int>(free_nodes.size());
+      free_nodes.push_back(static_cast<NodeIndex>(i));
+    }
+  }
+  const std::size_t nf = free_nodes.size();
+  if (nf == 0) throw std::invalid_argument("simulate: no free nodes");
+
+  // Capacitance matrix blocks.
+  std::vector<std::vector<double>> cff(nf, std::vector<double>(nf, 0.0));
+  // For the driven contribution we only need, per free node, the sum of
+  // C(f,d)*dVd/dt at a given time.
+  struct DrivenCoupling {
+    int free_row;
+    NodeIndex driven_node;
+    double c_ff;
+  };
+  std::vector<DrivenCoupling> couplings;
+
+  for (const Capacitor& cap : circuit.caps()) {
+    const int fa = free_index[static_cast<std::size_t>(cap.a)];
+    const int fb = free_index[static_cast<std::size_t>(cap.b)];
+    if (fa >= 0) cff[static_cast<std::size_t>(fa)][static_cast<std::size_t>(fa)] += cap.c_ff;
+    if (fb >= 0) cff[static_cast<std::size_t>(fb)][static_cast<std::size_t>(fb)] += cap.c_ff;
+    if (fa >= 0 && fb >= 0) {
+      cff[static_cast<std::size_t>(fa)][static_cast<std::size_t>(fb)] -= cap.c_ff;
+      cff[static_cast<std::size_t>(fb)][static_cast<std::size_t>(fa)] -= cap.c_ff;
+    } else if (fa >= 0 && fb < 0) {
+      couplings.push_back({fa, cap.b, cap.c_ff});
+    } else if (fb >= 0 && fa < 0) {
+      couplings.push_back({fb, cap.a, cap.c_ff});
+    }
+  }
+  // Numerical floor so an accidentally load-less node doesn't sing.
+  for (std::size_t i = 0; i < nf; ++i)
+    if (cff[i][i] < 1e-3) cff[i][i] += 1e-3;
+
+  const Lu lu(cff);
+
+  // State.
+  std::vector<double> v(n_all, 0.0);
+  for (std::size_t i = 0; i < n_all; ++i) {
+    const auto node = static_cast<NodeIndex>(i);
+    if (circuit.is_driven(node)) {
+      v[i] = circuit.stimulus(node).at(0.0);
+    } else if (i < initial_high.size() && initial_high[i]) {
+      v[i] = circuit.tech().vdd;
+    }
+  }
+
+  auto derivative = [&](double t, const std::vector<double>& volt) {
+    std::vector<double> rhs(nf, 0.0);
+    for (const Device& d : circuit.devices()) {
+      for (NodeIndex term : {d.drain, d.source}) {
+        const int fi = free_index[static_cast<std::size_t>(term)];
+        if (fi < 0) continue;
+        rhs[static_cast<std::size_t>(fi)] +=
+            device_current_into(d, circuit.nmos(), circuit.pmos(), volt, term);
+      }
+    }
+    for (const DrivenCoupling& c : couplings)
+      rhs[static_cast<std::size_t>(c.free_row)] +=
+          c.c_ff * circuit.stimulus(c.driven_node).slope_at(t);
+    return lu.solve(rhs);
+  };
+
+  const auto n_steps = static_cast<std::size_t>(std::ceil(t_end_ps / opt.dt_ps));
+  const auto stride = static_cast<std::size_t>(std::max(1.0, opt.record_every));
+
+  std::vector<double> time;
+  std::vector<std::vector<double>> waves(n_all);
+  auto record = [&](double t) {
+    time.push_back(t);
+    for (std::size_t i = 0; i < n_all; ++i) waves[i].push_back(v[i]);
+  };
+  record(0.0);
+
+  std::vector<double> v_pred(n_all);
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    const double t = static_cast<double>(step) * opt.dt_ps;
+    const double t1 = t + opt.dt_ps;
+
+    const std::vector<double> k1 = derivative(t, v);
+    v_pred = v;
+    for (std::size_t f = 0; f < nf; ++f)
+      v_pred[static_cast<std::size_t>(free_nodes[f])] += opt.dt_ps * k1[f];
+    for (std::size_t i = 0; i < n_all; ++i) {
+      const auto node = static_cast<NodeIndex>(i);
+      if (circuit.is_driven(node)) v_pred[i] = circuit.stimulus(node).at(t1);
+    }
+    const std::vector<double> k2 = derivative(t1, v_pred);
+
+    for (std::size_t f = 0; f < nf; ++f)
+      v[static_cast<std::size_t>(free_nodes[f])] +=
+          0.5 * opt.dt_ps * (k1[f] + k2[f]);
+    for (std::size_t i = 0; i < n_all; ++i) {
+      const auto node = static_cast<NodeIndex>(i);
+      if (circuit.is_driven(node)) v[i] = circuit.stimulus(node).at(t1);
+    }
+    if ((step + 1) % stride == 0) record(t1);
+  }
+
+  return TransientResult(std::move(time), std::move(waves));
+}
+
+}  // namespace pops::spice

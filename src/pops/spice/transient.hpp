@@ -1,0 +1,61 @@
+#pragma once
+// Fixed-step nonlinear transient analysis.
+//
+// The circuit's free nodes obey  C_ff * dVf/dt = I(V) - C_fd * dVd/dt,
+// where C is the nodal capacitance matrix (constant), f/d index free and
+// driven nodes, and I collects MOSFET drain currents. C_ff is LU-factored
+// once; integration is Heun's method (explicit RK2) with a fixed step —
+// adequate for the fF/mA/ps scales of gate chains, and verified against
+// the analytic RC response in the test suite.
+//
+// MOSFET terminals are treated symmetrically (source = the lower-potential
+// terminal for NMOS, higher for PMOS), so stacked devices behave correctly
+// when internal nodes float above/below their nominal source.
+
+#include <vector>
+
+#include "pops/spice/circuit.hpp"
+
+namespace pops::spice {
+
+struct TransientOptions {
+  double dt_ps = 0.05;     ///< integration step
+  double record_every = 1; ///< store every n-th sample (>=1)
+};
+
+/// Recorded waveforms.
+class TransientResult {
+ public:
+  TransientResult(std::vector<double> time, std::vector<std::vector<double>> v)
+      : time_ps_(std::move(time)), v_(std::move(v)) {}
+
+  const std::vector<double>& time_ps() const noexcept { return time_ps_; }
+  /// Voltage samples of node `n` (parallel to time_ps()).
+  const std::vector<double>& voltage(NodeIndex n) const {
+    return v_.at(static_cast<std::size_t>(n));
+  }
+
+  /// First time after `t_after_ps` where node `n` crosses `v_target`
+  /// in the given direction, linearly interpolated. Returns a negative
+  /// value if no crossing is found.
+  double crossing_ps(NodeIndex n, double v_target, bool rising,
+                     double t_after_ps = 0.0) const;
+
+  /// Full-swing-equivalent transition time around a crossing: the 20%-80%
+  /// span of the swing divided by 0.6.
+  double transition_ps(NodeIndex n, double vdd, bool rising,
+                       double t_after_ps = 0.0) const;
+
+ private:
+  std::vector<double> time_ps_;
+  std::vector<std::vector<double>> v_;  ///< [node][sample]
+};
+
+/// Integrate for `t_end_ps`. All free nodes start at the value implied by
+/// a DC guess: nodes are initialised to 0 V or VDD according to
+/// `initial_high` (per-node; empty = all low). Throws on singular C_ff.
+TransientResult simulate(const Circuit& circuit, double t_end_ps,
+                         const std::vector<bool>& initial_high = {},
+                         const TransientOptions& opt = {});
+
+}  // namespace pops::spice

@@ -1,0 +1,82 @@
+#include "pops/timing/delay_model.hpp"
+
+#include <stdexcept>
+
+namespace pops::timing {
+
+const char* to_string(Edge e) noexcept {
+  return e == Edge::Rise ? "rise" : "fall";
+}
+
+double DelayModel::symmetry_factor(const liberty::Cell& cell,
+                                   Edge out_edge) const noexcept {
+  return out_edge == Edge::Fall ? lib_->s_hl(cell) : lib_->s_lh(cell);
+}
+
+double DelayModel::transition_ps(const liberty::Cell& cell, Edge out_edge,
+                                 double cin_ff, double cload_ff) const {
+  if (!(cin_ff > 0.0))
+    throw std::invalid_argument("DelayModel::transition_ps: cin must be > 0");
+  return symmetry_factor(cell, out_edge) * lib_->tech().tau_ps * cload_ff /
+         cin_ff;
+}
+
+double DelayModel::coupling_ff(const liberty::Cell& cell, Edge out_edge,
+                               double cin_ff) const noexcept {
+  const double k = cell.k_ratio;
+  // Input cap splits (1 : k) between the N and P devices.
+  const double fraction =
+      out_edge == Edge::Fall ? k / (1.0 + k)   // rising input -> P device
+                             : 1.0 / (1.0 + k);  // falling input -> N device
+  return 0.5 * fraction * cin_ff;
+}
+
+double DelayModel::miller_factor(const liberty::Cell& cell, Edge out_edge,
+                                 double cin_ff, double cload_ff) const noexcept {
+  const double cm = coupling_ff(cell, out_edge, cin_ff);
+  return 1.0 + 2.0 * cm / (cm + cload_ff);
+}
+
+double DelayModel::reduced_vt(Edge out_edge) const noexcept {
+  return out_edge == Edge::Fall ? lib_->tech().vtn_reduced()
+                                : lib_->tech().vtp_reduced();
+}
+
+double DelayModel::delay_ps(const liberty::Cell& cell, Edge out_edge,
+                            double tin_ps, double cin_ff,
+                            double cload_ff) const {
+  if (tin_ps < 0.0)
+    throw std::invalid_argument("DelayModel::delay_ps: negative input slew");
+  const double slope_term = 0.5 * reduced_vt(out_edge) * tin_ps;
+  const double own_term =
+      0.5 * miller_factor(cell, out_edge, cin_ff, cload_ff) *
+      transition_ps(cell, out_edge, cin_ff, cload_ff);
+  return slope_term + own_term;
+}
+
+StageTiming DelayModel::stage(const liberty::Cell& cell, Edge out_edge,
+                              double tin_ps, double cin_ff,
+                              double cload_ff) const {
+  StageTiming st;
+  st.delay_ps = delay_ps(cell, out_edge, tin_ps, cin_ff, cload_ff);
+  st.tout_ps = transition_ps(cell, out_edge, cin_ff, cload_ff);
+  return st;
+}
+
+double DelayModel::stage_coefficient(const liberty::Cell& cell, Edge out_edge,
+                                     double cin_ff, double cload_ff,
+                                     bool has_successor,
+                                     Edge next_out_edge) const {
+  const double miller = miller_factor(cell, out_edge, cin_ff, cload_ff);
+  const double vt_next = has_successor ? reduced_vt(next_out_edge) : 0.0;
+  return lib_->tech().tau_ps * symmetry_factor(cell, out_edge) *
+         0.5 * (miller + vt_next);
+}
+
+double DelayModel::default_input_slew_ps() const noexcept {
+  const liberty::Cell& inv = lib_->cell(liberty::CellKind::Inv);
+  // FO1 inverter: CL == CIN, average of both edges.
+  return 0.5 * (lib_->s_hl(inv) + lib_->s_lh(inv)) * lib_->tech().tau_ps;
+}
+
+}  // namespace pops::timing

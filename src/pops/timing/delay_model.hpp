@@ -1,0 +1,102 @@
+#pragma once
+// The paper's closed-form CMOS timing model (eq. 1-3), after
+// Maurine/Rezzoug/Azemard/Auvergne, IEEE TCAD 21(11), 2002 and
+// Jeppson, JSSC 29, 1994 for the input-to-output coupling.
+//
+//   Transition time (eq. 2-3):
+//     tau_outHL = S_HL * tau * CL/CIN      S_HL = (1+k) * DW_HL
+//     tau_outLH = S_LH * tau * CL/CIN      S_LH = R * (1+k)/k * DW_LH
+//
+//   Delay (eq. 1) for a falling output (rising input), and dually:
+//     t_HL = (v_TN/2) * tau_inLH + (1/2) * (1 + 2*CM/(CM+CL)) * tau_outHL
+//
+//   CM is the input-output coupling capacitance, evaluated as one half of
+//   the input capacitance of the P (resp. N) transistor for a rising
+//   (resp. falling) input edge.
+//
+// The model is valid in the *fast input control range*; all optimisation
+// metrics in the paper (and here) assume it.
+
+#include "pops/liberty/library.hpp"
+
+namespace pops::timing {
+
+/// Signal transition direction at a gate *output*.
+enum class Edge { Rise, Fall };
+
+/// The opposite edge; for an inverting cell, the input edge that causes an
+/// output `e` is flip(e).
+constexpr Edge flip(Edge e) noexcept {
+  return e == Edge::Rise ? Edge::Fall : Edge::Rise;
+}
+
+const char* to_string(Edge e) noexcept;
+
+/// Delay and output transition of one evaluated stage.
+struct StageTiming {
+  double delay_ps = 0.0;  ///< 50%-to-50% propagation delay
+  double tout_ps = 0.0;   ///< output transition time
+};
+
+/// Evaluator for eq. (1-3) over a Library. Stateless and cheap to copy.
+class DelayModel {
+ public:
+  explicit DelayModel(const liberty::Library& lib) : lib_(&lib) {}
+
+  const liberty::Library& lib() const noexcept { return *lib_; }
+
+  /// Symmetry factor S_edge of eq. (3) for `cell`.
+  double symmetry_factor(const liberty::Cell& cell, Edge out_edge) const noexcept;
+
+  /// Output transition time (ps), eq. (2): S_edge * tau * CL/CIN.
+  /// Requires cin_ff > 0.
+  double transition_ps(const liberty::Cell& cell, Edge out_edge, double cin_ff,
+                       double cload_ff) const;
+
+  /// Input-to-output coupling capacitance CM (fF): half the input
+  /// capacitance of the transistor that is being driven through —
+  /// P for a rising input (falling output), N for a falling input.
+  double coupling_ff(const liberty::Cell& cell, Edge out_edge,
+                     double cin_ff) const noexcept;
+
+  /// Miller amplification factor (1 + 2*CM/(CM+CL)) of eq. (1).
+  double miller_factor(const liberty::Cell& cell, Edge out_edge, double cin_ff,
+                       double cload_ff) const noexcept;
+
+  /// Reduced threshold voltage entering the slope term of eq. (1):
+  /// v_TN for a falling output (rising input), v_TP for a rising output.
+  double reduced_vt(Edge out_edge) const noexcept;
+
+  /// Gate delay (ps), eq. (1). `tin_ps` is the transition time of the
+  /// *input* signal (the output transition of the previous stage).
+  double delay_ps(const liberty::Cell& cell, Edge out_edge, double tin_ps,
+                  double cin_ff, double cload_ff) const;
+
+  /// Delay and output transition together.
+  StageTiming stage(const liberty::Cell& cell, Edge out_edge, double tin_ps,
+                    double cin_ff, double cload_ff) const;
+
+  /// The stage weight A_i of the link equations (eq. 4/6): with the path
+  /// delay written as  T = sum_i A_i * CL_i / CIN_i + const,  stage i's
+  /// output transition contributes to its own delay through the Miller
+  /// term and to stage i+1's delay through the slope term, so
+  ///   A_i = tau * S_i(edge) * [ miller_factor/2 + v_T(i+1)/2 ]
+  /// where v_T(i+1) is the reduced threshold of the next stage's output
+  /// edge, or 0 for the last stage of the path.
+  /// The weak dependence of the Miller factor on the sizes is re-evaluated
+  /// between fixed-point sweeps, exactly as the paper's "A_i correspond to
+  /// the design parameters involved in (1,2)".
+  double stage_coefficient(const liberty::Cell& cell, Edge out_edge,
+                           double cin_ff, double cload_ff,
+                           bool has_successor, Edge next_out_edge) const;
+
+  /// Default input transition (ps) assumed at a path input: the output
+  /// transition of a reference inverter driving an equal-size load (FO1),
+  /// i.e. the latch/driver is neither very fast nor degraded.
+  double default_input_slew_ps() const noexcept;
+
+ private:
+  const liberty::Library* lib_;
+};
+
+}  // namespace pops::timing

@@ -1,0 +1,45 @@
+#pragma once
+// Liberty (.lib) export of the characterised library.
+//
+// Generates an NLDM-style Liberty view from the closed-form delay model:
+// for every cell and every pin-to-output arc, `cell_rise`/`cell_fall`
+// delay tables and `rise_transition`/`fall_transition` slew tables over an
+// (input transition x output load) grid, evaluated with eq. (1-3) at a
+// reference drive. This is the artifact a downstream synthesis/STA tool
+// would consume, and it doubles as a tabulated snapshot of the model that
+// external tools can diff against.
+//
+// The format targets the widely-parsed Liberty subset (library-level
+// units, lu_table_template, cell/pin/timing groups); it is not a complete
+// Liberty implementation.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pops/liberty/library.hpp"
+#include "pops/timing/delay_model.hpp"
+
+namespace pops::timing {
+
+struct LibertyWriterOptions {
+  std::string library_name = "pops_cmos025";
+  /// Drive (NMOS width multiple of wmin) at which cells are tabulated.
+  double drive_x = 4.0;
+  /// Input transition grid (ps).
+  std::vector<double> slew_grid_ps = {10.0, 25.0, 50.0, 100.0, 200.0, 400.0};
+  /// Output load grid, in multiples of the cell's own input capacitance
+  /// (fanout); converted to fF per cell.
+  std::vector<double> fanout_grid = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+};
+
+/// Write the Liberty text for all cells of `dm.lib()`.
+/// Throws std::invalid_argument on an empty grid.
+void write_liberty(std::ostream& out, const DelayModel& dm,
+                   const LibertyWriterOptions& opt = {});
+
+/// Convenience: to a string.
+std::string write_liberty_string(const DelayModel& dm,
+                                 const LibertyWriterOptions& opt = {});
+
+}  // namespace pops::timing

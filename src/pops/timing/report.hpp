@@ -1,0 +1,42 @@
+#pragma once
+// Textual timing reports — the analysis half of POPS ("a tool for
+// analyzing and optimizing combinatorial circuit paths").
+//
+// Produces the familiar STA report artifacts:
+//   * a path report: per-stage arrival/delay/slew/load breakdown of the
+//     K most critical paths;
+//   * an endpoint summary: slack per primary output against a constraint;
+//   * a histogram of endpoint slacks (text buckets).
+//
+// These are plain strings so examples, the CLI and tests can consume them
+// uniformly.
+
+#include <string>
+
+#include "pops/netlist/netlist.hpp"
+#include "pops/timing/sta.hpp"
+
+namespace pops::timing {
+
+struct ReportOptions {
+  std::size_t max_paths = 3;      ///< paths in the path report
+  double tc_ps = -1.0;            ///< constraint; < 0 uses the critical delay
+  int histogram_buckets = 8;
+};
+
+/// Per-stage breakdown of the K most critical paths.
+std::string report_paths(const netlist::Netlist& nl, const Sta& sta,
+                         const StaResult& result,
+                         const ReportOptions& opt = {});
+
+/// Slack per primary output, worst first.
+std::string report_endpoints(const netlist::Netlist& nl, const Sta& sta,
+                             const StaResult& result,
+                             const ReportOptions& opt = {});
+
+/// Text histogram of endpoint slacks.
+std::string report_slack_histogram(const netlist::Netlist& nl, const Sta& sta,
+                                   const StaResult& result,
+                                   const ReportOptions& opt = {});
+
+}  // namespace pops::timing

@@ -1,0 +1,261 @@
+#include "pops/timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pops::timing {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+Sta::Sta(const Netlist& nl, const DelayModel& dm, StaOptions opt)
+    : nl_(&nl), dm_(&dm), opt_(opt) {
+  if (opt_.pi_slew_ps <= 0.0) opt_.pi_slew_ps = dm_->default_input_slew_ps();
+}
+
+std::vector<Edge> Sta::cause_edges(const liberty::Cell& cell, Edge out) {
+  using liberty::CellKind;
+  if (cell.kind == CellKind::Xor2 || cell.kind == CellKind::Xnor2)
+    return {Edge::Rise, Edge::Fall};
+  return {cell.inverting ? flip(out) : out};
+}
+
+StaResult Sta::run() const {
+  const Netlist& nl = *nl_;
+  const std::size_t n = nl.size();
+
+  StaResult r;
+  r.arrival_ps.assign(n, {kNegInf, kNegInf});
+  r.slew_ps.assign(n, {opt_.pi_slew_ps, opt_.pi_slew_ps});
+  r.prev.assign(n, {PathPoint{}, PathPoint{}});
+
+  for (NodeId pi : nl.inputs()) {
+    r.arrival_ps[static_cast<std::size_t>(pi)] = {0.0, 0.0};
+  }
+
+  for (NodeId id : nl.topo_order()) {
+    const netlist::Node& node = nl.node(id);
+    if (node.is_input) continue;
+    const liberty::Cell& cell = nl.cell_of(id);
+    const double cin = nl.cin_ff(id);
+    const double cload = nl.load_ff(id) + nl.cpar_ff(id);
+
+    for (Edge out : {Edge::Rise, Edge::Fall}) {
+      // Slew is a property of the stage alone (eq. 2).
+      r.slew_ps[static_cast<std::size_t>(id)][StaResult::idx(out)] =
+          dm_->transition_ps(cell, out, cin, cload);
+
+      double best = kNegInf;
+      PathPoint best_prev;
+      for (NodeId f : node.fanins) {
+        for (Edge ein : cause_edges(cell, out)) {
+          const double at_f = r.arrival(f, ein);
+          if (at_f == kNegInf) continue;
+          const double d =
+              dm_->delay_ps(cell, out, r.slew(f, ein), cin, cload);
+          if (at_f + d > best) {
+            best = at_f + d;
+            best_prev = {f, ein};
+          }
+        }
+      }
+      r.arrival_ps[static_cast<std::size_t>(id)][StaResult::idx(out)] = best;
+      r.prev[static_cast<std::size_t>(id)][StaResult::idx(out)] = best_prev;
+    }
+  }
+
+  r.critical_delay_ps = kNegInf;
+  for (NodeId po : nl.outputs()) {
+    for (Edge e : {Edge::Rise, Edge::Fall}) {
+      if (r.arrival(po, e) > r.critical_delay_ps) {
+        r.critical_delay_ps = r.arrival(po, e);
+        r.critical_endpoint = {po, e};
+      }
+    }
+  }
+  if (r.critical_delay_ps == kNegInf)
+    throw std::logic_error("Sta: no PO reachable from any PI");
+  return r;
+}
+
+TimedPath Sta::critical_path(const StaResult& result) const {
+  TimedPath path;
+  path.delay_ps = result.critical_delay_ps;
+  PathPoint p = result.critical_endpoint;
+  while (p.node != netlist::kNoNode) {
+    path.points.push_back(p);
+    if (nl_->node(p.node).is_input) break;
+    p = result.prev[static_cast<std::size_t>(p.node)][StaResult::idx(p.edge)];
+  }
+  std::reverse(path.points.begin(), path.points.end());
+  return path;
+}
+
+std::vector<TimedPath> Sta::k_critical_paths(const StaResult& result,
+                                             std::size_t k) const {
+  const Netlist& nl = *nl_;
+  const std::size_t n = nl.size();
+
+  // Timing-graph vertex v = 2*node + idx(edge). Static edge weight
+  // w((f,ein) -> (g,eout)) = delay(g, eout, slew(f,ein)).
+  auto vid = [](NodeId node, Edge e) {
+    return 2 * static_cast<std::size_t>(node) + StaResult::idx(e);
+  };
+
+  // Longest remaining delay from each vertex to any PO (0 at a PO vertex
+  // itself, since paths terminate there; -inf if no PO is reachable).
+  std::vector<double> down(2 * n, kNegInf);
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    const netlist::Node& node = nl.node(id);
+    for (Edge e : {Edge::Rise, Edge::Fall}) {
+      double best = node.is_output ? 0.0 : kNegInf;
+      for (NodeId g : nl.fanouts(id)) {
+        const liberty::Cell& cell = nl.cell_of(g);
+        const double cin = nl.cin_ff(g);
+        const double cload = nl.load_ff(g) + nl.cpar_ff(g);
+        for (Edge eout : {Edge::Rise, Edge::Fall}) {
+          const auto causes = cause_edges(cell, eout);
+          if (std::find(causes.begin(), causes.end(), e) == causes.end())
+            continue;
+          const double w = dm_->delay_ps(cell, eout, result.slew(id, e), cin, cload);
+          const double cand = w + down[vid(g, eout)];
+          best = std::max(best, cand);
+        }
+      }
+      down[vid(id, e)] = best;
+    }
+  }
+
+  // Best-first (A*-style) enumeration: items are popped in non-increasing
+  // bound order; a *terminal* item's bound equals its exact path delay, so
+  // complete paths are emitted in exact non-increasing delay order.
+  constexpr std::size_t kTerminal = static_cast<std::size_t>(-1);
+  struct Item {
+    double bound;       // prefix + down(vertex); == prefix for terminals
+    double prefix;      // accumulated delay up to (and including) vertex
+    std::size_t vertex; // kTerminal marks a completed path
+    int chain;          // arena index of this item's own vertex entry
+  };
+  struct ArenaEntry {
+    std::size_t vertex;
+    int parent;
+  };
+  auto cmp = [](const Item& a, const Item& b) { return a.bound < b.bound; };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+  std::vector<ArenaEntry> arena;
+
+  for (NodeId pi : nl.inputs()) {
+    for (Edge e : {Edge::Rise, Edge::Fall}) {
+      const std::size_t v = vid(pi, e);
+      if (down[v] == kNegInf) continue;
+      arena.push_back({v, -1});
+      heap.push({down[v], 0.0, v, static_cast<int>(arena.size()) - 1});
+    }
+  }
+
+  std::vector<TimedPath> out;
+  // Guard against pathological blowup: each pop does O(fanout) work.
+  std::size_t pops = 0;
+  const std::size_t pop_limit = 4096 * std::max<std::size_t>(k, 1) + 16 * n;
+
+  while (!heap.empty() && out.size() < k && pops++ < pop_limit) {
+    const Item item = heap.top();
+    heap.pop();
+
+    if (item.vertex == kTerminal) {
+      TimedPath path;
+      path.delay_ps = item.prefix;
+      for (int a = item.chain; a != -1;
+           a = arena[static_cast<std::size_t>(a)].parent) {
+        const auto& entry = arena[static_cast<std::size_t>(a)];
+        path.points.push_back(
+            {static_cast<NodeId>(entry.vertex / 2),
+             entry.vertex % 2 == 0 ? Edge::Rise : Edge::Fall});
+      }
+      std::reverse(path.points.begin(), path.points.end());
+      out.push_back(std::move(path));
+      continue;
+    }
+
+    const NodeId node = static_cast<NodeId>(item.vertex / 2);
+    const Edge e = item.vertex % 2 == 0 ? Edge::Rise : Edge::Fall;
+
+    // Terminating at a PO is one of the item's continuations.
+    if (nl.node(node).is_output)
+      heap.push({item.prefix, item.prefix, kTerminal, item.chain});
+
+    // A gate that consumes `node` on two pins appears twice in fanouts();
+    // expand it once or the enumeration emits duplicate paths.
+    std::vector<NodeId> sinks = nl.fanouts(node);
+    std::sort(sinks.begin(), sinks.end());
+    sinks.erase(std::unique(sinks.begin(), sinks.end()), sinks.end());
+    for (NodeId g : sinks) {
+      const liberty::Cell& cell = nl.cell_of(g);
+      const double cin = nl.cin_ff(g);
+      const double cload = nl.load_ff(g) + nl.cpar_ff(g);
+      for (Edge eout : {Edge::Rise, Edge::Fall}) {
+        const auto causes = cause_edges(cell, eout);
+        if (std::find(causes.begin(), causes.end(), e) == causes.end())
+          continue;
+        const std::size_t v2 = vid(g, eout);
+        if (down[v2] == kNegInf) continue;
+        const double w =
+            dm_->delay_ps(cell, eout, result.slew(node, e), cin, cload);
+        arena.push_back({v2, item.chain});
+        heap.push({item.prefix + w + down[v2], item.prefix + w, v2,
+                   static_cast<int>(arena.size()) - 1});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Sta::slacks(const StaResult& result, double tc_ps) const {
+  const Netlist& nl = *nl_;
+  const std::size_t n = nl.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Required times, backward.
+  std::vector<std::array<double, 2>> required(n, {kInf, kInf});
+  for (NodeId po : nl.outputs())
+    required[static_cast<std::size_t>(po)] = {tc_ps, tc_ps};
+
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    for (NodeId g : nl.fanouts(id)) {
+      const liberty::Cell& cell = nl.cell_of(g);
+      const double cin = nl.cin_ff(g);
+      const double cload = nl.load_ff(g) + nl.cpar_ff(g);
+      for (Edge eout : {Edge::Rise, Edge::Fall}) {
+        for (Edge ein : cause_edges(cell, eout)) {
+          const double w =
+              dm_->delay_ps(cell, eout, result.slew(id, ein), cin, cload);
+          auto& req = required[static_cast<std::size_t>(id)][StaResult::idx(ein)];
+          req = std::min(req,
+                         required[static_cast<std::size_t>(g)][StaResult::idx(eout)] - w);
+        }
+      }
+    }
+  }
+
+  std::vector<double> slack(n, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (Edge e : {Edge::Rise, Edge::Fall}) {
+      const double at = result.arrival_ps[i][StaResult::idx(e)];
+      if (at == kNegInf) continue;
+      slack[i] = std::min(slack[i], required[i][StaResult::idx(e)] - at);
+    }
+  }
+  return slack;
+}
+
+}  // namespace pops::timing

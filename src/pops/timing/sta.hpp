@@ -1,0 +1,94 @@
+#pragma once
+// Static timing analysis over a Netlist with the closed-form delay model.
+//
+// Per-edge (rise/fall) arrival times and transition times are propagated in
+// topological order; phase-definite cells (INV/NAND/NOR/AOI/OAI invert,
+// BUF does not) constrain which input edge causes which output edge, and
+// XOR/XNOR conservatively consider both. Backtracking pointers reconstruct
+// the critical path, and a K-longest-paths enumeration (in the spirit of
+// Yen/Du/Ghanta, DAC'89 — ref [11] of the paper) supplies the "user
+// specified limited number of paths" POPS optimises.
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "pops/netlist/netlist.hpp"
+#include "pops/timing/delay_model.hpp"
+
+namespace pops::timing {
+
+/// A (node, output-edge) pair — one vertex of the timing graph.
+struct PathPoint {
+  netlist::NodeId node = netlist::kNoNode;
+  Edge edge = Edge::Rise;
+  bool operator==(const PathPoint&) const = default;
+};
+
+/// One complete PI->PO path with its total delay.
+struct TimedPath {
+  std::vector<PathPoint> points;  ///< PI first, PO last
+  double delay_ps = 0.0;
+};
+
+/// Options for the analysis.
+struct StaOptions {
+  /// Transition time assumed at every primary input; <= 0 selects the
+  /// model's default (FO1 reference inverter).
+  double pi_slew_ps = -1.0;
+};
+
+/// Full analysis result.
+struct StaResult {
+  /// Arrival time per node per edge (index with `idx(Edge)`); -inf if the
+  /// (node, edge) vertex is unreachable.
+  std::vector<std::array<double, 2>> arrival_ps;
+  /// Output transition time per node per edge.
+  std::vector<std::array<double, 2>> slew_ps;
+  /// Which (fanin, fanin-edge) realised the max arrival, for backtracking.
+  std::vector<std::array<PathPoint, 2>> prev;
+
+  double critical_delay_ps = 0.0;
+  PathPoint critical_endpoint;
+
+  static std::size_t idx(Edge e) noexcept { return e == Edge::Rise ? 0 : 1; }
+
+  double arrival(netlist::NodeId n, Edge e) const {
+    return arrival_ps[static_cast<std::size_t>(n)][idx(e)];
+  }
+  double slew(netlist::NodeId n, Edge e) const {
+    return slew_ps[static_cast<std::size_t>(n)][idx(e)];
+  }
+};
+
+class Sta {
+ public:
+  Sta(const netlist::Netlist& nl, const DelayModel& dm, StaOptions opt = {});
+
+  /// Run forward propagation; O(E) in the netlist size.
+  StaResult run() const;
+
+  /// Reconstruct the critical path from a completed result.
+  TimedPath critical_path(const StaResult& result) const;
+
+  /// The K longest PI->PO paths, in non-increasing delay order. Edge delays
+  /// are frozen at the slews of `result` (standard K-critical-paths
+  /// approximation). Returns fewer than k paths if the graph has fewer.
+  std::vector<TimedPath> k_critical_paths(const StaResult& result,
+                                          std::size_t k) const;
+
+  /// Per-node slack against a required time `tc_ps` at every PO, for the
+  /// worse edge: slack(n) = min over edges of (required - arrival).
+  std::vector<double> slacks(const StaResult& result, double tc_ps) const;
+
+ private:
+  /// Input edges of `cell` that can cause output edge `out`:
+  /// returns one edge for phase-definite cells, both for XOR/XNOR.
+  static std::vector<Edge> cause_edges(const liberty::Cell& cell, Edge out);
+
+  const netlist::Netlist* nl_;
+  const DelayModel* dm_;
+  StaOptions opt_;
+};
+
+}  // namespace pops::timing

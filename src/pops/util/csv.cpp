@@ -1,0 +1,42 @@
+#include "pops/util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace pops::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  char buf[64];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof buf, "%.*g", digits, v);
+    text.emplace_back(buf);
+  }
+  row(text);
+}
+
+}  // namespace pops::util

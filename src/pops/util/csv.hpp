@@ -1,0 +1,28 @@
+#pragma once
+// Minimal CSV writer so that bench binaries can optionally dump their series
+// (figure data) to files for external plotting, in addition to the ASCII
+// tables printed on stdout.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pops::util {
+
+/// Streams rows of comma-separated values to a file.
+/// Cells containing commas or quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row. Numeric convenience overload included.
+  void row(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& cells, int digits = 6);
+
+ private:
+  std::ofstream out_;
+  static std::string escape(const std::string& cell);
+};
+
+}  // namespace pops::util

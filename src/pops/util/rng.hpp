@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the reproduction (synthetic benchmark
+// generation, random-vector logic simulation, the pseudo-random sizing mode
+// of the AMPS baseline) draws from this engine so that runs are exactly
+// repeatable across machines: results in EXPERIMENTS.md are reproducible
+// bit-for-bit.
+
+#include <cstdint>
+#include <limits>
+
+namespace pops::util {
+
+/// xoshiro256** — small, fast, high-quality PRNG with a splitmix64 seeder.
+/// Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed deterministically; the default seed is arbitrary but fixed.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pops::util

@@ -1,0 +1,90 @@
+#include "pops/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pops::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+bool approx_equal(double a, double b, double tol) noexcept {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+double rel_diff(double a, double b) noexcept {
+  const double denom = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) / denom;
+}
+
+double golden_section_min(const std::function<double(double)>& f, double lo,
+                          double hi, double tol) {
+  if (!(lo < hi)) throw std::invalid_argument("golden_section_min: bad bracket");
+  constexpr double invphi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - invphi * (b - a);
+  double d = a + invphi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - invphi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + invphi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   double tol, int max_iter) {
+  double flo = f(lo), fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0))
+    throw std::invalid_argument("bisect_root: no sign change over bracket");
+  for (int i = 0; i < max_iter && hi - lo > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean_of: empty");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace pops::util

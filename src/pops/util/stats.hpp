@@ -1,0 +1,53 @@
+#pragma once
+// Small numeric helpers shared across modules: running statistics,
+// relative-error comparison, golden-section scalar minimisation, and
+// robust scalar root bracketing/bisection. These are the numeric kernels
+// behind Flimit characterisation and the constraint-satisfaction search.
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace pops::util {
+
+/// Streaming mean/min/max/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// |a-b| <= tol * max(1, |a|, |b|)
+bool approx_equal(double a, double b, double tol = 1e-9) noexcept;
+
+/// Relative difference |a-b| / max(|a|,|b|,eps).
+double rel_diff(double a, double b) noexcept;
+
+/// Minimise a unimodal function on [lo, hi] by golden-section search.
+/// Returns the abscissa of the minimum with absolute tolerance `tol`.
+double golden_section_min(const std::function<double(double)>& f, double lo,
+                          double hi, double tol = 1e-6);
+
+/// Find x in [lo, hi] with f(x) = 0 by bisection. Requires a sign change
+/// over the bracket; throws std::invalid_argument otherwise.
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   double tol = 1e-9, int max_iter = 200);
+
+/// Arithmetic mean of a vector; throws on empty input.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace pops::util

@@ -1,0 +1,82 @@
+#include "pops/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace pops::util {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header)), aligns_(header_.size(), Align::Left) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("Table: row arity " + std::to_string(row.size()) +
+                                " != header arity " + std::to_string(header_.size()));
+  rows_.push_back(std::move(row));
+  ++n_data_rows_;
+}
+
+void Table::add_rule() { rows_.push_back({std::string{}}); }
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) throw std::out_of_range("Table: bad column");
+  aligns_[column] = align;
+}
+
+namespace {
+bool is_rule(const std::vector<std::string>& row) {
+  return row.size() == 1 && row[0].empty();
+}
+}  // namespace
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (is_rule(row)) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      if (aligns_[c] == Align::Right)
+        s += " " + std::string(pad, ' ') + row[c] + " |";
+      else
+        s += " " + row[c] + std::string(pad, ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = hline() + emit(header_) + hline();
+  for (const auto& row : rows_) out += is_rule(row) ? hline() : emit(row);
+  out += hline();
+  return out;
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace pops::util

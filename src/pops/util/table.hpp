@@ -1,0 +1,60 @@
+#pragma once
+// ASCII table rendering used by the benchmark harness to print paper-style
+// tables (Table 1..4) and figure series (Fig. 1..8) to stdout.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pops::util {
+
+/// Column alignment inside a rendered table cell.
+enum class Align { Left, Right };
+
+/// A simple monospace table builder.
+///
+/// Usage:
+///   Table t({"Circuit", "POPS (ms)", "AMPS (ms)"});
+///   t.add_row({"c432", "29", "9950"});
+///   std::cout << t.str();
+///
+/// The widths adapt to the widest cell per column; numeric columns are
+/// right-aligned when requested via `set_align`.
+class Table {
+ public:
+  /// Construct a table with the given header labels.
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have exactly as many cells as the header.
+  /// Throws std::invalid_argument on arity mismatch.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator rule between the rows added so far and
+  /// the ones added later (used for grouped tables like Table 3/4).
+  void add_rule();
+
+  /// Set the alignment for one column (default: Left).
+  void set_align(std::size_t column, Align align);
+
+  /// Number of data rows added so far (separators excluded).
+  std::size_t row_count() const noexcept { return n_data_rows_; }
+
+  /// Render to a string, ready for stdout.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with exactly one empty sentinel cell marks a separator.
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+  std::size_t n_data_rows_ = 0;
+};
+
+/// Format a double with `digits` digits after the decimal point.
+std::string fmt(double value, int digits = 2);
+
+/// Format a value as a percentage string, e.g. 0.13 -> "13%".
+std::string fmt_percent(double fraction, int digits = 0);
+
+}  // namespace pops::util

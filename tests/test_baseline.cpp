@@ -1,0 +1,125 @@
+// Tests for the AMPS-substitute baseline: the greedy iterative sizer must
+// behave like the paper characterises the industrial tool — reaching a
+// minimum delay no better than POPS (Fig. 2), needing more area at a hard
+// constraint (Fig. 4), and burning orders of magnitude more evaluations
+// (the Table 1 CPU story).
+
+#include <gtest/gtest.h>
+
+#include "pops/baseline/amps.hpp"
+#include "pops/core/bounds.hpp"
+#include "pops/core/sensitivity.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace pops::timing;
+using liberty::CellKind;
+using liberty::Library;
+using process::Technology;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  DelayModel dm{lib};
+
+  BoundedPath make_path(int n = 12) const {
+    std::vector<PathStage> stages(static_cast<std::size_t>(n));
+    const CellKind mix[] = {CellKind::Inv, CellKind::Nand2, CellKind::Nor2,
+                            CellKind::Nand3};
+    for (int i = 0; i < n; ++i)
+      stages[static_cast<std::size_t>(i)].kind = mix[i % 4];
+    stages[static_cast<std::size_t>(n / 2)].off_path_ff = 15.0 * lib.cref_ff();
+    return BoundedPath(lib, stages, 2.0 * lib.cref_ff(),
+                       25.0 * lib.cref_ff(), Edge::Rise,
+                       dm.default_input_slew_ps());
+  }
+};
+
+TEST_F(BaselineTest, GreedyMinimumNoBetterThanLinkEquations) {
+  // Fig. 2: Tmin(POPS) <= Tmin(AMPS). The greedy discrete search cannot
+  // beat the analytic fixed point (up to a hair of numerical slack).
+  const BoundedPath p = make_path();
+  const core::PathBounds bounds = core::compute_bounds(p, dm);
+  const baseline::AmpsResult amps = baseline::minimize_delay(p, dm);
+  EXPECT_GE(amps.delay_ps, bounds.tmin_ps * 0.999);
+  // And it should land in the right neighbourhood (it is a real optimizer,
+  // not a strawman).
+  EXPECT_LE(amps.delay_ps, bounds.tmin_ps * 1.25);
+}
+
+TEST_F(BaselineTest, ConstraintModeMeetsFeasibleTc) {
+  const BoundedPath p = make_path();
+  const core::PathBounds bounds = core::compute_bounds(p, dm);
+  const double tc = 1.4 * bounds.tmin_ps;
+  const baseline::AmpsResult amps = baseline::meet_constraint(p, dm, tc);
+  EXPECT_TRUE(amps.feasible);
+  EXPECT_LE(amps.delay_ps, tc * 1.001);
+}
+
+TEST_F(BaselineTest, NeedsMoreAreaThanConstantSensitivity) {
+  // Fig. 4: at a hard constraint the POPS distribution wins on area.
+  const BoundedPath p = make_path();
+  const core::PathBounds bounds = core::compute_bounds(p, dm);
+  const double tc = 1.2 * bounds.tmin_ps;
+  const core::SizingResult pops = core::size_for_constraint(p, dm, tc);
+  const baseline::AmpsResult amps = baseline::meet_constraint(p, dm, tc);
+  ASSERT_TRUE(pops.feasible);
+  ASSERT_TRUE(amps.feasible);
+  EXPECT_LE(pops.area_um, amps.area_um * 1.001);
+}
+
+TEST_F(BaselineTest, InfeasibleConstraintReported) {
+  const BoundedPath p = make_path();
+  const core::PathBounds bounds = core::compute_bounds(p, dm);
+  const baseline::AmpsResult amps =
+      baseline::meet_constraint(p, dm, 0.5 * bounds.tmin_ps);
+  EXPECT_FALSE(amps.feasible);
+}
+
+TEST_F(BaselineTest, EvaluationCountsAreIterative) {
+  // The CPU-structure claim behind Table 1: the greedy tool performs
+  // O(N^2)-ish full-path evaluations, far beyond the sweep count of the
+  // deterministic method.
+  const BoundedPath p = make_path(16);
+  const baseline::AmpsResult amps = baseline::minimize_delay(p, dm);
+  EXPECT_GT(amps.evaluations, 1000);
+}
+
+TEST_F(BaselineTest, DeterministicUnderSeed) {
+  const BoundedPath p = make_path();
+  baseline::AmpsOptions opt;
+  opt.seed = 77;
+  const auto a = baseline::minimize_delay(p, dm, opt);
+  const auto b = baseline::minimize_delay(p, dm, opt);
+  EXPECT_DOUBLE_EQ(a.delay_ps, b.delay_ps);
+  EXPECT_DOUBLE_EQ(a.area_um, b.area_um);
+}
+
+TEST_F(BaselineTest, RestartsNeverHurt) {
+  const BoundedPath p = make_path();
+  baseline::AmpsOptions none;
+  none.random_restarts = 0;
+  baseline::AmpsOptions some;
+  some.random_restarts = 5;
+  const auto a = baseline::minimize_delay(p, dm, none);
+  const auto b = baseline::minimize_delay(p, dm, some);
+  EXPECT_LE(b.delay_ps, a.delay_ps * 1.0 + 1e-9);
+}
+
+TEST_F(BaselineTest, InvalidTcThrows) {
+  EXPECT_THROW(baseline::meet_constraint(make_path(), dm, 0.0),
+               std::invalid_argument);
+}
+
+TEST_F(BaselineTest, RespectsFrozenStages) {
+  BoundedPath p = make_path();
+  p.set_cin(3, 9.0);
+  p.set_sizable(3, false);
+  const auto a = baseline::minimize_delay(p, dm);
+  EXPECT_NEAR(a.path.cin(3), 9.0, 1e-12);
+}
+
+}  // namespace

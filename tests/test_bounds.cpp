@@ -1,0 +1,164 @@
+// Tests for the delay bounds (paper §3.1): Tmin below Tmax, the fixed
+// point's independence from the starting solution (the paper's own claim,
+// Fig. 1), and local optimality of the Tmin sizing.
+
+#include <gtest/gtest.h>
+
+#include "pops/core/bounds.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+
+namespace {
+
+using namespace pops::core;
+using namespace pops::timing;
+using pops::liberty::CellKind;
+using pops::liberty::Library;
+using pops::process::Technology;
+
+class BoundsTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  DelayModel dm{lib};
+
+  BoundedPath make_path(int n, double terminal_x = 20.0,
+                        double off_mid = 0.0) const {
+    std::vector<PathStage> stages(static_cast<std::size_t>(n));
+    const CellKind mix[] = {CellKind::Inv, CellKind::Nand2, CellKind::Inv,
+                            CellKind::Nor2, CellKind::Nand3};
+    for (int i = 0; i < n; ++i)
+      stages[static_cast<std::size_t>(i)].kind = mix[i % 5];
+    if (off_mid > 0.0)
+      stages[static_cast<std::size_t>(n / 2)].off_path_ff = off_mid;
+    return BoundedPath(lib, stages, 2.0 * lib.cref_ff(),
+                       terminal_x * lib.cref_ff(), Edge::Rise,
+                       dm.default_input_slew_ps());
+  }
+};
+
+TEST_F(BoundsTest, TminStrictlyBelowTmax) {
+  const BoundedPath p = make_path(9);
+  const PathBounds b = compute_bounds(p, dm);
+  EXPECT_GT(b.tmax_ps, b.tmin_ps);
+  EXPECT_GT(b.tmin_ps, 0.0);
+  EXPECT_NEAR(b.at_tmin.delay_ps(dm), b.tmin_ps, 1e-9);
+  EXPECT_NEAR(b.at_tmax.delay_ps(dm), b.tmax_ps, 1e-9);
+}
+
+TEST_F(BoundsTest, TmaxIsAllMinimumDrive) {
+  BoundedPath p = make_path(6);
+  const double t = tmax_ps(p, dm);
+  p.set_all_min_drive();
+  EXPECT_NEAR(t, p.delay_ps(dm), 1e-9);
+  for (std::size_t i = 1; i < p.size(); ++i)
+    EXPECT_DOUBLE_EQ(p.cin(i), p.cin_min(i));
+}
+
+TEST_F(BoundsTest, FixedPointIndependentOfInitialSolution) {
+  // The paper: "the final value, Tmin is conserved whatever is the initial
+  // solution, ie the CREF value."
+  const BoundedPath p = make_path(11);
+  double reference = 0.0;
+  for (double scale : {0.25, 1.0, 3.0, 10.0}) {
+    BoundsOptions opt;
+    opt.init_scale = scale;
+    const BoundedPath sized = size_for_tmin(p, dm, opt);
+    const double t = sized.delay_ps(dm);
+    if (reference == 0.0) reference = t;
+    EXPECT_NEAR(t, reference, 1e-4 * reference) << "init scale " << scale;
+  }
+}
+
+TEST_F(BoundsTest, TminIsLocalMinimum) {
+  // Perturbing any free CIN around the fixed point must not reduce the
+  // path delay (first-order optimality of eq. 4).
+  const BoundedPath p = make_path(8, 25.0, 10.0 * lib.cref_ff());
+  const PathBounds b = compute_bounds(p, dm);
+  for (std::size_t i = 1; i < b.at_tmin.size(); ++i) {
+    for (double f : {0.93, 1.07}) {
+      BoundedPath probe = b.at_tmin;
+      const double target = probe.cin(i) * f;
+      probe.set_cin(i, target);
+      if (std::abs(probe.cin(i) - target) > 1e-9) continue;  // clamped
+      EXPECT_GE(probe.delay_ps(dm), b.tmin_ps * (1.0 - 1e-7))
+          << "stage " << i << " factor " << f;
+    }
+  }
+}
+
+TEST_F(BoundsTest, SensitivityVanishesAtTmin) {
+  // dT/dCIN(i) ~ 0 at the fixed point for unclamped interior stages.
+  const BoundedPath p = make_path(9, 30.0);
+  const PathBounds b = compute_bounds(p, dm);
+  // Sensitivity scale for comparison: |dT/dCIN| at all-minimum sizing.
+  const double scale =
+      std::abs(b.at_tmax.numeric_sensitivity(dm, b.at_tmax.size() / 2));
+  for (std::size_t i = 1; i < b.at_tmin.size(); ++i) {
+    const double cin = b.at_tmin.cin(i);
+    if (cin <= b.at_tmin.cin_min(i) * 1.001 ||
+        cin >= b.at_tmin.cin_max(i) * 0.999)
+      continue;  // clamped stages carry residual sensitivity
+    EXPECT_LT(std::abs(b.at_tmin.numeric_sensitivity(dm, i)), 0.05 * scale)
+        << "stage " << i;
+  }
+}
+
+TEST_F(BoundsTest, IterationTraceConvergesMonotonically) {
+  const BoundedPath p = make_path(12);
+  IterationTrace trace;
+  BoundsOptions opt;
+  const BoundedPath sized = size_for_tmin(p, dm, opt, &trace);
+  ASSERT_GE(trace.delay_ps.size(), 2u);
+  // Delay after the last sweep equals the converged Tmin.
+  EXPECT_NEAR(trace.delay_ps.back(), sized.delay_ps(dm), 1e-6);
+  // The trace settles: late iterations change nothing.
+  const std::size_t n = trace.delay_ps.size();
+  EXPECT_NEAR(trace.delay_ps[n - 1], trace.delay_ps[n - 2],
+              1e-5 * trace.delay_ps[n - 1]);
+  // And the spread from first to last is substantial (the Fig. 1 story).
+  EXPECT_GT(trace.delay_ps.front(), trace.delay_ps.back());
+}
+
+TEST_F(BoundsTest, HeavierTerminalLoadRaisesTmin) {
+  const PathBounds light = compute_bounds(make_path(7, 5.0), dm);
+  const PathBounds heavy = compute_bounds(make_path(7, 60.0), dm);
+  EXPECT_GT(heavy.tmin_ps, light.tmin_ps);
+}
+
+TEST_F(BoundsTest, LongerPathHasLargerTmin) {
+  const PathBounds short_p = compute_bounds(make_path(5), dm);
+  const PathBounds long_p = compute_bounds(make_path(15), dm);
+  EXPECT_GT(long_p.tmin_ps, short_p.tmin_ps);
+}
+
+TEST_F(BoundsTest, BadOptionsThrow) {
+  const BoundedPath p = make_path(4);
+  BoundsOptions opt;
+  opt.max_sweeps = 0;
+  EXPECT_THROW(size_for_tmin(p, dm, opt), std::invalid_argument);
+  opt = {};
+  opt.tol = 0.0;
+  EXPECT_THROW(size_for_tmin(p, dm, opt), std::invalid_argument);
+}
+
+// Property sweep: bounds behave sanely across path lengths.
+class BoundsSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsSweepTest, TminBelowTmaxAndConverges) {
+  const Library lib(Technology::cmos025());
+  const DelayModel dm(lib);
+  std::vector<PathStage> stages(static_cast<std::size_t>(GetParam()));
+  const CellKind mix[] = {CellKind::Nand2, CellKind::Inv, CellKind::Nor2};
+  for (int i = 0; i < GetParam(); ++i)
+    stages[static_cast<std::size_t>(i)].kind = mix[i % 3];
+  const BoundedPath p(lib, stages, 1.5 * lib.cref_ff(), 10.0 * lib.cref_ff(),
+                      Edge::Fall, dm.default_input_slew_ps());
+  const PathBounds b = compute_bounds(p, dm);
+  EXPECT_LT(b.tmin_ps, b.tmax_ps);
+  EXPECT_LT(b.sweeps, BoundsOptions{}.max_sweeps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BoundsSweepTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Unit tests for the eq. (1-3) delay model: monotonicity, the coupling and
+// slope terms, symmetry factors and the link-equation stage coefficient.
+
+#include <gtest/gtest.h>
+
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/delay_model.hpp"
+
+namespace {
+
+using namespace pops::timing;
+using pops::liberty::Cell;
+using pops::liberty::CellKind;
+using pops::liberty::Library;
+using pops::process::Technology;
+
+class DelayModelTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  DelayModel dm{lib};
+};
+
+TEST_F(DelayModelTest, TransitionScalesLinearlyWithLoad) {
+  const Cell& inv = lib.cell(CellKind::Inv);
+  const double t1 = dm.transition_ps(inv, Edge::Fall, 10.0, 20.0);
+  const double t2 = dm.transition_ps(inv, Edge::Fall, 10.0, 40.0);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+}
+
+TEST_F(DelayModelTest, TransitionInverseInDrive) {
+  const Cell& inv = lib.cell(CellKind::Inv);
+  const double t1 = dm.transition_ps(inv, Edge::Rise, 10.0, 30.0);
+  const double t2 = dm.transition_ps(inv, Edge::Rise, 20.0, 30.0);
+  EXPECT_NEAR(t2, 0.5 * t1, 1e-12);
+}
+
+TEST_F(DelayModelTest, Eq2MatchesHandComputation) {
+  // tau_outHL = S_HL * tau * CL/CIN with S_HL = (1+k)*DW_HL.
+  const Cell& inv = lib.cell(CellKind::Inv);
+  const double expect =
+      (1.0 + inv.k_ratio) * 1.0 * lib.tech().tau_ps * (30.0 / 10.0);
+  EXPECT_NEAR(dm.transition_ps(inv, Edge::Fall, 10.0, 30.0), expect, 1e-9);
+}
+
+TEST_F(DelayModelTest, SlowEdgeFollowsWeakNetwork) {
+  // INV and NOR: the PMOS network is the weak one (k < R, plus the NOR's
+  // serial P stack) -> rising is slower. NAND: the serial NMOS stack
+  // dominates -> falling is slower.
+  for (CellKind k : {CellKind::Inv, CellKind::Nor2, CellKind::Nor3}) {
+    const Cell& c = lib.cell(k);
+    EXPECT_GT(dm.transition_ps(c, Edge::Rise, 10.0, 30.0),
+              dm.transition_ps(c, Edge::Fall, 10.0, 30.0))
+        << c.name;
+  }
+  for (CellKind k : {CellKind::Nand2, CellKind::Nand3}) {
+    const Cell& c = lib.cell(k);
+    EXPECT_GT(dm.transition_ps(c, Edge::Fall, 10.0, 30.0),
+              dm.transition_ps(c, Edge::Rise, 10.0, 30.0))
+        << c.name;
+  }
+}
+
+TEST_F(DelayModelTest, InvalidArgsThrow) {
+  const Cell& inv = lib.cell(CellKind::Inv);
+  EXPECT_THROW(dm.transition_ps(inv, Edge::Fall, 0.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(dm.delay_ps(inv, Edge::Fall, -1.0, 10.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST_F(DelayModelTest, CouplingCapMatchesDeviceSplit) {
+  const Cell& inv = lib.cell(CellKind::Inv);  // k = 2
+  const double cin = 12.0;
+  // Falling output = rising input = coupling through the P gate cap.
+  EXPECT_NEAR(dm.coupling_ff(inv, Edge::Fall, cin),
+              0.5 * (inv.k_ratio / (1.0 + inv.k_ratio)) * cin, 1e-12);
+  EXPECT_NEAR(dm.coupling_ff(inv, Edge::Rise, cin),
+              0.5 * (1.0 / (1.0 + inv.k_ratio)) * cin, 1e-12);
+}
+
+TEST_F(DelayModelTest, MillerFactorBounded) {
+  const Cell& inv = lib.cell(CellKind::Inv);
+  // (1 + 2CM/(CM+CL)) lies in (1, 3); -> 1 as CL -> inf, -> 3 as CL -> 0.
+  EXPECT_NEAR(dm.miller_factor(inv, Edge::Fall, 10.0, 1e9), 1.0, 1e-6);
+  EXPECT_GT(dm.miller_factor(inv, Edge::Fall, 10.0, 0.01), 2.5);
+  const double m = dm.miller_factor(inv, Edge::Fall, 10.0, 20.0);
+  EXPECT_GT(m, 1.0);
+  EXPECT_LT(m, 3.0);
+}
+
+TEST_F(DelayModelTest, DelayIncludesSlopeTerm) {
+  // eq. (1): the input-slope contribution is exactly v_T/2 * tau_in.
+  const Cell& inv = lib.cell(CellKind::Inv);
+  const double d0 = dm.delay_ps(inv, Edge::Fall, 0.0, 10.0, 30.0);
+  const double d1 = dm.delay_ps(inv, Edge::Fall, 100.0, 10.0, 30.0);
+  EXPECT_NEAR(d1 - d0, 0.5 * lib.tech().vtn_reduced() * 100.0, 1e-9);
+}
+
+TEST_F(DelayModelTest, SlopeTermUsesEdgeSpecificThreshold) {
+  EXPECT_DOUBLE_EQ(dm.reduced_vt(Edge::Fall), lib.tech().vtn_reduced());
+  EXPECT_DOUBLE_EQ(dm.reduced_vt(Edge::Rise), lib.tech().vtp_reduced());
+}
+
+TEST_F(DelayModelTest, DelayMonotoneInLoad) {
+  const Cell& nand2 = lib.cell(CellKind::Nand2);
+  double prev = 0.0;
+  for (double cl = 5.0; cl < 200.0; cl += 5.0) {
+    const double d = dm.delay_ps(nand2, Edge::Fall, 40.0, 8.0, cl);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(DelayModelTest, StageCoefficientPositiveAndOrdered) {
+  // A_i = tau * S * (miller + vt_next)/2 — positive, and larger for the
+  // weaker (higher logical weight) cells at identical conditions.
+  const double a_inv = dm.stage_coefficient(lib.cell(CellKind::Inv),
+                                            Edge::Rise, 10.0, 30.0, true,
+                                            Edge::Fall);
+  const double a_nor3 = dm.stage_coefficient(lib.cell(CellKind::Nor3),
+                                             Edge::Rise, 10.0, 30.0, true,
+                                             Edge::Fall);
+  EXPECT_GT(a_inv, 0.0);
+  EXPECT_GT(a_nor3, a_inv);
+}
+
+TEST_F(DelayModelTest, StageCoefficientLastStageDropsSlopeTerm) {
+  const Cell& inv = lib.cell(CellKind::Inv);
+  const double with_next =
+      dm.stage_coefficient(inv, Edge::Rise, 10.0, 30.0, true, Edge::Fall);
+  const double last =
+      dm.stage_coefficient(inv, Edge::Rise, 10.0, 30.0, false, Edge::Fall);
+  EXPECT_GT(with_next, last);
+  const double vt = lib.tech().vtn_reduced();
+  EXPECT_NEAR(with_next - last,
+              lib.tech().tau_ps * dm.symmetry_factor(inv, Edge::Rise) * 0.5 * vt,
+              1e-9);
+}
+
+TEST_F(DelayModelTest, DefaultInputSlewIsFo1Inverter) {
+  const Cell& inv = lib.cell(CellKind::Inv);
+  const double expect =
+      0.5 * (lib.s_hl(inv) + lib.s_lh(inv)) * lib.tech().tau_ps;
+  EXPECT_NEAR(dm.default_input_slew_ps(), expect, 1e-12);
+  EXPECT_GT(dm.default_input_slew_ps(), 0.0);
+}
+
+TEST(EdgeHelpers, FlipAndNames) {
+  EXPECT_EQ(flip(Edge::Rise), Edge::Fall);
+  EXPECT_EQ(flip(Edge::Fall), Edge::Rise);
+  EXPECT_STREQ(to_string(Edge::Rise), "rise");
+  EXPECT_STREQ(to_string(Edge::Fall), "fall");
+}
+
+// Property sweep: the FO4 delay of every basic cell sits in a plausible
+// 0.25µm window (tens of ps up to ~0.5 ns for the weak NOR edges).
+class Fo4Test : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(Fo4Test, Fo4DelayPlausible) {
+  const Library lib(Technology::cmos025());
+  const DelayModel dm(lib);
+  const Cell& c = lib.cell(GetParam());
+  const double cin = c.cin_ff(lib.tech(), 2.0);
+  for (Edge e : {Edge::Rise, Edge::Fall}) {
+    const double d =
+        dm.delay_ps(c, e, dm.default_input_slew_ps(), cin, 4.0 * cin);
+    EXPECT_GT(d, 20.0) << c.name;
+    EXPECT_LT(d, 600.0) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BasicCells, Fo4Test,
+                         ::testing::Values(CellKind::Inv, CellKind::Nand2,
+                                           CellKind::Nand3, CellKind::Nand4,
+                                           CellKind::Nor2, CellKind::Nor3,
+                                           CellKind::Nor4),
+                         [](const auto& info) {
+                           return std::string(pops::liberty::to_string(info.param));
+                         });
+
+}  // namespace

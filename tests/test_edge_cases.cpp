@@ -1,0 +1,158 @@
+// Numerical and structural corner cases across the optimisation stack:
+// minimal paths, extreme boundary loads, degenerate constraints.
+
+#include <gtest/gtest.h>
+
+#include "pops/baseline/amps.hpp"
+#include "pops/core/protocol.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace pops::timing;
+using liberty::CellKind;
+using liberty::Library;
+using process::Technology;
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  DelayModel dm{lib};
+
+  BoundedPath path_of(std::vector<CellKind> kinds, double cin_x,
+                      double term_x) const {
+    std::vector<PathStage> stages;
+    for (CellKind k : kinds) {
+      PathStage st;
+      st.kind = k;
+      stages.push_back(st);
+    }
+    return BoundedPath(lib, stages, cin_x * lib.cref_ff(),
+                       term_x * lib.cref_ff(), Edge::Rise,
+                       dm.default_input_slew_ps());
+  }
+};
+
+TEST_F(EdgeCaseTest, SingleStagePathHasNoFreeVariables) {
+  // One gate: CIN fixed, terminal fixed — Tmin == Tmax == delay.
+  const BoundedPath p = path_of({CellKind::Inv}, 2.0, 10.0);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  EXPECT_NEAR(b.tmin_ps, b.tmax_ps, 1e-9);
+  EXPECT_NEAR(b.tmin_ps, p.delay_ps(dm), 1e-9);
+
+  // Constraint satisfaction degenerates gracefully.
+  const core::SizingResult ok =
+      core::size_for_constraint(p, dm, b.tmin_ps * 1.5);
+  EXPECT_TRUE(ok.feasible);
+  const core::SizingResult bad =
+      core::size_for_constraint(p, dm, b.tmin_ps * 0.5);
+  EXPECT_FALSE(bad.feasible);
+}
+
+TEST_F(EdgeCaseTest, TwoStagePath) {
+  const BoundedPath p = path_of({CellKind::Inv, CellKind::Inv}, 2.0, 20.0);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  EXPECT_LT(b.tmin_ps, b.tmax_ps);
+  // One free variable: the fixed point is the one-dimensional optimum.
+  for (double f : {0.9, 1.1}) {
+    BoundedPath probe = b.at_tmin;
+    probe.set_cin(1, probe.cin(1) * f);
+    EXPECT_GE(probe.delay_ps(dm), b.tmin_ps * (1.0 - 1e-9));
+  }
+}
+
+TEST_F(EdgeCaseTest, TinyTerminalLoadStillConverges) {
+  const BoundedPath p =
+      path_of({CellKind::Inv, CellKind::Nand2, CellKind::Inv}, 2.0, 0.05);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  EXPECT_GT(b.tmin_ps, 0.0);
+  EXPECT_LE(b.tmin_ps, b.tmax_ps + 1e-9);
+}
+
+TEST_F(EdgeCaseTest, HugeTerminalLoadClampsAtMaxDrive) {
+  // Terminal far beyond what wmax can drive at taper: the last stages
+  // clamp at cin_max and the fixed point still exists.
+  const BoundedPath p =
+      path_of({CellKind::Inv, CellKind::Inv, CellKind::Inv}, 2.0, 2000.0);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  EXPECT_NEAR(b.at_tmin.cin(2), b.at_tmin.cin_max(2), 1e-6);
+  EXPECT_LT(b.tmin_ps, b.tmax_ps);
+}
+
+TEST_F(EdgeCaseTest, MassiveInputDriveIsLegal) {
+  // A huge fixed input drive (strong latch): everything still works and
+  // the first free stage is not forced below its minimum.
+  const BoundedPath p = path_of({CellKind::Inv, CellKind::Inv}, 50.0, 5.0);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  EXPECT_GE(b.at_tmin.cin(1), b.at_tmin.cin_min(1) - 1e-12);
+  EXPECT_LE(b.tmin_ps, b.tmax_ps + 1e-9);
+}
+
+TEST_F(EdgeCaseTest, AllKindsSurviveTheSizingPipeline) {
+  // Every library cell (including AOI/OAI/XOR) can sit on a path.
+  for (CellKind k : liberty::all_cell_kinds()) {
+    const BoundedPath p = path_of({CellKind::Inv, k, CellKind::Inv}, 2.0, 8.0);
+    const core::PathBounds b = core::compute_bounds(p, dm);
+    EXPECT_LT(b.tmin_ps, b.tmax_ps * (1.0 + 1e-9)) << liberty::to_string(k);
+    const core::SizingResult r =
+        core::size_for_constraint(p, dm, 1.4 * b.tmin_ps);
+    EXPECT_TRUE(r.feasible) << liberty::to_string(k);
+  }
+}
+
+TEST_F(EdgeCaseTest, ConstraintExactlyAtTminIsAccepted) {
+  const BoundedPath p = path_of({CellKind::Inv, CellKind::Nor2, CellKind::Inv},
+                                2.0, 15.0);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  const core::SizingResult r = core::size_for_constraint(p, dm, b.tmin_ps);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.delay_ps, b.tmin_ps, 2e-3 * b.tmin_ps);
+}
+
+TEST_F(EdgeCaseTest, AmpsOnSingleFreeStage) {
+  const BoundedPath p = path_of({CellKind::Inv, CellKind::Inv}, 2.0, 30.0);
+  const baseline::AmpsResult r = baseline::minimize_delay(p, dm);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  EXPECT_GE(r.delay_ps, b.tmin_ps * 0.999);
+  EXPECT_LE(r.delay_ps, b.tmin_ps * 1.15);
+}
+
+TEST_F(EdgeCaseTest, ProtocolWithRestructuringDisabled) {
+  std::vector<PathStage> stages(5);
+  stages[0].kind = CellKind::Inv;
+  stages[1].kind = CellKind::Nor3;
+  stages[2].kind = CellKind::Inv;
+  stages[3].kind = CellKind::Nor3;
+  stages[4].kind = CellKind::Inv;
+  stages[1].off_path_ff = 60.0 * lib.cref_ff();
+  const BoundedPath p(lib, stages, 2.0 * lib.cref_ff(), 10.0 * lib.cref_ff(),
+                      Edge::Rise, dm.default_input_slew_ps());
+
+  core::FlimitTable table;
+  core::ProtocolOptions opt;
+  opt.allow_restructuring = false;
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  const core::ProtocolResult r =
+      core::optimize_path(p, dm, table, 0.9 * b.tmin_ps, opt);
+  EXPECT_NE(r.method, core::Method::Restructure);
+  EXPECT_EQ(r.gates_restructured, 0u);
+}
+
+TEST_F(EdgeCaseTest, EqualEffortOnUniformChainMatchesConstantSensitivity) {
+  // On a homogeneous inverter chain with no off-path load, the two
+  // distributions coincide to first order (equal sensitivity == equal
+  // delay when all stages are identical).
+  const BoundedPath p = path_of(std::vector<CellKind>(8, CellKind::Inv),
+                                2.0, 25.0);
+  const core::PathBounds b = core::compute_bounds(p, dm);
+  const double tc = 1.4 * b.tmin_ps;
+  const core::SizingResult cs = core::size_for_constraint(p, dm, tc);
+  const core::SizingResult ee = core::size_equal_effort(p, dm, tc);
+  ASSERT_TRUE(cs.feasible);
+  ASSERT_TRUE(ee.feasible);
+  EXPECT_NEAR(ee.area_um, cs.area_um, 0.12 * cs.area_um);
+}
+
+}  // namespace

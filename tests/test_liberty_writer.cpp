@@ -1,0 +1,116 @@
+// Tests for the Liberty export: structural well-formedness, grid
+// consistency with the delay model, and monotonicity of the tabulated
+// values.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/liberty_writer.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace pops::timing;
+using liberty::CellKind;
+using liberty::Library;
+using process::Technology;
+
+class LibertyWriterTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  DelayModel dm{lib};
+
+  static std::size_t count(const std::string& hay, const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  }
+};
+
+TEST_F(LibertyWriterTest, EmitsEveryCell) {
+  const std::string text = write_liberty_string(dm);
+  for (const liberty::Cell& cell : lib.cells())
+    EXPECT_NE(text.find("cell (" + cell.name + "_x"), std::string::npos)
+        << cell.name;
+  EXPECT_NE(text.find("library (pops_cmos025)"), std::string::npos);
+}
+
+TEST_F(LibertyWriterTest, BalancedBraces) {
+  const std::string text = write_liberty_string(dm);
+  EXPECT_EQ(count(text, "{"), count(text, "}"));
+  EXPECT_GT(count(text, "{"), 10u);
+}
+
+TEST_F(LibertyWriterTest, ArcCountsMatchFanin) {
+  LibertyWriterOptions opt;
+  const std::string text = write_liberty_string(dm, opt);
+  // Total timing groups = sum of cell fanins.
+  std::size_t arcs = 0;
+  for (const liberty::Cell& cell : lib.cells())
+    arcs += static_cast<std::size_t>(cell.fanin);
+  EXPECT_EQ(count(text, "timing () {"), arcs);
+  // Four tables (rise/fall x delay/slew) per arc.
+  EXPECT_EQ(count(text, "cell_rise"), arcs);
+  EXPECT_EQ(count(text, "fall_transition"), arcs);
+}
+
+TEST_F(LibertyWriterTest, TableValuesMatchModel) {
+  // Spot-check: the inv cell's first cell_fall entry equals the model at
+  // (first slew, first load).
+  LibertyWriterOptions opt;
+  opt.slew_grid_ps = {40.0};
+  opt.fanout_grid = {3.0};
+  const std::string text = write_liberty_string(dm, opt);
+
+  const auto& inv = lib.cell(CellKind::Inv);
+  const double wn = lib.tech().wmin_um * opt.drive_x;
+  const double cin = inv.cin_ff(lib.tech(), wn);
+  const double load = 3.0 * cin + inv.cpar_ff(lib.tech(), wn);
+  const double expect = dm.delay_ps(inv, Edge::Fall, 40.0, cin, load);
+
+  char needle[64];
+  std::snprintf(needle, sizeof needle, "%.4f", expect);
+  EXPECT_NE(text.find(needle), std::string::npos)
+      << "expected value " << needle << " not found";
+}
+
+TEST_F(LibertyWriterTest, ValuesMonotoneInLoad) {
+  // Extract nothing — recompute the same grid and assert the model rows
+  // the writer would emit increase with load for every cell/edge.
+  LibertyWriterOptions opt;
+  for (const liberty::Cell& cell : lib.cells()) {
+    const double wn = lib.tech().wmin_um * opt.drive_x;
+    const double cin = cell.cin_ff(lib.tech(), wn);
+    const double cpar = cell.cpar_ff(lib.tech(), wn);
+    for (Edge e : {Edge::Rise, Edge::Fall}) {
+      double prev = -1.0;
+      for (double f : opt.fanout_grid) {
+        const double d = dm.delay_ps(cell, e, 50.0, cin, f * cin + cpar);
+        EXPECT_GT(d, prev) << cell.name;
+        prev = d;
+      }
+    }
+  }
+}
+
+TEST_F(LibertyWriterTest, EmptyGridRejected) {
+  LibertyWriterOptions opt;
+  opt.slew_grid_ps.clear();
+  std::ostringstream out;
+  EXPECT_THROW(write_liberty(out, dm, opt), std::invalid_argument);
+}
+
+TEST_F(LibertyWriterTest, UnatenessAnnotated) {
+  const std::string text = write_liberty_string(dm);
+  EXPECT_NE(text.find("negative_unate"), std::string::npos);  // inverting
+  EXPECT_NE(text.find("non_unate"), std::string::npos);       // xor
+  EXPECT_NE(text.find("positive_unate"), std::string::npos);  // buf
+}
+
+}  // namespace

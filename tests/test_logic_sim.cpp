@@ -1,0 +1,112 @@
+// Unit tests for the zero-delay logic simulator: truth tables, functional
+// equivalence checking and switching-activity estimation.
+
+#include <gtest/gtest.h>
+
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/netlist/logic_sim.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/util/rng.hpp"
+
+namespace {
+
+using namespace pops::netlist;
+using pops::liberty::CellKind;
+using pops::liberty::Library;
+using pops::process::Technology;
+using pops::util::Rng;
+
+class LogicSimTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+};
+
+TEST_F(LogicSimTest, C17KnownVectors) {
+  const Netlist nl = make_c17(lib);
+  const LogicSimulator sim(nl);
+  // c17: 22 = NAND(10,16), 23 = NAND(16,19) with
+  // 10=NAND(1,3), 11=NAND(3,6), 16=NAND(2,11), 19=NAND(11,7).
+  // All-zero input: 10=1, 11=1, 16=1, 19=1 -> 22=0, 23=0.
+  EXPECT_EQ(sim.eval_outputs({false, false, false, false, false}),
+            (std::vector<bool>{false, false}));
+  // All-one input: 10=0, 11=0, 16=1, 19=1 -> 22=1, 23=0.
+  EXPECT_EQ(sim.eval_outputs({true, true, true, true, true}),
+            (std::vector<bool>{true, false}));
+}
+
+TEST_F(LogicSimTest, PiCountMismatchThrows) {
+  const Netlist nl = make_c17(lib);
+  const LogicSimulator sim(nl);
+  EXPECT_THROW(sim.eval_all({true}), std::invalid_argument);
+}
+
+TEST_F(LogicSimTest, EquivalentToItself) {
+  const Netlist a = make_c17(lib);
+  const Netlist b = make_c17(lib);
+  Rng rng(1);
+  EXPECT_TRUE(equivalent(a, b, rng));
+}
+
+TEST_F(LogicSimTest, DetectsFunctionalChange) {
+  const Netlist a = make_c17(lib);
+  Netlist b = make_c17(lib);
+  // Tamper: swap a NAND for a NOR.
+  const NodeId g = b.find("22");
+  ASSERT_NE(g, kNoNode);
+  b.replace_cell(g, CellKind::Nor2);
+  Rng rng(1);
+  EXPECT_FALSE(equivalent(a, b, rng));
+}
+
+TEST_F(LogicSimTest, EquivalenceIsSizeBlind) {
+  const Netlist a = make_c17(lib);
+  Netlist b = make_c17(lib);
+  for (NodeId g : b.gates()) b.set_drive(g, 5.0);
+  Rng rng(2);
+  EXPECT_TRUE(equivalent(a, b, rng));
+}
+
+TEST_F(LogicSimTest, MismatchedInterfaceThrows) {
+  const Netlist a = make_c17(lib);
+  Netlist b(lib);
+  b.add_input("1");
+  const NodeId g = b.add_gate(CellKind::Inv, "22", {b.find("1")});
+  b.mark_output(g, 1.0);
+  Rng rng(3);
+  EXPECT_THROW(equivalent(a, b, rng), std::invalid_argument);
+}
+
+TEST_F(LogicSimTest, ActivityBounds) {
+  const Netlist nl = make_c17(lib);
+  Rng rng(4);
+  const ActivityReport rep = estimate_activity(nl, rng, 2000);
+  ASSERT_EQ(rep.toggle_rate.size(), nl.size());
+  for (double r : rep.toggle_rate) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  // PIs toggle at ~1/2 under uniform random vectors.
+  for (NodeId pi : nl.inputs())
+    EXPECT_NEAR(rep.toggle_rate[static_cast<std::size_t>(pi)], 0.5, 0.08);
+  EXPECT_GT(rep.switched_cap_ff_per_vec, 0.0);
+}
+
+TEST_F(LogicSimTest, ActivityNeedsTwoVectors) {
+  const Netlist nl = make_c17(lib);
+  Rng rng(5);
+  EXPECT_THROW(estimate_activity(nl, rng, 1), std::invalid_argument);
+}
+
+TEST_F(LogicSimTest, InverterChainParity) {
+  // A chain of N inverters computes parity of N: output = in XOR (N odd).
+  for (int n : {1, 2, 5, 8}) {
+    std::vector<CellKind> kinds(static_cast<std::size_t>(n), CellKind::Inv);
+    const Netlist nl = make_chain(lib, kinds, 5.0, "chain" + std::to_string(n));
+    const LogicSimulator sim(nl);
+    const bool out_for_true = sim.eval_outputs({true}).front();
+    EXPECT_EQ(out_for_true, n % 2 == 0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Tests for the area/power reporting module: the paper's ΣW proxy plus the
+// first-order dynamic/leakage estimate built on simulated activities.
+
+#include <gtest/gtest.h>
+
+#include "pops/core/power.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/util/rng.hpp"
+
+namespace {
+
+using namespace pops;
+using liberty::CellKind;
+using liberty::Library;
+using netlist::Netlist;
+using netlist::NodeId;
+using process::Technology;
+using util::Rng;
+
+class PowerTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+};
+
+TEST_F(PowerTest, ReportFieldsPositive) {
+  const Netlist nl = netlist::make_c17(lib);
+  Rng rng(1);
+  const core::PowerReport rep = core::estimate_power(nl, rng);
+  EXPECT_GT(rep.area_um, 0.0);
+  EXPECT_GT(rep.switched_cap_ff, 0.0);
+  EXPECT_GT(rep.dynamic_uw, 0.0);
+  EXPECT_GT(rep.leakage_uw, 0.0);
+  EXPECT_NEAR(rep.total_uw, rep.dynamic_uw + rep.leakage_uw, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.frequency_mhz, 100.0);
+}
+
+TEST_F(PowerTest, DynamicPowerScalesWithFrequency) {
+  const Netlist nl = netlist::make_c17(lib);
+  Rng rng1(2), rng2(2);
+  const auto at100 = core::estimate_power(nl, rng1, 100.0);
+  const auto at200 = core::estimate_power(nl, rng2, 200.0);
+  EXPECT_NEAR(at200.dynamic_uw, 2.0 * at100.dynamic_uw,
+              1e-9 * at200.dynamic_uw);
+  // Leakage does not depend on frequency.
+  EXPECT_NEAR(at200.leakage_uw, at100.leakage_uw, 1e-12);
+}
+
+TEST_F(PowerTest, UpsizingIncreasesPowerAndArea) {
+  Netlist small = netlist::make_c17(lib);
+  Netlist big = netlist::make_c17(lib);
+  for (NodeId g : big.gates()) big.set_drive(g, 4.0 * lib.wmin_um());
+  Rng rng1(3), rng2(3);
+  const auto p_small = core::estimate_power(small, rng1);
+  const auto p_big = core::estimate_power(big, rng2);
+  EXPECT_GT(p_big.area_um, p_small.area_um);
+  EXPECT_GT(p_big.dynamic_uw, p_small.dynamic_uw);
+  EXPECT_GT(p_big.leakage_uw, p_small.leakage_uw);
+}
+
+TEST_F(PowerTest, AreaMatchesNetlistTotalWidth) {
+  const Netlist nl = netlist::make_benchmark(lib, "fpd");
+  Rng rng(4);
+  const auto rep = core::estimate_power(nl, rng, 50.0, 128);
+  EXPECT_NEAR(rep.area_um, nl.total_width_um(), 1e-9);
+}
+
+TEST_F(PowerTest, InvalidFrequencyThrows) {
+  const Netlist nl = netlist::make_c17(lib);
+  Rng rng(5);
+  EXPECT_THROW(core::estimate_power(nl, rng, 0.0), std::invalid_argument);
+}
+
+TEST_F(PowerTest, PathAreaHelperAgrees) {
+  using namespace pops::timing;
+  std::vector<PathStage> stages(3);
+  for (auto& s : stages) s.kind = CellKind::Inv;
+  const DelayModel dm(lib);
+  const BoundedPath p(lib, stages, 2.0 * lib.cref_ff(), 8.0 * lib.cref_ff(),
+                      Edge::Rise, dm.default_input_slew_ps());
+  EXPECT_DOUBLE_EQ(core::path_area_um(p), p.area_um());
+}
+
+TEST_F(PowerTest, DeterministicUnderSeed) {
+  const Netlist nl = netlist::make_benchmark(lib, "fpd");
+  Rng a(7), b(7);
+  const auto ra = core::estimate_power(nl, a);
+  const auto rb = core::estimate_power(nl, b);
+  EXPECT_DOUBLE_EQ(ra.dynamic_uw, rb.dynamic_uw);
+}
+
+}  // namespace

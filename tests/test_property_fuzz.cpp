@@ -1,0 +1,212 @@
+// Cross-module property tests: randomised paths and circuits pushed
+// through the full pipeline, with the paper's invariants asserted at each
+// stage. Deterministic seeds — failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include "pops/core/protocol.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/bench_io.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/netlist/logic_sim.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/spice/transient.hpp"
+#include "pops/timing/sta.hpp"
+#include "pops/util/rng.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace pops::timing;
+using liberty::CellKind;
+using liberty::Library;
+using process::Technology;
+using util::Rng;
+
+// ---------- randomised bounded paths through the sizing pipeline -------------
+
+class RandomPathTest : public ::testing::TestWithParam<int> {};
+
+BoundedPath random_path(const Library& lib, const DelayModel& dm, Rng& rng) {
+  const int n = static_cast<int>(rng.uniform_int(3, 24));
+  const CellKind pool[] = {CellKind::Inv,   CellKind::Nand2, CellKind::Nand3,
+                           CellKind::Nor2,  CellKind::Nor3,  CellKind::Nand4,
+                           CellKind::Nor4};
+  std::vector<PathStage> stages(static_cast<std::size_t>(n));
+  for (auto& st : stages) {
+    st.kind = pool[rng.uniform_int(0, 6)];
+    if (rng.bernoulli(0.3))
+      st.off_path_ff = rng.uniform(1.0, 40.0) * lib.cref_ff();
+  }
+  return BoundedPath(lib, stages, rng.uniform(1.0, 4.0) * lib.cref_ff(),
+                     rng.uniform(4.0, 40.0) * lib.cref_ff(),
+                     rng.bernoulli(0.5) ? Edge::Rise : Edge::Fall,
+                     dm.default_input_slew_ps());
+}
+
+TEST_P(RandomPathTest, PipelineInvariantsHold) {
+  const Library lib(Technology::cmos025());
+  const DelayModel dm(lib);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  const BoundedPath path = random_path(lib, dm, rng);
+
+  // 1. Bounds sane.
+  const core::PathBounds bounds = core::compute_bounds(path, dm);
+  ASSERT_GT(bounds.tmin_ps, 0.0);
+  ASSERT_LE(bounds.tmin_ps, bounds.tmax_ps * (1.0 + 1e-9));
+
+  // 2. Constraint met anywhere in the feasible band, at monotone area.
+  const double r1 = rng.uniform(1.05, 1.6);
+  const double r2 = r1 + rng.uniform(0.2, 1.0);
+  const core::SizingResult tight =
+      core::size_for_constraint(path, dm, r1 * bounds.tmin_ps);
+  const core::SizingResult loose =
+      core::size_for_constraint(path, dm, r2 * bounds.tmin_ps);
+  EXPECT_TRUE(tight.feasible);
+  EXPECT_TRUE(loose.feasible);
+  EXPECT_LE(tight.delay_ps, r1 * bounds.tmin_ps * 1.001);
+  EXPECT_LE(loose.area_um, tight.area_um * (1.0 + 1e-9));
+
+  // 3. The protocol never does worse than pure sizing.
+  core::FlimitTable table;
+  const core::ProtocolResult pr =
+      core::optimize_path(path, dm, table, r1 * bounds.tmin_ps);
+  EXPECT_TRUE(pr.sizing.feasible);
+  EXPECT_LE(pr.total_area_um(), tight.area_um * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPathTest, ::testing::Range(0, 24));
+
+// ---------- randomised synthetic circuits -------------------------------------
+
+class RandomCircuitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuitTest, GenerateAnalyzeRoundTrip) {
+  const Library lib(Technology::cmos025());
+  const DelayModel dm(lib);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+
+  netlist::BenchmarkSpec spec;
+  spec.name = "fuzz" + std::to_string(GetParam());
+  spec.n_pi = static_cast<int>(rng.uniform_int(4, 40));
+  spec.n_po = static_cast<int>(rng.uniform_int(2, 12));
+  spec.path_depth = static_cast<int>(rng.uniform_int(4, 30));
+  spec.n_gates = spec.path_depth + static_cast<int>(rng.uniform_int(20, 300));
+  spec.seed = rng();
+
+  const netlist::Netlist nl = netlist::make_synthetic(lib, spec);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.stats().depth, static_cast<std::size_t>(spec.path_depth));
+
+  // STA runs; critical path extractable and consistent.
+  const Sta sta(nl, dm);
+  const StaResult res = sta.run();
+  const TimedPath tp = sta.critical_path(res);
+  ASSERT_GE(tp.points.size(), 2u);
+  EXPECT_NEAR(tp.delay_ps, res.critical_delay_ps, 1e-9);
+
+  // .bench round trip preserves the function.
+  const netlist::Netlist reread =
+      netlist::read_bench_string(netlist::write_bench_string(nl), lib);
+  Rng eq_rng(3);
+  EXPECT_TRUE(netlist::equivalent(nl, reread, eq_rng, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitTest, ::testing::Range(0, 10));
+
+// ---------- protocol across the full benchmark suite ---------------------------
+
+class ProtocolSuiteTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProtocolSuiteTest, MediumConstraintMetAtOrBelowSizingArea) {
+  const Library lib(Technology::cmos025());
+  const DelayModel dm(lib);
+  netlist::Netlist nl = netlist::make_benchmark(lib, GetParam());
+  const Sta sta(nl, dm);
+  const TimedPath tp = sta.critical_path(sta.run());
+  const BoundedPath path =
+      BoundedPath::extract(nl, tp, dm.default_input_slew_ps());
+
+  const core::PathBounds bounds = core::compute_bounds(path, dm);
+  const double tc = 1.3 * bounds.tmin_ps;
+
+  core::FlimitTable table;
+  const core::ProtocolResult pr = core::optimize_path(path, dm, table, tc);
+  const core::SizingResult plain = core::size_for_constraint(path, dm, tc);
+
+  EXPECT_TRUE(pr.sizing.feasible) << GetParam();
+  EXPECT_LE(pr.sizing.delay_ps, tc * 1.001) << GetParam();
+  if (plain.feasible) {
+    EXPECT_LE(pr.total_area_um(), plain.area_um * 1.001) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProtocolSuiteTest,
+                         ::testing::Values("Adder16", "fpd", "c432", "c499",
+                                           "c880", "c1355", "c1908", "c3540",
+                                           "c5315", "c7552"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---------- transient solver physics ------------------------------------------
+
+TEST(TransientPhysics, CapacitiveDividerMatchesAnalytic) {
+  // A driven ramp couples through Cc onto a floating node with Cg to
+  // ground: the node must settle at dV * Cc / (Cc + Cg).
+  const Technology tech = Technology::cmos025();
+  spice::Circuit ckt(tech);
+  spice::Pwl ramp;
+  ramp.points = {{0.0, 0.0}, {10.0, 0.0}, {60.0, 2.5}};
+  const auto in = ckt.add_driven_node("in", ramp);
+  const auto node = ckt.add_node("float", /*cap_ff=*/30.0);  // Cg
+  ckt.add_cap(in, 10.0, node);                               // Cc
+
+  const spice::TransientResult res = spice::simulate(ckt, 200.0);
+  const double v_end = res.voltage(node).back();
+  EXPECT_NEAR(v_end, 2.5 * 10.0 / 40.0, 0.01);
+}
+
+TEST(TransientPhysics, InverterDischargeConservesMonotonicity) {
+  // A single NMOS discharging a capacitor: the voltage must fall
+  // monotonically to ground, never below.
+  const Technology tech = Technology::cmos025();
+  spice::Circuit ckt(tech);
+  const auto out = ckt.add_node("out", 50.0);
+  ckt.add_device(false, 2.0, ckt.vdd(), out, ckt.gnd());  // gate tied high
+  std::vector<bool> init(ckt.node_count(), false);
+  init[static_cast<std::size_t>(out)] = true;  // start charged
+
+  const spice::TransientResult res = spice::simulate(ckt, 500.0, init);
+  const auto& v = res.voltage(out);
+  EXPECT_NEAR(v.front(), tech.vdd, 1e-6);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LE(v[i], v[i - 1] + 1e-9);
+    EXPECT_GE(v[i], -0.05);
+  }
+  EXPECT_LT(v.back(), 0.1);
+}
+
+TEST(TransientPhysics, ChargeInjectionThroughMiller) {
+  // The Miller cap couples the input edge onto the output: during a fast
+  // input rise the output of an inverter overshoots *upward* briefly
+  // before the NMOS pulls it down — the bump eq. (1) models with CM.
+  const Technology tech = Technology::cmos025();
+  const Library lib(tech);
+  spice::Circuit ckt(tech);
+  spice::Pwl ramp;
+  ramp.points = {{0.0, 0.0}, {20.0, 0.0}, {30.0, 2.5}};  // fast edge
+  const auto in = ckt.add_driven_node("in", ramp);
+  const auto out = ckt.expand_gate(lib.cell(CellKind::Inv), 1.0, in, "g");
+  ckt.add_cap(out, 5.0);
+  std::vector<bool> init(ckt.node_count(), false);
+  init[static_cast<std::size_t>(out)] = true;
+
+  const spice::TransientResult res = spice::simulate(ckt, 300.0, init);
+  double vmax = 0.0;
+  for (double v : res.voltage(out)) vmax = std::max(vmax, v);
+  EXPECT_GT(vmax, tech.vdd + 0.01);  // the Miller bump
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Tests for the Fig. 7 optimization protocol: constraint-domain
+// classification, method dispatch, and the circuit-level driver.
+
+#include <gtest/gtest.h>
+
+#include "pops/core/protocol.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/sta.hpp"
+
+namespace {
+
+using namespace pops::core;
+using namespace pops::timing;
+using pops::liberty::CellKind;
+using pops::liberty::Library;
+using pops::process::Technology;
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  DelayModel dm{lib};
+  FlimitTable table;
+
+  BoundedPath make_path(double off_x = 40.0) const {
+    std::vector<PathStage> stages(9);
+    const CellKind mix[] = {CellKind::Inv, CellKind::Nand2, CellKind::Nor2,
+                            CellKind::Inv};
+    for (std::size_t i = 0; i < stages.size(); ++i)
+      stages[i].kind = mix[i % 4];
+    stages[4].off_path_ff = off_x * lib.cref_ff();
+    return BoundedPath(lib, stages, 2.0 * lib.cref_ff(),
+                       20.0 * lib.cref_ff(), Edge::Rise,
+                       dm.default_input_slew_ps());
+  }
+};
+
+TEST_F(ProtocolTest, ClassificationThresholds) {
+  const double tmin = 100.0;
+  EXPECT_EQ(classify_constraint(90.0, tmin), ConstraintDomain::Infeasible);
+  EXPECT_EQ(classify_constraint(110.0, tmin), ConstraintDomain::Hard);
+  EXPECT_EQ(classify_constraint(119.9, tmin), ConstraintDomain::Hard);
+  EXPECT_EQ(classify_constraint(121.0, tmin), ConstraintDomain::Medium);
+  EXPECT_EQ(classify_constraint(249.0, tmin), ConstraintDomain::Medium);
+  EXPECT_EQ(classify_constraint(251.0, tmin), ConstraintDomain::Weak);
+}
+
+TEST_F(ProtocolTest, CustomThresholds) {
+  ProtocolOptions opt;
+  opt.hard_ratio = 1.5;
+  opt.weak_ratio = 3.0;
+  EXPECT_EQ(classify_constraint(140.0, 100.0, opt), ConstraintDomain::Hard);
+  EXPECT_EQ(classify_constraint(280.0, 100.0, opt), ConstraintDomain::Medium);
+  EXPECT_EQ(classify_constraint(310.0, 100.0, opt), ConstraintDomain::Weak);
+}
+
+TEST_F(ProtocolTest, ToStringCoverage) {
+  EXPECT_STREQ(to_string(ConstraintDomain::Weak), "weak");
+  EXPECT_STREQ(to_string(ConstraintDomain::Infeasible), "infeasible");
+  EXPECT_STREQ(to_string(Method::Sizing), "sizing");
+  EXPECT_STREQ(to_string(Method::Restructure), "restructure+sizing");
+}
+
+TEST_F(ProtocolTest, WeakConstraintUsesSizing) {
+  const BoundedPath p = make_path();
+  const PathBounds b = compute_bounds(p, dm);
+  const ProtocolResult r = optimize_path(p, dm, table, 3.0 * b.tmin_ps);
+  EXPECT_EQ(r.domain, ConstraintDomain::Weak);
+  EXPECT_EQ(r.method, Method::Sizing);
+  EXPECT_TRUE(r.sizing.feasible);
+  EXPECT_LE(r.sizing.delay_ps, 3.0 * b.tmin_ps * 1.001);
+}
+
+TEST_F(ProtocolTest, EveryFeasibleDomainMeetsTc) {
+  const BoundedPath p = make_path();
+  const PathBounds b = compute_bounds(p, dm);
+  for (double ratio : {1.05, 1.15, 1.5, 2.0, 2.8}) {
+    const double tc = ratio * b.tmin_ps;
+    const ProtocolResult r = optimize_path(p, dm, table, tc);
+    EXPECT_TRUE(r.sizing.feasible) << "ratio " << ratio;
+    EXPECT_LE(r.sizing.delay_ps, tc * 1.001) << "ratio " << ratio;
+  }
+}
+
+TEST_F(ProtocolTest, ProtocolNeverWorseThanPureSizing) {
+  // The selection step must return an implementation at most as large as
+  // the sizing-only one whenever both meet Tc.
+  const BoundedPath p = make_path(60.0);
+  const PathBounds b = compute_bounds(p, dm);
+  for (double ratio : {1.1, 1.5, 2.0}) {
+    const double tc = ratio * b.tmin_ps;
+    const ProtocolResult r = optimize_path(p, dm, table, tc);
+    const SizingResult plain = size_for_constraint(p, dm, tc);
+    if (plain.feasible && r.sizing.feasible) {
+      EXPECT_LE(r.total_area_um(), plain.area_um * 1.001) << ratio;
+    }
+  }
+}
+
+TEST_F(ProtocolTest, InfeasibleTriggersStructureModification) {
+  const BoundedPath p = make_path(80.0);
+  const PathBounds b = compute_bounds(p, dm);
+  const ProtocolResult r = optimize_path(p, dm, table, 0.93 * b.tmin_ps);
+  EXPECT_EQ(r.domain, ConstraintDomain::Infeasible);
+  EXPECT_NE(r.method, Method::Sizing);
+  // Structure modification pushed the delay below the sizing-only Tmin.
+  EXPECT_LT(r.sizing.delay_ps, b.tmin_ps);
+}
+
+TEST_F(ProtocolTest, HopelessConstraintReportsInfeasible) {
+  const BoundedPath p = make_path();
+  const PathBounds b = compute_bounds(p, dm);
+  const ProtocolResult r = optimize_path(p, dm, table, 0.05 * b.tmin_ps);
+  EXPECT_EQ(r.domain, ConstraintDomain::Infeasible);
+  EXPECT_FALSE(r.sizing.feasible);
+}
+
+TEST_F(ProtocolTest, InvalidTcThrows) {
+  EXPECT_THROW(optimize_path(make_path(), dm, table, -1.0),
+               std::invalid_argument);
+}
+
+TEST_F(ProtocolTest, ForcedMethodsAllRun) {
+  const BoundedPath p = make_path(50.0);
+  const PathBounds b = compute_bounds(p, dm);
+  const double tc = 1.3 * b.tmin_ps;
+  for (Method m : {Method::Sizing, Method::LocalBufferSizing,
+                   Method::GlobalBufferSizing, Method::Restructure}) {
+    const SizingResult r = optimize_with_method(p, dm, table, tc, m);
+    EXPECT_GT(r.area_um, 0.0) << to_string(m);
+    EXPECT_GT(r.delay_ps, 0.0) << to_string(m);
+  }
+}
+
+TEST_F(ProtocolTest, BoundsReportedInResult) {
+  const BoundedPath p = make_path();
+  const PathBounds b = compute_bounds(p, dm);
+  const ProtocolResult r = optimize_path(p, dm, table, 2.0 * b.tmin_ps);
+  EXPECT_NEAR(r.tmin_ps, b.tmin_ps, 1e-6 * b.tmin_ps);
+  EXPECT_NEAR(r.tmax_ps, b.tmax_ps, 1e-6 * b.tmax_ps);
+}
+
+// ---- circuit level -----------------------------------------------------------
+
+TEST_F(ProtocolTest, CircuitOptimizationMeetsRelaxedConstraint) {
+  using namespace pops::netlist;
+  Netlist nl = make_benchmark(lib, "c432");
+  const Sta sta(nl, dm);
+  const double initial = sta.run().critical_delay_ps;
+
+  FlimitTable t;
+  CircuitOptions opt;
+  const double tc = 0.8 * initial;
+  const CircuitResult r = optimize_circuit(nl, dm, t, tc, opt);
+  EXPECT_TRUE(r.met) << "achieved " << r.achieved_delay_ps << " vs " << tc;
+  EXPECT_LE(r.achieved_delay_ps, tc * 1.001);
+  EXPECT_GE(r.paths_optimized, 1u);
+  EXPECT_GT(r.area_um, 0.0);
+}
+
+TEST_F(ProtocolTest, CircuitOptimizationImprovesDelayMonotonically) {
+  using namespace pops::netlist;
+  Netlist nl = make_benchmark(lib, "c880");
+  const Sta sta(nl, dm);
+  const double initial = sta.run().critical_delay_ps;
+
+  FlimitTable t;
+  const CircuitResult r = optimize_circuit(nl, dm, t, 0.7 * initial, {});
+  EXPECT_LT(r.achieved_delay_ps, initial);
+}
+
+TEST_F(ProtocolTest, AlreadyMetConstraintIsNoOp) {
+  using namespace pops::netlist;
+  Netlist nl = make_benchmark(lib, "c17");
+  const Sta sta(nl, dm);
+  const double initial = sta.run().critical_delay_ps;
+  const double area_before = nl.total_width_um();
+
+  FlimitTable t;
+  const CircuitResult r = optimize_circuit(nl, dm, t, 2.0 * initial, {});
+  EXPECT_TRUE(r.met);
+  EXPECT_EQ(r.paths_optimized, 0u);
+  EXPECT_NEAR(nl.total_width_um(), area_before, 1e-9);
+}
+
+}  // namespace

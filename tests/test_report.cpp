@@ -1,0 +1,84 @@
+// Tests for the textual timing reports.
+
+#include <gtest/gtest.h>
+
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/report.hpp"
+#include "pops/util/table.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace pops::timing;
+using liberty::Library;
+using process::Technology;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  DelayModel dm{lib};
+};
+
+TEST_F(ReportTest, PathReportShowsStages) {
+  const netlist::Netlist nl = netlist::make_c17(lib);
+  const Sta sta(nl, dm);
+  const StaResult res = sta.run();
+  ReportOptions opt;
+  opt.max_paths = 2;
+  const std::string text = report_paths(nl, sta, res, opt);
+  EXPECT_NE(text.find("Path #1"), std::string::npos);
+  EXPECT_NE(text.find("Path #2"), std::string::npos);
+  EXPECT_NE(text.find("nand2"), std::string::npos);
+  EXPECT_NE(text.find("(input)"), std::string::npos);
+  // Critical path delay appears.
+  EXPECT_NE(text.find(util::fmt(res.critical_delay_ps, 1)),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, EndpointReportSortsWorstFirst) {
+  const netlist::Netlist nl = netlist::make_benchmark(lib, "fpd");
+  const Sta sta(nl, dm);
+  const StaResult res = sta.run();
+  ReportOptions opt;
+  opt.tc_ps = res.critical_delay_ps;  // exact: worst endpoint has 0 slack
+  const std::string text = report_endpoints(nl, sta, res, opt);
+  // First data row carries the worst slack: 0.0 at the critical endpoint.
+  const std::size_t first_row = text.find("| ", text.find("status"));
+  ASSERT_NE(first_row, std::string::npos);
+  EXPECT_NE(text.find("0.0"), std::string::npos);
+  EXPECT_EQ(text.find("VIOLATED"), std::string::npos);  // met exactly
+}
+
+TEST_F(ReportTest, ViolationsFlagged) {
+  const netlist::Netlist nl = netlist::make_c17(lib);
+  const Sta sta(nl, dm);
+  const StaResult res = sta.run();
+  ReportOptions opt;
+  opt.tc_ps = 0.5 * res.critical_delay_ps;
+  const std::string text = report_endpoints(nl, sta, res, opt);
+  EXPECT_NE(text.find("VIOLATED"), std::string::npos);
+}
+
+TEST_F(ReportTest, HistogramCountsAllEndpoints) {
+  const netlist::Netlist nl = netlist::make_benchmark(lib, "c499");
+  const Sta sta(nl, dm);
+  const StaResult res = sta.run();
+  const std::string text = report_slack_histogram(nl, sta, res);
+  const std::size_t n_po = nl.outputs().size();
+  EXPECT_NE(text.find(std::to_string(n_po) + " endpoints"),
+            std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST_F(ReportTest, DefaultTcIsCriticalDelay) {
+  const netlist::Netlist nl = netlist::make_c17(lib);
+  const Sta sta(nl, dm);
+  const StaResult res = sta.run();
+  const std::string text = report_endpoints(nl, sta, res);
+  EXPECT_NE(text.find(util::fmt(res.critical_delay_ps, 1)),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,23 @@
+// Build-system smoke test: every library links and the basic objects
+// construct.
+
+#include <gtest/gtest.h>
+
+#include "pops/core/protocol.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/delay_model.hpp"
+
+TEST(Smoke, LibraryConstructs) {
+  const pops::liberty::Library lib(pops::process::Technology::cmos025());
+  EXPECT_GT(lib.cref_ff(), 0.0);
+  EXPECT_EQ(lib.cells().size(), pops::liberty::kCellKindCount);
+}
+
+TEST(Smoke, C17Loads) {
+  const pops::liberty::Library lib(pops::process::Technology::cmos025());
+  const auto nl = pops::netlist::make_c17(lib);
+  EXPECT_EQ(nl.stats().n_gates, 6u);
+  EXPECT_EQ(nl.stats().n_inputs, 5u);
+}

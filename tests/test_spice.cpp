@@ -1,0 +1,200 @@
+// Tests for the transistor-level transient simulator (the HSPICE
+// substitute): device model sanity, waveform physics, and agreement of
+// the closed-form delay model with "simulation" — the validation loop the
+// paper runs for eq. (1-3) and Table 2.
+
+#include <gtest/gtest.h>
+
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/spice/measure.hpp"
+#include "pops/spice/mosfet.hpp"
+#include "pops/timing/delay_model.hpp"
+
+namespace {
+
+using namespace pops::spice;
+using pops::liberty::CellKind;
+using pops::liberty::Library;
+using pops::process::Technology;
+
+class SpiceTest : public ::testing::Test {
+ protected:
+  Technology tech = Technology::cmos025();
+  Library lib{tech};
+};
+
+TEST_F(SpiceTest, MosfetRegions) {
+  const AlphaPowerParams n = nmos_params(tech);
+  // Cutoff below threshold.
+  EXPECT_DOUBLE_EQ(drain_current_ma(n, 1.0, 0.3, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(drain_current_ma(n, 1.0, 1.0, 0.0), 0.0);
+  // Calibration: Idsat at full gate drive equals the technology value.
+  EXPECT_NEAR(drain_current_ma(n, 1.0, tech.vdd, tech.vdd),
+              tech.idsat_n_ma_um, 1e-9);
+  // Linear region below Vd0 carries less current than saturation.
+  EXPECT_LT(drain_current_ma(n, 1.0, tech.vdd, 0.05),
+            drain_current_ma(n, 1.0, tech.vdd, tech.vdd));
+  // Monotone in Vgs and width.
+  EXPECT_LT(drain_current_ma(n, 1.0, 1.2, 2.0),
+            drain_current_ma(n, 1.0, 1.8, 2.0));
+  EXPECT_NEAR(drain_current_ma(n, 3.0, tech.vdd, tech.vdd),
+              3.0 * tech.idsat_n_ma_um, 1e-9);
+  EXPECT_THROW(drain_current_ma(n, 0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST_F(SpiceTest, PmosWeakerThanNmos) {
+  const AlphaPowerParams n = nmos_params(tech);
+  const AlphaPowerParams p = pmos_params(tech);
+  EXPECT_GT(drain_current_ma(n, 1.0, tech.vdd, tech.vdd),
+            2.0 * drain_current_ma(p, 1.0, tech.vdd, tech.vdd) / 1.2);
+}
+
+TEST_F(SpiceTest, PwlInterpolation) {
+  Pwl pwl;
+  pwl.points = {{0.0, 0.0}, {10.0, 2.5}};
+  EXPECT_DOUBLE_EQ(pwl.at(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(pwl.at(5.0), 1.25);
+  EXPECT_DOUBLE_EQ(pwl.at(50.0), 2.5);
+  EXPECT_NEAR(pwl.slope_at(5.0), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(pwl.slope_at(50.0), 0.0);
+}
+
+TEST_F(SpiceTest, InverterSwitchesFullRail) {
+  ChainSpec spec;
+  spec.kinds = {CellKind::Inv};
+  spec.wn_um = {2.0};
+  spec.terminal_load_ff = 20.0;
+  spec.input_ramp_ps = 50.0;
+  const ChainMeasurement m = measure_chain(lib, spec);
+  EXPECT_GT(m.path_delay_ps, 5.0);
+  EXPECT_LT(m.path_delay_ps, 500.0);
+  EXPECT_GT(m.stage_transition_ps[0], 5.0);
+}
+
+TEST_F(SpiceTest, DelayMonotoneInLoad) {
+  double prev = 0.0;
+  for (double load : {10.0, 30.0, 90.0}) {
+    ChainSpec spec;
+    spec.kinds = {CellKind::Inv};
+    spec.wn_um = {2.0};
+    spec.terminal_load_ff = load;
+    const ChainMeasurement m = measure_chain(lib, spec);
+    EXPECT_GT(m.path_delay_ps, prev) << load;
+    prev = m.path_delay_ps;
+  }
+}
+
+TEST_F(SpiceTest, DelayShrinksWithDrive) {
+  auto delay_at = [&](double wn) {
+    ChainSpec spec;
+    spec.kinds = {CellKind::Inv};
+    spec.wn_um = {wn};
+    spec.terminal_load_ff = 60.0;
+    return measure_chain(lib, spec).path_delay_ps;
+  };
+  EXPECT_GT(delay_at(1.0), delay_at(4.0));
+}
+
+TEST_F(SpiceTest, NorSlowerThanNandAtEqualDrive) {
+  auto delay_of = [&](CellKind k) {
+    ChainSpec spec;
+    spec.kinds = {CellKind::Inv, k, CellKind::Inv};
+    spec.wn_um = {2.0, 2.0, 2.0};
+    spec.terminal_load_ff = 30.0;
+    return measure_chain(lib, spec).path_delay_ps;
+  };
+  // Worst-case single-input switching: the serial PMOS of the NOR is the
+  // weakest structure in the library.
+  EXPECT_GT(delay_of(CellKind::Nor3), delay_of(CellKind::Nand3));
+}
+
+TEST_F(SpiceTest, BothInputPolaritiesMeasurable) {
+  for (bool rising : {true, false}) {
+    ChainSpec spec;
+    spec.kinds = {CellKind::Inv, CellKind::Nand2};
+    spec.wn_um = {2.0, 2.0};
+    spec.terminal_load_ff = 25.0;
+    spec.input_rising = rising;
+    const ChainMeasurement m = measure_chain(lib, spec);
+    EXPECT_GT(m.path_delay_ps, 0.0) << rising;
+  }
+}
+
+TEST_F(SpiceTest, BadSpecThrows) {
+  ChainSpec spec;  // empty
+  EXPECT_THROW(measure_chain(lib, spec), std::invalid_argument);
+  spec.kinds = {CellKind::Inv};
+  spec.wn_um = {1.0, 2.0};  // arity mismatch
+  EXPECT_THROW(measure_chain(lib, spec), std::invalid_argument);
+}
+
+// The paper's validation claim: the closed-form model (eq. 1-3) tracks
+// SPICE. We require the model's FO4-style delays to agree with the
+// transient simulator within a calibration band, and — more importantly —
+// to track the *trend* across loads.
+class ModelVsSpiceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModelVsSpiceTest, InverterDelayTracksSimulation) {
+  const Technology tech = Technology::cmos025();
+  const Library lib(tech);
+  const pops::timing::DelayModel dm(lib);
+  const auto& inv = lib.cell(CellKind::Inv);
+  const double wn = 2.0;
+  const double cin = inv.cin_ff(tech, wn);
+  const double load = GetParam() * cin;
+
+  // Transient measurement: inv driven by an inv (realistic slope), loaded
+  // by `load`.
+  ChainSpec spec;
+  spec.kinds = {CellKind::Inv, CellKind::Inv};
+  spec.wn_um = {wn, wn};
+  spec.extra_load_ff = {0.0, load};
+  spec.terminal_load_ff = 0.0;
+  const ChainMeasurement m = measure_chain(lib, spec);
+  const double sim = m.stage_delay_ps[1];
+
+  // Model: the same configuration, both edges averaged (the sim chain
+  // exercises one polarity per stage; average is the fair comparison for
+  // a symmetric-ish inverter).
+  const double slew_in = m.stage_transition_ps[0];
+  double model = 0.0;
+  for (auto e : {pops::timing::Edge::Rise, pops::timing::Edge::Fall})
+    model += 0.5 * dm.delay_ps(inv, e, slew_in, cin,
+                               load + inv.cpar_ff(tech, wn));
+  // Within 40% across a decade of loads: the closed-form model is a
+  // first-order abstraction, and this band is what makes Table 2's
+  // "Calcul. vs Simulation" agreement meaningful.
+  EXPECT_NEAR(model, sim, 0.40 * sim) << "fanout " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, ModelVsSpiceTest,
+                         ::testing::Values(2.0, 4.0, 8.0, 16.0));
+
+TEST_F(SpiceTest, ModelTracksLoadTrend) {
+  // Correlation check: delays at increasing load must increase in both
+  // worlds with similar ratios.
+  const pops::timing::DelayModel dm(lib);
+  const auto& inv = lib.cell(CellKind::Inv);
+  const double wn = 2.0;
+  const double cin = inv.cin_ff(tech, wn);
+
+  std::vector<double> sim, model;
+  for (double f : {3.0, 12.0}) {
+    ChainSpec spec;
+    spec.kinds = {CellKind::Inv, CellKind::Inv};
+    spec.wn_um = {wn, wn};
+    spec.extra_load_ff = {0.0, f * cin};
+    const ChainMeasurement m = measure_chain(lib, spec);
+    sim.push_back(m.stage_delay_ps[1]);
+    model.push_back(dm.delay_ps(inv, pops::timing::Edge::Fall,
+                                m.stage_transition_ps[0], cin,
+                                f * cin + inv.cpar_ff(tech, wn)));
+  }
+  const double sim_ratio = sim[1] / sim[0];
+  const double model_ratio = model[1] / model[0];
+  EXPECT_NEAR(model_ratio, sim_ratio, 0.5 * sim_ratio);
+  EXPECT_GT(sim_ratio, 1.5);
+}
+
+}  // namespace

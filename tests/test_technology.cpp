@@ -1,0 +1,70 @@
+// Unit tests for pops::process::Technology — parameter sanity of the
+// generic nodes and the validation contract.
+
+#include <gtest/gtest.h>
+
+#include "pops/process/technology.hpp"
+
+namespace {
+
+using pops::process::Technology;
+
+TEST(Technology, AllNodesValidate) {
+  EXPECT_NO_THROW(Technology::cmos025().validate());
+  EXPECT_NO_THROW(Technology::cmos018().validate());
+  EXPECT_NO_THROW(Technology::cmos013().validate());
+}
+
+TEST(Technology, Cmos025Magnitudes) {
+  const Technology t = Technology::cmos025();
+  EXPECT_DOUBLE_EQ(t.vdd, 2.5);
+  EXPECT_NEAR(t.vtn_reduced(), 0.2, 0.05);
+  EXPECT_NEAR(t.vtp_reduced(), 0.22, 0.05);
+  EXPECT_GT(t.r_ratio, 2.0);
+  EXPECT_LT(t.r_ratio, 3.0);
+  // tau is calibrated for internal consistency with the alpha-power
+  // devices (tau = VDD*Cg/Idsat), giving the textbook ~90ps FO4 delay.
+  EXPECT_GT(t.tau_ps, 4.0);
+  EXPECT_LT(t.tau_ps, 20.0);
+  EXPECT_NEAR(t.tau_ps, t.vdd * t.cgate_ff_per_um / t.idsat_n_ma_um, 0.1 * t.tau_ps);
+}
+
+TEST(Technology, ScalingTrendsAcrossNodes) {
+  const Technology t25 = Technology::cmos025();
+  const Technology t18 = Technology::cmos018();
+  const Technology t13 = Technology::cmos013();
+  // Supply, tau and feature size shrink with the node.
+  EXPECT_GT(t25.vdd, t18.vdd);
+  EXPECT_GT(t18.vdd, t13.vdd);
+  EXPECT_GT(t25.tau_ps, t18.tau_ps);
+  EXPECT_GT(t18.tau_ps, t13.tau_ps);
+  EXPECT_GT(t25.feature_um, t18.feature_um);
+  // Drive per µm improves.
+  EXPECT_LT(t25.idsat_n_ma_um, t13.idsat_n_ma_um);
+}
+
+TEST(Technology, ValidateRejectsNonPositive) {
+  Technology t = Technology::cmos025();
+  t.tau_ps = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Technology, ValidateRejectsHighThreshold) {
+  Technology t = Technology::cmos025();
+  t.vtn = 1.3;  // above VDD/2
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Technology, ValidateRejectsInvertedWidthRange) {
+  Technology t = Technology::cmos025();
+  t.wmin_um = t.wmax_um + 1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Technology, ValidateRejectsSubUnityR) {
+  Technology t = Technology::cmos025();
+  t.r_ratio = 0.8;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Unit tests for pops::util — table rendering, deterministic RNG,
+// statistics and the scalar numeric kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "pops/util/csv.hpp"
+#include "pops/util/rng.hpp"
+#include "pops/util/stats.hpp"
+#include "pops/util/table.hpp"
+
+namespace {
+
+using namespace pops::util;
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RightAlignment) {
+  Table t({"n"});
+  t.set_align(0, Align::Right);
+  t.add_row({"7"});
+  t.add_row({"1234"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("|    7 |"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, RuleSeparatesGroups) {
+  Table t({"x"});
+  t.add_row({"a"});
+  t.add_rule();
+  t.add_row({"b"});
+  // Four horizontal rules: top, under header, mid, bottom.
+  const std::string s = t.str();
+  std::size_t count = 0, pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Fmt, FormatsNumbers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_percent(0.137, 0), "14%");
+  EXPECT_EQ(fmt_percent(0.137, 1), "13.7%");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(3);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[r.uniform_int(0, 4)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(RunningStats, MeanMinMaxVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, ApproxEqualRelative) {
+  EXPECT_TRUE(approx_equal(1e9, 1e9 + 1, 1e-6));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-6));
+}
+
+TEST(Stats, RelDiff) {
+  EXPECT_NEAR(rel_diff(10.0, 11.0), 1.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const double x = golden_section_min(
+      [](double v) { return (v - 3.7) * (v - 3.7) + 1.0; }, 0.0, 10.0, 1e-8);
+  EXPECT_NEAR(x, 3.7, 1e-6);
+}
+
+TEST(GoldenSection, BadBracketThrows) {
+  EXPECT_THROW(golden_section_min([](double v) { return v; }, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(BisectRoot, FindsRoot) {
+  const double x =
+      bisect_root([](double v) { return v * v - 2.0; }, 0.0, 2.0, 1e-12);
+  EXPECT_NEAR(x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectRoot, NoSignChangeThrows) {
+  EXPECT_THROW(bisect_root([](double v) { return v * v + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(MeanOf, ThrowsOnEmpty) {
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Csv, EscapesSpecials) {
+  const std::string path = ::testing::TempDir() + "pops_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.row(std::vector<std::string>{"a,b", "say \"hi\"", "plain"});
+    w.row(std::vector<double>{1.5, 2.0}, 3);
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "\"a,b\",\"say \"\"hi\"\"\",plain");
+  EXPECT_EQ(line2, "1.5,2");
+}
+
+}  // namespace
