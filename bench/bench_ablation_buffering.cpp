@@ -19,15 +19,16 @@ int main() {
   using namespace pops;
   using namespace bench_common;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header(
       "Ablation — buffer styles: in-path (paper Fig. 5) vs shield vs auto",
       "shields dominate when the overload is off-path fanout; in-path "
       "buffers when it is the terminal load");
 
-  core::FlimitTable table;
+  core::FlimitTable& table = ctx.flimits();
 
   util::Table t({"circuit", "Tmin sizing (ns)", "in-path (ns)", "shield (ns)",
                  "auto (ns)", "best style"});

@@ -14,8 +14,9 @@ int main() {
   using namespace pops;
   using namespace bench_common;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header("Fig. 2 — minimum path delay Tmin: POPS vs AMPS",
                "POPS at or below AMPS on every circuit (the industrial "

@@ -17,8 +17,9 @@ int main() {
   using namespace pops;
   using namespace bench_common;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header(
       "Fig. 6 — delay/area fronts of a 13-gate array; constraint domains",
@@ -31,7 +32,7 @@ int main() {
   timing::BoundedPath path =
       timing::BoundedPath::extract(nl, tp, dm.default_input_slew_ps());
 
-  core::FlimitTable table;
+  core::FlimitTable& table = ctx.flimits();
   const core::PathBounds bounds = core::compute_bounds(path, dm);
   std::printf("workload: 13-gate array with overloaded interior nodes, "
               "Tmin = %.1f ps, Tmax = %.1f ps\n\n",

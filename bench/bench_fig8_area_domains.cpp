@@ -16,8 +16,9 @@ int main() {
   using namespace pops;
   using namespace bench_common;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header(
       "Fig. 8 — area per method across constraint domains",
@@ -34,7 +35,7 @@ int main() {
       {"weak (Tc = 3.0 Tmin)", 3.0},
   };
 
-  core::FlimitTable table;
+  core::FlimitTable& table = ctx.flimits();
   util::CsvWriter csv("fig8_area_domains.csv");
   csv.row(std::vector<std::string>{"domain", "circuit", "sizing_um",
                                    "local_buff_um", "global_buff_um"});

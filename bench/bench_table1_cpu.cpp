@@ -24,8 +24,9 @@ using namespace pops;
 using namespace bench_common;
 
 void print_table() {
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header(
       "Table 1 — CPU time to satisfy Tc = 1.2*Tmin: POPS vs AMPS",
@@ -67,14 +68,14 @@ void print_table() {
 
 // --- google-benchmark kernels -------------------------------------------------
 
-const liberty::Library& bench_lib() {
-  static const liberty::Library lib(process::Technology::cmos025());
-  return lib;
+api::OptContext& bench_ctx() {
+  static api::OptContext ctx;
+  return ctx;
 }
 
 void BM_PopsConstraint(benchmark::State& state) {
-  const timing::DelayModel dm(bench_lib());
-  PathCase pc = critical_path_case(bench_lib(), dm, "c1908");
+  const timing::DelayModel& dm = bench_ctx().dm();
+  PathCase pc = critical_path_case(bench_ctx(), "c1908");
   const core::PathBounds bounds = core::compute_bounds(pc.path, dm);
   const double tc = 1.2 * bounds.tmin_ps;
   for (auto _ : state)
@@ -83,8 +84,8 @@ void BM_PopsConstraint(benchmark::State& state) {
 BENCHMARK(BM_PopsConstraint)->Unit(benchmark::kMillisecond);
 
 void BM_AmpsConstraint(benchmark::State& state) {
-  const timing::DelayModel dm(bench_lib());
-  PathCase pc = critical_path_case(bench_lib(), dm, "c1908");
+  const timing::DelayModel& dm = bench_ctx().dm();
+  PathCase pc = critical_path_case(bench_ctx(), "c1908");
   const core::PathBounds bounds = core::compute_bounds(pc.path, dm);
   const double tc = 1.2 * bounds.tmin_ps;
   for (auto _ : state)

@@ -82,8 +82,9 @@ int main() {
   using namespace pops;
   using namespace bench_common;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header(
       "Table 2 — load buffer insertion limit Flimit, model vs simulation",

@@ -15,8 +15,9 @@ int main() {
   using namespace pops;
   using namespace bench_common;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header(
       "Table 3 — minimum path delay: sizing vs buffer insertion",
@@ -32,7 +33,7 @@ int main() {
   csv.row(std::vector<std::string>{"circuit", "tmin_sizing_ns",
                                    "tmin_buffered_ns", "gain"});
 
-  core::FlimitTable table;
+  core::FlimitTable& table = ctx.flimits();
   for (const std::string& name : paper_circuit_names()) {
     PathCase pc = critical_path_case(lib, dm, name);
     const core::PathBounds bounds = core::compute_bounds(pc.path, dm);

@@ -18,8 +18,9 @@ int main() {
   using namespace pops;
   using namespace bench_common;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   print_header(
       "Table 4 — buffer insertion vs De Morgan restructuring",
@@ -37,7 +38,7 @@ int main() {
       {"medium (Tc = 1.60 Tmin)", 1.60},
   };
 
-  core::FlimitTable table;
+  core::FlimitTable& table = ctx.flimits();
   util::CsvWriter csv("table4_restructure.csv");
   csv.row(std::vector<std::string>{"constraint", "circuit", "buff_um",
                                    "restruct_um", "gain"});

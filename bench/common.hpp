@@ -9,15 +9,15 @@
 #include <string>
 #include <vector>
 
+#include "pops/api/api.hpp"
 #include "pops/core/protocol.hpp"
-#include "pops/liberty/library.hpp"
 #include "pops/netlist/benchmarks.hpp"
-#include "pops/process/technology.hpp"
 #include "pops/timing/sta.hpp"
 #include "pops/util/table.hpp"
 
 namespace bench_common {
 
+using pops::api::OptContext;
 using pops::liberty::Library;
 using pops::netlist::Netlist;
 using pops::timing::BoundedPath;
@@ -40,6 +40,13 @@ inline PathCase critical_path_case(const Library& lib, const DelayModel& dm,
   BoundedPath bp =
       BoundedPath::extract(nl, tp, dm.default_input_slew_ps());
   return PathCase{name, bp.size(), std::move(bp)};
+}
+
+/// Context-based overload: the way new experiments should pull their
+/// environment (one OptContext per technology node).
+inline PathCase critical_path_case(const OptContext& ctx,
+                                   const std::string& name) {
+  return critical_path_case(ctx.lib(), ctx.dm(), name);
 }
 
 /// The Table 1 benchmark list (paper order).

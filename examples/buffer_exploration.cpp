@@ -4,20 +4,18 @@
 
 #include <cstdio>
 
-#include "pops/core/buffer.hpp"
+#include "pops/api/api.hpp"
 #include "pops/core/bounds.hpp"
-#include "pops/liberty/library.hpp"
-#include "pops/process/technology.hpp"
-#include "pops/timing/delay_model.hpp"
 #include "pops/util/table.hpp"
 
 int main() {
   using namespace pops;
   using liberty::CellKind;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
-  core::FlimitTable table;
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
+  core::FlimitTable& table = ctx.flimits();
 
   // --- library characterisation (the protocol's first step) -------------------
   std::printf("Flimit characterisation (fanout above which a buffer wins):\n");

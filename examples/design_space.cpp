@@ -8,10 +8,8 @@
 #include <cstdio>
 #include <string>
 
-#include "pops/core/protocol.hpp"
-#include "pops/liberty/library.hpp"
+#include "pops/api/api.hpp"
 #include "pops/netlist/benchmarks.hpp"
-#include "pops/process/technology.hpp"
 #include "pops/timing/sta.hpp"
 #include "pops/util/table.hpp"
 
@@ -19,16 +17,16 @@ int main(int argc, char** argv) {
   using namespace pops;
 
   const std::string circuit = argc > 1 ? argv[1] : "c1355";
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const timing::DelayModel& dm = ctx.dm();
 
-  netlist::Netlist nl = netlist::make_benchmark(lib, circuit);
+  netlist::Netlist nl = netlist::make_benchmark(ctx.lib(), circuit);
   const timing::Sta sta(nl, dm);
   const timing::TimedPath tp = sta.critical_path(sta.run());
   timing::BoundedPath path =
       timing::BoundedPath::extract(nl, tp, dm.default_input_slew_ps());
 
-  core::FlimitTable table;
+  core::FlimitTable& table = ctx.flimits();
   const core::PathBounds bounds = core::compute_bounds(path, dm);
   std::printf("critical path of %s: %zu gates, Tmin = %.1f ps, "
               "Tmax = %.1f ps\n\n",

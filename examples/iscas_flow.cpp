@@ -1,10 +1,11 @@
 // Full circuit flow on an ISCAS-style benchmark — the way POPS is meant to
-// be used on a real design:
+// be used on a real design, through the unified pipeline API:
 //
 //   1. load the circuit (.bench or built-in benchmark),
 //   2. run STA, look at the K most critical paths,
-//   3. pick a delay constraint, run the Fig. 7 protocol circuit-wide,
-//   4. re-verify with STA and report delay / area / power before-after.
+//   3. pick a delay constraint, run the standard pass pipeline
+//      (shield -> cancel-inverters -> sweep-dead -> Fig. 7 protocol),
+//   4. read the per-pass reports and the before/after power figures.
 //
 // Usage: example_iscas_flow [circuit] [tc_ratio]
 //   circuit   benchmark name (default c880)
@@ -14,14 +15,11 @@
 #include <cstdlib>
 #include <string>
 
+#include "pops/api/api.hpp"
 #include "pops/core/power.hpp"
-#include "pops/core/protocol.hpp"
-#include "pops/liberty/library.hpp"
 #include "pops/netlist/benchmarks.hpp"
-#include "pops/process/technology.hpp"
 #include "pops/timing/report.hpp"
 #include "pops/timing/sta.hpp"
-#include "pops/util/rng.hpp"
 #include "pops/util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -30,21 +28,21 @@ int main(int argc, char** argv) {
   const std::string circuit = argc > 1 ? argv[1] : "c880";
   const double ratio = argc > 2 ? std::atof(argv[2]) : 0.8;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const timing::DelayModel& dm = ctx.dm();
 
-  netlist::Netlist nl = netlist::make_benchmark(lib, circuit);
+  netlist::Netlist nl = netlist::make_benchmark(ctx.lib(), circuit);
   const netlist::NetlistStats stats = nl.stats();
   std::printf("circuit %s: %zu gates, %zu PIs, %zu POs, depth %zu\n",
               circuit.c_str(), stats.n_gates, stats.n_inputs, stats.n_outputs,
               stats.depth);
 
   // --- initial timing ---------------------------------------------------------
-  const timing::Sta sta(nl, dm);
-  const timing::StaResult before = sta.run();
+  const timing::Sta sta_before(nl, dm);
+  const timing::StaResult before = sta_before.run();
   std::printf("\ninitial critical delay: %.1f ps\n", before.critical_delay_ps);
 
-  const auto paths = sta.k_critical_paths(before, 5);
+  const auto paths = sta_before.k_critical_paths(before, 5);
   util::Table pt({"#", "delay (ps)", "gates", "endpoint"});
   pt.set_align(1, util::Align::Right);
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -54,27 +52,42 @@ int main(int argc, char** argv) {
   }
   std::printf("top critical paths:\n%s\n", pt.str().c_str());
 
-  util::Rng rng_before(1);
+  util::Rng rng_before = ctx.make_rng(1);
   const core::PowerReport p_before = core::estimate_power(nl, rng_before);
 
-  // --- optimise ----------------------------------------------------------------
+  // --- optimise through the pipeline API ---------------------------------------
   const double tc = ratio * before.critical_delay_ps;
-  std::printf("running the optimization protocol for Tc = %.1f ps "
+  std::printf("running the optimization pipeline for Tc = %.1f ps "
               "(%.0f%% of initial)...\n", tc, 100.0 * ratio);
 
-  core::FlimitTable table;
-  const core::CircuitResult result =
-      core::optimize_circuit(nl, dm, table, tc, {});
+  api::Optimizer optimizer(ctx);
+  const api::PipelineReport report = optimizer.run(nl, tc);
 
-  // --- report -------------------------------------------------------------------
-  util::Rng rng_after(1);
+  // --- per-pass report ----------------------------------------------------------
+  util::Table pp({"pass", "delay (ps)", "area (um)", "buffers", "rewired",
+                  "removed", "paths", "ms"});
+  for (std::size_t c = 1; c < 8; ++c) pp.set_align(c, util::Align::Right);
+  pp.add_row({"(initial)", util::fmt(report.initial_delay_ps, 1),
+              util::fmt(report.initial_area_um, 1), "", "", "", "", ""});
+  for (const api::PassReport& pr : report.passes)
+    pp.add_row({pr.pass_name, util::fmt(pr.delay_after_ps, 1),
+                util::fmt(pr.area_after_um, 1),
+                std::to_string(pr.buffers_inserted),
+                std::to_string(pr.sinks_rewired),
+                std::to_string(pr.gates_removed),
+                std::to_string(pr.paths_optimized),
+                util::fmt(pr.runtime_ms, 1)});
+  std::printf("\npass pipeline:\n%s", pp.str().c_str());
+
+  // --- before/after -------------------------------------------------------------
+  util::Rng rng_after = ctx.make_rng(1);
   const core::PowerReport p_after = core::estimate_power(nl, rng_after);
 
   util::Table t({"metric", "before", "after"});
   t.set_align(1, util::Align::Right);
   t.set_align(2, util::Align::Right);
-  t.add_row({"critical delay (ps)", util::fmt(before.critical_delay_ps, 1),
-             util::fmt(result.achieved_delay_ps, 1)});
+  t.add_row({"critical delay (ps)", util::fmt(report.initial_delay_ps, 1),
+             util::fmt(report.final_delay_ps, 1)});
   t.add_row({"sum W (um)", util::fmt(p_before.area_um, 1),
              util::fmt(p_after.area_um, 1)});
   t.add_row({"dynamic power (uW @100MHz)", util::fmt(p_before.dynamic_uw, 1),
@@ -83,14 +96,15 @@ int main(int argc, char** argv) {
              util::fmt(p_after.leakage_uw, 2)});
   std::printf("\n%s", t.str().c_str());
   std::printf("\nconstraint %s after %zu path optimisations\n",
-              result.met ? "MET" : "NOT met", result.paths_optimized);
+              report.met ? "MET" : "NOT met", report.total_paths_optimized());
 
   // Per-path protocol decisions (first few).
-  if (!result.per_path.empty()) {
+  if (const core::CircuitResult* result = report.protocol();
+      result && !result->per_path.empty()) {
     util::Table d({"path", "domain", "method", "delay (ps)", "area (um)"});
-    const std::size_t n = std::min<std::size_t>(result.per_path.size(), 6);
+    const std::size_t n = std::min<std::size_t>(result->per_path.size(), 6);
     for (std::size_t i = 0; i < n; ++i) {
-      const core::ProtocolResult& pr = result.per_path[i];
+      const core::ProtocolResult& pr = result->per_path[i];
       d.add_row({std::to_string(i + 1), core::to_string(pr.domain),
                  core::to_string(pr.method), util::fmt(pr.sizing.delay_ps, 1),
                  util::fmt(pr.total_area_um(), 1)});
@@ -99,13 +113,15 @@ int main(int argc, char** argv) {
                 d.str().c_str());
   }
 
-  // Final sign-off style reports.
-  const timing::StaResult final_sta = sta.run();
+  // Final sign-off style reports (STA over the possibly-restructured
+  // netlist).
+  const timing::Sta sta_after(nl, dm);
+  const timing::StaResult final_sta = sta_after.run();
   timing::ReportOptions ropt;
   ropt.tc_ps = tc;
   ropt.max_paths = 1;
-  std::printf("\n%s", timing::report_paths(nl, sta, final_sta, ropt).c_str());
+  std::printf("\n%s", timing::report_paths(nl, sta_after, final_sta, ropt).c_str());
   std::printf("%s",
-              timing::report_slack_histogram(nl, sta, final_sta, ropt).c_str());
-  return result.met ? 0 : 1;
+              timing::report_slack_histogram(nl, sta_after, final_sta, ropt).c_str());
+  return report.met ? 0 : 1;
 }

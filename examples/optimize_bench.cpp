@@ -16,11 +16,9 @@
 #include <fstream>
 #include <string>
 
+#include "pops/api/api.hpp"
 #include "pops/core/power.hpp"
-#include "pops/core/protocol.hpp"
-#include "pops/liberty/library.hpp"
 #include "pops/netlist/bench_io.hpp"
-#include "pops/process/technology.hpp"
 #include "pops/timing/sta.hpp"
 #include "pops/util/csv.hpp"
 #include "pops/util/table.hpp"
@@ -44,8 +42,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   std::ifstream in(input);
   if (!in) {
@@ -72,16 +71,16 @@ int main(int argc, char** argv) {
   std::printf("initial critical delay %.1f ps, target %.1f ps\n", before,
               tc_ps);
 
-  core::FlimitTable table;
-  const core::CircuitResult result =
-      core::optimize_circuit(nl, dm, table, tc_ps, {});
+  const api::Optimizer optimizer(ctx);
+  const api::PipelineReport result = optimizer.run(nl, tc_ps);
 
-  util::Rng rng(1);
+  util::Rng rng = ctx.make_rng(1);
   const core::PowerReport power = core::estimate_power(nl, rng);
   std::printf("final critical delay %.1f ps (%s), sum W %.1f um, "
-              "%.1f uW @100MHz, %zu paths optimised\n",
-              result.achieved_delay_ps, result.met ? "met" : "NOT met",
-              power.area_um, power.total_uw, result.paths_optimized);
+              "%.1f uW @100MHz, %zu paths optimised, %zu shield buffers\n",
+              result.final_delay_ps, result.met ? "met" : "NOT met",
+              power.area_um, power.total_uw, result.total_paths_optimized(),
+              result.total_buffers_inserted());
 
   if (!output.empty()) {
     std::ofstream out(output);

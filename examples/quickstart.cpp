@@ -1,27 +1,29 @@
-// Quickstart: size one combinational path under a delay constraint.
+// Quickstart: size one combinational path under a delay constraint, then
+// run the same protocol circuit-wide through the unified Optimizer API.
 //
 // Walks the full POPS flow on a small inverter/NAND chain:
-//   1. build the 0.25µm library,
+//   1. build the optimization context (technology, library, delay model,
+//      Flimit characterization) — one api::OptContext,
 //   2. describe a bounded path (fixed input drive, fixed terminal load),
 //   3. compute its feasibility bounds Tmax / Tmin (paper §3.1),
 //   4. distribute a delay constraint with the constant-sensitivity method
 //      (paper §3.2) and print the resulting sizes,
-//   5. show what the Fig. 7 protocol decides at several constraints.
+//   5. show what the Fig. 7 protocol decides at several constraints,
+//   6. run the full pass pipeline on a circuit via api::Optimizer.
 
 #include <cstdio>
 
-#include "pops/core/protocol.hpp"
-#include "pops/liberty/library.hpp"
-#include "pops/process/technology.hpp"
-#include "pops/timing/delay_model.hpp"
+#include "pops/api/api.hpp"
+#include "pops/netlist/benchmarks.hpp"
 #include "pops/util/table.hpp"
 
 int main() {
   using namespace pops;
   using liberty::CellKind;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;  // defaults to the paper's 0.25µm process
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   // An 8-stage path: inverters and NAND/NOR gates, with a heavy off-path
   // load mid-way (a long wire plus off-path sinks), driven through a fixed
@@ -66,11 +68,10 @@ int main() {
   std::printf("%s\n", t.str().c_str());
 
   // --- Protocol decisions -----------------------------------------------------
-  core::FlimitTable flimits;
   util::Table p({"Tc/Tmin", "domain", "method", "delay (ps)", "area (um)"});
   for (double ratio : {0.9, 1.1, 1.6, 3.0}) {
-    const core::ProtocolResult r =
-        core::optimize_path(path, dm, flimits, ratio * bounds.tmin_ps);
+    const core::ProtocolResult r = core::optimize_path(
+        path, dm, ctx.flimits(), ratio * bounds.tmin_ps);
     p.add_row({util::fmt(ratio, 1), core::to_string(r.domain),
                core::to_string(r.method), util::fmt(r.sizing.delay_ps, 1),
                util::fmt(r.total_area_um(), 1)});
@@ -82,9 +83,33 @@ int main() {
   for (CellKind k : {CellKind::Inv, CellKind::Nand2, CellKind::Nand3,
                      CellKind::Nor2, CellKind::Nor3}) {
     f.add_row({lib.cell(k).name,
-               util::fmt(flimits.get(dm, CellKind::Inv, k), 2)});
+               util::fmt(ctx.flimits().get(dm, CellKind::Inv, k), 2)});
   }
   std::printf("\nLoad buffer insertion limits (Table 2 metric):\n%s",
               f.str().c_str());
-  return 0;
+
+  // --- Circuit-wide: the unified Optimizer API --------------------------------
+  // The same protocol applied to a whole netlist, composed with the
+  // structural passes (shield -> cancel-inverters -> sweep-dead ->
+  // protocol) and reported per pass.
+  netlist::Netlist nl = netlist::make_benchmark(lib, "c432");
+  api::Optimizer optimizer(ctx);
+  const api::PipelineReport report = optimizer.run_relative(nl, 0.8);
+
+  std::printf("\nOptimizer on c432 (Tc = 80%% of initial delay = %.1f ps):\n",
+              report.tc_ps);
+  util::Table r({"pass", "delay (ps)", "area (um)", "changed", "ms"});
+  for (std::size_t c = 1; c < 5; ++c) r.set_align(c, util::Align::Right);
+  r.add_row({"(initial)", util::fmt(report.initial_delay_ps, 1),
+             util::fmt(report.initial_area_um, 1), "", ""});
+  for (const api::PassReport& pr : report.passes)
+    r.add_row({pr.pass_name, util::fmt(pr.delay_after_ps, 1),
+               util::fmt(pr.area_after_um, 1), pr.changed ? "yes" : "no",
+               util::fmt(pr.runtime_ms, 1)});
+  std::printf("%s", r.str().c_str());
+  std::printf("constraint %s: %.1f ps achieved, %zu paths optimized, "
+              "%zu buffers inserted\n",
+              report.met ? "MET" : "NOT met", report.final_delay_ps,
+              report.total_paths_optimized(), report.total_buffers_inserted());
+  return report.met ? 0 : 1;
 }

@@ -5,10 +5,10 @@
 
 #include <cstdio>
 
+#include "pops/api/api.hpp"
 #include "pops/core/bounds.hpp"
 #include "pops/core/restructure.hpp"
 #include "pops/core/sensitivity.hpp"
-#include "pops/liberty/library.hpp"
 #include "pops/netlist/bench_io.hpp"
 #include "pops/netlist/benchmarks.hpp"
 #include "pops/netlist/logic_sim.hpp"
@@ -21,8 +21,9 @@ int main() {
   using namespace pops;
   using liberty::CellKind;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   // --- netlist-level rewrite with equivalence proof ----------------------------
   netlist::Netlist nl = netlist::make_benchmark(lib, "fpd");
@@ -40,7 +41,7 @@ int main() {
   for (netlist::NodeId id : nors) core::demorgan_nor_to_nand(nl, id);
   nl.validate();
 
-  util::Rng rng(42);
+  util::Rng rng = ctx.make_rng(42);
   const bool equal = netlist::equivalent(original, nl, rng, 512);
   std::printf("rewrote %zu NORs -> NAND + inverters; equivalence check: %s\n",
               nors.size(), equal ? "PASS" : "FAIL");
@@ -55,7 +56,7 @@ int main() {
   timing::BoundedPath path =
       timing::BoundedPath::extract(original, tp, dm.default_input_slew_ps());
 
-  core::FlimitTable table;
+  core::FlimitTable& table = ctx.flimits();
   const core::PathBounds bounds = core::compute_bounds(path, dm);
   const core::RestructureResult rr = core::restructure_path(path, dm, table);
 

@@ -5,10 +5,9 @@
 
 #include <cstdio>
 
+#include "pops/api/api.hpp"
 #include "pops/core/bounds.hpp"
 #include "pops/core/sensitivity.hpp"
-#include "pops/liberty/library.hpp"
-#include "pops/process/technology.hpp"
 #include "pops/spice/measure.hpp"
 #include "pops/timing/delay_model.hpp"
 #include "pops/util/stats.hpp"
@@ -18,8 +17,9 @@ int main() {
   using namespace pops;
   using liberty::CellKind;
 
-  const liberty::Library lib(process::Technology::cmos025());
-  const timing::DelayModel dm(lib);
+  api::OptContext ctx;
+  const liberty::Library& lib = ctx.lib();
+  const timing::DelayModel& dm = ctx.dm();
 
   // A mixed path using the transistor-expandable cells.
   const std::vector<CellKind> kinds = {CellKind::Inv,  CellKind::Nand2,

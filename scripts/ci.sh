@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: strict build + tests, then an ASan/UBSan job.
+# Usage: scripts/ci.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== job 1: -Wall -Wextra -Werror, Release, full ctest ==="
+cmake -B "${PREFIX}" -S . -DPOPS_WERROR=ON -DCMAKE_BUILD_TYPE=Release
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "=== job 2: ASan/UBSan, Debug, full ctest ==="
+cmake -B "${PREFIX}-asan" -S . -DPOPS_WERROR=ON -DPOPS_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=Debug
+cmake --build "${PREFIX}-asan" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}"
+
+echo "CI OK"

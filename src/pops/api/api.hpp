@@ -1,0 +1,18 @@
+#pragma once
+// Umbrella header for the unified optimization API.
+//
+//   #include "pops/api/api.hpp"
+//
+//   pops::api::OptContext ctx;               // tech + library + delay model
+//   pops::api::Optimizer opt(ctx);           // standard pipeline, validated
+//   auto report = opt.run_relative(nl, 0.8); // Tc = 80% of initial delay
+//
+// See optimizer.hpp for the batch entry point (run_many) and pipeline.hpp
+// for composing custom pass sequences.
+
+#include "pops/api/config.hpp"
+#include "pops/api/context.hpp"
+#include "pops/api/optimizer.hpp"
+#include "pops/api/pass.hpp"
+#include "pops/api/passes.hpp"
+#include "pops/api/pipeline.hpp"

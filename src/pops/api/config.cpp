@@ -1,0 +1,100 @@
+#include "pops/api/config.hpp"
+
+#include <sstream>
+
+namespace pops::api {
+
+namespace {
+
+std::string join_problems(const std::vector<std::string>& problems) {
+  std::ostringstream os;
+  os << "invalid OptimizerConfig (" << problems.size() << " problem"
+     << (problems.size() == 1 ? "" : "s") << "):";
+  for (const std::string& p : problems) os << "\n  - " << p;
+  return os.str();
+}
+
+}  // namespace
+
+ConfigError::ConfigError(const std::vector<std::string>& problems)
+    : std::invalid_argument(join_problems(problems)), problems_(problems) {}
+
+std::vector<std::string> OptimizerConfig::validate() const {
+  // Domain-threshold and circuit-driver invariants are owned by the core
+  // options structs (single source of truth, shared with the legacy
+  // entry points); the projection carries this config's values.
+  std::vector<std::string> out = circuit_options().problems();
+  auto require = [&out](bool ok, const std::string& msg) {
+    if (!ok) out.push_back(msg);
+  };
+
+  // Shielding.
+  require(shield_margin > 0.0, "shield_margin must be > 0");
+  require(shield_fanout > 1.0, "shield_fanout must be > 1");
+
+  // Solvers.
+  require(bounds.max_sweeps > 0, "bounds.max_sweeps must be > 0");
+  require(bounds.tol > 0.0, "bounds.tol must be > 0");
+  require(bounds.init_scale > 0.0, "bounds.init_scale must be > 0");
+  require(sensitivity.max_sweeps > 0, "sensitivity.max_sweeps must be > 0");
+  require(sensitivity.tol > 0.0, "sensitivity.tol must be > 0");
+  require(sensitivity.max_bisect > 0, "sensitivity.max_bisect must be > 0");
+  require(sensitivity.tc_rel_tol > 0.0, "sensitivity.tc_rel_tol must be > 0");
+
+  require(enable_shielding || enable_cleanup || enable_protocol,
+          "all passes disabled: the pipeline would be empty");
+  return out;
+}
+
+void OptimizerConfig::ensure_valid() const {
+  const std::vector<std::string> problems = validate();
+  if (!problems.empty()) throw ConfigError(problems);
+}
+
+core::ProtocolOptions OptimizerConfig::protocol_options() const {
+  core::ProtocolOptions p;
+  p.hard_ratio = hard_ratio;
+  p.weak_ratio = weak_ratio;
+  p.allow_restructuring = allow_restructuring;
+  p.bounds = bounds;
+  p.sensitivity = sensitivity;
+  return p;
+}
+
+core::CircuitOptions OptimizerConfig::circuit_options() const {
+  core::CircuitOptions c;
+  c.max_paths = max_paths;
+  c.max_rounds = max_rounds;
+  c.tc_margin = tc_margin;
+  c.pi_slew_ps = pi_slew_ps;
+  c.protocol = protocol_options();
+  return c;
+}
+
+core::ShieldOptions OptimizerConfig::shield_options() const {
+  core::ShieldOptions s;
+  s.margin = shield_margin;
+  s.max_buffers = max_shield_buffers;
+  s.shield_fanout = shield_fanout;
+  return s;
+}
+
+OptimizerConfig OptimizerConfig::from_legacy(const core::CircuitOptions& opt) {
+  OptimizerConfig cfg;
+  cfg.max_paths = opt.max_paths;
+  cfg.max_rounds = opt.max_rounds;
+  cfg.tc_margin = opt.tc_margin;
+  cfg.pi_slew_ps = opt.pi_slew_ps;
+  cfg.hard_ratio = opt.protocol.hard_ratio;
+  cfg.weak_ratio = opt.protocol.weak_ratio;
+  cfg.allow_restructuring = opt.protocol.allow_restructuring;
+  cfg.bounds = opt.protocol.bounds;
+  cfg.sensitivity = opt.protocol.sensitivity;
+  // The legacy entry point ran the protocol only.
+  cfg.enable_shielding = false;
+  cfg.enable_cleanup = false;
+  cfg.enable_protocol = true;
+  return cfg;
+}
+
+}  // namespace pops::api

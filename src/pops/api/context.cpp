@@ -1,0 +1,18 @@
+#include "pops/api/context.hpp"
+
+#include "pops/liberty/cell.hpp"
+
+namespace pops::api {
+
+OptContext::OptContext(process::Technology tech,
+                       core::FlimitOptions flimit_opt, std::uint64_t rng_seed)
+    : lib_(std::move(tech)), dm_(lib_), flimits_(flimit_opt),
+      rng_seed_(rng_seed) {}
+
+void OptContext::warm_flimits() {
+  for (liberty::CellKind driver : liberty::all_cell_kinds())
+    for (liberty::CellKind gate : liberty::all_cell_kinds())
+      flimits_.get(dm_, driver, gate);
+}
+
+}  // namespace pops::api

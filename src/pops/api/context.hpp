@@ -1,0 +1,67 @@
+#pragma once
+// Shared optimization context.
+//
+// Every pass of the pipeline needs the same four things: the technology
+// node, the calibrated cell library, the eq. (1-3) delay model over it,
+// and the Flimit characterization cache (the "Library characterization"
+// step at the top of the Fig. 7 protocol). The seed made every caller
+// assemble these by hand in the right dependency order; OptContext owns
+// them as one object with the lifetimes tied together, plus the RNG seed
+// that makes every stochastic consumer (power estimation, synthetic
+// benchmarks) reproducible.
+
+#include <cstdint>
+
+#include "pops/core/buffer.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/delay_model.hpp"
+#include "pops/util/rng.hpp"
+
+namespace pops::api {
+
+class OptContext {
+ public:
+  /// Build the context for one technology node (default: the paper's
+  /// 0.25µm process). `flimit_opt` parameterizes the Fig. 5
+  /// characterization set-up behind the FlimitTable.
+  explicit OptContext(process::Technology tech = process::Technology::cmos025(),
+                      core::FlimitOptions flimit_opt = {},
+                      std::uint64_t rng_seed = kDefaultSeed);
+
+  // The delay model and the Flimit cache point into the owned library;
+  // the context is pinned in memory.
+  OptContext(const OptContext&) = delete;
+  OptContext& operator=(const OptContext&) = delete;
+
+  const process::Technology& tech() const noexcept { return lib_.tech(); }
+  const liberty::Library& lib() const noexcept { return lib_; }
+  const timing::DelayModel& dm() const noexcept { return dm_; }
+  core::FlimitTable& flimits() noexcept { return flimits_; }
+  const core::FlimitTable& flimits() const noexcept { return flimits_; }
+
+  std::uint64_t rng_seed() const noexcept { return rng_seed_; }
+
+  /// A fresh deterministic engine. Distinct `stream` values give
+  /// decorrelated engines off the same context seed (splitmix64 expands
+  /// the combined seed inside Rng).
+  util::Rng make_rng(std::uint64_t stream = 0) const noexcept {
+    return util::Rng(rng_seed_ + 0x9E3779B97F4A7C15ull * (stream + 1));
+  }
+
+  /// Precompute Flimit for every (driver, gate) cell pair. After warming,
+  /// FlimitTable::get only reads the cache, so the table may be shared by
+  /// concurrent workers (Optimizer::run_many calls this before fanning
+  /// out).
+  void warm_flimits();
+
+  static constexpr std::uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ull;
+
+ private:
+  liberty::Library lib_;
+  timing::DelayModel dm_;
+  core::FlimitTable flimits_;
+  std::uint64_t rng_seed_;
+};
+
+}  // namespace pops::api

@@ -1,0 +1,115 @@
+#include "pops/api/optimizer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "pops/timing/sta.hpp"
+
+namespace pops::api {
+
+Optimizer::Optimizer(OptContext& ctx, OptimizerConfig cfg)
+    : ctx_(&ctx), cfg_(std::move(cfg)) {
+  cfg_.ensure_valid();
+  pipeline_ = PassPipeline::standard(cfg_);
+}
+
+void Optimizer::set_pipeline(PassPipeline pipeline) {
+  if (pipeline.empty())
+    throw std::invalid_argument("Optimizer::set_pipeline: empty pipeline");
+  pipeline_ = std::move(pipeline);
+}
+
+PipelineReport Optimizer::run(netlist::Netlist& nl, double tc_ps) const {
+  return pipeline_.run(nl, *ctx_, cfg_, tc_ps);
+}
+
+double Optimizer::initial_delay_ps(const netlist::Netlist& nl) const {
+  timing::StaOptions opt;
+  opt.pi_slew_ps = cfg_.pi_slew_ps;
+  return timing::Sta(nl, ctx_->dm(), opt).run().critical_delay_ps;
+}
+
+PipelineReport Optimizer::run_relative(netlist::Netlist& nl,
+                                       double tc_ratio) const {
+  if (!(tc_ratio > 0.0))
+    throw std::invalid_argument("Optimizer: tc_ratio must be > 0");
+  // One STA both derives Tc and seeds the report's initial delay.
+  const double initial = initial_delay_ps(nl);
+  return pipeline_.run(nl, *ctx_, cfg_, tc_ratio * initial, initial);
+}
+
+std::vector<PipelineReport> Optimizer::run_many(
+    std::span<netlist::Netlist> circuits, double tc_ps,
+    std::size_t n_threads) const {
+  return run_many_impl(circuits, tc_ps, /*relative=*/false, n_threads);
+}
+
+std::vector<PipelineReport> Optimizer::run_many_relative(
+    std::span<netlist::Netlist> circuits, double tc_ratio,
+    std::size_t n_threads) const {
+  return run_many_impl(circuits, tc_ratio, /*relative=*/true, n_threads);
+}
+
+std::vector<PipelineReport> Optimizer::run_many_impl(
+    std::span<netlist::Netlist> nls, double tc, bool relative,
+    std::size_t n_threads) const {
+  cfg_.ensure_valid();
+  if (relative && !(tc > 0.0))
+    throw std::invalid_argument("Optimizer: tc_ratio must be > 0");
+  if (nls.empty()) return {};
+
+  // Warm the Flimit cache before fanning out: FlimitTable::get mutates its
+  // cache on a miss, but on a fully warmed table it only reads, so the
+  // shared context is safe for concurrent workers.
+  ctx_->warm_flimits();
+
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min(n_threads, nls.size());
+
+  std::vector<PipelineReport> reports(nls.size());
+
+  // Dynamic work queue: circuit sizes vary wildly (c17 .. c7552), so
+  // static striping would leave workers idle behind the biggest circuit.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= nls.size()) return;
+      try {
+        if (relative) {
+          const double initial = initial_delay_ps(nls[i]);
+          reports[i] =
+              pipeline_.run(nls[i], *ctx_, cfg_, tc * initial, initial);
+        } else {
+          reports[i] = pipeline_.run(nls[i], *ctx_, cfg_, tc);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (n_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return reports;
+}
+
+}  // namespace pops::api

@@ -1,0 +1,64 @@
+#pragma once
+// The pass interface of the optimization pipeline.
+//
+// A Pass is one netlist-to-netlist transformation step toward a delay
+// constraint: structural (shielding, inverter cancellation, dead sweep) or
+// sizing (the Fig. 7 protocol). Passes are composed by PassPipeline and
+// report what they did through a structured PassReport, so drivers can
+// aggregate diagnostics across passes and circuits without parsing text.
+//
+// Contract: a Pass must leave the netlist functionally equivalent, must be
+// deterministic, and — because Optimizer::run_many shares pass objects
+// across worker threads — must keep all its state in locals (the built-in
+// passes are stateless).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pops/api/config.hpp"
+#include "pops/api/context.hpp"
+#include "pops/core/protocol.hpp"
+#include "pops/netlist/netlist.hpp"
+
+namespace pops::api {
+
+/// Structured diagnostics of one pass execution. The area/delay/runtime
+/// envelope is filled in by the pipeline (so every pass is measured the
+/// same way); the counters are filled in by the pass itself.
+struct PassReport {
+  std::string pass_name;
+
+  // Filled by the pipeline around the pass.
+  double delay_before_ps = 0.0;
+  double delay_after_ps = 0.0;
+  double area_before_um = 0.0;
+  double area_after_um = 0.0;
+  double runtime_ms = 0.0;
+
+  // Filled by the pass.
+  bool changed = false;                ///< did the pass touch the netlist?
+  std::size_t buffers_inserted = 0;    ///< shield / in-path buffers added
+  std::size_t sinks_rewired = 0;       ///< inverter-pair cancellations
+  std::size_t gates_removed = 0;       ///< dead gates swept
+  std::size_t paths_optimized = 0;     ///< protocol path optimizations
+  /// Per-path protocol outcome, present for the protocol pass only.
+  std::optional<core::CircuitResult> circuit;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Stable identifier ("shield", "cancel-inverters", ...).
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Transform `nl` toward `tc_ps`, recording counters in `report`
+  /// (report arrives with pass_name set and the before-envelope filled).
+  virtual void run(netlist::Netlist& nl, OptContext& ctx,
+                   const OptimizerConfig& cfg, double tc_ps,
+                   PassReport& report) const = 0;
+};
+
+}  // namespace pops::api

@@ -1,0 +1,105 @@
+#include "pops/api/passes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pops/core/netopt.hpp"
+#include "pops/timing/path.hpp"
+#include "pops/timing/sta.hpp"
+
+namespace pops::api {
+
+using netlist::Netlist;
+using timing::BoundedPath;
+using timing::DelayModel;
+
+void ShieldPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+                     double /*tc_ps*/, PassReport& report) const {
+  const core::ShieldReport r = core::shield_high_fanout_nets(
+      nl, ctx.dm(), ctx.flimits(), cfg.shield_options());
+  report.buffers_inserted = r.buffers_inserted;
+  report.changed = r.buffers_inserted > 0;
+}
+
+void CancelInvertersPass::run(Netlist& nl, OptContext& /*ctx*/,
+                              const OptimizerConfig& /*cfg*/, double /*tc_ps*/,
+                              PassReport& report) const {
+  report.sinks_rewired = core::cancel_inverter_pairs(nl);
+  report.changed = report.sinks_rewired > 0;
+}
+
+void SweepDeadPass::run(Netlist& nl, OptContext& /*ctx*/,
+                        const OptimizerConfig& /*cfg*/, double /*tc_ps*/,
+                        PassReport& report) const {
+  const std::size_t before = nl.stats().n_gates;
+  nl = core::sweep_dead(nl);
+  const std::size_t after = nl.stats().n_gates;
+  report.gates_removed = before - after;
+  report.changed = report.gates_removed > 0;
+}
+
+void ProtocolPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+                       double tc_ps, PassReport& report) const {
+  core::CircuitResult r =
+      run_protocol(nl, ctx.dm(), ctx.flimits(), tc_ps, cfg.circuit_options());
+  report.paths_optimized = r.paths_optimized;
+  report.changed = r.paths_optimized > 0;
+  report.circuit = std::move(r);
+}
+
+core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
+                                               const DelayModel& dm,
+                                               core::FlimitTable& table,
+                                               double tc_ps,
+                                               const core::CircuitOptions& opt) {
+  opt.validate();
+  if (!(tc_ps > 0.0))
+    throw std::invalid_argument("optimize_circuit: Tc must be > 0");
+
+  core::CircuitResult out;
+  out.tc_ps = tc_ps;
+
+  timing::StaOptions sta_opt;
+  sta_opt.pi_slew_ps = opt.pi_slew_ps;
+  const timing::Sta sta(nl, dm, sta_opt);
+  const double input_slew =
+      opt.pi_slew_ps > 0.0 ? opt.pi_slew_ps : dm.default_input_slew_ps();
+
+  for (int round = 0; round < opt.max_rounds; ++round) {
+    const timing::StaResult result = sta.run();
+    if (result.critical_delay_ps <= tc_ps) break;
+
+    // Tighten per-path targets round by round: resizing one path loads its
+    // neighbours, so a straight Tc target leaves residual violations.
+    const double margin =
+        std::pow(opt.tc_margin, static_cast<double>(round + 1));
+    const double path_tc = tc_ps * margin;
+
+    const std::vector<timing::TimedPath> paths =
+        sta.k_critical_paths(result, opt.max_paths);
+    bool any_change = false;
+    for (const timing::TimedPath& tp : paths) {
+      if (tp.delay_ps <= path_tc) continue;  // already fast enough
+      if (tp.points.size() < 2) continue;
+      BoundedPath bp = BoundedPath::extract(nl, tp, input_slew);
+      // Circuit mode applies sizing only (see protocol.hpp); the
+      // protocol's structural rewrites are evaluated but only surviving
+      // stages carry their sizes back to the netlist.
+      core::ProtocolResult pr =
+          core::optimize_path(bp, dm, table, path_tc, opt.protocol);
+      pr.sizing.path.apply_sizes_to(nl);
+      out.per_path.push_back(std::move(pr));
+      ++out.paths_optimized;
+      any_change = true;
+    }
+    if (!any_change) break;
+  }
+
+  const timing::StaResult final_sta = sta.run();
+  out.achieved_delay_ps = final_sta.critical_delay_ps;
+  out.area_um = nl.total_width_um();
+  out.met = final_sta.critical_delay_ps <= tc_ps * 1.0001;
+  return out;
+}
+
+}  // namespace pops::api

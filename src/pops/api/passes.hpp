@@ -1,0 +1,62 @@
+#pragma once
+// The built-in passes of the standard pipeline, in their canonical order:
+//
+//   shield            circuit-wide Flimit shielding (netopt.hpp kernel)
+//   cancel-inverters  INV(INV(x)) peephole           (netopt.hpp kernel)
+//   sweep-dead        dead-logic removal             (netopt.hpp kernel)
+//   protocol          the Fig. 7 circuit protocol (driver loop lives HERE;
+//                     core::optimize_circuit forwards to it)
+//
+// The structural passes run before the protocol so the sizing engine sees
+// the cleaned, shielded implementation — buffering decisions made on nets
+// the protocol would otherwise have to size around.
+
+#include "pops/api/pass.hpp"
+
+namespace pops::api {
+
+/// Circuit-wide Flimit-guided shield-buffer insertion
+/// (wraps core::shield_high_fanout_nets).
+class ShieldPass final : public Pass {
+ public:
+  std::string_view name() const noexcept override { return "shield"; }
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report) const override;
+};
+
+/// INV(INV(x)) cancellation (wraps core::cancel_inverter_pairs).
+class CancelInvertersPass final : public Pass {
+ public:
+  std::string_view name() const noexcept override { return "cancel-inverters"; }
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report) const override;
+};
+
+/// Dead-logic sweep (wraps core::sweep_dead).
+class SweepDeadPass final : public Pass {
+ public:
+  std::string_view name() const noexcept override { return "sweep-dead"; }
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report) const override;
+};
+
+/// The Fig. 7 protocol applied circuit-wide: repeatedly extract the K most
+/// critical paths, optimize each as a bounded path, write the sizes back,
+/// and re-run STA until the constraint holds or the round budget is spent.
+class ProtocolPass final : public Pass {
+ public:
+  std::string_view name() const noexcept override { return "protocol"; }
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report) const override;
+
+  /// The driver loop itself, in terms of the legacy types. This is the
+  /// single implementation behind both the pass and the legacy
+  /// core::optimize_circuit free function (now a forwarding shim).
+  static core::CircuitResult run_protocol(netlist::Netlist& nl,
+                                          const timing::DelayModel& dm,
+                                          core::FlimitTable& table,
+                                          double tc_ps,
+                                          const core::CircuitOptions& opt);
+};
+
+}  // namespace pops::api

@@ -1,0 +1,121 @@
+#include "pops/api/pipeline.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "pops/api/passes.hpp"
+#include "pops/timing/sta.hpp"
+
+namespace pops::api {
+
+std::size_t PipelineReport::total_buffers_inserted() const noexcept {
+  std::size_t n = 0;
+  for (const PassReport& p : passes) n += p.buffers_inserted;
+  return n;
+}
+
+std::size_t PipelineReport::total_sinks_rewired() const noexcept {
+  std::size_t n = 0;
+  for (const PassReport& p : passes) n += p.sinks_rewired;
+  return n;
+}
+
+std::size_t PipelineReport::total_gates_removed() const noexcept {
+  std::size_t n = 0;
+  for (const PassReport& p : passes) n += p.gates_removed;
+  return n;
+}
+
+std::size_t PipelineReport::total_paths_optimized() const noexcept {
+  std::size_t n = 0;
+  for (const PassReport& p : passes) n += p.paths_optimized;
+  return n;
+}
+
+double PipelineReport::total_runtime_ms() const noexcept {
+  double ms = 0.0;
+  for (const PassReport& p : passes) ms += p.runtime_ms;
+  return ms;
+}
+
+const core::CircuitResult* PipelineReport::protocol() const noexcept {
+  for (auto it = passes.rbegin(); it != passes.rend(); ++it)
+    if (it->circuit) return &*it->circuit;
+  return nullptr;
+}
+
+PassPipeline& PassPipeline::add(std::unique_ptr<Pass> pass) {
+  if (!pass) throw std::invalid_argument("PassPipeline::add: null pass");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassPipeline PassPipeline::standard(const OptimizerConfig& cfg) {
+  PassPipeline p;
+  if (cfg.enable_shielding) p.emplace<ShieldPass>();
+  if (cfg.enable_cleanup) {
+    p.emplace<CancelInvertersPass>();
+    p.emplace<SweepDeadPass>();
+  }
+  if (cfg.enable_protocol) p.emplace<ProtocolPass>();
+  return p;
+}
+
+std::vector<std::string> PassPipeline::pass_names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& p : passes_) names.emplace_back(p->name());
+  return names;
+}
+
+namespace {
+
+double critical_delay_ps(const netlist::Netlist& nl, const OptContext& ctx,
+                         const OptimizerConfig& cfg) {
+  timing::StaOptions opt;
+  opt.pi_slew_ps = cfg.pi_slew_ps;
+  return timing::Sta(nl, ctx.dm(), opt).run().critical_delay_ps;
+}
+
+}  // namespace
+
+PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
+                                 const OptimizerConfig& cfg, double tc_ps,
+                                 double initial_delay_ps) const {
+  if (!(tc_ps > 0.0))
+    throw std::invalid_argument("PassPipeline::run: Tc must be > 0");
+  cfg.ensure_valid();
+
+  PipelineReport out;
+  out.tc_ps = tc_ps;
+  out.initial_delay_ps = initial_delay_ps > 0.0
+                             ? initial_delay_ps
+                             : critical_delay_ps(nl, ctx, cfg);
+  out.initial_area_um = nl.total_width_um();
+
+  double delay = out.initial_delay_ps;
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassReport rep;
+    rep.pass_name = std::string(pass->name());
+    rep.delay_before_ps = delay;
+    rep.area_before_um = nl.total_width_um();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    pass->run(nl, ctx, cfg, tc_ps, rep);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    rep.runtime_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    delay = critical_delay_ps(nl, ctx, cfg);
+    rep.delay_after_ps = delay;
+    rep.area_after_um = nl.total_width_um();
+    out.passes.push_back(std::move(rep));
+  }
+
+  out.final_delay_ps = delay;
+  out.final_area_um = nl.total_width_um();
+  out.met = out.final_delay_ps <= tc_ps * 1.0001;
+  return out;
+}
+
+}  // namespace pops::api

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "pops/api/passes.hpp"
 
 namespace pops::core {
 
@@ -31,8 +34,48 @@ const char* to_string(Method m) noexcept {
   return "?";
 }
 
+namespace {
+
+void throw_if_any(const std::vector<std::string>& problems) {
+  if (problems.empty()) return;
+  std::string msg = "invalid options:";
+  for (const std::string& p : problems) msg += "\n  - " + p;
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+std::vector<std::string> ProtocolOptions::problems() const {
+  std::vector<std::string> out;
+  if (!(hard_ratio >= 1.0))
+    out.push_back("hard_ratio must be >= 1 (got " +
+                  std::to_string(hard_ratio) + ")");
+  if (!(hard_ratio < weak_ratio))
+    out.push_back(
+        "hard_ratio must be < weak_ratio or the Medium domain is empty "
+        "(got hard_ratio=" + std::to_string(hard_ratio) +
+        ", weak_ratio=" + std::to_string(weak_ratio) + ")");
+  return out;
+}
+
+void ProtocolOptions::validate() const { throw_if_any(problems()); }
+
+std::vector<std::string> CircuitOptions::problems() const {
+  std::vector<std::string> out;
+  if (max_paths == 0) out.push_back("max_paths must be > 0");
+  if (max_rounds <= 0) out.push_back("max_rounds must be > 0");
+  if (!(tc_margin > 0.0 && tc_margin <= 1.0))
+    out.push_back("tc_margin must be in (0, 1] (got " +
+                  std::to_string(tc_margin) + ")");
+  for (std::string& p : protocol.problems()) out.push_back(std::move(p));
+  return out;
+}
+
+void CircuitOptions::validate() const { throw_if_any(problems()); }
+
 ConstraintDomain classify_constraint(double tc_ps, double tmin_ps,
                                      const ProtocolOptions& opt) {
+  opt.validate();
   if (tc_ps < tmin_ps) return ConstraintDomain::Infeasible;
   if (tc_ps < opt.hard_ratio * tmin_ps) return ConstraintDomain::Hard;
   if (tc_ps <= opt.weak_ratio * tmin_ps) return ConstraintDomain::Medium;
@@ -211,49 +254,9 @@ ProtocolResult optimize_path(const BoundedPath& path, const DelayModel& dm,
 CircuitResult optimize_circuit(netlist::Netlist& nl, const DelayModel& dm,
                                FlimitTable& table, double tc_ps,
                                const CircuitOptions& opt) {
-  CircuitResult out;
-  out.tc_ps = tc_ps;
-
-  timing::StaOptions sta_opt;
-  sta_opt.pi_slew_ps = opt.pi_slew_ps;
-  const timing::Sta sta(nl, dm, sta_opt);
-  const double input_slew =
-      opt.pi_slew_ps > 0.0 ? opt.pi_slew_ps : dm.default_input_slew_ps();
-
-  for (int round = 0; round < opt.max_rounds; ++round) {
-    const timing::StaResult result = sta.run();
-    if (result.critical_delay_ps <= tc_ps) break;
-
-    // Tighten per-path targets round by round: resizing one path loads its
-    // neighbours, so a straight Tc target leaves residual violations.
-    const double margin =
-        std::pow(opt.tc_margin, static_cast<double>(round + 1));
-    const double path_tc = tc_ps * margin;
-
-    const std::vector<timing::TimedPath> paths =
-        sta.k_critical_paths(result, opt.max_paths);
-    bool any_change = false;
-    for (const timing::TimedPath& tp : paths) {
-      if (tp.delay_ps <= path_tc) continue;  // already fast enough
-      if (tp.points.size() < 2) continue;
-      BoundedPath bp = BoundedPath::extract(nl, tp, input_slew);
-      // Circuit mode applies sizing only (see header); the protocol's
-      // structural rewrites are evaluated but only surviving stages carry
-      // their sizes back to the netlist.
-      ProtocolResult pr = optimize_path(bp, dm, table, path_tc, opt.protocol);
-      pr.sizing.path.apply_sizes_to(nl);
-      out.per_path.push_back(std::move(pr));
-      ++out.paths_optimized;
-      any_change = true;
-    }
-    if (!any_change) break;
-  }
-
-  const timing::StaResult final_sta = sta.run();
-  out.achieved_delay_ps = final_sta.critical_delay_ps;
-  out.area_um = nl.total_width_um();
-  out.met = final_sta.critical_delay_ps <= tc_ps * 1.0001;
-  return out;
+  // Forwarding shim: the circuit-level driver loop moved to the unified
+  // pipeline API (api::ProtocolPass), which validates `opt` and `tc_ps`.
+  return api::ProtocolPass::run_protocol(nl, dm, table, tc_ps, opt);
 }
 
 }  // namespace pops::core

@@ -50,6 +50,16 @@ struct ProtocolOptions {
   bool allow_restructuring = true;
   BoundsOptions bounds;
   SensitivityOptions sensitivity;
+
+  /// Every violated invariant (hard_ratio < 1, or hard_ratio >=
+  /// weak_ratio, which silently empties the Medium domain), as
+  /// human-readable diagnostics. Empty when usable. Single source of
+  /// truth shared with api::OptimizerConfig::validate.
+  std::vector<std::string> problems() const;
+
+  /// Throws std::invalid_argument listing the problems; no-op when valid.
+  /// Called by every consumer.
+  void validate() const;
 };
 
 /// Classify `tc` against `tmin` with the Fig. 6 thresholds.
@@ -108,6 +118,13 @@ struct CircuitOptions {
   double tc_margin = 0.97;
   ProtocolOptions protocol;
   double pi_slew_ps = -1.0;     ///< forwarded to STA
+
+  /// Every violated driver invariant (max_paths == 0, max_rounds <= 0,
+  /// tc_margin outside (0,1]) plus protocol.problems().
+  std::vector<std::string> problems() const;
+
+  /// Throws std::invalid_argument listing the problems; no-op when valid.
+  void validate() const;
 };
 
 /// Apply the protocol to a netlist: repeatedly extract the K most critical
@@ -117,6 +134,10 @@ struct CircuitOptions {
 /// applied to the netlist (sizing only) — structural rewrites are offered
 /// at the path level where their cost can be judged; this mirrors POPS's
 /// path-by-path operation.
+///
+/// Forwarding shim: the driver loop lives in api::ProtocolPass (the
+/// unified pipeline API, see pops/api/api.hpp); this entry point is kept
+/// for source compatibility and forwards unchanged.
 CircuitResult optimize_circuit(netlist::Netlist& nl,
                                const timing::DelayModel& dm,
                                FlimitTable& table, double tc_ps,

@@ -145,21 +145,25 @@ namespace {
 
 /// Shared implementation of the two netlist-level De Morgan rewrites.
 NodeId demorgan_rewrite(Netlist& nl, NodeId id, bool from_nor) {
-  const netlist::Node& node = nl.node(id);
-  if (node.is_input)
-    throw std::invalid_argument("demorgan: " + node.name + " is a PI");
-  if (from_nor ? !is_nor(node.kind) : !is_nand(node.kind))
-    throw std::invalid_argument("demorgan: " + node.name +
+  // Copy everything needed out of the node up front: add_gate below
+  // appends to the netlist's node vector, which may reallocate and leave a
+  // Node reference dangling.
+  const std::string base_name = nl.node(id).name;
+  const std::vector<NodeId> fanins = nl.node(id).fanins;
+  const liberty::CellKind kind = nl.node(id).kind;
+  if (nl.node(id).is_input)
+    throw std::invalid_argument("demorgan: " + base_name + " is a PI");
+  if (from_nor ? !is_nor(kind) : !is_nand(kind))
+    throw std::invalid_argument("demorgan: " + base_name +
                                 " is not of the expected kind");
-  const int arity = nl.lib().cell(node.kind).fanin;
+  const int arity = nl.lib().cell(kind).fanin;
 
   // 1. Inverters on every fanin. (A fanin that is itself an inverter could
   //    be bypassed, but only when it keeps another fanout — left to a
   //    separate peephole pass to keep this rewrite always-legal.)
-  const std::vector<NodeId> fanins = node.fanins;  // copy: we mutate below
   for (NodeId f : fanins) {
     const NodeId inv =
-        nl.add_gate(CellKind::Inv, nl.fresh_name(node.name + "_din"), {f});
+        nl.add_gate(CellKind::Inv, nl.fresh_name(base_name + "_din"), {f});
     nl.rewire_fanin(id, f, inv);
   }
 

@@ -1,0 +1,324 @@
+// The unified pipeline API: config validation, pass ordering, report
+// aggregation, legacy-shim equivalence, and run_many determinism across
+// thread counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pops/api/api.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/timing/sta.hpp"
+
+namespace {
+
+using namespace pops;
+using api::OptContext;
+using api::Optimizer;
+using api::OptimizerConfig;
+using api::PassPipeline;
+using api::PipelineReport;
+using netlist::Netlist;
+
+// ---------------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------------
+
+TEST(OptimizerConfig, DefaultIsValid) {
+  EXPECT_TRUE(OptimizerConfig{}.validate().empty());
+  EXPECT_NO_THROW(OptimizerConfig{}.ensure_valid());
+}
+
+TEST(OptimizerConfig, InvertedDomainRatiosRejected) {
+  OptimizerConfig cfg;
+  cfg.with_domain_ratios(2.5, 1.2);  // hard >= weak: Medium domain empty
+  const auto problems = cfg.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_THROW(cfg.ensure_valid(), api::ConfigError);
+}
+
+TEST(OptimizerConfig, SubUnityHardRatioRejected) {
+  OptimizerConfig cfg;
+  cfg.hard_ratio = 0.5;
+  EXPECT_THROW(cfg.ensure_valid(), api::ConfigError);
+}
+
+TEST(OptimizerConfig, BadMarginAndPathsRejected) {
+  OptimizerConfig cfg;
+  cfg.tc_margin = 0.0;
+  cfg.max_paths = 0;
+  cfg.max_rounds = -1;
+  const auto problems = cfg.validate();
+  EXPECT_GE(problems.size(), 3u);  // every problem reported, not just one
+}
+
+TEST(OptimizerConfig, ErrorListsEveryProblem) {
+  OptimizerConfig cfg;
+  cfg.tc_margin = 2.0;
+  cfg.shield_fanout = 0.5;
+  try {
+    cfg.ensure_valid();
+    FAIL() << "expected ConfigError";
+  } catch (const api::ConfigError& e) {
+    EXPECT_EQ(e.problems().size(), 2u);
+    EXPECT_NE(std::string(e.what()).find("tc_margin"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("shield_fanout"), std::string::npos);
+  }
+}
+
+TEST(OptimizerConfig, AllPassesDisabledRejected) {
+  OptimizerConfig cfg;
+  cfg.with_shielding(false).with_cleanup(false).with_protocol(false);
+  EXPECT_THROW(cfg.ensure_valid(), api::ConfigError);
+}
+
+TEST(OptimizerConfig, OptimizerConstructionValidates) {
+  OptContext ctx;
+  OptimizerConfig cfg;
+  cfg.weak_ratio = 1.0;  // < hard_ratio
+  EXPECT_THROW(Optimizer(ctx, cfg), api::ConfigError);
+}
+
+TEST(OptimizerConfig, LegacyRoundTripPreservesKnobs) {
+  core::CircuitOptions legacy;
+  legacy.max_paths = 7;
+  legacy.max_rounds = 3;
+  legacy.tc_margin = 0.9;
+  legacy.protocol.hard_ratio = 1.4;
+  legacy.protocol.weak_ratio = 2.0;
+  const OptimizerConfig cfg = OptimizerConfig::from_legacy(legacy);
+  const core::CircuitOptions back = cfg.circuit_options();
+  EXPECT_EQ(back.max_paths, legacy.max_paths);
+  EXPECT_EQ(back.max_rounds, legacy.max_rounds);
+  EXPECT_DOUBLE_EQ(back.tc_margin, legacy.tc_margin);
+  EXPECT_DOUBLE_EQ(back.protocol.hard_ratio, legacy.protocol.hard_ratio);
+  EXPECT_DOUBLE_EQ(back.protocol.weak_ratio, legacy.protocol.weak_ratio);
+}
+
+// Legacy structs now diagnose instead of silently misclassifying.
+TEST(LegacyOptions, ProtocolOptionsValidate) {
+  core::ProtocolOptions opt;
+  opt.hard_ratio = 3.0;  // >= weak_ratio (2.5)
+  EXPECT_THROW(core::classify_constraint(100.0, 50.0, opt),
+               std::invalid_argument);
+}
+
+TEST(LegacyOptions, CircuitOptionsValidate) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+  core::FlimitTable table;
+  core::CircuitOptions opt;
+  opt.tc_margin = 1.5;
+  EXPECT_THROW(core::optimize_circuit(nl, ctx.dm(), table, 100.0, opt),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+TEST(OptContextTest, OwnsConsistentState) {
+  OptContext ctx(process::Technology::cmos018());
+  EXPECT_EQ(ctx.tech().name, "generic-cmos018");
+  EXPECT_EQ(&ctx.dm().lib(), &ctx.lib());
+  EXPECT_GT(ctx.lib().cref_ff(), 0.0);
+}
+
+TEST(OptContextTest, WarmFlimitsCoversAllPairs) {
+  OptContext ctx;
+  ctx.warm_flimits();
+  // A warmed table returns without recomputation; spot-check a few pairs.
+  const double f = ctx.flimits().get(ctx.dm(), liberty::CellKind::Inv,
+                                     liberty::CellKind::Inv);
+  EXPECT_GT(f, 1.0);
+}
+
+TEST(OptContextTest, RngStreamsAreDeterministicAndDistinct) {
+  OptContext ctx;
+  util::Rng a1 = ctx.make_rng(0), a2 = ctx.make_rng(0), b = ctx.make_rng(1);
+  EXPECT_EQ(a1(), a2());
+  util::Rng a3 = ctx.make_rng(0);
+  EXPECT_NE(a3(), b());
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline structure
+// ---------------------------------------------------------------------------
+
+TEST(PassPipelineTest, StandardOrderIsShieldCancelSweepProtocol) {
+  const PassPipeline p = PassPipeline::standard(OptimizerConfig{});
+  const std::vector<std::string> expected = {"shield", "cancel-inverters",
+                                             "sweep-dead", "protocol"};
+  EXPECT_EQ(p.pass_names(), expected);
+}
+
+TEST(PassPipelineTest, ConfigFlagsGatePasses) {
+  OptimizerConfig cfg;
+  cfg.with_shielding(false).with_cleanup(false);
+  const PassPipeline p = PassPipeline::standard(cfg);
+  EXPECT_EQ(p.pass_names(), std::vector<std::string>{"protocol"});
+}
+
+TEST(PassPipelineTest, ReportHasOneEntryPerPass) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+  Optimizer opt(ctx);
+  const PipelineReport r = opt.run_relative(nl, 0.85);
+  ASSERT_EQ(r.passes.size(), 4u);
+  EXPECT_EQ(r.passes[0].pass_name, "shield");
+  EXPECT_EQ(r.passes[3].pass_name, "protocol");
+  EXPECT_TRUE(r.passes[3].circuit.has_value());
+}
+
+TEST(PassPipelineTest, AggregatesMatchPerPassSums) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c880");
+  Optimizer opt(ctx);
+  // Tight enough that the protocol pass still has work after shielding.
+  const PipelineReport r = opt.run_relative(nl, 0.6);
+
+  std::size_t buffers = 0, rewired = 0, removed = 0, paths = 0;
+  double ms = 0.0;
+  for (const api::PassReport& p : r.passes) {
+    buffers += p.buffers_inserted;
+    rewired += p.sinks_rewired;
+    removed += p.gates_removed;
+    paths += p.paths_optimized;
+    ms += p.runtime_ms;
+  }
+  EXPECT_EQ(r.total_buffers_inserted(), buffers);
+  EXPECT_EQ(r.total_sinks_rewired(), rewired);
+  EXPECT_EQ(r.total_gates_removed(), removed);
+  EXPECT_EQ(r.total_paths_optimized(), paths);
+  EXPECT_DOUBLE_EQ(r.total_runtime_ms(), ms);
+
+  // The report envelope is consistent with the pass chain.
+  EXPECT_DOUBLE_EQ(r.passes.front().delay_before_ps, r.initial_delay_ps);
+  EXPECT_DOUBLE_EQ(r.passes.back().delay_after_ps, r.final_delay_ps);
+  EXPECT_GT(r.total_paths_optimized(), 0u);
+}
+
+TEST(PassPipelineTest, CustomPipelineRuns) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+  Optimizer opt(ctx);
+  PassPipeline custom;
+  custom.emplace<api::CancelInvertersPass>()
+      .emplace<api::SweepDeadPass>();
+  opt.set_pipeline(std::move(custom));
+  const PipelineReport r = opt.run(nl, 1e6);
+  EXPECT_EQ(r.passes.size(), 2u);
+  EXPECT_TRUE(r.met);  // effectively unconstrained
+}
+
+TEST(PassPipelineTest, RejectsNonPositiveTc) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+  Optimizer opt(ctx);
+  EXPECT_THROW(opt.run(nl, 0.0), std::invalid_argument);
+  EXPECT_THROW(opt.run(nl, -5.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Shim equivalence: the unified API drives the same kernels as the legacy
+// free functions, so protocol-only results must be bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(ShimEquivalence, ProtocolOnlyPipelineMatchesOptimizeCircuit) {
+  OptContext ctx_api;
+  Netlist nl_api = netlist::make_benchmark(ctx_api.lib(), "c499");
+  Netlist nl_legacy = netlist::make_benchmark(ctx_api.lib(), "c499");
+
+  const double initial =
+      timing::Sta(nl_api, ctx_api.dm()).run().critical_delay_ps;
+  const double tc = 0.8 * initial;
+
+  OptimizerConfig cfg;
+  cfg.with_shielding(false).with_cleanup(false);
+  Optimizer opt(ctx_api, cfg);
+  const PipelineReport r_api = opt.run(nl_api, tc);
+
+  core::FlimitTable table;
+  const core::CircuitResult r_legacy =
+      core::optimize_circuit(nl_legacy, ctx_api.dm(), table, tc, {});
+
+  ASSERT_NE(r_api.protocol(), nullptr);
+  EXPECT_EQ(r_api.protocol()->paths_optimized, r_legacy.paths_optimized);
+  EXPECT_DOUBLE_EQ(r_api.protocol()->achieved_delay_ps,
+                   r_legacy.achieved_delay_ps);
+  EXPECT_DOUBLE_EQ(r_api.final_area_um, r_legacy.area_um);
+  for (netlist::NodeId id : nl_api.gates())
+    EXPECT_DOUBLE_EQ(nl_api.drive(id),
+                     nl_legacy.drive(nl_legacy.find(nl_api.node(id).name)));
+}
+
+// ---------------------------------------------------------------------------
+// run_many: determinism across thread counts
+// ---------------------------------------------------------------------------
+
+std::vector<Netlist> make_fleet(const OptContext& ctx) {
+  std::vector<Netlist> fleet;
+  for (const char* name : {"c17", "c432", "c499", "Adder16"})
+    fleet.push_back(netlist::make_benchmark(ctx.lib(), name));
+  return fleet;
+}
+
+TEST(RunMany, OneThreadVsFourThreadsBitIdentical) {
+  OptContext ctx1, ctx4;
+  std::vector<Netlist> fleet1 = make_fleet(ctx1);
+  std::vector<Netlist> fleet4 = make_fleet(ctx4);
+
+  Optimizer opt1(ctx1), opt4(ctx4);
+  const auto r1 = opt1.run_many_relative(fleet1, 0.85, 1);
+  const auto r4 = opt4.run_many_relative(fleet4, 0.85, 4);
+
+  ASSERT_EQ(r1.size(), fleet1.size());
+  ASSERT_EQ(r4.size(), fleet4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1[i].tc_ps, r4[i].tc_ps) << i;
+    EXPECT_DOUBLE_EQ(r1[i].final_delay_ps, r4[i].final_delay_ps) << i;
+    EXPECT_DOUBLE_EQ(r1[i].final_area_um, r4[i].final_area_um) << i;
+    EXPECT_EQ(r1[i].total_buffers_inserted(), r4[i].total_buffers_inserted())
+        << i;
+    EXPECT_EQ(r1[i].total_paths_optimized(), r4[i].total_paths_optimized())
+        << i;
+    // The optimized netlists themselves are bit-identical.
+    ASSERT_EQ(fleet1[i].size(), fleet4[i].size()) << i;
+    for (netlist::NodeId id : fleet1[i].gates())
+      EXPECT_DOUBLE_EQ(
+          fleet1[i].drive(id),
+          fleet4[i].drive(fleet4[i].find(fleet1[i].node(id).name)))
+          << i;
+  }
+}
+
+TEST(RunMany, ReportsInInputOrder) {
+  OptContext ctx;
+  std::vector<Netlist> fleet = make_fleet(ctx);
+  std::vector<double> initial;
+  for (const Netlist& nl : fleet)
+    initial.push_back(timing::Sta(nl, ctx.dm()).run().critical_delay_ps);
+
+  Optimizer opt(ctx);
+  const auto reports = opt.run_many_relative(fleet, 0.9, 2);
+  ASSERT_EQ(reports.size(), fleet.size());
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    EXPECT_NEAR(reports[i].tc_ps, 0.9 * initial[i], 1e-9) << i;
+}
+
+TEST(RunMany, EmptySpanIsNoop) {
+  OptContext ctx;
+  Optimizer opt(ctx);
+  std::vector<Netlist> none;
+  EXPECT_TRUE(opt.run_many(none, 100.0, 4).empty());
+}
+
+TEST(RunMany, WorkerExceptionPropagates) {
+  OptContext ctx;
+  std::vector<Netlist> fleet = make_fleet(ctx);
+  Optimizer opt(ctx);
+  EXPECT_THROW(opt.run_many(fleet, -1.0, 2), std::invalid_argument);
+}
+
+}  // namespace
