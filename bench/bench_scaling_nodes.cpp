@@ -13,17 +13,19 @@
 //     multi-worker batch faster on multi-core hosts.
 
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
+#include "pops/util/json.hpp"
 
 namespace {
 
 using namespace pops;
 using namespace bench_common;
 
-void technology_scaling() {
+void technology_scaling(util::Json& doc) {
   print_header(
       "Extension — the protocol across technology nodes (0.25/0.18/0.13um)",
       "Tmin tracks tau; Flimit and the domain structure are "
@@ -39,6 +41,7 @@ void technology_scaling() {
                  "Flimit nor3", "area @1.2Tmin (um)"});
   for (std::size_t c = 1; c < 6; ++c) t.set_align(c, util::Align::Right);
 
+  util::Json rows = util::Json::array();
   for (const process::Technology& tech : nodes) {
     api::OptContext ctx(tech);
     const timing::DelayModel& dm = ctx.dm();
@@ -49,14 +52,25 @@ void technology_scaling() {
     const core::SizingResult sized =
         core::size_for_constraint(pc.path, dm, 1.2 * bounds.tmin_ps);
 
+    const double flimit_inv =
+        table.get(dm, liberty::CellKind::Inv, liberty::CellKind::Inv);
+    const double flimit_nor3 =
+        table.get(dm, liberty::CellKind::Inv, liberty::CellKind::Nor3);
     t.add_row({tech.name, util::fmt(tech.tau_ps, 1),
                util::fmt(bounds.tmin_ps * 1e-3, 3),
-               util::fmt(table.get(dm, liberty::CellKind::Inv,
-                                   liberty::CellKind::Inv), 2),
-               util::fmt(table.get(dm, liberty::CellKind::Inv,
-                                   liberty::CellKind::Nor3), 2),
+               util::fmt(flimit_inv, 2), util::fmt(flimit_nor3, 2),
                util::fmt(sized.area_um, 1)});
+
+    util::Json row = util::Json::object();
+    row["node"] = tech.name;
+    row["tau_ps"] = tech.tau_ps;
+    row["tmin_c1355_ps"] = bounds.tmin_ps;
+    row["flimit_inv"] = flimit_inv;
+    row["flimit_nor3"] = flimit_nor3;
+    row["area_at_1p2_tmin_um"] = sized.area_um;
+    rows.push_back(std::move(row));
   }
+  doc["technology_scaling"] = std::move(rows);
   std::printf("%s", t.str().c_str());
 }
 
@@ -67,7 +81,7 @@ std::vector<Netlist> make_iscas_fleet(const api::OptContext& ctx) {
   return fleet;
 }
 
-void batch_scaling() {
+void batch_scaling(util::Json& doc) {
   std::printf("\n");
   print_header(
       "Extension — batch throughput: Optimizer::run_many over the ISCAS set",
@@ -109,12 +123,36 @@ void batch_scaling() {
   std::printf("(host has %u hardware threads; the speed-up saturates at "
               "min(4, cores, circuits))\n",
               std::thread::hardware_concurrency());
+
+  util::Json batch = util::Json::object();
+  batch["circuits"] = fleet1.size();
+  batch["tc_ratio"] = kRatio;
+  batch["ms_1_thread"] = ms1;
+  batch["ms_4_threads"] = ms4;
+  batch["speedup"] = ms1 / ms4;
+  batch["identical"] = identical;
+  batch["met"] = met;
+  batch["hardware_threads"] = std::thread::hardware_concurrency();
+  doc["batch_throughput"] = std::move(batch);
 }
 
 }  // namespace
 
-int main() {
-  technology_scaling();
-  batch_scaling();
+int main(int argc, char** argv) {
+  // Machine-readable timings ride along with the stdout tables so the
+  // perf trajectory can be tracked across PRs (BENCH_*.json artifacts).
+  util::Json doc = util::Json::object();
+  doc["bench"] = "scaling_nodes";
+  technology_scaling(doc);
+  batch_scaling(doc);
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_scaling_nodes.json";
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("\nJSON timings written to %s\n", json_path);
   return 0;
 }

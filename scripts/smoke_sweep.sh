@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# pops_sweep smoke: run a small sweep on a real ISCAS netlist (c17) twice
+# and assert (a) the report is valid JSON, (b) the repeat run is served
+# from the result cache, (c) cached points are bit-identical to fresh ones.
+# Shared by scripts/ci.sh and the GitHub workflow so the fixture and the
+# assertions cannot drift.
+# Usage: scripts/smoke_sweep.sh <build-dir>
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:?usage: smoke_sweep.sh <build-dir>}"
+
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+
+cat > "${SMOKE_DIR}/c17.bench" <<'BENCH'
+# c17 ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+BENCH
+
+"${BUILD_DIR}/pops_sweep" --tc 0.8,0.9,1.0 --repeat 2 \
+    --out "${SMOKE_DIR}/report.json" "${SMOKE_DIR}/c17.bench"
+
+python3 - "${SMOKE_DIR}/report.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)  # must be valid JSON
+assert report["tool"] == "pops_sweep"
+assert len(report["sweeps"]) == 2
+assert all(len(s["points"]) == 3 for s in report["sweeps"])
+assert report["sweeps"][1]["cache"]["hits"] > 0, "repeat run must hit the cache"
+first, second = (s["points"] for s in report["sweeps"])
+for a, b in zip(first, second):
+    assert b["report"]["from_cache"]
+    assert a["report"]["final_delay_ps"] == b["report"]["final_delay_ps"]
+    assert a["report"]["final_area_um"] == b["report"]["final_area_um"]
+print("pops_sweep smoke OK:", len(first), "points, cache hits on repeat")
+PY

@@ -16,3 +16,4 @@
 #include "pops/api/pass.hpp"
 #include "pops/api/passes.hpp"
 #include "pops/api/pipeline.hpp"
+#include "pops/api/registry.hpp"

@@ -11,6 +11,7 @@
 // benchmarks) reproducible.
 
 #include <cstdint>
+#include <memory>
 
 #include "pops/core/buffer.hpp"
 #include "pops/liberty/library.hpp"
@@ -18,7 +19,74 @@
 #include "pops/timing/delay_model.hpp"
 #include "pops/util/rng.hpp"
 
+namespace pops::netlist {
+class Netlist;
+}
+
 namespace pops::api {
+
+class OptContext;
+struct OptimizerConfig;
+class PassPipeline;
+struct PipelineReport;
+
+/// Key of one memoized optimization point: circuit content, effective
+/// configuration (config + pipeline + context characterization), and the
+/// exact constraint value. Two points with equal keys produce bit-identical
+/// results, so a cached entry may be replayed in place of a fresh run.
+struct ResultCacheKey {
+  std::uint64_t circuit_hash = 0;  ///< content hash of the input netlist
+  std::uint64_t config_hash = 0;   ///< config + pipeline + context tuple
+  std::uint64_t tc_bits = 0;       ///< bit pattern of the absolute Tc (ps)
+  friend bool operator==(const ResultCacheKey&,
+                         const ResultCacheKey&) = default;
+};
+
+/// Hook through which the Optimizer memoizes converged runs. The concrete
+/// implementation lives one layer up (service::ResultCache); the api layer
+/// only depends on this interface, so OptContext can own a cache without
+/// the api -> service dependency inversion.
+///
+/// Contract: lookup must only report a hit for a key produced by make_key
+/// on identical inputs, and must then restore the netlist and report
+/// bit-identically to the run store() recorded. Implementations must be
+/// safe for concurrent calls (Optimizer::run_many workers share the hook).
+class ResultCacheHook {
+ public:
+  virtual ~ResultCacheHook() = default;
+
+  /// Key for optimizing `nl` under (cfg, pipeline, tc_ps) in this context.
+  virtual ResultCacheKey make_key(const OptContext& ctx,
+                                  const netlist::Netlist& nl,
+                                  const OptimizerConfig& cfg,
+                                  const PassPipeline& pipeline,
+                                  double tc_ps) const = 0;
+
+  /// On a hit: overwrite `nl` with the cached optimized netlist, fill
+  /// `report`, and return true. On a miss: record the miss, return false.
+  virtual bool lookup(const ResultCacheKey& key, netlist::Netlist& nl,
+                      PipelineReport& report) = 0;
+
+  /// Record a freshly computed result (`nl` is the *optimized* netlist).
+  virtual void store(const ResultCacheKey& key, const netlist::Netlist& nl,
+                     const PipelineReport& report) = 0;
+
+  /// Memoized initial critical delay for the circuit + configuration of
+  /// `key` (tc_bits ignored), or a negative value when unknown. Relative
+  /// runs need one STA to turn a Tc ratio into the absolute constraint
+  /// before they can even form the full key; memoizing it makes repeated
+  /// sweep points O(lookup) end to end. Optional: the defaults keep a
+  /// hook lookup-only.
+  virtual double initial_delay_ps(const ResultCacheKey& key) const {
+    (void)key;
+    return -1.0;
+  }
+  virtual void store_initial_delay(const ResultCacheKey& key,
+                                   double delay_ps) {
+    (void)key;
+    (void)delay_ps;
+  }
+};
 
 class OptContext {
  public:
@@ -55,6 +123,24 @@ class OptContext {
   /// out).
   void warm_flimits();
 
+  /// Install (or remove, with nullptr) a result cache: every Optimizer
+  /// bound to this context memoizes converged runs through it. Shared
+  /// ownership lets services hold the cache (for stats) alongside the
+  /// context. Entries are context-bound — the key includes the context
+  /// identity, because cached netlists/reports point into the storing
+  /// context — so installing one cache on several contexts is safe but
+  /// points only hit within the context that stored them.
+  void set_result_cache(std::shared_ptr<ResultCacheHook> cache) noexcept {
+    result_cache_ = std::move(cache);
+  }
+  ResultCacheHook* result_cache() const noexcept {
+    return result_cache_.get();
+  }
+  const std::shared_ptr<ResultCacheHook>& result_cache_shared()
+      const noexcept {
+    return result_cache_;
+  }
+
   static constexpr std::uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ull;
 
  private:
@@ -62,6 +148,7 @@ class OptContext {
   timing::DelayModel dm_;
   core::FlimitTable flimits_;
   std::uint64_t rng_seed_;
+  std::shared_ptr<ResultCacheHook> result_cache_;
 };
 
 }  // namespace pops::api

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -23,8 +24,29 @@ void Optimizer::set_pipeline(PassPipeline pipeline) {
   pipeline_ = std::move(pipeline);
 }
 
+PipelineReport Optimizer::run_point(netlist::Netlist& nl, double tc_ps,
+                                    double initial_delay) const {
+  ResultCacheHook* cache = ctx_->result_cache();
+  // Invalid Tc must throw (from pipeline.run) without polluting the
+  // cache's miss counter.
+  if (!cache || !(tc_ps > 0.0))
+    return pipeline_.run(nl, *ctx_, cfg_, tc_ps, initial_delay);
+
+  // Key on the *input* netlist before the pipeline mutates it.
+  const ResultCacheKey key =
+      cache->make_key(*ctx_, nl, cfg_, pipeline_, tc_ps);
+  PipelineReport report;
+  if (cache->lookup(key, nl, report)) {
+    report.from_cache = true;
+    return report;
+  }
+  report = pipeline_.run(nl, *ctx_, cfg_, tc_ps, initial_delay);
+  cache->store(key, nl, report);
+  return report;
+}
+
 PipelineReport Optimizer::run(netlist::Netlist& nl, double tc_ps) const {
-  return pipeline_.run(nl, *ctx_, cfg_, tc_ps);
+  return run_point(nl, tc_ps, -1.0);
 }
 
 double Optimizer::initial_delay_ps(const netlist::Netlist& nl) const {
@@ -33,13 +55,45 @@ double Optimizer::initial_delay_ps(const netlist::Netlist& nl) const {
   return timing::Sta(nl, ctx_->dm(), opt).run().critical_delay_ps;
 }
 
+PipelineReport Optimizer::run_relative_point(netlist::Netlist& nl,
+                                             double tc_ratio) const {
+  ResultCacheHook* cache = ctx_->result_cache();
+  if (!cache) {
+    // One STA both derives Tc and seeds the report's initial delay.
+    const double initial = initial_delay_ps(nl);
+    return pipeline_.run(nl, *ctx_, cfg_, tc_ratio * initial, initial);
+  }
+
+  // The full key needs the absolute Tc, which needs the initial delay —
+  // so the STA itself is memoized under the tc-less half of the key.
+  ResultCacheKey key = cache->make_key(*ctx_, nl, cfg_, pipeline_, 0.0);
+  double initial = cache->initial_delay_ps(key);
+  if (!(initial > 0.0)) {
+    initial = initial_delay_ps(nl);
+    if (initial > 0.0) cache->store_initial_delay(key, initial);
+  }
+  const double tc_ps = tc_ratio * initial;
+  // A degenerate derived Tc (e.g. a gate-free netlist with zero critical
+  // delay) must throw from pipeline.run without polluting the miss
+  // counter — same invariant as run_point.
+  if (!(tc_ps > 0.0)) return pipeline_.run(nl, *ctx_, cfg_, tc_ps, initial);
+  key.tc_bits = std::bit_cast<std::uint64_t>(tc_ps);
+
+  PipelineReport report;
+  if (cache->lookup(key, nl, report)) {
+    report.from_cache = true;
+    return report;
+  }
+  report = pipeline_.run(nl, *ctx_, cfg_, tc_ps, initial);
+  cache->store(key, nl, report);
+  return report;
+}
+
 PipelineReport Optimizer::run_relative(netlist::Netlist& nl,
                                        double tc_ratio) const {
   if (!(tc_ratio > 0.0))
     throw std::invalid_argument("Optimizer: tc_ratio must be > 0");
-  // One STA both derives Tc and seeds the report's initial delay.
-  const double initial = initial_delay_ps(nl);
-  return pipeline_.run(nl, *ctx_, cfg_, tc_ratio * initial, initial);
+  return run_relative_point(nl, tc_ratio);
 }
 
 std::vector<PipelineReport> Optimizer::run_many(
@@ -86,11 +140,9 @@ std::vector<PipelineReport> Optimizer::run_many_impl(
       if (i >= nls.size()) return;
       try {
         if (relative) {
-          const double initial = initial_delay_ps(nls[i]);
-          reports[i] =
-              pipeline_.run(nls[i], *ctx_, cfg_, tc * initial, initial);
+          reports[i] = run_relative_point(nls[i], tc);
         } else {
-          reports[i] = pipeline_.run(nls[i], *ctx_, cfg_, tc);
+          reports[i] = run_point(nls[i], tc, -1.0);
         }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);

@@ -65,6 +65,17 @@ class Optimizer {
   std::vector<PipelineReport> run_many_impl(std::span<netlist::Netlist> nls,
                                             double tc, bool relative,
                                             std::size_t n_threads) const;
+  /// The single optimization point behind every entry point: consult the
+  /// context's ResultCacheHook (if installed) and replay a memoized run,
+  /// or run the pipeline and record the result. Cached replays are
+  /// bit-identical to fresh runs and flagged with report.from_cache.
+  PipelineReport run_point(netlist::Netlist& nl, double tc_ps,
+                           double initial_delay_ps) const;
+  /// run_point for a relative constraint: with a cache installed, even
+  /// the initial STA (needed to turn the ratio into an absolute Tc) is
+  /// memoized, so a repeated point is O(lookup) end to end.
+  PipelineReport run_relative_point(netlist::Netlist& nl,
+                                    double tc_ratio) const;
   double initial_delay_ps(const netlist::Netlist& nl) const;
 
   OptContext* ctx_;

@@ -54,6 +54,15 @@ class Pass {
   /// Stable identifier ("shield", "cancel-inverters", ...).
   virtual std::string_view name() const noexcept = 0;
 
+  /// Extra bytes folded into result-cache keys alongside name()
+  /// (api::ResultCacheHook implementations hash both). Custom passes whose
+  /// behaviour depends on constructor parameters MUST override this to
+  /// encode those parameters — otherwise two same-named pass instances
+  /// with different tuning would share cached results. The built-in
+  /// passes are fully described by the OptimizerConfig, so the default
+  /// empty salt is correct for them.
+  virtual std::string cache_salt() const { return {}; }
+
   /// Transform `nl` toward `tc_ps`, recording counters in `report`
   /// (report arrives with pass_name set and the before-envelope filled).
   virtual void run(netlist::Netlist& nl, OptContext& ctx,

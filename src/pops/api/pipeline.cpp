@@ -46,6 +46,14 @@ const core::CircuitResult* PipelineReport::protocol() const noexcept {
 
 PassPipeline& PassPipeline::add(std::unique_ptr<Pass> pass) {
   if (!pass) throw std::invalid_argument("PassPipeline::add: null pass");
+  // Pass names key per-pass reports (and registry/spec lookups); a
+  // duplicate would make them ambiguous, so reject it with a diagnostic
+  // instead of silently aggregating two passes under one name.
+  for (const auto& existing : passes_)
+    if (existing->name() == pass->name())
+      throw std::invalid_argument("PassPipeline::add: duplicate pass name '" +
+                                  std::string(pass->name()) +
+                                  "'; per-pass reports would be ambiguous");
   passes_.push_back(std::move(pass));
   return *this;
 }

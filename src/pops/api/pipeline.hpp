@@ -26,6 +26,9 @@ struct PipelineReport {
   double initial_area_um = 0.0;
   double final_area_um = 0.0;
   bool met = false;  ///< final_delay <= Tc (within STA tolerance)
+  /// True when this report was replayed from a ResultCacheHook instead of
+  /// recomputed; all other fields are bit-identical to the original run.
+  bool from_cache = false;
 
   std::vector<PassReport> passes;  ///< one entry per executed pass
 
@@ -47,7 +50,9 @@ class PassPipeline {
   PassPipeline(PassPipeline&&) = default;
   PassPipeline& operator=(PassPipeline&&) = default;
 
-  /// Append a pass; returns *this for chaining.
+  /// Append a pass; returns *this for chaining. Throws
+  /// std::invalid_argument for a null pass or a name already in the
+  /// pipeline (duplicate names would make per-pass reports ambiguous).
   PassPipeline& add(std::unique_ptr<Pass> pass);
 
   /// Construct-and-append. `pipeline.emplace<ShieldPass>()`.
@@ -63,6 +68,9 @@ class PassPipeline {
   std::size_t size() const noexcept { return passes_.size(); }
   bool empty() const noexcept { return passes_.empty(); }
   std::vector<std::string> pass_names() const;
+
+  /// The i-th pass, 0-based (introspection: cache keys, tooling).
+  const Pass& pass(std::size_t i) const { return *passes_.at(i); }
 
   /// Run every pass in order over `nl` toward `tc_ps`. Thread-safe for
   /// concurrent calls on distinct netlists as long as every pass keeps its

@@ -1,0 +1,83 @@
+#include "pops/api/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "pops/api/passes.hpp"
+
+namespace pops::api {
+
+PassRegistry::PassRegistry() {
+  register_pass("shield", [] { return std::make_unique<ShieldPass>(); });
+  register_pass("cancel-inverters",
+                [] { return std::make_unique<CancelInvertersPass>(); });
+  register_pass("sweep-dead", [] { return std::make_unique<SweepDeadPass>(); });
+  register_pass("protocol", [] { return std::make_unique<ProtocolPass>(); });
+}
+
+PassRegistry& PassRegistry::global() {
+  static PassRegistry registry;
+  return registry;
+}
+
+void PassRegistry::register_pass(std::string name, Factory factory) {
+  if (name.empty())
+    throw std::invalid_argument("PassRegistry: empty pass name");
+  if (!factory)
+    throw std::invalid_argument("PassRegistry: null factory for '" + name +
+                                "'");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, _] : factories_)
+    if (existing == name)
+      throw std::invalid_argument("PassRegistry: '" + name +
+                                  "' is already registered");
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool PassRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, _] : factories_)
+    if (existing == name) return true;
+  return false;
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(factories_.size());
+    for (const auto& [name, _] : factories_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [existing, f] : factories_)
+      if (existing == name) {
+        factory = f;
+        break;
+      }
+  }
+  if (!factory) {
+    std::ostringstream os;
+    os << "PassRegistry: unknown pass '" << name << "' (known:";
+    for (const std::string& n : names()) os << " " << n;
+    os << ")";
+    throw std::invalid_argument(os.str());
+  }
+  return factory();
+}
+
+PassPipeline PassRegistry::make_pipeline(
+    const std::vector<std::string>& names) const {
+  PassPipeline pipeline;
+  for (const std::string& name : names) pipeline.add(create(name));
+  return pipeline;
+}
+
+}  // namespace pops::api

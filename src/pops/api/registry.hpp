@@ -1,0 +1,59 @@
+#pragma once
+// Name -> pass-factory registry (the ROADMAP "pass plugins" seed).
+//
+// Configs and sweep specs (service/sweep.hpp) describe pipelines
+// declaratively as a list of pass names; the registry turns those names
+// into Pass instances. The built-in passes ("shield", "cancel-inverters",
+// "sweep-dead", "protocol") are pre-registered; plugins add their own
+// factories at start-up and become addressable from specs with no further
+// plumbing:
+//
+//   api::PassRegistry::global().register_pass(
+//       "retime", [] { return std::make_unique<MyRetimingPass>(); });
+//   api::PassPipeline p = api::PassRegistry::global().make_pipeline(
+//       {"shield", "retime", "protocol"});
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pops/api/pipeline.hpp"
+
+namespace pops::api {
+
+class PassRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Pass>()>;
+
+  /// A registry pre-loaded with the built-in passes.
+  PassRegistry();
+
+  /// The process-wide registry (plugins register here).
+  static PassRegistry& global();
+
+  /// Register a factory under `name`. The factory must produce passes
+  /// whose name() equals `name`. Throws std::invalid_argument on an empty
+  /// name or a name already registered. Thread-safe.
+  void register_pass(std::string name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// All registered names, sorted (stable across insertion order).
+  std::vector<std::string> names() const;
+
+  /// Instantiate the pass registered under `name`. Throws
+  /// std::invalid_argument listing the known names when absent.
+  std::unique_ptr<Pass> create(const std::string& name) const;
+
+  /// Build a pipeline from an ordered name list. Duplicate names are
+  /// rejected by PassPipeline::add; unknown names throw as in create().
+  PassPipeline make_pipeline(const std::vector<std::string>& names) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+}  // namespace pops::api

@@ -1,0 +1,232 @@
+#include "pops/service/result_cache.hpp"
+
+#include <bit>
+#include <string_view>
+
+namespace pops::service {
+
+namespace {
+
+// FNV-1a, the offset-basis/prime pair of the 64-bit variant.
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i(long long v) { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u64(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+}  // namespace
+
+std::uint64_t ResultCache::hash_netlist(const netlist::Netlist& nl) {
+  Fnv1a h;
+  // The top-level name is content too: a hit overwrites the caller's
+  // netlist wholesale, so structurally identical circuits with different
+  // names must not share entries (the replay would silently rename).
+  h.str(nl.name());
+  h.str(nl.lib().tech().name);
+  h.u64(nl.size());
+  for (netlist::NodeId id = 0; id < static_cast<netlist::NodeId>(nl.size());
+       ++id) {
+    const netlist::Node& n = nl.node(id);
+    h.str(n.name);
+    h.b(n.is_input);
+    h.i(static_cast<long long>(n.kind));
+    h.u64(n.fanins.size());
+    for (const netlist::NodeId f : n.fanins) h.i(f);
+    h.f64(n.wn_um);
+    h.f64(n.wire_cap_ff);
+    h.b(n.is_output);
+    h.f64(n.po_load_ff);
+  }
+  return h.h;
+}
+
+std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
+                                       const api::OptimizerConfig& cfg,
+                                       const api::PassPipeline& pipeline) {
+  Fnv1a h;
+  // Entries hold pointers into the storing context (the cached netlist's
+  // library, BoundedPaths inside reports), so replaying them on another
+  // context would be unsafe. Folding the context address into the key
+  // makes cross-context lookups structural misses: one cache may be
+  // installed on several contexts, but points only hit within the
+  // context that stored them. Address reuse (a context destroyed and a
+  // new one constructed at the same address) is benign: key equality
+  // also requires identical Technology/Flimit/seed below, the library is
+  // a by-value member deterministically derived from those, and the
+  // caller holds a live context at this address — so an address-reusing
+  // hit dereferences a live, bit-identical library.
+  h.u64(reinterpret_cast<std::uintptr_t>(&ctx));
+
+  // Context characterization: every Technology parameter (two contexts
+  // may carry same-named but differently calibrated nodes), the Fig. 5
+  // Flimit set-up, and the RNG seed handed to stochastic consumers.
+  const process::Technology& tech = ctx.tech();
+  h.str(tech.name);
+  h.f64(tech.feature_um);
+  h.f64(tech.vdd);
+  h.f64(tech.vtn);
+  h.f64(tech.vtp);
+  h.f64(tech.tau_ps);
+  h.f64(tech.r_ratio);
+  h.f64(tech.cgate_ff_per_um);
+  h.f64(tech.cdiff_ff_per_um);
+  h.f64(tech.wmin_um);
+  h.f64(tech.wmax_um);
+  h.f64(tech.alpha_n);
+  h.f64(tech.alpha_p);
+  h.f64(tech.idsat_n_ma_um);
+  h.f64(tech.idsat_p_ma_um);
+  const core::FlimitOptions& fo = ctx.flimits().options();
+  h.f64(fo.driver_drive_x);
+  h.f64(fo.gate_drive_x);
+  h.f64(fo.f_lo);
+  h.f64(fo.f_hi);
+  h.f64(fo.tol);
+  h.i(static_cast<long long>(fo.aggregate));
+  h.u64(ctx.rng_seed());
+
+  // The pass sequence actually run — names plus each pass's cache salt
+  // (custom passes encode constructor parameters there). The enable_*
+  // flags are NOT hashed: they only select passes for standard(), and the
+  // realized pass list captures that already.
+  bool has_shield = false;
+  bool has_protocol = false;
+  bool has_custom = false;
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    const api::Pass& pass = pipeline.pass(i);
+    const std::string_view name = pass.name();
+    h.str(name);
+    h.str(pass.cache_salt());
+    if (name == "shield") has_shield = true;
+    else if (name == "protocol") has_protocol = true;
+    else if (name != "cancel-inverters" && name != "sweep-dead")
+      has_custom = true;
+  }
+
+  // Normalized constraint tuple: only knobs a pass of this pipeline can
+  // read contribute, so e.g. a shield-margin sweep under a no-shield
+  // policy collapses to one cache entry per (circuit, Tc). An unknown
+  // (custom) pass may read any knob — hash everything then.
+  h.f64(cfg.pi_slew_ps);  // STA envelope measurement: affects every report
+  if (has_shield || has_custom) {
+    h.f64(cfg.shield_margin);
+    h.u64(cfg.max_shield_buffers);
+    h.f64(cfg.shield_fanout);
+  }
+  if (has_protocol || has_custom) {
+    h.f64(cfg.hard_ratio);
+    h.f64(cfg.weak_ratio);
+    h.b(cfg.allow_restructuring);
+    h.u64(cfg.max_paths);
+    h.i(cfg.max_rounds);
+    h.f64(cfg.tc_margin);
+    h.i(cfg.bounds.max_sweeps);
+    h.f64(cfg.bounds.tol);
+    h.f64(cfg.bounds.init_scale);
+    h.i(cfg.sensitivity.max_sweeps);
+    h.f64(cfg.sensitivity.tol);
+    h.i(cfg.sensitivity.max_bisect);
+    h.f64(cfg.sensitivity.tc_rel_tol);
+  }
+  return h.h;
+}
+
+api::ResultCacheKey ResultCache::make_key(const api::OptContext& ctx,
+                                          const netlist::Netlist& nl,
+                                          const api::OptimizerConfig& cfg,
+                                          const api::PassPipeline& pipeline,
+                                          double tc_ps) const {
+  api::ResultCacheKey key;
+  key.circuit_hash = hash_netlist(nl);
+  key.config_hash = hash_config(ctx, cfg, pipeline);
+  key.tc_bits = std::bit_cast<std::uint64_t>(tc_ps);
+  return key;
+}
+
+bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
+                         api::PipelineReport& report) {
+  const Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    entry = it->second.get();
+  }
+  // Entries are immutable and only erased by clear() (documented as
+  // unsafe while runs are in flight), so the copies may proceed outside
+  // the lock.
+  nl = entry->result;
+  report = entry->report;
+  return true;
+}
+
+void ResultCache::store(const api::ResultCacheKey& key,
+                        const netlist::Netlist& nl,
+                        const api::PipelineReport& report) {
+  auto entry = std::make_unique<const Entry>(Entry{report, nl});
+  std::lock_guard<std::mutex> lock(mu_);
+  // First writer wins; concurrent run_many workers that raced on the same
+  // point computed bit-identical results anyway.
+  map_.try_emplace(key, std::move(entry));
+}
+
+double ResultCache::initial_delay_ps(const api::ResultCacheKey& key) const {
+  api::ResultCacheKey memo_key = key;
+  memo_key.tc_bits = 0;  // the initial delay precedes any constraint
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = initial_delays_.find(memo_key);
+  return it == initial_delays_.end() ? -1.0 : it->second;
+}
+
+void ResultCache::store_initial_delay(const api::ResultCacheKey& key,
+                                      double delay_ps) {
+  api::ResultCacheKey memo_key = key;
+  memo_key.tc_bits = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  initial_delays_.try_emplace(memo_key, delay_ps);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, map_.size()};
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  initial_delays_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::size_t ResultCache::KeyHash::operator()(
+    const api::ResultCacheKey& k) const noexcept {
+  // splitmix64-style mix of the three words.
+  std::uint64_t x = k.circuit_hash;
+  x ^= k.config_hash + 0x9E3779B97F4A7C15ull + (x << 6) + (x >> 2);
+  x ^= k.tc_bits + 0x9E3779B97F4A7C15ull + (x << 6) + (x >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return static_cast<std::size_t>(x);
+}
+
+}  // namespace pops::service

@@ -1,0 +1,116 @@
+#pragma once
+// Keyed memoization of converged optimization runs.
+//
+// A constraint sweep (Tables 2-4, Figs. 6/8) re-optimizes the same
+// circuits at overlapping constraint points; every repeated (circuit,
+// config, Tc) point re-runs the whole pipeline from scratch. ResultCache
+// memoizes the converged outcome — the optimized netlist plus its
+// PipelineReport — keyed by (circuit content hash, normalized constraint
+// tuple), so a repeated point is an O(lookup) replay that is bit-identical
+// to the fresh run (entries store full copies, nothing is re-derived).
+//
+// The cache implements api::ResultCacheHook and is installed on an
+// OptContext (set_result_cache); from then on every Optimizer bound to
+// that context memoizes through it, including run_many workers (all
+// methods are mutex-guarded). Hit/miss counters are surfaced in sweep
+// reports (service/sweep.hpp) and in the pops_sweep JSON output.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "pops/api/context.hpp"
+#include "pops/api/pipeline.hpp"
+#include "pops/netlist/netlist.hpp"
+
+namespace pops::service {
+
+class ResultCache final : public api::ResultCacheHook {
+ public:
+  /// Counter snapshot (taken atomically with respect to cache updates).
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  ResultCache() = default;
+
+  // ----- api::ResultCacheHook -------------------------------------------------
+
+  /// Key = (content hash of `nl`, hash of everything else that determines
+  /// the result: config knobs, pipeline pass sequence, technology, Flimit
+  /// characterization options, RNG seed, exact Tc bits).
+  api::ResultCacheKey make_key(const api::OptContext& ctx,
+                               const netlist::Netlist& nl,
+                               const api::OptimizerConfig& cfg,
+                               const api::PassPipeline& pipeline,
+                               double tc_ps) const override;
+
+  bool lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
+              api::PipelineReport& report) override;
+
+  void store(const api::ResultCacheKey& key, const netlist::Netlist& nl,
+             const api::PipelineReport& report) override;
+
+  /// Initial-delay memo keyed by (circuit_hash, config_hash) — tc_bits is
+  /// ignored, the initial delay precedes any constraint. Not counted in
+  /// hits/misses (those track full result replays).
+  double initial_delay_ps(const api::ResultCacheKey& key) const override;
+  void store_initial_delay(const api::ResultCacheKey& key,
+                           double delay_ps) override;
+
+  // ----- introspection --------------------------------------------------------
+
+  Stats stats() const;
+  std::size_t hits() const { return stats().hits; }
+  std::size_t misses() const { return stats().misses; }
+  std::size_t size() const { return stats().entries; }
+
+  /// Drop all entries and reset the counters. Not safe to call while
+  /// optimizations are in flight on this cache (lookups copy from entries
+  /// outside the lock).
+  void clear();
+
+  // ----- hashing building blocks (exposed for tests) --------------------------
+
+  /// FNV-1a content hash over the netlist: technology name, node count,
+  /// and per node its name, role, cell kind, fanins, drive, wire cap and
+  /// PO load (doubles hashed by bit pattern — "normalized" means exact).
+  static std::uint64_t hash_netlist(const netlist::Netlist& nl);
+
+  /// Hash of the non-circuit half of the key: the pipeline's pass
+  /// sequence (name + Pass::cache_salt per pass), the context
+  /// characterization (technology, FlimitOptions, RNG seed), and the
+  /// *normalized* config tuple — only knobs a pass of this pipeline can
+  /// read contribute (shield knobs require the shield pass, protocol/
+  /// solver knobs the protocol pass; an unknown custom pass hashes
+  /// everything), so sweeping a knob no pass consumes cannot force
+  /// redundant recomputes.
+  static std::uint64_t hash_config(const api::OptContext& ctx,
+                                   const api::OptimizerConfig& cfg,
+                                   const api::PassPipeline& pipeline);
+
+ private:
+  struct Entry {
+    api::PipelineReport report;
+    netlist::Netlist result;  ///< the optimized netlist, full copy
+  };
+  struct KeyHash {
+    std::size_t operator()(const api::ResultCacheKey& k) const noexcept;
+  };
+
+  mutable std::mutex mu_;
+  // unique_ptr values: entries are immutable after insertion and
+  // node-based, so concurrent lookups may copy from an entry while other
+  // keys are being inserted.
+  std::unordered_map<api::ResultCacheKey, std::unique_ptr<const Entry>,
+                     KeyHash>
+      map_;
+  std::unordered_map<api::ResultCacheKey, double, KeyHash> initial_delays_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace pops::service

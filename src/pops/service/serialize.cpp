@@ -1,0 +1,145 @@
+#include "pops/service/serialize.hpp"
+
+namespace pops::service {
+
+using util::Json;
+
+Json to_json(const api::OptimizerConfig& cfg) {
+  Json j = Json::object();
+  j["hard_ratio"] = cfg.hard_ratio;
+  j["weak_ratio"] = cfg.weak_ratio;
+  j["allow_restructuring"] = cfg.allow_restructuring;
+  j["max_paths"] = cfg.max_paths;
+  j["max_rounds"] = cfg.max_rounds;
+  j["tc_margin"] = cfg.tc_margin;
+  j["pi_slew_ps"] = cfg.pi_slew_ps;
+  j["shield_margin"] = cfg.shield_margin;
+  j["max_shield_buffers"] = cfg.max_shield_buffers;
+  j["shield_fanout"] = cfg.shield_fanout;
+  j["enable_shielding"] = cfg.enable_shielding;
+  j["enable_cleanup"] = cfg.enable_cleanup;
+  j["enable_protocol"] = cfg.enable_protocol;
+  return j;
+}
+
+Json to_json(const core::ProtocolResult& result) {
+  Json j = Json::object();
+  j["domain"] = core::to_string(result.domain);
+  j["method"] = core::to_string(result.method);
+  j["tmin_ps"] = result.tmin_ps;
+  j["tmax_ps"] = result.tmax_ps;
+  j["delay_ps"] = result.sizing.delay_ps;
+  j["area_um"] = result.total_area_um();
+  j["buffers_inserted"] = result.buffers_inserted;
+  j["gates_restructured"] = result.gates_restructured;
+  return j;
+}
+
+Json to_json(const core::CircuitResult& result) {
+  Json j = Json::object();
+  j["tc_ps"] = result.tc_ps;
+  j["achieved_delay_ps"] = result.achieved_delay_ps;
+  j["area_um"] = result.area_um;
+  j["met"] = result.met;
+  j["paths_optimized"] = result.paths_optimized;
+  Json paths = Json::array();
+  for (const core::ProtocolResult& p : result.per_path)
+    paths.push_back(to_json(p));
+  j["per_path"] = std::move(paths);
+  return j;
+}
+
+Json to_json(const api::PassReport& report) {
+  Json j = Json::object();
+  j["pass"] = report.pass_name;
+  j["changed"] = report.changed;
+  j["delay_before_ps"] = report.delay_before_ps;
+  j["delay_after_ps"] = report.delay_after_ps;
+  j["area_before_um"] = report.area_before_um;
+  j["area_after_um"] = report.area_after_um;
+  j["runtime_ms"] = report.runtime_ms;
+  j["buffers_inserted"] = report.buffers_inserted;
+  j["sinks_rewired"] = report.sinks_rewired;
+  j["gates_removed"] = report.gates_removed;
+  j["paths_optimized"] = report.paths_optimized;
+  if (report.circuit) j["protocol"] = to_json(*report.circuit);
+  return j;
+}
+
+Json to_json(const api::PipelineReport& report) {
+  Json j = Json::object();
+  j["tc_ps"] = report.tc_ps;
+  j["met"] = report.met;
+  j["from_cache"] = report.from_cache;
+  j["initial_delay_ps"] = report.initial_delay_ps;
+  j["final_delay_ps"] = report.final_delay_ps;
+  j["initial_area_um"] = report.initial_area_um;
+  j["final_area_um"] = report.final_area_um;
+  j["buffers_inserted"] = report.total_buffers_inserted();
+  j["sinks_rewired"] = report.total_sinks_rewired();
+  j["gates_removed"] = report.total_gates_removed();
+  j["paths_optimized"] = report.total_paths_optimized();
+  j["runtime_ms"] = report.total_runtime_ms();
+  Json passes = Json::array();
+  for (const api::PassReport& p : report.passes) passes.push_back(to_json(p));
+  j["passes"] = std::move(passes);
+  return j;
+}
+
+Json to_json(const BufferPolicy& policy) {
+  Json j = Json::object();
+  j["name"] = policy.name;
+  j["shielding"] = policy.shielding;
+  j["restructuring"] = policy.restructuring;
+  return j;
+}
+
+Json to_json(const SweepSpec& spec) {
+  Json j = Json::object();
+  Json circuits = Json::array();
+  for (const std::string& c : spec.circuits) circuits.push_back(c);
+  j["circuits"] = std::move(circuits);
+  Json ratios = Json::array();
+  for (const double r : spec.tc_ratios) ratios.push_back(r);
+  j["tc_ratios"] = std::move(ratios);
+  Json margins = Json::array();
+  for (const double m : spec.shield_margins) margins.push_back(m);
+  j["shield_margins"] = std::move(margins);
+  Json policies = Json::array();
+  for (const BufferPolicy& p : spec.policies) policies.push_back(to_json(p));
+  j["policies"] = std::move(policies);
+  if (!spec.pipeline.empty()) {
+    Json pipeline = Json::array();
+    for (const std::string& p : spec.pipeline) pipeline.push_back(p);
+    j["pipeline"] = std::move(pipeline);
+  }
+  j["n_threads"] = spec.n_threads;
+  j["base"] = to_json(spec.base);
+  return j;
+}
+
+Json to_json(const SweepPoint& point) {
+  Json j = Json::object();
+  j["circuit"] = point.circuit;
+  j["tc_ratio"] = point.tc_ratio;
+  j["shield_margin"] = point.shield_margin;
+  j["policy"] = point.policy;
+  j["report"] = to_json(point.report);
+  return j;
+}
+
+Json to_json(const SweepReport& report) {
+  Json j = Json::object();
+  Json points = Json::array();
+  for (const SweepPoint& p : report.points) points.push_back(to_json(p));
+  j["points"] = std::move(points);
+  Json cache = Json::object();
+  cache["hits"] = report.cache_hits;
+  cache["misses"] = report.cache_misses;
+  cache["entries"] = report.cache_entries;
+  j["cache"] = std::move(cache);
+  j["wall_ms"] = report.wall_ms;
+  return j;
+}
+
+}  // namespace pops::service

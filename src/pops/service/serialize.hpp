@@ -1,0 +1,45 @@
+#pragma once
+// Stable JSON projections of the optimization result types.
+//
+// Sweep records must be machine-readable and diffable across runs: the
+// same result serializes to the same bytes (util::Json keeps key insertion
+// order and round-trip number formatting). Schema (all delays ps, areas
+// um, the paper's units):
+//
+//   OptimizerConfig  -> {hard_ratio, weak_ratio, allow_restructuring,
+//                        max_paths, max_rounds, tc_margin, pi_slew_ps,
+//                        shield_margin, max_shield_buffers, shield_fanout,
+//                        enable_shielding, enable_cleanup, enable_protocol}
+//   PassReport       -> {pass, changed, delay_before_ps, delay_after_ps,
+//                        area_before_um, area_after_um, runtime_ms,
+//                        buffers_inserted, sinks_rewired, gates_removed,
+//                        paths_optimized, protocol?}
+//   CircuitResult    -> {tc_ps, achieved_delay_ps, area_um, met,
+//                        paths_optimized, per_path: [{domain, method,
+//                        tmin_ps, tmax_ps, delay_ps, area_um,
+//                        buffers_inserted, gates_restructured}]}
+//   PipelineReport   -> {tc_ps, met, from_cache, initial/final delay+area,
+//                        totals..., passes: [PassReport]}
+//   SweepPoint       -> {circuit, tc_ratio, shield_margin, policy,
+//                        report: PipelineReport}
+//   SweepReport      -> {points: [SweepPoint], cache: {hits, misses,
+//                        entries}, wall_ms}
+
+#include "pops/api/api.hpp"
+#include "pops/core/protocol.hpp"
+#include "pops/service/sweep.hpp"
+#include "pops/util/json.hpp"
+
+namespace pops::service {
+
+util::Json to_json(const api::OptimizerConfig& cfg);
+util::Json to_json(const api::PassReport& report);
+util::Json to_json(const core::ProtocolResult& result);
+util::Json to_json(const core::CircuitResult& result);
+util::Json to_json(const api::PipelineReport& report);
+util::Json to_json(const BufferPolicy& policy);
+util::Json to_json(const SweepSpec& spec);
+util::Json to_json(const SweepPoint& point);
+util::Json to_json(const SweepReport& report);
+
+}  // namespace pops::service

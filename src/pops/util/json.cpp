@@ -1,0 +1,156 @@
+#include "pops/util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pops::util {
+
+Json& Json::push_back(Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  if (kind_ != Kind::Array)
+    throw std::logic_error("Json::push_back on a non-array value");
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object)
+    throw std::logic_error("Json::operator[] on a non-object value");
+  for (auto& [k, v] : obj_)
+    if (k == key) return v;
+  obj_.emplace_back(key, Json{});
+  return obj_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::size_t Json::size() const noexcept {
+  switch (kind_) {
+    case Kind::Array:
+      return arr_.size();
+    case Kind::Object:
+      return obj_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string Json::number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";
+  // std::to_chars is locale-independent (snprintf %g is not: a de_DE
+  // LC_NUMERIC would emit "0,8" — invalid JSON) and gives the shortest
+  // representation that round-trips to the same bits.
+  char buf[40];
+  // Integers within the exactly-representable range print without a
+  // fraction — "24", not "2.4e1" — matching what every JSON consumer
+  // emits for counts.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    const auto r =
+        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 0);
+    return std::string(buf, r.ptr);
+  }
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
+}
+
+void Json::write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Number:
+      out += number_to_string(num_);
+      break;
+    case Kind::String:
+      write_escaped(out, str_);
+      break;
+    case Kind::Array:
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        arr_[i].write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    case Kind::Object:
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        write_escaped(out, obj_[i].first);
+        out += pretty ? ": " : ":";
+        obj_[i].second.write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace pops::util

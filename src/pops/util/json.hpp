@@ -1,0 +1,104 @@
+#pragma once
+// Minimal JSON value tree + writer.
+//
+// The service layer (pops/service) and the bench binaries need *stable*
+// machine-readable output: the same inputs must serialize to the same
+// bytes so sweep reports can be diffed across runs and the perf
+// trajectory (BENCH_*.json) tracked across PRs. Hence a deliberately
+// small value type with deterministic formatting:
+//
+//   * object keys keep insertion order (no hash-map iteration order);
+//   * doubles print via shortest round-trip formatting (%.17g tightened
+//     to the shortest representation that parses back bit-identically);
+//   * strings are escaped per RFC 8259 (control chars, quotes, \).
+//
+// Only writing is provided — the repo produces JSON, it does not consume
+// it (specs enter through typed structs; see service/sweep.hpp).
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pops::util {
+
+/// One JSON value: null, bool, number, string, array, or object.
+/// Build with the static makers / operator[] and serialize with dump().
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : kind_(Kind::Null) {}
+
+  // Implicit conversions make object/array building terse.
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double v) : kind_(Kind::Number), num_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(unsigned v) : Json(static_cast<double>(v)) {}
+  Json(long v) : Json(static_cast<double>(v)) {}
+  Json(unsigned long v) : Json(static_cast<double>(v)) {}
+  Json(long long v) : Json(static_cast<double>(v)) {}
+  Json(unsigned long long v) : Json(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::Null; }
+
+  // ----- array ----------------------------------------------------------------
+
+  /// Append to an array (a null value becomes an array first).
+  Json& push_back(Json v);
+
+  // ----- object ---------------------------------------------------------------
+
+  /// Member access for objects; inserts a null member on first use (a null
+  /// value becomes an object first). Insertion order is serialization order.
+  Json& operator[](const std::string& key);
+
+  /// Set (or overwrite) a member; returns *this for chaining.
+  Json& set(const std::string& key, Json v) {
+    (*this)[key] = std::move(v);
+    return *this;
+  }
+
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  std::size_t size() const noexcept;
+
+  // ----- serialization --------------------------------------------------------
+
+  /// Serialize. `indent` <= 0 gives the compact single-line form (used for
+  /// streaming JSONL records); > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 2) const;
+
+  /// The deterministic number formatting used by dump(): the shortest
+  /// decimal string that round-trips to the same double. Non-finite
+  /// values (not representable in JSON) serialize as null.
+  static std::string number_to_string(double v);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+  static void write_escaped(std::string& out, const std::string& s);
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace pops::util

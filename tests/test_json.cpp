@@ -1,0 +1,136 @@
+// The util::Json value tree: deterministic formatting (key order, number
+// round-trip), escaping, and the build API.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "pops/util/json.hpp"
+
+namespace {
+
+using pops::util::Json;
+
+TEST(Json, DefaultIsNull) {
+  EXPECT_TRUE(Json{}.is_null());
+  EXPECT_EQ(Json{}.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::size_t{7}).dump(), "7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersHaveNoFraction) {
+  EXPECT_EQ(Json::number_to_string(24.0), "24");
+  EXPECT_EQ(Json::number_to_string(-3.0), "-3");
+  EXPECT_EQ(Json::number_to_string(0.0), "0");
+}
+
+TEST(Json, NumbersRoundTrip) {
+  // The formatter must pick the shortest representation that parses back
+  // to the same bits.
+  for (const double v : {0.1, 1.0 / 3.0, 251.56979716370347, 1e-300, 2.5e17,
+                         -0.97, 3.141592653589793}) {
+    const std::string s = Json::number_to_string(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Json::number_to_string(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(Json::number_to_string(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd\te").dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json j = Json::object();
+  j["zulu"] = 1;
+  j["alpha"] = 2;
+  j["mike"] = 3;
+  EXPECT_EQ(j.dump(0), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(Json, NestedPrettyAndCompact) {
+  Json j = Json::object();
+  j["name"] = "c17";
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2);
+  j["tc"] = std::move(arr);
+  j["meta"] = Json::object();
+  j["meta"]["ok"] = true;
+
+  EXPECT_EQ(j.dump(0), "{\"name\":\"c17\",\"tc\":[1,2],\"meta\":{\"ok\":true}}");
+  EXPECT_EQ(j.dump(2),
+            "{\n  \"name\": \"c17\",\n  \"tc\": [\n    1,\n    2\n  ],\n"
+            "  \"meta\": {\n    \"ok\": true\n  }\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, NullPromotesOnFirstUse) {
+  Json j;  // null
+  j.push_back(1);
+  EXPECT_EQ(j.dump(0), "[1]");
+  Json o;  // null
+  o["k"] = "v";
+  EXPECT_EQ(o.dump(0), "{\"k\":\"v\"}");
+}
+
+TEST(Json, KindMismatchThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr["key"], std::logic_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(1), std::logic_error);
+}
+
+TEST(Json, FindAndSize) {
+  Json j = Json::object();
+  j.set("a", 1).set("b", 2);
+  EXPECT_EQ(j.size(), 2u);
+  ASSERT_NE(j.find("a"), nullptr);
+  EXPECT_EQ(j.find("a")->dump(), "1");
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_EQ(Json(5.0).find("x"), nullptr);
+}
+
+TEST(Json, OverwriteKeepsPosition) {
+  Json j = Json::object();
+  j["first"] = 1;
+  j["second"] = 2;
+  j["first"] = 10;  // overwrite must not move the key to the back
+  EXPECT_EQ(j.dump(0), "{\"first\":10,\"second\":2}");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, DeterministicAcrossBuilds) {
+  // Same content, built twice -> same bytes (what sweep-report diffing
+  // relies on).
+  const auto build = [] {
+    Json j = Json::object();
+    j["x"] = 0.1;
+    j["y"] = Json::array();
+    j["y"].push_back(1.0 / 3.0);
+    return j.dump(2);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace

@@ -1,0 +1,628 @@
+// The pops::service subsystem: result-cache accounting and bit-identical
+// replay, cache keying across constraint axes, run_many determinism with
+// the cache enabled, the pass registry, sweep-spec validation, sweep
+// equivalence to direct Optimizer runs, and JSON serialization.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pops/api/api.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/service/result_cache.hpp"
+#include "pops/service/serialize.hpp"
+#include "pops/service/sweep.hpp"
+#include "pops/timing/sta.hpp"
+
+namespace {
+
+using namespace pops;
+using api::OptContext;
+using api::Optimizer;
+using api::OptimizerConfig;
+using api::PassRegistry;
+using api::PipelineReport;
+using netlist::Netlist;
+using service::ResultCache;
+using service::SweepService;
+using service::SweepSpec;
+
+void expect_same_netlist(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (netlist::NodeId id : a.gates()) {
+    const netlist::NodeId other = b.find(a.node(id).name);
+    ASSERT_NE(other, netlist::kNoNode) << a.node(id).name;
+    EXPECT_DOUBLE_EQ(a.drive(id), b.drive(other)) << a.node(id).name;
+  }
+}
+
+void expect_same_report(const PipelineReport& fresh,
+                        const PipelineReport& cached) {
+  EXPECT_DOUBLE_EQ(fresh.tc_ps, cached.tc_ps);
+  EXPECT_DOUBLE_EQ(fresh.initial_delay_ps, cached.initial_delay_ps);
+  EXPECT_DOUBLE_EQ(fresh.final_delay_ps, cached.final_delay_ps);
+  EXPECT_DOUBLE_EQ(fresh.initial_area_um, cached.initial_area_um);
+  EXPECT_DOUBLE_EQ(fresh.final_area_um, cached.final_area_um);
+  EXPECT_EQ(fresh.met, cached.met);
+  EXPECT_EQ(fresh.total_buffers_inserted(), cached.total_buffers_inserted());
+  EXPECT_EQ(fresh.total_gates_removed(), cached.total_gates_removed());
+  EXPECT_EQ(fresh.total_paths_optimized(), cached.total_paths_optimized());
+  ASSERT_EQ(fresh.passes.size(), cached.passes.size());
+  for (std::size_t i = 0; i < fresh.passes.size(); ++i)
+    EXPECT_EQ(fresh.passes[i].pass_name, cached.passes[i].pass_name);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, HitMissAccounting) {
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>();
+  ctx.set_result_cache(cache);
+  Optimizer opt(ctx);
+
+  Netlist nl1 = netlist::make_benchmark(ctx.lib(), "c17");
+  opt.run_relative(nl1, 0.9);
+  EXPECT_EQ(cache->hits(), 0u);
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->size(), 1u);
+
+  Netlist nl2 = netlist::make_benchmark(ctx.lib(), "c17");
+  opt.run_relative(nl2, 0.9);
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->size(), 1u);
+
+  cache->clear();
+  EXPECT_EQ(cache->hits(), 0u);
+  EXPECT_EQ(cache->misses(), 0u);
+  EXPECT_EQ(cache->size(), 0u);
+}
+
+TEST(ResultCache, CachedReplayIsBitIdentical) {
+  // Fresh run without any cache...
+  OptContext ctx_fresh;
+  Netlist nl_fresh = netlist::make_benchmark(ctx_fresh.lib(), "c432");
+  const PipelineReport r_fresh = Optimizer(ctx_fresh).run_relative(nl_fresh, 0.8);
+
+  // ...vs a cached replay in a caching context.
+  OptContext ctx;
+  ctx.set_result_cache(std::make_shared<ResultCache>());
+  Optimizer opt(ctx);
+  Netlist nl_miss = netlist::make_benchmark(ctx.lib(), "c432");
+  const PipelineReport r_miss = opt.run_relative(nl_miss, 0.8);
+  Netlist nl_hit = netlist::make_benchmark(ctx.lib(), "c432");
+  const PipelineReport r_hit = opt.run_relative(nl_hit, 0.8);
+
+  EXPECT_FALSE(r_miss.from_cache);
+  EXPECT_TRUE(r_hit.from_cache);
+  expect_same_report(r_fresh, r_miss);
+  expect_same_report(r_fresh, r_hit);
+  expect_same_netlist(nl_fresh, nl_miss);
+  expect_same_netlist(nl_fresh, nl_hit);
+}
+
+TEST(ResultCache, KeyedByConstraintAndCircuit) {
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>();
+  ctx.set_result_cache(cache);
+  Optimizer opt(ctx);
+
+  // Different Tc points of the same circuit are distinct entries.
+  for (const double ratio : {0.8, 0.9, 1.0}) {
+    Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+    opt.run_relative(nl, ratio);
+  }
+  EXPECT_EQ(cache->misses(), 3u);
+  EXPECT_EQ(cache->size(), 3u);
+
+  // A different circuit is a distinct entry.
+  Netlist other = netlist::make_benchmark(ctx.lib(), "Adder16");
+  opt.run_relative(other, 0.9);
+  EXPECT_EQ(cache->misses(), 4u);
+  EXPECT_EQ(cache->size(), 4u);
+  EXPECT_EQ(cache->hits(), 0u);
+}
+
+TEST(ResultCache, KeyedByShieldMarginAndConfig) {
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>();
+  ctx.set_result_cache(cache);
+
+  // Same circuit + Tc under different Flimit bounds (shield margins) and
+  // policies must not collide.
+  for (const double margin : {1.0, 1.5}) {
+    OptimizerConfig cfg;
+    cfg.shield_margin = margin;
+    Optimizer opt(ctx, cfg);
+    Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+    opt.run_relative(nl, 0.85);
+  }
+  EXPECT_EQ(cache->misses(), 2u);
+  EXPECT_EQ(cache->hits(), 0u);
+
+  OptimizerConfig no_restructure;
+  no_restructure.with_restructuring(false);
+  Optimizer opt(ctx, no_restructure);
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+  opt.run_relative(nl, 0.85);
+  EXPECT_EQ(cache->misses(), 3u);
+  EXPECT_EQ(cache->size(), 3u);
+}
+
+TEST(ResultCache, KeyIsNormalizedToPassesThatReadTheKnob) {
+  // With shielding disabled, shield_margin cannot affect the result, so a
+  // margin sweep under a no-shield policy must collapse to one entry per
+  // (circuit, Tc) — the second margin point is a hit, not a recompute.
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>();
+  ctx.set_result_cache(cache);
+  for (const double margin : {1.0, 1.5, 2.0}) {
+    OptimizerConfig cfg;
+    cfg.with_shielding(false);
+    cfg.shield_margin = margin;
+    Optimizer opt(ctx, cfg);
+    Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+    opt.run_relative(nl, 0.9);
+  }
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->hits(), 2u);
+  EXPECT_EQ(cache->size(), 1u);
+}
+
+namespace salt {
+
+// Same name, different constructor parameter: cache_salt must keep the
+// two variants from sharing cached results.
+class NoopPass final : public api::Pass {
+ public:
+  explicit NoopPass(int strength) : strength_(strength) {}
+  std::string_view name() const noexcept override { return "noop"; }
+  std::string cache_salt() const override {
+    return "strength=" + std::to_string(strength_);
+  }
+  void run(netlist::Netlist&, OptContext&, const OptimizerConfig&, double,
+           api::PassReport&) const override {}
+
+ private:
+  int strength_;
+};
+
+}  // namespace salt
+
+TEST(ResultCache, CustomPassSaltDistinguishesKeys) {
+  OptContext ctx;
+  const OptimizerConfig cfg;
+  api::PassPipeline a, b, b2;
+  a.emplace<salt::NoopPass>(1).emplace<api::ProtocolPass>();
+  b.emplace<salt::NoopPass>(2).emplace<api::ProtocolPass>();
+  b2.emplace<salt::NoopPass>(2).emplace<api::ProtocolPass>();
+  EXPECT_NE(ResultCache::hash_config(ctx, cfg, a),
+            ResultCache::hash_config(ctx, cfg, b));
+  EXPECT_EQ(ResultCache::hash_config(ctx, cfg, b),
+            ResultCache::hash_config(ctx, cfg, b2));
+}
+
+TEST(ResultCache, UnknownPassHashesEveryKnob) {
+  // A custom pass may read any config knob, so normalization must not
+  // collapse configs that differ only in a knob no built-in pass of the
+  // pipeline reads.
+  OptContext ctx;
+  OptimizerConfig a, b;
+  b.shield_margin = 1.5;  // no shield pass in the pipeline below
+  api::PassPipeline p1, p2;
+  p1.emplace<salt::NoopPass>(1);
+  p2.emplace<salt::NoopPass>(1);
+  EXPECT_NE(ResultCache::hash_config(ctx, a, p1),
+            ResultCache::hash_config(ctx, b, p2));
+}
+
+TEST(ResultCache, KeyIsContextBound) {
+  // Cached netlists/reports point into the storing context (library,
+  // BoundedPaths), so a second context — even an identically configured
+  // one — must miss rather than replay foreign state.
+  OptContext a, b;
+  const OptimizerConfig cfg;
+  const api::PassPipeline p1 = api::PassPipeline::standard(cfg);
+  const api::PassPipeline p2 = api::PassPipeline::standard(cfg);
+  EXPECT_EQ(ResultCache::hash_config(a, cfg, p1),
+            ResultCache::hash_config(a, cfg, p2));
+  EXPECT_NE(ResultCache::hash_config(a, cfg, p1),
+            ResultCache::hash_config(b, cfg, p2));
+}
+
+TEST(ResultCache, KeyDependsOnNetlistName) {
+  // A hit overwrites the caller's netlist wholesale, name included — so
+  // structurally identical circuits under different names must not share
+  // an entry (the replay would silently relabel the design).
+  OptContext ctx;
+  const std::vector<liberty::CellKind> kinds(4, liberty::CellKind::Inv);
+  const Netlist a = netlist::make_chain(ctx.lib(), kinds, 12.0, "top_a");
+  const Netlist b = netlist::make_chain(ctx.lib(), kinds, 12.0, "top_b");
+  EXPECT_NE(ResultCache::hash_netlist(a), ResultCache::hash_netlist(b));
+}
+
+TEST(ResultCache, RepeatedRelativeRunMemoizesInitialSta) {
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>();
+  ctx.set_result_cache(cache);
+  Optimizer opt(ctx);
+  Netlist nl1 = netlist::make_benchmark(ctx.lib(), "c17");
+  const PipelineReport r1 = opt.run_relative(nl1, 0.9);
+
+  // The memoized initial delay must be retrievable under the tc-less key
+  // and make the repeat derive a bit-identical Tc.
+  const api::ResultCacheKey key = cache->make_key(
+      ctx, netlist::make_benchmark(ctx.lib(), "c17"), opt.config(),
+      opt.pipeline(), 0.0);
+  EXPECT_DOUBLE_EQ(cache->initial_delay_ps(key), r1.initial_delay_ps);
+
+  Netlist nl2 = netlist::make_benchmark(ctx.lib(), "c17");
+  const PipelineReport r2 = opt.run_relative(nl2, 0.9);
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_DOUBLE_EQ(r1.tc_ps, r2.tc_ps);
+}
+
+TEST(ResultCache, KeyDependsOnInputSizing) {
+  // The key hashes netlist *content*, including current drives: the same
+  // topology at different initial sizes is a different problem.
+  OptContext ctx;
+  Netlist a = netlist::make_benchmark(ctx.lib(), "c17");
+  Netlist b = netlist::make_benchmark(ctx.lib(), "c17");
+  const auto key_a = ResultCache::hash_netlist(a);
+  EXPECT_EQ(key_a, ResultCache::hash_netlist(b));
+  b.set_drive(b.gates().front(), 2.0 * b.drive(b.gates().front()));
+  EXPECT_NE(key_a, ResultCache::hash_netlist(b));
+}
+
+TEST(ResultCache, RunManyDeterministicWithCacheAcrossThreadCounts) {
+  const auto make_fleet = [](const OptContext& ctx) {
+    std::vector<Netlist> fleet;
+    for (const char* name : {"c17", "c432", "c499", "Adder16"})
+      fleet.push_back(netlist::make_benchmark(ctx.lib(), name));
+    return fleet;
+  };
+
+  OptContext ctx1, ctx4;
+  ctx1.set_result_cache(std::make_shared<ResultCache>());
+  ctx4.set_result_cache(std::make_shared<ResultCache>());
+  std::vector<Netlist> fleet1 = make_fleet(ctx1);
+  std::vector<Netlist> fleet4 = make_fleet(ctx4);
+
+  Optimizer opt1(ctx1), opt4(ctx4);
+  const auto r1 = opt1.run_many_relative(fleet1, 0.85, 1);
+  const auto r4 = opt4.run_many_relative(fleet4, 0.85, 4);
+
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    expect_same_report(r1[i], r4[i]);
+    expect_same_netlist(fleet1[i], fleet4[i]);
+  }
+
+  // A repeated batch is served fully from cache, bit-identically.
+  std::vector<Netlist> fleet1b = make_fleet(ctx1);
+  const auto r1b = opt1.run_many_relative(fleet1b, 0.85, 4);
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_TRUE(r1b[i].from_cache) << i;
+    expect_same_report(r1[i], r1b[i]);
+    expect_same_netlist(fleet1[i], fleet1b[i]);
+  }
+  const ResultCache::Stats stats =
+      static_cast<ResultCache*>(ctx1.result_cache())->stats();
+  EXPECT_EQ(stats.hits, fleet1.size());
+  EXPECT_EQ(stats.misses, fleet1.size());
+}
+
+// ---------------------------------------------------------------------------
+// PassRegistry + duplicate pass names
+// ---------------------------------------------------------------------------
+
+TEST(PassRegistry, BuiltinsRegistered) {
+  const std::vector<std::string> expected = {"cancel-inverters", "protocol",
+                                             "shield", "sweep-dead"};
+  EXPECT_EQ(PassRegistry::global().names(), expected);
+  EXPECT_TRUE(PassRegistry::global().contains("protocol"));
+  EXPECT_FALSE(PassRegistry::global().contains("retime"));
+}
+
+TEST(PassRegistry, CreateProducesMatchingPass) {
+  const auto pass = PassRegistry::global().create("shield");
+  ASSERT_NE(pass, nullptr);
+  EXPECT_EQ(pass->name(), "shield");
+  EXPECT_THROW(PassRegistry::global().create("nope"), std::invalid_argument);
+}
+
+TEST(PassRegistry, MakePipelinePreservesOrder) {
+  const api::PassPipeline p = PassRegistry::global().make_pipeline(
+      {"cancel-inverters", "sweep-dead", "protocol"});
+  const std::vector<std::string> expected = {"cancel-inverters", "sweep-dead",
+                                             "protocol"};
+  EXPECT_EQ(p.pass_names(), expected);
+}
+
+TEST(PassRegistry, DuplicateRegistrationRejected) {
+  PassRegistry local;  // not the global one: keep the singleton clean
+  EXPECT_THROW(local.register_pass(
+                   "shield", [] { return std::make_unique<api::ShieldPass>(); }),
+               std::invalid_argument);
+  local.register_pass("shield2",
+                      [] { return std::make_unique<api::ShieldPass>(); });
+  EXPECT_TRUE(local.contains("shield2"));
+}
+
+TEST(PassPipelineDuplicates, AddRejectsDuplicateNames) {
+  api::PassPipeline p;
+  p.emplace<api::ShieldPass>();
+  EXPECT_THROW(p.emplace<api::ShieldPass>(), std::invalid_argument);
+  try {
+    api::PassPipeline q;
+    q.emplace<api::ProtocolPass>();
+    q.emplace<api::ProtocolPass>();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("protocol"), std::string::npos);
+  }
+}
+
+TEST(PassRegistry, MakePipelineRejectsDuplicates) {
+  EXPECT_THROW(PassRegistry::global().make_pipeline({"shield", "shield"}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec validation
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, DefaultAxesAndJobCount) {
+  SweepSpec spec;
+  spec.circuits = {"c17", "c432"};
+  spec.tc_ratios = {0.8, 0.9, 1.0};
+  EXPECT_EQ(spec.n_jobs(), 6u);
+  EXPECT_TRUE(spec.validate().empty());
+  spec.shield_margins = {1.0, 1.5};
+  spec.policies = {service::buffer_policy("standard"),
+                   service::buffer_policy("no-shield")};
+  EXPECT_EQ(spec.n_jobs(), 24u);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(SweepSpec, ValidationReportsEveryProblem) {
+  SweepSpec spec;  // circuits and tc_ratios empty
+  spec.tc_ratios = {-1.0};
+  spec.shield_margins = {0.0};
+  spec.pipeline = {"unknown-pass"};
+  spec.base.tc_margin = 5.0;
+  const auto problems = spec.validate();
+  EXPECT_GE(problems.size(), 5u);
+  EXPECT_THROW(spec.ensure_valid(), std::invalid_argument);
+}
+
+TEST(SweepSpec, DuplicateAxesRejected) {
+  SweepSpec spec;
+  spec.circuits = {"c17", "c17"};
+  spec.tc_ratios = {0.9};
+  spec.policies = {service::buffer_policy("standard"),
+                   service::buffer_policy("standard")};
+  const auto problems = spec.validate();
+  EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(SweepSpec, PolicyOverridesAreValidatedUpFront) {
+  // A valid base can still produce an invalid *job* config once a policy's
+  // overrides land on it; that must be caught by validate(), not thrown
+  // mid-sweep after points were already streamed.
+  SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.9};
+  spec.base.with_cleanup(false).with_protocol(false);  // shield-only base
+  EXPECT_TRUE(spec.base.validate().empty());
+  spec.policies = {service::buffer_policy("standard"),
+                   service::buffer_policy("no-shield")};
+  const auto problems = spec.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("no-shield"), std::string::npos);
+  EXPECT_THROW(spec.ensure_valid(), std::invalid_argument);
+}
+
+TEST(SweepSpec, NamedPoliciesResolve) {
+  EXPECT_TRUE(service::buffer_policy("standard").shielding);
+  EXPECT_FALSE(service::buffer_policy("no-shield").shielding);
+  EXPECT_TRUE(service::buffer_policy("no-shield").restructuring);
+  EXPECT_FALSE(service::buffer_policy("no-restructure").restructuring);
+  EXPECT_FALSE(service::buffer_policy("minimal").shielding);
+  EXPECT_THROW(service::buffer_policy("bogus"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SweepService
+// ---------------------------------------------------------------------------
+
+SweepService::CircuitLoader builtin_loader(const OptContext& ctx) {
+  return [&ctx](const std::string& name) {
+    return netlist::make_benchmark(ctx.lib(), name);
+  };
+}
+
+TEST(SweepService, PointsMatchDirectOptimizerRuns) {
+  SweepSpec spec;
+  spec.circuits = {"c17", "c432"};
+  spec.tc_ratios = {0.8, 0.9, 1.1};
+  spec.n_threads = 2;
+
+  OptContext ctx;
+  SweepService sweeps(ctx);
+  const service::SweepReport sweep = sweeps.run(spec, builtin_loader(ctx));
+  ASSERT_EQ(sweep.points.size(), 6u);
+  EXPECT_EQ(sweep.cache_misses, 6u);
+  EXPECT_EQ(sweep.cache_hits, 0u);
+
+  // Every point must be bit-identical to a direct (uncached) run.
+  OptContext ctx_direct;
+  Optimizer direct(ctx_direct);
+  for (const service::SweepPoint& point : sweep.points) {
+    Netlist nl = netlist::make_benchmark(ctx_direct.lib(), point.circuit);
+    const PipelineReport r = direct.run_relative(nl, point.tc_ratio);
+    expect_same_report(r, point.report);
+  }
+}
+
+TEST(SweepService, RepeatedSweepHitsCacheWithUnchangedResults) {
+  SweepSpec spec;
+  spec.circuits = {"c17", "Adder16"};
+  spec.tc_ratios = {0.85, 1.0};
+
+  OptContext ctx;
+  SweepService sweeps(ctx);
+  const service::SweepReport first = sweeps.run(spec, builtin_loader(ctx));
+  const service::SweepReport second = sweeps.run(spec, builtin_loader(ctx));
+
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_misses, 4u);
+  EXPECT_EQ(second.cache_hits, 4u);
+  EXPECT_EQ(second.cache_misses, 0u);
+
+  ASSERT_EQ(first.points.size(), second.points.size());
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    EXPECT_TRUE(second.points[i].report.from_cache) << i;
+    expect_same_report(first.points[i].report, second.points[i].report);
+  }
+}
+
+TEST(SweepService, StreamsRecordsInJobOrder) {
+  SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.9};
+  spec.shield_margins = {1.0, 2.0};
+  spec.policies = {service::buffer_policy("standard"),
+                   service::buffer_policy("minimal")};
+
+  OptContext ctx;
+  SweepService sweeps(ctx);
+  std::vector<std::string> streamed;
+  const service::SweepReport sweep = sweeps.run(
+      spec, builtin_loader(ctx), [&](const service::SweepPoint& point) {
+        streamed.push_back(point.policy + "/" +
+                           util::Json(point.shield_margin).dump());
+      });
+  const std::vector<std::string> expected = {"standard/1", "standard/2",
+                                             "minimal/1", "minimal/2"};
+  EXPECT_EQ(streamed, expected);
+  ASSERT_EQ(sweep.points.size(), 4u);
+  EXPECT_EQ(sweep.points[0].policy, "standard");
+  EXPECT_EQ(sweep.points[3].policy, "minimal");
+}
+
+TEST(SweepService, DeclarativePipelineViaRegistry) {
+  SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.9};
+  spec.pipeline = {"cancel-inverters", "protocol"};
+
+  OptContext ctx;
+  SweepService sweeps(ctx);
+  const service::SweepReport sweep = sweeps.run(spec, builtin_loader(ctx));
+  ASSERT_EQ(sweep.points.size(), 1u);
+  const std::vector<std::string> expected = {"cancel-inverters", "protocol"};
+  ASSERT_EQ(sweep.points[0].report.passes.size(), 2u);
+  EXPECT_EQ(sweep.points[0].report.passes[0].pass_name, expected[0]);
+  EXPECT_EQ(sweep.points[0].report.passes[1].pass_name, expected[1]);
+}
+
+TEST(SweepService, NoCacheMode) {
+  SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.9};
+
+  OptContext ctx;
+  // A previously installed cache must be removed, not silently kept:
+  // otherwise the "uncached" run would replay from it while reporting
+  // zero hits/misses.
+  SweepService cached(ctx);
+  cached.run(spec, builtin_loader(ctx));
+  ASSERT_NE(ctx.result_cache(), nullptr);
+
+  SweepService sweeps(ctx, /*use_cache=*/false);
+  EXPECT_EQ(sweeps.cache(), nullptr);
+  EXPECT_EQ(ctx.result_cache(), nullptr);
+  const service::SweepReport sweep = sweeps.run(spec, builtin_loader(ctx));
+  ASSERT_EQ(sweep.points.size(), 1u);
+  EXPECT_FALSE(sweep.points[0].report.from_cache);
+  EXPECT_EQ(sweep.cache_hits, 0u);
+  EXPECT_EQ(sweep.cache_misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, ConfigHasEveryKnob) {
+  const util::Json j = service::to_json(OptimizerConfig{});
+  for (const char* key :
+       {"hard_ratio", "weak_ratio", "allow_restructuring", "max_paths",
+        "max_rounds", "tc_margin", "pi_slew_ps", "shield_margin",
+        "max_shield_buffers", "shield_fanout", "enable_shielding",
+        "enable_cleanup", "enable_protocol"})
+    EXPECT_NE(j.find(key), nullptr) << key;
+  EXPECT_EQ(j.find("hard_ratio")->dump(), "1.2");
+}
+
+TEST(Serialize, PipelineReportRoundTripsFields) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+  // Tight enough that the protocol pass optimizes paths (per-path records).
+  const PipelineReport r = Optimizer(ctx).run_relative(nl, 0.6);
+  const util::Json j = service::to_json(r);
+
+  EXPECT_EQ(j.find("tc_ps")->dump(), util::Json(r.tc_ps).dump());
+  EXPECT_EQ(j.find("met")->dump(), r.met ? "true" : "false");
+  EXPECT_EQ(j.find("from_cache")->dump(), "false");
+  ASSERT_NE(j.find("passes"), nullptr);
+  EXPECT_EQ(j.find("passes")->size(), r.passes.size());
+  EXPECT_EQ(j.find("paths_optimized")->dump(),
+            util::Json(r.total_paths_optimized()).dump());
+
+  // The protocol pass entry carries the per-path circuit result.
+  const std::string text = j.dump(0);
+  EXPECT_NE(text.find("\"protocol\""), std::string::npos);
+  EXPECT_NE(text.find("\"per_path\""), std::string::npos);
+  EXPECT_NE(text.find("\"domain\""), std::string::npos);
+}
+
+TEST(Serialize, SerializationIsDeterministic) {
+  OptContext ctx;
+  Netlist nl1 = netlist::make_benchmark(ctx.lib(), "c17");
+  Netlist nl2 = netlist::make_benchmark(ctx.lib(), "c17");
+  Optimizer opt(ctx);
+  const std::string a = service::to_json(opt.run_relative(nl1, 0.9)).dump(0);
+  const std::string b = service::to_json(opt.run_relative(nl2, 0.9)).dump(0);
+  // runtime_ms differs between runs; mask it out by comparing the cheap
+  // structural prefix before the first runtime field.
+  EXPECT_EQ(a.substr(0, a.find("runtime_ms")),
+            b.substr(0, b.find("runtime_ms")));
+}
+
+TEST(Serialize, SweepReportSchema) {
+  SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.9};
+
+  OptContext ctx;
+  SweepService sweeps(ctx);
+  const service::SweepReport sweep = sweeps.run(spec, builtin_loader(ctx));
+  const util::Json j = service::to_json(sweep);
+  ASSERT_NE(j.find("points"), nullptr);
+  EXPECT_EQ(j.find("points")->size(), 1u);
+  ASSERT_NE(j.find("cache"), nullptr);
+  EXPECT_EQ(j.find("cache")->find("misses")->dump(), "1");
+  EXPECT_NE(j.find("wall_ms"), nullptr);
+
+  const util::Json spec_json = service::to_json(spec);
+  EXPECT_EQ(spec_json.find("circuits")->size(), 1u);
+  EXPECT_NE(spec_json.find("base"), nullptr);
+}
+
+}  // namespace

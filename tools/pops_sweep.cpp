@@ -1,0 +1,301 @@
+// pops_sweep — batch constraint-sweep front-end over pops::service.
+//
+// Loads .bench netlists (or built-in benchmarks with a leading '@'),
+// expands a declarative sweep grid (Tc ratios x shield margins x buffer
+// policies), runs it through SweepService — memoizing repeated points in
+// the context's ResultCache — and writes one JSON report. With --jsonl,
+// each completed point is additionally streamed to stdout as a compact
+// one-line record while the sweep runs.
+//
+//   pops_sweep --tc 0.7,0.85,1.0 c432.bench @c880
+//   pops_sweep --tc 0.8 --margins 1.0,1.5 --policies standard,no-shield
+//              --repeat 2 --out report.json @c432
+//
+// See README.md ("Constraint sweeps as a service") for the spec axes,
+// the JSON schema, and the cache semantics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pops/netlist/bench_io.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/service/serialize.hpp"
+#include "pops/service/sweep.hpp"
+
+namespace {
+
+using namespace pops;
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: pops_sweep [options] <circuit.bench | @builtin>...\n"
+               "\n"
+               "Sweep axes (comma-separated lists):\n"
+               "  --tc RATIOS        Tc as fractions of each circuit's "
+               "initial delay (default 0.8)\n"
+               "  --margins LIST     shield-margin (Flimit bound) points "
+               "(default 1.0)\n"
+               "  --policies LIST    buffer policies: standard no-shield "
+               "no-restructure minimal (default standard)\n"
+               "  --pipeline LIST    explicit pass sequence by registry "
+               "name (default: standard pipeline)\n"
+               "\n"
+               "Execution:\n"
+               "  --threads N        workers per batch (default 0 = "
+               "hardware threads)\n"
+               "  --repeat K         run the whole sweep K times; repeats "
+               "hit the result cache (default 1)\n"
+               "  --no-cache         disable result caching\n"
+               "  --po-load FF       primary-output load for .bench "
+               "files (default 12.0)\n"
+               "\n"
+               "Output:\n"
+               "  --out FILE         write the JSON report to FILE "
+               "(default: stdout)\n"
+               "  --jsonl            stream one compact JSON record per "
+               "point to stdout (the\n"
+               "                     final report then goes only to "
+               "--out, never to stdout)\n"
+               "  --list-passes      print the registered pass names and "
+               "exit\n"
+               "  -h, --help         this text\n");
+}
+
+std::vector<std::string> split_list(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : arg) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Strict numeric parsing: the whole token must be consumed ("2x" or
+/// "abc" are diagnosed, not silently truncated or rethrown as bare
+/// "stod").
+double parse_double(const std::string& s, const char* flag) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (s.empty() || used != s.size())
+    throw std::invalid_argument(std::string(flag) + ": bad number '" + s +
+                                "'");
+  return v;
+}
+
+long parse_long(const std::string& s, const char* flag) {
+  std::size_t used = 0;
+  long v = 0;
+  try {
+    v = std::stol(s, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (s.empty() || used != s.size())
+    throw std::invalid_argument(std::string(flag) + ": bad integer '" + s +
+                                "'");
+  return v;
+}
+
+std::vector<double> split_doubles(const std::string& arg, const char* flag) {
+  std::vector<double> out;
+  for (const std::string& item : split_list(arg))
+    out.push_back(parse_double(item, flag));
+  return out;
+}
+
+/// Label under which a circuit argument appears in spec/report: built-ins
+/// keep their name, files their basename without the .bench suffix.
+std::string circuit_label(const std::string& arg) {
+  if (!arg.empty() && arg[0] == '@') return arg.substr(1);
+  std::string base = arg;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const std::size_t dot = base.rfind(".bench");
+  if (dot != std::string::npos && dot + 6 == base.size())
+    base = base.substr(0, dot);
+  return base;
+}
+
+struct Options {
+  service::SweepSpec spec;
+  std::map<std::string, std::string> bench_paths;  // label -> file path
+  double po_load_ff = 12.0;
+  int repeat = 1;
+  bool use_cache = true;
+  bool jsonl = false;
+  std::string out_path;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  opt.spec.tc_ratios = {0.8};
+
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc)
+      throw std::invalid_argument(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+
+  std::vector<std::string> policy_names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      std::exit(0);
+    } else if (arg == "--list-passes") {
+      for (const std::string& n : api::PassRegistry::global().names())
+        std::printf("%s\n", n.c_str());
+      std::exit(0);
+    } else if (arg == "--tc") {
+      opt.spec.tc_ratios = split_doubles(value(i, "--tc"), "--tc");
+    } else if (arg == "--margins") {
+      opt.spec.shield_margins =
+          split_doubles(value(i, "--margins"), "--margins");
+    } else if (arg == "--policies") {
+      policy_names = split_list(value(i, "--policies"));
+    } else if (arg == "--pipeline") {
+      opt.spec.pipeline = split_list(value(i, "--pipeline"));
+    } else if (arg == "--threads") {
+      const long n = parse_long(value(i, "--threads"), "--threads");
+      if (n < 0) throw std::invalid_argument("--threads must be >= 0");
+      opt.spec.n_threads = static_cast<std::size_t>(n);
+    } else if (arg == "--repeat") {
+      const long n = parse_long(value(i, "--repeat"), "--repeat");
+      if (n < 1) throw std::invalid_argument("--repeat must be >= 1");
+      opt.repeat = static_cast<int>(n);
+    } else if (arg == "--no-cache") {
+      opt.use_cache = false;
+    } else if (arg == "--po-load") {
+      opt.po_load_ff = parse_double(value(i, "--po-load"), "--po-load");
+    } else if (arg == "--out") {
+      opt.out_path = value(i, "--out");
+    } else if (arg == "--jsonl") {
+      opt.jsonl = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    } else {
+      const std::string label = circuit_label(arg);
+      opt.spec.circuits.push_back(label);
+      if (arg[0] != '@') opt.bench_paths[label] = arg;
+    }
+  }
+
+  if (!policy_names.empty()) {
+    opt.spec.policies.clear();
+    for (const std::string& name : policy_names)
+      opt.spec.policies.push_back(service::buffer_policy(name));
+  }
+  if (opt.spec.circuits.empty())
+    throw std::invalid_argument(
+        "no circuits given (expected .bench paths or @builtin names)");
+  return opt;
+}
+
+netlist::Netlist load_circuit(const Options& opt, const api::OptContext& ctx,
+                              const std::string& label) {
+  const auto it = opt.bench_paths.find(label);
+  if (it == opt.bench_paths.end())
+    return netlist::make_benchmark(ctx.lib(), label);
+  std::ifstream in(it->second);
+  if (!in)
+    throw std::runtime_error("cannot open '" + it->second + "'");
+  netlist::BenchReadOptions bench_opt;
+  bench_opt.po_load_ff = opt.po_load_ff;
+  bench_opt.name = label;
+  return netlist::read_bench(in, ctx.lib(), bench_opt);
+}
+
+int run(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  opt.spec.ensure_valid();
+
+  api::OptContext ctx;
+  service::SweepService sweeps(ctx, opt.use_cache);
+
+  const service::SweepService::RecordSink sink =
+      opt.jsonl ? service::SweepService::RecordSink(
+                      [](const service::SweepPoint& point) {
+                        std::printf("%s\n",
+                                    service::to_json(point).dump(0).c_str());
+                        std::fflush(stdout);
+                      })
+                : service::SweepService::RecordSink();
+
+  util::Json report = util::Json::object();
+  report["tool"] = "pops_sweep";
+  report["spec"] = service::to_json(opt.spec);
+  report["runs"] = opt.repeat;
+
+  util::Json sweeps_json = util::Json::array();
+  for (int r = 0; r < opt.repeat; ++r) {
+    const service::SweepReport sweep = sweeps.run(
+        opt.spec,
+        [&](const std::string& label) { return load_circuit(opt, ctx, label); },
+        sink);
+    std::fprintf(stderr,
+                 "run %d/%d: %zu points, %.0f ms, cache %zu hits / %zu "
+                 "misses\n",
+                 r + 1, opt.repeat, sweep.points.size(), sweep.wall_ms,
+                 sweep.cache_hits, sweep.cache_misses);
+    sweeps_json.push_back(service::to_json(sweep));
+  }
+  report["sweeps"] = std::move(sweeps_json);
+
+  if (service::ResultCache* cache = sweeps.cache()) {
+    const service::ResultCache::Stats stats = cache->stats();
+    util::Json cache_json = util::Json::object();
+    cache_json["hits"] = stats.hits;
+    cache_json["misses"] = stats.misses;
+    cache_json["entries"] = stats.entries;
+    report["cache"] = std::move(cache_json);
+  }
+
+  const std::string text = report.dump(2) + "\n";
+  if (opt.out_path.empty()) {
+    if (opt.jsonl) {
+      // stdout already carries the JSONL records; appending the pretty
+      // report would make the stream neither valid JSONL nor one JSON
+      // document.
+      std::fprintf(stderr,
+                   "note: final report suppressed in --jsonl mode; pass "
+                   "--out FILE to keep it\n");
+      return 0;
+    }
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(opt.out_path);
+    if (!out)
+      throw std::runtime_error("cannot write '" + opt.out_path + "'");
+    out << text;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pops_sweep: %s\n", e.what());
+    std::fprintf(stderr, "try 'pops_sweep --help'\n");
+    return 1;
+  }
+}
