@@ -1,0 +1,127 @@
+// Extension — delay-model backend parity and cost.
+//
+// The protocol is derived on the closed-form model of eq. (1-3); the
+// TableModel backend replays the same timing queries through NLDM-style
+// (slew x load) lookup tables with bilinear interpolation. Two questions
+// decide whether table-backed sweeps are usable for Fig. 6/8-style
+// comparisons:
+//
+//  1. Parity — how far do STA critical delays and path evaluations drift
+//     between the backends on real ISCAS circuits (bilinear error on the
+//     Miller-term curvature, accumulated per stage)?
+//  2. Cost — what does a table lookup cost relative to evaluating the
+//     closed form, over full STA runs and over hot path re-evaluations
+//     (the inner loop of every sizing sweep)?
+//
+// Emits BENCH_backend_parity.json for cross-PR perf tracking.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common.hpp"
+#include "pops/timing/table_model.hpp"
+#include "pops/util/json.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace bench_common;
+using timing::ClosedFormModel;
+using timing::Sta;
+using timing::TableModel;
+
+constexpr int kStaReps = 40;
+constexpr int kPathReps = 20000;
+
+void backend_parity(util::Json& doc) {
+  print_header(
+      "Extension — closed-form eq. (1-3) vs. NLDM-style TableModel backend",
+      "table STA tracks the closed form within the bilinear interpolation "
+      "error; lookups cost the same order as the closed form");
+
+  api::OptContext ctx;
+  const ClosedFormModel cf(ctx.lib());
+  const TableModel tm = TableModel::characterize(cf);
+
+  util::Table t({"circuit", "gates", "closed-form (ps)", "table (ps)",
+                 "rel err", "STA cf (ms)", "STA tbl (ms)", "path cf (ms)",
+                 "path tbl (ms)"});
+  for (std::size_t c = 1; c < 9; ++c) t.set_align(c, util::Align::Right);
+
+  util::Json rows = util::Json::array();
+  double worst_rel_err = 0.0;
+  for (const std::string& name : {std::string("c432"), std::string("c880"),
+                                  std::string("c1355"), std::string("c3540")}) {
+    const Netlist nl = pops::netlist::make_benchmark(ctx.lib(), name);
+
+    const Sta sta_cf(nl, cf);
+    const Sta sta_tm(nl, tm);
+    double delay_cf = 0.0, delay_tm = 0.0;
+    const double ms_cf = time_ms([&] {
+      for (int i = 0; i < kStaReps; ++i) delay_cf = sta_cf.run().critical_delay_ps;
+    });
+    const double ms_tm = time_ms([&] {
+      for (int i = 0; i < kStaReps; ++i) delay_tm = sta_tm.run().critical_delay_ps;
+    });
+    const double rel_err = std::abs(delay_tm - delay_cf) / delay_cf;
+    worst_rel_err = std::max(worst_rel_err, rel_err);
+
+    // Hot-loop cost: full-path delay evaluation (the kernel every link /
+    // sensitivity sweep iterates).
+    PathCase pc = critical_path_case(ctx.lib(), cf, name);
+    double sink = 0.0;
+    const double path_cf = time_ms([&] {
+      for (int i = 0; i < kPathReps; ++i) sink += pc.path.delay_ps(cf);
+    });
+    const double path_tm = time_ms([&] {
+      for (int i = 0; i < kPathReps; ++i) sink += pc.path.delay_ps(tm);
+    });
+    if (sink == 0.0) std::printf(" ");  // keep the evaluations observable
+
+    t.add_row({name, std::to_string(nl.stats().n_gates),
+               util::fmt(delay_cf, 1), util::fmt(delay_tm, 1),
+               util::fmt(100.0 * rel_err, 3) + "%", util::fmt(ms_cf, 1),
+               util::fmt(ms_tm, 1), util::fmt(path_cf, 1),
+               util::fmt(path_tm, 1)});
+
+    util::Json row = util::Json::object();
+    row["circuit"] = name;
+    row["gates"] = nl.stats().n_gates;
+    row["critical_delay_closed_form_ps"] = delay_cf;
+    row["critical_delay_table_ps"] = delay_tm;
+    row["rel_err"] = rel_err;
+    row["sta_ms_closed_form"] = ms_cf / kStaReps;
+    row["sta_ms_table"] = ms_tm / kStaReps;
+    row["path_eval_us_closed_form"] = 1e3 * path_cf / kPathReps;
+    row["path_eval_us_table"] = 1e3 * path_tm / kPathReps;
+    rows.push_back(std::move(row));
+  }
+  doc["circuits"] = std::move(rows);
+  doc["worst_rel_err"] = worst_rel_err;
+  doc["sta_reps"] = kStaReps;
+  doc["path_reps"] = kPathReps;
+  std::printf("%s", t.str().c_str());
+  std::printf("(default characterization grid; worst critical-delay "
+              "deviation %.3f%%)\n",
+              100.0 * worst_rel_err);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Json doc = util::Json::object();
+  doc["bench"] = "backend_parity";
+  backend_parity(doc);
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_backend_parity.json";
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("\nJSON timings written to %s\n", json_path);
+  return 0;
+}

@@ -12,7 +12,7 @@ cmake -B "${PREFIX}" -S . -DPOPS_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "=== job 1b: pops_sweep smoke (ISCAS c17, repeated sweep -> cache hits) ==="
+echo "=== job 1b: pops_sweep smoke (c17; per-backend sweeps, cache hits, spec file) ==="
 scripts/smoke_sweep.sh "${PREFIX}"
 
 echo "=== job 2: ASan/UBSan, Debug, full ctest ==="

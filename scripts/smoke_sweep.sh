@@ -2,6 +2,11 @@
 # pops_sweep smoke: run a small sweep on a real ISCAS netlist (c17) twice
 # and assert (a) the report is valid JSON, (b) the repeat run is served
 # from the result cache, (c) cached points are bit-identical to fresh ones.
+# Then run the same grid once per delay-model backend (closed-form and
+# table, mixed with --repeat) and assert (d) both backends produce valid
+# JSON whose records carry distinct delay_model fields, (e) the cache
+# never aliases across backends (a backend's first run is all misses),
+# and (f) a JSON --spec file drives the same sweep.
 # Shared by scripts/ci.sh and the GitHub workflow so the fixture and the
 # assertions cannot drift.
 # Usage: scripts/smoke_sweep.sh <build-dir>
@@ -47,4 +52,53 @@ for a, b in zip(first, second):
     assert a["report"]["final_delay_ps"] == b["report"]["final_delay_ps"]
     assert a["report"]["final_area_um"] == b["report"]["final_area_um"]
 print("pops_sweep smoke OK:", len(first), "points, cache hits on repeat")
+PY
+
+# --- delay-model backend smoke: same grid once per backend, repeated ---------
+"${BUILD_DIR}/pops_sweep" --tc 0.8,0.9 --delay-model closed-form,table \
+    --repeat 2 --out "${SMOKE_DIR}/backends.json" "${SMOKE_DIR}/c17.bench"
+
+python3 - "${SMOKE_DIR}/backends.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)  # must be valid JSON
+assert report["delay_models"] == ["closed-form", "table"]
+sweeps = report["sweeps"]
+assert [s["delay_model"] for s in sweeps] == [
+    "closed-form", "table", "closed-form", "table"]
+models_seen = set()
+for s in sweeps:
+    record_models = {p["report"]["delay_model"] for p in s["points"]}
+    assert record_models == {s["delay_model"]}, record_models
+    models_seen |= record_models
+assert models_seen == {"closed-form", "table"}, "backends must be distinct"
+# First pass of EACH backend: all misses (no cross-backend aliasing); the
+# repeat of each backend: all hits.
+for s in sweeps[:2]:
+    assert s["cache"]["hits"] == 0 and s["cache"]["misses"] == 2, s["cache"]
+for s in sweeps[2:]:
+    assert s["cache"]["hits"] == 2 and s["cache"]["misses"] == 0, s["cache"]
+print("backend smoke OK: closed-form and table side by side, no aliasing")
+PY
+
+# --- spec-file front-end smoke ------------------------------------------------
+cat > "${SMOKE_DIR}/spec.json" <<'SPEC'
+{
+  "circuits": ["@c17"],
+  "tc_ratios": [0.9],
+  "base": {"delay_model": "table"}
+}
+SPEC
+"${BUILD_DIR}/pops_sweep" --spec "${SMOKE_DIR}/spec.json" \
+    --out "${SMOKE_DIR}/spec_report.json"
+
+python3 - "${SMOKE_DIR}/spec_report.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+points = report["sweeps"][0]["points"]
+assert len(points) == 1
+assert points[0]["circuit"] == "c17"
+assert points[0]["report"]["delay_model"] == "table"
+print("spec-file smoke OK: table-backed sweep from JSON spec")
 PY

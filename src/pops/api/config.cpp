@@ -43,7 +43,32 @@ std::vector<std::string> OptimizerConfig::validate() const {
 
   require(enable_shielding || enable_cleanup || enable_protocol,
           "all passes disabled: the pipeline would be empty");
+
+  // Delay-model backend selection.
+  if (delay_model != "closed-form" && delay_model != "table") {
+    out.push_back("delay_model must be 'closed-form' or 'table' (got '" +
+                  delay_model + "')");
+  } else if (delay_model == "table") {
+    for (std::string& p : table_model.problems()) out.push_back(std::move(p));
+  }
   return out;
+}
+
+std::unique_ptr<timing::DelayModel> OptimizerConfig::make_delay_model(
+    const liberty::Library& lib) const {
+  if (delay_model == "closed-form")
+    return std::make_unique<timing::ClosedFormModel>(lib);
+  if (delay_model == "table") {
+    const timing::ClosedFormModel source(lib);
+    return std::make_unique<timing::TableModel>(
+        timing::TableModel::characterize(source, table_model));
+  }
+  throw ConfigError({"delay_model must be 'closed-form' or 'table' (got '" +
+                     delay_model + "')"});
+}
+
+std::string OptimizerConfig::delay_model_selector() const {
+  return delay_model == "table" ? table_model.selector() : delay_model;
 }
 
 void OptimizerConfig::ensure_valid() const {

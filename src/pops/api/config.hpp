@@ -12,12 +12,14 @@
 // (and the forwarding shims kept for the old API) are driven unchanged.
 
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "pops/core/netopt.hpp"
 #include "pops/core/protocol.hpp"
+#include "pops/timing/table_model.hpp"
 
 namespace pops::api {
 
@@ -66,6 +68,15 @@ struct OptimizerConfig {
   // --- numerical solver knobs -------------------------------------------------
   core::BoundsOptions bounds;
   core::SensitivityOptions sensitivity;
+
+  // --- delay-model backend ----------------------------------------------------
+  /// Backend name: "closed-form" (eq. 1-3) or "table" (NLDM-style lookup
+  /// tables characterized from the closed form over table_model's grid).
+  /// api::Optimizer installs the selected backend on its OptContext at
+  /// construction (see OptContext::set_delay_model).
+  std::string delay_model = "closed-form";
+  /// Characterization grid used when delay_model == "table".
+  timing::TableModelOptions table_model;
 
   // --- builder-style setters ---------------------------------------------------
   OptimizerConfig& with_domain_ratios(double hard, double weak) {
@@ -117,6 +128,14 @@ struct OptimizerConfig {
     sensitivity = s;
     return *this;
   }
+  OptimizerConfig& with_delay_model(std::string name) {
+    delay_model = std::move(name);
+    return *this;
+  }
+  OptimizerConfig& with_table_model(timing::TableModelOptions opt) {
+    table_model = std::move(opt);
+    return *this;
+  }
 
   // --- validation --------------------------------------------------------------
 
@@ -132,6 +151,18 @@ struct OptimizerConfig {
   core::ProtocolOptions protocol_options() const;
   core::CircuitOptions circuit_options() const;
   core::ShieldOptions shield_options() const;
+
+  // --- delay-model backend construction ----------------------------------------
+
+  /// Build a fresh instance of the backend this config selects, over
+  /// `lib`. Throws ConfigError when the selection is invalid.
+  std::unique_ptr<timing::DelayModel> make_delay_model(
+      const liberty::Library& lib) const;
+
+  /// Identity of the selected backend (name + construction parameters),
+  /// comparable against timing::DelayModel::selector() to decide whether
+  /// an installed backend already satisfies this config.
+  std::string delay_model_selector() const;
 
   /// Lift a legacy circuit-level options struct into a protocol-only
   /// unified config. Note the legacy shim (core::optimize_circuit)

@@ -1,18 +1,37 @@
 #include "pops/api/context.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 #include "pops/liberty/cell.hpp"
 
 namespace pops::api {
 
 OptContext::OptContext(process::Technology tech,
                        core::FlimitOptions flimit_opt, std::uint64_t rng_seed)
-    : lib_(std::move(tech)), dm_(lib_), flimits_(flimit_opt),
+    : lib_(std::move(tech)),
+      dm_(std::make_unique<timing::ClosedFormModel>(lib_)),
+      flimits_(flimit_opt),
       rng_seed_(rng_seed) {}
+
+void OptContext::set_delay_model(std::unique_ptr<timing::DelayModel> backend) {
+  if (!backend)
+    throw std::invalid_argument("OptContext::set_delay_model: null backend");
+  if (&backend->lib() != &lib_)
+    throw std::invalid_argument(
+        "OptContext::set_delay_model: backend was built over a different "
+        "Library; backends hold a non-owning library pointer and must be "
+        "characterized over this context's own library");
+  dm_ = std::move(backend);
+  // Flimit values are delays of the installed backend; a stale warm cache
+  // would silently mix backends.
+  flimits_.clear();
+}
 
 void OptContext::warm_flimits() {
   for (liberty::CellKind driver : liberty::all_cell_kinds())
     for (liberty::CellKind gate : liberty::all_cell_kinds())
-      flimits_.get(dm_, driver, gate);
+      flimits_.get(*dm_, driver, gate);
 }
 
 }  // namespace pops::api

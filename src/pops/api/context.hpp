@@ -2,13 +2,21 @@
 // Shared optimization context.
 //
 // Every pass of the pipeline needs the same four things: the technology
-// node, the calibrated cell library, the eq. (1-3) delay model over it,
-// and the Flimit characterization cache (the "Library characterization"
-// step at the top of the Fig. 7 protocol). The seed made every caller
-// assemble these by hand in the right dependency order; OptContext owns
-// them as one object with the lifetimes tied together, plus the RNG seed
-// that makes every stochastic consumer (power estimation, synthetic
+// node, the calibrated cell library, a delay-model backend over it
+// (closed-form eq. 1-3 by default; see timing/delay_model.hpp), and the
+// Flimit characterization cache (the "Library characterization" step at
+// the top of the Fig. 7 protocol). The seed made every caller assemble
+// these by hand in the right dependency order; OptContext owns them as
+// one object with the lifetimes tied together, plus the RNG seed that
+// makes every stochastic consumer (power estimation, synthetic
 // benchmarks) reproducible.
+//
+// The delay-model backend is owned by pointer so it is polymorphic:
+// OptimizerConfig selects a backend by name + parameters and
+// api::Optimizer installs it here (set_delay_model). A backend keeps a
+// non-owning pointer to the library it was built over, so OptContext only
+// accepts backends built over ITS library — installing one built over a
+// foreign (possibly shorter-lived) library throws instead of dangling.
 
 #include <cstdint>
 #include <memory>
@@ -104,7 +112,17 @@ class OptContext {
 
   const process::Technology& tech() const noexcept { return lib_.tech(); }
   const liberty::Library& lib() const noexcept { return lib_; }
-  const timing::DelayModel& dm() const noexcept { return dm_; }
+  const timing::DelayModel& dm() const noexcept { return *dm_; }
+
+  /// Install a delay-model backend (the context takes ownership). The
+  /// backend must have been built over THIS context's library — backends
+  /// keep a non-owning library pointer, so a foreign library would leave
+  /// it dangling; such installs (and nullptr) throw std::invalid_argument.
+  /// Installing a backend clears the Flimit cache (its entries are
+  /// backend-dependent). Not safe while optimizations are in flight on
+  /// this context: workers read dm() without synchronization.
+  void set_delay_model(std::unique_ptr<timing::DelayModel> backend);
+
   core::FlimitTable& flimits() noexcept { return flimits_; }
   const core::FlimitTable& flimits() const noexcept { return flimits_; }
 
@@ -145,7 +163,7 @@ class OptContext {
 
  private:
   liberty::Library lib_;
-  timing::DelayModel dm_;
+  std::unique_ptr<timing::DelayModel> dm_;
   core::FlimitTable flimits_;
   std::uint64_t rng_seed_;
   std::shared_ptr<ResultCacheHook> result_cache_;

@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "pops/timing/sta.hpp"
@@ -15,6 +16,14 @@ namespace pops::api {
 Optimizer::Optimizer(OptContext& ctx, OptimizerConfig cfg)
     : ctx_(&ctx), cfg_(std::move(cfg)) {
   cfg_.ensure_valid();
+  // The config selects the delay-model backend; install it when the
+  // context's current backend does not already satisfy the selection
+  // (the default config + default context agree on "closed-form", so the
+  // common path never rebuilds or resets anything). Construction-time
+  // only: switching backends while runs are in flight on the context
+  // would race (see OptContext::set_delay_model).
+  if (ctx.dm().selector() != cfg_.delay_model_selector())
+    ctx.set_delay_model(cfg_.make_delay_model(ctx.lib()));
   pipeline_ = PassPipeline::standard(cfg_);
 }
 
@@ -24,8 +33,23 @@ void Optimizer::set_pipeline(PassPipeline pipeline) {
   pipeline_ = std::move(pipeline);
 }
 
+void Optimizer::ensure_backend_current() const {
+  const std::string installed = ctx_->dm().selector();
+  const std::string selected = cfg_.delay_model_selector();
+  if (installed == selected) return;
+  // Selectors, not family names: two table backends with different grids
+  // both print "table" — the selector shows the actual mismatch.
+  throw std::logic_error(
+      "Optimizer: the context's delay-model backend ('" + installed +
+      "') no longer matches this optimizer's selection ('" + selected +
+      "') — another Optimizer constructed on the shared OptContext "
+      "replaced it. Re-construct this Optimizer (or avoid interleaving "
+      "optimizers with different delay-model selections on one context).");
+}
+
 PipelineReport Optimizer::run_point(netlist::Netlist& nl, double tc_ps,
                                     double initial_delay) const {
+  ensure_backend_current();
   ResultCacheHook* cache = ctx_->result_cache();
   // Invalid Tc must throw (from pipeline.run) without polluting the
   // cache's miss counter.
@@ -57,6 +81,7 @@ double Optimizer::initial_delay_ps(const netlist::Netlist& nl) const {
 
 PipelineReport Optimizer::run_relative_point(netlist::Netlist& nl,
                                              double tc_ratio) const {
+  ensure_backend_current();
   ResultCacheHook* cache = ctx_->result_cache();
   if (!cache) {
     // One STA both derives Tc and seeds the report's initial delay.
@@ -112,6 +137,7 @@ std::vector<PipelineReport> Optimizer::run_many_impl(
     std::span<netlist::Netlist> nls, double tc, bool relative,
     std::size_t n_threads) const {
   cfg_.ensure_valid();
+  ensure_backend_current();  // before warming Flimits under a wrong backend
   if (relative && !(tc > 0.0))
     throw std::invalid_argument("Optimizer: tc_ratio must be > 0");
   if (nls.empty()) return {};

@@ -77,6 +77,11 @@ class Optimizer {
   PipelineReport run_relative_point(netlist::Netlist& nl,
                                     double tc_ratio) const;
   double initial_delay_ps(const netlist::Netlist& nl) const;
+  /// Throws std::logic_error when the context's installed delay-model
+  /// backend no longer matches this optimizer's selection (another
+  /// Optimizer constructed on the shared context swapped it) — running
+  /// anyway would silently compute under the wrong backend.
+  void ensure_backend_current() const;
 
   OptContext* ctx_;
   OptimizerConfig cfg_;

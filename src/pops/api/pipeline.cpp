@@ -96,6 +96,7 @@ PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
 
   PipelineReport out;
   out.tc_ps = tc_ps;
+  out.delay_model = std::string(ctx.dm().name());
   out.initial_delay_ps = initial_delay_ps > 0.0
                              ? initial_delay_ps
                              : critical_delay_ps(nl, ctx, cfg);

@@ -29,6 +29,9 @@ struct PipelineReport {
   /// True when this report was replayed from a ResultCacheHook instead of
   /// recomputed; all other fields are bit-identical to the original run.
   bool from_cache = false;
+  /// Delay-model backend that produced this result ("closed-form",
+  /// "table"); cached replays carry the producing run's backend.
+  std::string delay_model;
 
   std::vector<PassReport> passes;  ///< one entry per executed pass
 

@@ -70,6 +70,14 @@ class FlimitTable {
 
   const FlimitOptions& options() const noexcept { return opt_; }
 
+  /// Cached pair count (introspection: tests, cache-invalidation checks).
+  std::size_t size() const noexcept { return cache_.size(); }
+
+  /// Drop every cached value. Required when the delay-model backend the
+  /// table was warmed against changes — Flimit is a backend-dependent
+  /// characterization (api::OptContext::set_delay_model calls this).
+  void clear() noexcept { cache_.clear(); }
+
  private:
   FlimitOptions opt_;
   std::map<std::pair<liberty::CellKind, liberty::CellKind>, double> cache_;

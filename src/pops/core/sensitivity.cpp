@@ -155,6 +155,13 @@ SizingResult size_equal_effort(const BoundedPath& path, const DelayModel& dm,
     throw std::invalid_argument("size_equal_effort: Tc must be > 0");
 
   const std::size_t n = path.size();
+  // The analytic inner solve below exploits the eq. (1) decomposition
+  // (slope + Miller terms); when the backend is not the closed form, the
+  // same two quantities are estimated through the generic contract — the
+  // slope term as delay(tin) - delay(0), and the effort coefficient as the
+  // zero-slew delay per unit CL/CIN (the secant through the origin, which
+  // for the closed form reproduces miller/2 * S * tau up to rounding).
+  const timing::ClosedFormModel* cf = dm.closed_form();
 
   // Given a per-stage delay budget d, solve backward for the CINs: stage
   // i's delay is (slope term) + miller/2 * S * tau * (CL+Cpar)/CIN, and the
@@ -171,21 +178,32 @@ SizingResult size_equal_effort(const BoundedPath& path, const DelayModel& dm,
       for (std::size_t ri = 0; ri + 1 < n; ++ri) {
         const std::size_t i = n - 1 - ri;
         const double tin_i = i == 0 ? p.input_slew_ps() : slews[i - 1];
-        const double slope =
-            0.5 * dm.reduced_vt(p.out_edge(i)) * tin_i;
+        // Slope term and effort coefficient k_eff with
+        // delay_own = k_eff * (CLext + cpar_coeff*CIN)/CIN,
+        // both frozen at the current iterate.
+        double slope, k_eff;
+        if (cf) {
+          slope = 0.5 * cf->reduced_vt(p.out_edge(i)) * tin_i;
+          const double miller = cf->miller_factor(
+              p.cell(i), p.out_edge(i), p.cin(i), p.total_load_ff(i));
+          const double s = cf->symmetry_factor(p.cell(i), p.out_edge(i));
+          const double tau = cf->lib().tech().tau_ps;
+          k_eff = 0.5 * miller * s * tau;
+        } else {
+          const double tl = p.total_load_ff(i);
+          const double d_full =
+              dm.delay_ps(p.cell(i), p.out_edge(i), tin_i, p.cin(i), tl);
+          const double d_zero =
+              dm.delay_ps(p.cell(i), p.out_edge(i), 0.0, p.cin(i), tl);
+          slope = d_full - d_zero;
+          k_eff = d_zero * p.cin(i) / std::max(tl, 1e-12);
+        }
         const double own_budget = budget - slope;
         if (own_budget <= 0.0) {
           p.set_cin(i, p.cin_max(i));
           continue;
         }
-        // delay_own = miller/2 * S * tau * (CLext + cpar_coeff*CIN)/CIN.
-        // Solve with miller & cpar frozen at the current iterate.
-        const double miller = dm.miller_factor(p.cell(i), p.out_edge(i),
-                                               p.cin(i), p.total_load_ff(i));
-        const double s = dm.symmetry_factor(p.cell(i), p.out_edge(i));
-        const double tau = dm.lib().tech().tau_ps;
         const double cpar_per_cin = p.cpar_ff(i) / std::max(p.cin(i), 1e-12);
-        const double k_eff = 0.5 * miller * s * tau;
         const double denom = own_budget - k_eff * cpar_per_cin;
         if (denom <= 0.0) {
           p.set_cin(i, p.cin_max(i));

@@ -3,32 +3,11 @@
 #include <bit>
 #include <string_view>
 
+#include "pops/util/hash.hpp"
+
 namespace pops::service {
 
-namespace {
-
-// FNV-1a, the offset-basis/prime pair of the 64-bit variant.
-struct Fnv1a {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 0x100000001b3ull;
-    }
-  }
-  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void i(long long v) { u64(static_cast<std::uint64_t>(v)); }
-  void b(bool v) { u64(v ? 1 : 0); }
-  void str(std::string_view s) {
-    u64(s.size());
-    bytes(s.data(), s.size());
-  }
-};
-
-}  // namespace
+using util::Fnv1a;
 
 std::uint64_t ResultCache::hash_netlist(const netlist::Netlist& nl) {
   Fnv1a h;
@@ -98,6 +77,12 @@ std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
   h.f64(fo.tol);
   h.i(static_cast<long long>(fo.aggregate));
   h.u64(ctx.rng_seed());
+
+  // Delay-model backend identity: family name plus content hash (for a
+  // table backend, the grid and every tabulated value), so closed-form and
+  // table runs — or two differently characterized tables — never alias.
+  h.str(ctx.dm().name());
+  h.u64(ctx.dm().content_hash());
 
   // The pass sequence actually run — names plus each pass's cache salt
   // (custom passes encode constructor parameters there). The enable_*

@@ -82,7 +82,8 @@ class ResultCache final : public api::ResultCacheHook {
 
   /// Hash of the non-circuit half of the key: the pipeline's pass
   /// sequence (name + Pass::cache_salt per pass), the context
-  /// characterization (technology, FlimitOptions, RNG seed), and the
+  /// characterization (technology, FlimitOptions, RNG seed, delay-model
+  /// backend identity = name + content hash), and the
   /// *normalized* config tuple — only knobs a pass of this pipeline can
   /// read contribute (shield knobs require the shield pass, protocol/
   /// solver knobs the protocol pass; an unknown custom pass hashes

@@ -1,8 +1,25 @@
 #include "pops/service/serialize.hpp"
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace pops::service {
 
 using util::Json;
+
+namespace {
+
+Json to_json_axis(const std::vector<double>& axis) {
+  Json arr = Json::array();
+  for (const double v : axis) arr.push_back(v);
+  return arr;
+}
+
+}  // namespace
 
 Json to_json(const api::OptimizerConfig& cfg) {
   Json j = Json::object();
@@ -19,6 +36,14 @@ Json to_json(const api::OptimizerConfig& cfg) {
   j["enable_shielding"] = cfg.enable_shielding;
   j["enable_cleanup"] = cfg.enable_cleanup;
   j["enable_protocol"] = cfg.enable_protocol;
+  j["delay_model"] = cfg.delay_model;
+  // Always archived, not gated on delay_model == "table": a closed-form
+  // base can still carry a custom grid that a --delay-model table run
+  // uses, and the dumped spec must reproduce those results.
+  Json tm = Json::object();
+  tm["slew_grid_ps"] = to_json_axis(cfg.table_model.slew_grid_ps);
+  tm["load_grid"] = to_json_axis(cfg.table_model.load_grid);
+  j["table_model"] = std::move(tm);
   return j;
 }
 
@@ -71,6 +96,7 @@ Json to_json(const api::PipelineReport& report) {
   j["tc_ps"] = report.tc_ps;
   j["met"] = report.met;
   j["from_cache"] = report.from_cache;
+  j["delay_model"] = report.delay_model;
   j["initial_delay_ps"] = report.initial_delay_ps;
   j["final_delay_ps"] = report.final_delay_ps;
   j["initial_area_um"] = report.initial_area_um;
@@ -126,6 +152,217 @@ Json to_json(const SweepPoint& point) {
   j["policy"] = point.policy;
   j["report"] = to_json(point.report);
   return j;
+}
+
+// ----- parsing (spec-file input) ----------------------------------------------
+
+namespace {
+
+/// Collects schema problems while walking a parsed document, so a bad spec
+/// file reports every mistake at once (mirroring OptimizerConfig /
+/// SweepSpec validation style).
+struct ReadErrors {
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool check(bool ok, const std::string& msg) {
+    if (!ok) problems.push_back(msg);
+    return ok;
+  }
+  void throw_if_any(const char* what) const {
+    if (problems.empty()) return;
+    std::string msg = std::string(what) + " (" +
+                      std::to_string(problems.size()) + " problem" +
+                      (problems.size() == 1 ? "" : "s") + "):";
+    for (const std::string& p : problems) msg += "\n  - " + p;
+    throw std::invalid_argument(msg);
+  }
+};
+
+bool read_number(ReadErrors& err, const util::Json& v, const std::string& key,
+                 double& out) {
+  if (!err.check(v.is_number(), "'" + key + "' must be a number")) return false;
+  out = v.as_number();
+  return true;
+}
+
+bool read_count(ReadErrors& err, const util::Json& v, const std::string& key,
+                std::size_t& out) {
+  double d = 0.0;
+  if (!read_number(err, v, key, d)) return false;
+  // Range-check BEFORE casting: float-to-integer conversion outside the
+  // destination range is UB, and spec files are untrusted input. The
+  // 2^53 bound keeps the value exactly representable as a double too.
+  if (!err.check(d >= 0.0 && d <= 9007199254740992.0 && d == std::floor(d),
+                 "'" + key + "' must be a non-negative integer"))
+    return false;
+  out = static_cast<std::size_t>(d);
+  return true;
+}
+
+bool read_bool(ReadErrors& err, const util::Json& v, const std::string& key,
+               bool& out) {
+  if (!err.check(v.is_bool(), "'" + key + "' must be a boolean")) return false;
+  out = v.as_bool();
+  return true;
+}
+
+bool read_string(ReadErrors& err, const util::Json& v, const std::string& key,
+                 std::string& out) {
+  if (!err.check(v.is_string(), "'" + key + "' must be a string"))
+    return false;
+  out = v.as_string();
+  return true;
+}
+
+bool read_numbers(ReadErrors& err, const util::Json& v, const std::string& key,
+                  std::vector<double>& out) {
+  if (!err.check(v.is_array(), "'" + key + "' must be an array of numbers"))
+    return false;
+  std::vector<double> values;
+  for (const util::Json& item : v.items()) {
+    if (!err.check(item.is_number(),
+                   "'" + key + "' must contain only numbers"))
+      return false;
+    values.push_back(item.as_number());
+  }
+  out = std::move(values);
+  return true;
+}
+
+bool read_strings(ReadErrors& err, const util::Json& v, const std::string& key,
+                  std::vector<std::string>& out) {
+  if (!err.check(v.is_array(), "'" + key + "' must be an array of strings"))
+    return false;
+  std::vector<std::string> values;
+  for (const util::Json& item : v.items()) {
+    if (!err.check(item.is_string(),
+                   "'" + key + "' must contain only strings"))
+      return false;
+    values.push_back(item.as_string());
+  }
+  out = std::move(values);
+  return true;
+}
+
+void read_table_model(ReadErrors& err, const util::Json& v,
+                      timing::TableModelOptions& out) {
+  if (!err.check(v.is_object(), "'table_model' must be an object")) return;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "slew_grid_ps") {
+      read_numbers(err, value, "table_model.slew_grid_ps", out.slew_grid_ps);
+    } else if (key == "load_grid") {
+      read_numbers(err, value, "table_model.load_grid", out.load_grid);
+    } else {
+      err.problems.push_back("unknown 'table_model' key '" + key + "'");
+    }
+  }
+}
+
+void read_config(ReadErrors& err, const util::Json& j,
+                 api::OptimizerConfig& cfg) {
+  if (!err.check(j.is_object(), "config must be an object")) return;
+  for (const auto& [key, v] : j.members()) {
+    if (key == "hard_ratio") read_number(err, v, key, cfg.hard_ratio);
+    else if (key == "weak_ratio") read_number(err, v, key, cfg.weak_ratio);
+    else if (key == "allow_restructuring")
+      read_bool(err, v, key, cfg.allow_restructuring);
+    else if (key == "max_paths") read_count(err, v, key, cfg.max_paths);
+    else if (key == "max_rounds") {
+      std::size_t n = 0;
+      if (read_count(err, v, key, n)) {
+        // Bound before narrowing: 2^32+1 would otherwise wrap to a wrong
+        // but positive round count that passes validation.
+        if (err.check(n <= static_cast<std::size_t>(
+                               std::numeric_limits<int>::max()),
+                      "'max_rounds' is out of range"))
+          cfg.max_rounds = static_cast<int>(n);
+      }
+    } else if (key == "tc_margin") read_number(err, v, key, cfg.tc_margin);
+    else if (key == "pi_slew_ps") read_number(err, v, key, cfg.pi_slew_ps);
+    else if (key == "shield_margin")
+      read_number(err, v, key, cfg.shield_margin);
+    else if (key == "max_shield_buffers")
+      read_count(err, v, key, cfg.max_shield_buffers);
+    else if (key == "shield_fanout")
+      read_number(err, v, key, cfg.shield_fanout);
+    else if (key == "enable_shielding")
+      read_bool(err, v, key, cfg.enable_shielding);
+    else if (key == "enable_cleanup")
+      read_bool(err, v, key, cfg.enable_cleanup);
+    else if (key == "enable_protocol")
+      read_bool(err, v, key, cfg.enable_protocol);
+    else if (key == "delay_model") read_string(err, v, key, cfg.delay_model);
+    else if (key == "table_model") read_table_model(err, v, cfg.table_model);
+    else err.problems.push_back("unknown config key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+api::OptimizerConfig config_from_json(const util::Json& j) {
+  api::OptimizerConfig cfg;
+  ReadErrors err;
+  read_config(err, j, cfg);
+  err.throw_if_any("invalid OptimizerConfig JSON");
+  return cfg;
+}
+
+SweepSpec sweep_spec_from_json(const util::Json& j) {
+  SweepSpec spec;
+  ReadErrors err;
+  if (!err.check(j.is_object(), "sweep spec must be a JSON object")) {
+    err.throw_if_any("invalid SweepSpec JSON");
+  }
+  for (const auto& [key, v] : j.members()) {
+    if (key == "circuits") {
+      read_strings(err, v, key, spec.circuits);
+    } else if (key == "tc_ratios") {
+      read_numbers(err, v, key, spec.tc_ratios);
+    } else if (key == "shield_margins") {
+      read_numbers(err, v, key, spec.shield_margins);
+    } else if (key == "policies") {
+      if (!err.check(v.is_array(), "'policies' must be an array")) continue;
+      std::vector<BufferPolicy> policies;
+      for (const util::Json& item : v.items()) {
+        if (item.is_string()) {
+          try {
+            policies.push_back(buffer_policy(item.as_string()));
+          } catch (const std::invalid_argument& e) {
+            err.problems.push_back(e.what());
+          }
+        } else if (item.is_object()) {
+          BufferPolicy p;
+          for (const auto& [pk, pv] : item.members()) {
+            if (pk == "name") read_string(err, pv, "policies[].name", p.name);
+            else if (pk == "shielding")
+              read_bool(err, pv, "policies[].shielding", p.shielding);
+            else if (pk == "restructuring")
+              read_bool(err, pv, "policies[].restructuring", p.restructuring);
+            else
+              err.problems.push_back("unknown policy key '" + pk + "'");
+          }
+          policies.push_back(std::move(p));
+        } else {
+          err.problems.push_back(
+              "'policies' entries must be names or policy objects");
+        }
+      }
+      // Overwrite even when empty: an explicit "policies": [] must reach
+      // SweepSpec::validate ("policies is empty") like every other axis,
+      // not silently keep the default policy.
+      spec.policies = std::move(policies);
+    } else if (key == "pipeline") {
+      read_strings(err, v, key, spec.pipeline);
+    } else if (key == "n_threads") {
+      read_count(err, v, key, spec.n_threads);
+    } else if (key == "base") {
+      read_config(err, v, spec.base);
+    } else {
+      err.problems.push_back("unknown sweep-spec key '" + key + "'");
+    }
+  }
+  err.throw_if_any("invalid SweepSpec JSON");
+  return spec;
 }
 
 Json to_json(const SweepReport& report) {

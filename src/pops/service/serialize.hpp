@@ -9,7 +9,9 @@
 //   OptimizerConfig  -> {hard_ratio, weak_ratio, allow_restructuring,
 //                        max_paths, max_rounds, tc_margin, pi_slew_ps,
 //                        shield_margin, max_shield_buffers, shield_fanout,
-//                        enable_shielding, enable_cleanup, enable_protocol}
+//                        enable_shielding, enable_cleanup, enable_protocol,
+//                        delay_model, table_model: {slew_grid_ps,
+//                        load_grid}}
 //   PassReport       -> {pass, changed, delay_before_ps, delay_after_ps,
 //                        area_before_um, area_after_um, runtime_ms,
 //                        buffers_inserted, sinks_rewired, gates_removed,
@@ -18,12 +20,19 @@
 //                        paths_optimized, per_path: [{domain, method,
 //                        tmin_ps, tmax_ps, delay_ps, area_um,
 //                        buffers_inserted, gates_restructured}]}
-//   PipelineReport   -> {tc_ps, met, from_cache, initial/final delay+area,
-//                        totals..., passes: [PassReport]}
+//   PipelineReport   -> {tc_ps, met, from_cache, delay_model,
+//                        initial/final delay+area, totals...,
+//                        passes: [PassReport]}
 //   SweepPoint       -> {circuit, tc_ratio, shield_margin, policy,
 //                        report: PipelineReport}
 //   SweepReport      -> {points: [SweepPoint], cache: {hits, misses,
 //                        entries}, wall_ms}
+//
+// The inverse direction exists for the *input* types only (sweep specs
+// enter as files through pops_sweep --spec): config_from_json /
+// sweep_spec_from_json accept exactly the projections above (policies may
+// be names or {name, shielding, restructuring} objects) and reject
+// unknown keys with diagnostics listing every problem.
 
 #include "pops/api/api.hpp"
 #include "pops/core/protocol.hpp"
@@ -41,5 +50,18 @@ util::Json to_json(const BufferPolicy& policy);
 util::Json to_json(const SweepSpec& spec);
 util::Json to_json(const SweepPoint& point);
 util::Json to_json(const SweepReport& report);
+
+/// Overlay the members of `j` onto a default-constructed OptimizerConfig.
+/// Accepts the to_json(OptimizerConfig) schema; unknown keys or
+/// wrong-kinded values throw std::invalid_argument listing every problem.
+/// The result is NOT validated here — SweepSpec::validate() (or
+/// Optimizer construction) owns that, so file input and programmatic
+/// input share one validation path.
+api::OptimizerConfig config_from_json(const util::Json& j);
+
+/// Parse a SweepSpec from its JSON projection. Same conventions as
+/// config_from_json; "policies" entries may be policy names (resolved via
+/// buffer_policy) or full {name, shielding, restructuring} objects.
+SweepSpec sweep_spec_from_json(const util::Json& j);
 
 }  // namespace pops::service

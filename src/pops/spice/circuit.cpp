@@ -122,7 +122,7 @@ NodeIndex Circuit::expand_gate(const Cell& cell, double wn_um, NodeIndex in,
   // The driven node carries the gate input capacitance of this cell.
   add_gate_load(cell, wn_um, in);
   // Input-output Miller coupling (Cgd overlap): half the device gate cap,
-  // split per polarity, consistent with DelayModel::coupling_ff.
+  // split per polarity, consistent with ClosedFormModel::coupling_ff.
   const double cm = 0.25 * cell.cin_ff(*tech_, wn_um);
 
   switch (cell.kind) {

@@ -1,11 +1,12 @@
 #pragma once
 // Liberty (.lib) export of the characterised library.
 //
-// Generates an NLDM-style Liberty view from the closed-form delay model:
+// Generates an NLDM-style Liberty view from any delay-model backend:
 // for every cell and every pin-to-output arc, `cell_rise`/`cell_fall`
 // delay tables and `rise_transition`/`fall_transition` slew tables over an
-// (input transition x output load) grid, evaluated with eq. (1-3) at a
-// reference drive. This is the artifact a downstream synthesis/STA tool
+// (input transition x output load) grid, evaluated through the backend
+// (eq. 1-3 closed form or a characterized TableModel) at a reference
+// drive. This is the artifact a downstream synthesis/STA tool
 // would consume, and it doubles as a tabulated snapshot of the model that
 // external tools can diff against.
 //

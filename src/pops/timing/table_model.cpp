@@ -1,0 +1,192 @@
+#include "pops/timing/table_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "pops/util/hash.hpp"
+
+namespace pops::timing {
+
+using util::Fnv1a;
+
+namespace {
+
+void check_axis(const std::vector<double>& axis, const char* name,
+                std::vector<std::string>& out) {
+  if (axis.size() < 2) {
+    out.push_back(std::string(name) + " needs at least 2 points");
+    return;
+  }
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (!(axis[i] > 0.0)) {
+      out.push_back(std::string(name) + " points must be > 0");
+      return;
+    }
+    if (i > 0 && !(axis[i] > axis[i - 1])) {
+      out.push_back(std::string(name) + " must be strictly ascending");
+      return;
+    }
+  }
+}
+
+/// Index i with axis[i] <= v < axis[i+1], clamped to [0, n-2]; `t` the
+/// interpolation weight in [0, 1] (0 at axis[i] — grid points are exact).
+/// A single-point axis (a collapsed dimension, e.g. the slew axis of a
+/// transition table) always selects its one point with t = 0.
+std::size_t segment(const std::vector<double>& axis, double v, double& t) {
+  if (axis.size() == 1 || v <= axis.front()) {
+    t = 0.0;
+    return 0;
+  }
+  if (v >= axis.back()) {
+    t = 1.0;
+    return axis.size() - 2;
+  }
+  const std::size_t hi = static_cast<std::size_t>(
+      std::upper_bound(axis.begin(), axis.end(), v) - axis.begin());
+  const std::size_t i = hi - 1;
+  t = (v - axis[i]) / (axis[i + 1] - axis[i]);
+  return i;
+}
+
+}  // namespace
+
+namespace {
+
+/// Endpoint-exact linear interpolation: t == 0/1 return a/b bit-for-bit
+/// (a + 1.0*(b-a) may round), so every grid point — including the axis
+/// maxima — reproduces its characterized value exactly.
+double lerp(double a, double b, double t) {
+  if (t == 0.0) return a;
+  if (t == 1.0) return b;
+  return a + t * (b - a);
+}
+
+}  // namespace
+
+double Table2D::at(double slew, double ratio) const {
+  double ts = 0.0, tr = 0.0;
+  const std::size_t i = segment(slew_ps, slew, ts);
+  const std::size_t j = segment(load_ratio, ratio, tr);
+  const std::size_t nl = load_ratio.size();
+  // Corner reads are gated on the weights so collapsed (single-point)
+  // axes never index a row/column that does not exist.
+  const auto interp_row = [&](std::size_t row) {
+    const double a = values[row * nl + j];
+    return tr == 0.0 ? a : lerp(a, values[row * nl + j + 1], tr);
+  };
+  const double lo = interp_row(i);
+  return ts == 0.0 ? lo : lerp(lo, interp_row(i + 1), ts);
+}
+
+std::vector<std::string> TableModelOptions::problems() const {
+  std::vector<std::string> out;
+  check_axis(slew_grid_ps, "table_model.slew_grid_ps", out);
+  check_axis(load_grid, "table_model.load_grid", out);
+  return out;
+}
+
+std::string TableModelOptions::selector() const {
+  Fnv1a h;
+  h.f64s(slew_grid_ps);
+  h.f64s(load_grid);
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h.h));
+  return std::string("table#") + buf;
+}
+
+TableModel TableModel::characterize(const DelayModel& src,
+                                    const TableModelOptions& opt) {
+  {
+    const std::vector<std::string> problems = opt.problems();
+    if (!problems.empty()) {
+      std::string msg = "TableModel::characterize: invalid grid:";
+      for (const std::string& p : problems) msg += "\n  - " + p;
+      throw std::invalid_argument(msg);
+    }
+  }
+
+  const liberty::Library& lib = src.lib();
+  TableModel tm(lib);
+  tm.opt_ = opt;
+  tm.selector_ = opt.selector();
+  tm.cells_.resize(liberty::kCellKindCount);
+
+  const std::size_t ns = opt.slew_grid_ps.size();
+  const std::size_t nl = opt.load_grid.size();
+
+  Fnv1a hash;
+  hash.f64s(opt.slew_grid_ps);
+  hash.f64s(opt.load_grid);
+
+  for (const liberty::Cell& cell : lib.cells()) {
+    CellTables& ct = tm.cells_[static_cast<std::size_t>(cell.kind)];
+    // Any positive operating point works (the generic contract scales in
+    // CL/CIN); the unit point makes cload == ratio bit-for-bit, so
+    // re-characterizing a table on the same grid is content-identical.
+    const double cin = 1.0;
+    for (const Edge e : {Edge::Rise, Edge::Fall}) {
+      Table2D& dt = ct.delay[edge_index(e)];
+      dt.slew_ps = opt.slew_grid_ps;
+      dt.load_ratio = opt.load_grid;
+      dt.values.reserve(ns * nl);
+      for (const double s : opt.slew_grid_ps)
+        for (const double r : opt.load_grid)
+          dt.values.push_back(src.delay_ps(cell, e, s, cin, r * cin));
+      hash.f64s(dt.values);
+
+      // The generic contract's transition takes no input slew (eq. 2
+      // shape), so the transition table's slew axis collapses to one
+      // point — one characterized row, not ns identical copies.
+      Table2D& tt = ct.transition[edge_index(e)];
+      tt.slew_ps = {opt.slew_grid_ps.front()};
+      tt.load_ratio = opt.load_grid;
+      tt.values.reserve(nl);
+      for (const double r : opt.load_grid)
+        tt.values.push_back(src.transition_ps(cell, e, cin, r * cin));
+      hash.f64s(tt.values);
+    }
+  }
+  tm.content_hash_ = hash.h;
+
+  // Precompute the hot-loop scalars through the *table* evaluation (the
+  // base-class implementations), so a characterized backend is internally
+  // consistent even where it deviates from its source between grid points.
+  tm.default_slew_ps_ = tm.DelayModel::default_input_slew_ps();
+  tm.slope_sens_[0] = tm.DelayModel::slope_sensitivity(Edge::Rise);
+  tm.slope_sens_[1] = tm.DelayModel::slope_sensitivity(Edge::Fall);
+  return tm;
+}
+
+double TableModel::transition_ps(const liberty::Cell& cell, Edge out_edge,
+                                 double cin_ff, double cload_ff) const {
+  if (!(cin_ff > 0.0))
+    throw std::invalid_argument("TableModel::transition_ps: cin must be > 0");
+  // The generic contract's transition is slew-independent (eq. 2 shape);
+  // the transition table's slew axis is collapsed to a single point.
+  const Table2D& t = transition_table(cell.kind, out_edge);
+  return t.at(t.slew_ps.front(), cload_ff / cin_ff);
+}
+
+double TableModel::delay_ps(const liberty::Cell& cell, Edge out_edge,
+                            double tin_ps, double cin_ff,
+                            double cload_ff) const {
+  if (tin_ps < 0.0)
+    throw std::invalid_argument("TableModel::delay_ps: negative input slew");
+  if (!(cin_ff > 0.0))
+    throw std::invalid_argument("TableModel::delay_ps: cin must be > 0");
+  return delay_table(cell.kind, out_edge).at(tin_ps, cload_ff / cin_ff);
+}
+
+const Table2D& TableModel::delay_table(liberty::CellKind kind, Edge e) const {
+  return cells_.at(static_cast<std::size_t>(kind)).delay[edge_index(e)];
+}
+
+const Table2D& TableModel::transition_table(liberty::CellKind kind,
+                                            Edge e) const {
+  return cells_.at(static_cast<std::size_t>(kind)).transition[edge_index(e)];
+}
+
+}  // namespace pops::timing

@@ -1,0 +1,121 @@
+#pragma once
+// NLDM-style lookup-table delay-model backend.
+//
+// The closed-form model of eq. (1-3) is only valid in the fast-input-
+// control range; industrial low-power flows characterize cells into
+// (input-slew x load) tables instead and interpolate. TableModel is that
+// backend: per cell per output edge, a delay table and a transition table
+// over an (input slew, normalized load) grid, evaluated with bilinear
+// interpolation and clamped (NLDM-style saturation) outside the grid.
+//
+// The load axis is the *normalized* load CL/CIN — the effort variable of
+// the whole code base. Gates here are continuously sized (CIN is the free
+// sizing variable), so absolute-capacitance tables would need a third
+// axis; under the eq. (2) scaling delay and transition depend on the
+// (slew, CL/CIN) pair only, which makes the normalized axis exact for the
+// closed form and the natural generalization for any backend.
+//
+// A TableModel is built by `characterize(src, opt)`: sample any other
+// DelayModel backend on the grid, per cell per edge — the "library
+// characterization" step of a table-driven flow. At grid points the table
+// reproduces the source bit-for-bit; between points bilinear interpolation
+// bounds the error by the source model's curvature over one grid cell
+// (the closed form is linear in slew and nearly linear in CL/CIN, so
+// errors concentrate in the Miller term; see tests/test_table_model.cpp
+// for the stated parity tolerances).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pops/timing/delay_model.hpp"
+
+namespace pops::timing {
+
+/// One 2-D characterization table: values over (slew x normalized load),
+/// slew-major. Axes are strictly ascending; evaluation clamps to the grid
+/// envelope and interpolates bilinearly inside it (exact at grid points).
+/// An axis may be collapsed to a single point (a dimension the arc does
+/// not depend on — the slew axis of transition tables, since the generic
+/// contract's transition is slew-independent).
+struct Table2D {
+  std::vector<double> slew_ps;     ///< input-slew axis (ps)
+  std::vector<double> load_ratio;  ///< CL/CIN axis (dimensionless)
+  std::vector<double> values;      ///< slew_ps.size() * load_ratio.size()
+
+  double at(double slew, double ratio) const;
+};
+
+/// Characterization grid of a TableModel.
+struct TableModelOptions {
+  /// Input-slew sample points (ps), strictly ascending, > 0.
+  std::vector<double> slew_grid_ps = {1.0,  2.0,  5.0,   10.0,  20.0,
+                                      40.0, 80.0, 160.0, 320.0, 640.0};
+  /// Normalized-load (CL/CIN) sample points, strictly ascending, > 0.
+  std::vector<double> load_grid = {0.1, 0.25, 0.5, 1.0,  2.0,  4.0,
+                                   8.0, 16.0, 32.0, 64.0, 128.0};
+
+  /// Every violated invariant, as human-readable diagnostics.
+  std::vector<std::string> problems() const;
+
+  /// Stable identity of this grid ("table#<hash>") — the selector of any
+  /// TableModel characterized with it (see DelayModel::selector()).
+  std::string selector() const;
+};
+
+/// Lookup-table backend. Immutable after characterization; cheap to copy
+/// relative to an optimization run (a few thousand doubles).
+class TableModel final : public DelayModel {
+ public:
+  /// Characterize from `src` by sampling its delay/transition per cell per
+  /// edge over the grid of `opt`. Throws std::invalid_argument on an
+  /// invalid grid.
+  static TableModel characterize(const DelayModel& src,
+                                 const TableModelOptions& opt = {});
+
+  // ----- DelayModel -----------------------------------------------------------
+
+  std::string_view name() const noexcept override { return "table"; }
+  std::uint64_t content_hash() const noexcept override {
+    return content_hash_;
+  }
+  std::string selector() const override { return selector_; }
+
+  double transition_ps(const liberty::Cell& cell, Edge out_edge, double cin_ff,
+                       double cload_ff) const override;
+  double delay_ps(const liberty::Cell& cell, Edge out_edge, double tin_ps,
+                  double cin_ff, double cload_ff) const override;
+  double default_input_slew_ps() const override {
+    return default_slew_ps_;  // precomputed: tables are hot-loop lookups
+  }
+  double slope_sensitivity(Edge next_out_edge) const override {
+    return slope_sens_[next_out_edge == Edge::Rise ? 0 : 1];
+  }
+
+  // ----- introspection --------------------------------------------------------
+
+  const TableModelOptions& options() const noexcept { return opt_; }
+  /// The tables of one (cell kind, output edge) arc.
+  const Table2D& delay_table(liberty::CellKind kind, Edge e) const;
+  const Table2D& transition_table(liberty::CellKind kind, Edge e) const;
+
+ private:
+  explicit TableModel(const liberty::Library& lib) : DelayModel(lib) {}
+
+  struct CellTables {
+    Table2D delay[2];       ///< [rise, fall]
+    Table2D transition[2];  ///< [rise, fall]
+  };
+  static std::size_t edge_index(Edge e) noexcept {
+    return e == Edge::Rise ? 0 : 1;
+  }
+
+  TableModelOptions opt_;
+  std::vector<CellTables> cells_;  ///< indexed by CellKind value
+  double default_slew_ps_ = 0.0;
+  double slope_sens_[2] = {0.0, 0.0};  ///< [rise, fall]
+  std::uint64_t content_hash_ = 0;
+  std::string selector_;
+};
+
+}  // namespace pops::timing

@@ -1,0 +1,47 @@
+#pragma once
+// FNV-1a (64-bit) content hashing.
+//
+// One hasher shared by every layer that derives identity from content:
+// service::ResultCache keys (netlist + config + context tuples) and
+// timing::TableModel's content/selector hashes. Cache correctness depends
+// on these staying byte-compatible — content_hash feeds hash_config — so
+// the primitive lives here once instead of per-layer copies.
+//
+// Doubles are hashed by bit pattern ("equal content" means exact); the
+// multi-byte helpers feed native byte order, so hashes are stable within
+// a process/platform (they are never persisted across machines).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pops::util {
+
+/// FNV-1a, the offset-basis/prime pair of the 64-bit variant.
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i(long long v) { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u64(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void f64s(const std::vector<double>& vs) {
+    u64(vs.size());
+    for (const double v : vs) f64(v);
+  }
+};
+
+}  // namespace pops::util

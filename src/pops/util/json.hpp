@@ -12,11 +12,13 @@
 //     to the shortest representation that parses back bit-identically);
 //   * strings are escaped per RFC 8259 (control chars, quotes, \).
 //
-// Only writing is provided — the repo produces JSON, it does not consume
-// it (specs enter through typed structs; see service/sweep.hpp).
+// Reading is provided by Json::parse — a strict RFC 8259 recursive-descent
+// parser used by the sweep front-ends to accept SweepSpec files
+// (tools/pops_sweep --spec). Diagnostics carry line:column positions.
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -55,6 +57,24 @@ class Json {
 
   Kind kind() const noexcept { return kind_; }
   bool is_null() const noexcept { return kind_ == Kind::Null; }
+  bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  bool is_number() const noexcept { return kind_ == Kind::Number; }
+  bool is_string() const noexcept { return kind_ == Kind::String; }
+  bool is_array() const noexcept { return kind_ == Kind::Array; }
+  bool is_object() const noexcept { return kind_ == Kind::Object; }
+
+  // ----- typed access (parsing side) ------------------------------------------
+  // Each accessor throws std::invalid_argument when the value is of a
+  // different kind, so consumers surface schema mismatches as diagnostics
+  // instead of reading garbage.
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  /// Elements of an array (empty vector reference for an empty array).
+  const std::vector<Json>& items() const;
+  /// Members of an object, in insertion/parse order.
+  const std::vector<std::pair<std::string, Json>>& members() const;
 
   // ----- array ----------------------------------------------------------------
 
@@ -88,6 +108,13 @@ class Json {
   /// decimal string that round-trips to the same double. Non-finite
   /// values (not representable in JSON) serialize as null.
   static std::string number_to_string(double v);
+
+  // ----- parsing --------------------------------------------------------------
+
+  /// Parse one JSON document (strict RFC 8259: no comments, no trailing
+  /// commas; trailing garbage after the document is an error). Throws
+  /// std::invalid_argument with a "line:column: message" diagnostic.
+  static Json parse(std::string_view text);
 
  private:
   void write(std::string& out, int indent, int depth) const;

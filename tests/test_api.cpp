@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "pops/api/api.hpp"
 #include "pops/netlist/benchmarks.hpp"
 #include "pops/timing/sta.hpp"
+#include "pops/timing/table_model.hpp"
 
 namespace {
 
@@ -319,6 +322,116 @@ TEST(RunMany, WorkerExceptionPropagates) {
   std::vector<Netlist> fleet = make_fleet(ctx);
   Optimizer opt(ctx);
   EXPECT_THROW(opt.run_many(fleet, -1.0, 2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Delay-model backend selection & ownership
+// ---------------------------------------------------------------------------
+
+TEST(DelayModelBackend, ConfigValidatesBackendSelection) {
+  OptimizerConfig cfg;
+  cfg.with_delay_model("nldm");  // unknown family name
+  EXPECT_FALSE(cfg.validate().empty());
+  EXPECT_THROW(cfg.ensure_valid(), api::ConfigError);
+
+  cfg.with_delay_model("table");
+  EXPECT_TRUE(cfg.validate().empty());
+  timing::TableModelOptions bad;
+  bad.slew_grid_ps = {20.0, 10.0};  // not ascending
+  cfg.with_table_model(bad);
+  EXPECT_FALSE(cfg.validate().empty());
+
+  // Grid problems only matter when the table backend is selected.
+  cfg.with_delay_model("closed-form");
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(DelayModelBackend, ContextDefaultsToClosedForm) {
+  OptContext ctx;
+  EXPECT_EQ(ctx.dm().name(), "closed-form");
+  EXPECT_NE(ctx.dm().closed_form(), nullptr);
+  EXPECT_EQ(&ctx.dm().lib(), &ctx.lib());
+}
+
+TEST(DelayModelBackend, OptimizerInstallsSelectedBackend) {
+  OptContext ctx;
+  OptimizerConfig cfg;
+  cfg.with_delay_model("table");
+  Optimizer opt(ctx, cfg);
+  EXPECT_EQ(ctx.dm().name(), "table");
+  EXPECT_EQ(ctx.dm().selector(), cfg.delay_model_selector());
+
+  // A matching selection must not rebuild (same backend object remains).
+  const timing::DelayModel* installed = &ctx.dm();
+  Optimizer again(ctx, cfg);
+  EXPECT_EQ(&ctx.dm(), installed);
+
+  // Selecting closed-form switches back.
+  Optimizer third(ctx, OptimizerConfig{});
+  EXPECT_EQ(ctx.dm().name(), "closed-form");
+
+  // The table-selecting optimizer is now stale: running it would silently
+  // compute under the wrong backend, so it must refuse instead.
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+  EXPECT_THROW(opt.run_relative(nl, 0.9), std::logic_error);
+  EXPECT_NO_THROW(third.run_relative(nl, 0.9));
+}
+
+TEST(DelayModelBackend, TableBackendOptimizesEndToEnd) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+  OptimizerConfig cfg;
+  cfg.with_delay_model("table");
+  Optimizer opt(ctx, cfg);
+  const PipelineReport report = opt.run_relative(nl, 0.85);
+  EXPECT_EQ(report.delay_model, "table");
+  EXPECT_LT(report.final_delay_ps, report.initial_delay_ps);
+  EXPECT_TRUE(report.met);
+}
+
+TEST(DelayModelBackend, ForeignLibraryBackendRejected) {
+  // Regression for the dangling-reference hazard: a backend holds a
+  // non-owning pointer to the library it was characterized over, so the
+  // context must refuse backends built over any library but its own.
+  OptContext ctx;
+  pops::liberty::Library other{pops::process::Technology::cmos025()};
+  EXPECT_THROW(ctx.set_delay_model(
+                   std::make_unique<timing::ClosedFormModel>(other)),
+               std::invalid_argument);
+  EXPECT_THROW(ctx.set_delay_model(nullptr), std::invalid_argument);
+  // The context's own backend is untouched by the rejected installs.
+  EXPECT_EQ(ctx.dm().name(), "closed-form");
+  EXPECT_NO_THROW(ctx.set_delay_model(
+      std::make_unique<timing::ClosedFormModel>(ctx.lib())));
+}
+
+TEST(DelayModelBackend, BackendSwitchResetsFlimitCache) {
+  // Flimit values are delays of the installed backend; switching backends
+  // must invalidate the warmed characterization.
+  OptContext ctx;
+  ctx.warm_flimits();
+  ASSERT_GT(ctx.flimits().size(), 0u);
+  Optimizer opt(ctx, OptimizerConfig{}.with_delay_model("table"));
+  EXPECT_EQ(ctx.flimits().size(), 0u);
+}
+
+TEST(DelayModelBackend, ClosedFormRunsBitIdenticalAcrossBackendSwitches) {
+  // Running closed-form after a table interlude reproduces the original
+  // closed-form result bit-for-bit (the refactor is behavior-preserving).
+  OptContext ctx;
+  Netlist a = netlist::make_benchmark(ctx.lib(), "c880");
+  const PipelineReport before = Optimizer(ctx).run_relative(a, 0.9);
+
+  Netlist scratch = netlist::make_benchmark(ctx.lib(), "c880");
+  Optimizer(ctx, OptimizerConfig{}.with_delay_model("table"))
+      .run_relative(scratch, 0.9);
+
+  Netlist b = netlist::make_benchmark(ctx.lib(), "c880");
+  const PipelineReport after = Optimizer(ctx).run_relative(b, 0.9);
+  EXPECT_EQ(before.delay_model, "closed-form");
+  EXPECT_EQ(after.delay_model, "closed-form");
+  EXPECT_EQ(before.final_delay_ps, after.final_delay_ps);
+  EXPECT_EQ(before.final_area_um, after.final_area_um);
 }
 
 }  // namespace

@@ -23,7 +23,7 @@ using process::Technology;
 class BaselineTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 
   BoundedPath make_path(int n = 12) const {
     std::vector<PathStage> stages(static_cast<std::size_t>(n));

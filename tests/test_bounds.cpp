@@ -19,7 +19,7 @@ using pops::process::Technology;
 class BoundsTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 
   BoundedPath make_path(int n, double terminal_x = 20.0,
                         double off_mid = 0.0) const {
@@ -146,7 +146,7 @@ class BoundsSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(BoundsSweepTest, TminBelowTmaxAndConverges) {
   const Library lib(Technology::cmos025());
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   std::vector<PathStage> stages(static_cast<std::size_t>(GetParam()));
   const CellKind mix[] = {CellKind::Nand2, CellKind::Inv, CellKind::Nor2};
   for (int i = 0; i < GetParam(); ++i)

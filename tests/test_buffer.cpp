@@ -22,7 +22,7 @@ using pops::process::Technology;
 class BufferTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
   FlimitTable table;
 
   /// An inverter chain with a grossly overloaded middle node.
@@ -170,7 +170,7 @@ class FlimitDriveTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(FlimitDriveTest, StableAcrossDrives) {
   const Library lib(Technology::cmos025());
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   FlimitOptions opt;
   opt.driver_drive_x = GetParam();
   opt.gate_drive_x = GetParam();

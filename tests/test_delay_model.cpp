@@ -18,7 +18,7 @@ using pops::process::Technology;
 class DelayModelTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 };
 
 TEST_F(DelayModelTest, TransitionScalesLinearlyWithLoad) {
@@ -159,7 +159,7 @@ class Fo4Test : public ::testing::TestWithParam<CellKind> {};
 
 TEST_P(Fo4Test, Fo4DelayPlausible) {
   const Library lib(Technology::cmos025());
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   const Cell& c = lib.cell(GetParam());
   const double cin = c.cin_ff(lib.tech(), 2.0);
   for (Edge e : {Edge::Rise, Edge::Fall}) {

@@ -19,7 +19,7 @@ using process::Technology;
 class EdgeCaseTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 
   BoundedPath path_of(std::vector<CellKind> kinds, double cin_x,
                       double term_x) const {

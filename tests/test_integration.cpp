@@ -29,7 +29,7 @@ using process::Technology;
 class IntegrationTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
   core::FlimitTable table;
 };
 

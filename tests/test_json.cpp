@@ -133,4 +133,102 @@ TEST(Json, DeterministicAcrossBuilds) {
   EXPECT_EQ(build(), build());
 }
 
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e3").as_number(), -2500.0);
+  EXPECT_DOUBLE_EQ(Json::parse("0.125").as_number(), 0.125);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  \"ws\"  ").as_string(), "ws");
+}
+
+TEST(JsonParse, Structures) {
+  const Json j = Json::parse(R"({"a": [1, 2, 3], "b": {"c": true}, "d": ""})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.size(), 3u);
+  ASSERT_NE(j.find("a"), nullptr);
+  EXPECT_EQ(j.find("a")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(j.find("a")->items()[1].as_number(), 2.0);
+  EXPECT_TRUE(j.find("b")->find("c")->as_bool());
+  EXPECT_EQ(j.find("d")->as_string(), "");
+  EXPECT_TRUE(Json::parse("[]").items().empty());
+  EXPECT_TRUE(Json::parse("{}").members().empty());
+}
+
+TEST(JsonParse, MemberOrderIsParseOrder) {
+  // The tree keeps insertion order, so parse -> dump round-trips the
+  // document byte-for-byte (modulo formatting).
+  const std::string text = R"({"z":1,"a":[true,null],"m":"x"})";
+  EXPECT_EQ(Json::parse(text).dump(0), text);
+}
+
+TEST(JsonParse, DumpParseRoundTripsNumbers) {
+  for (const double v : {0.1, 1.0 / 3.0, 251.56979716370347, 1e-300, 2.5e17,
+                         -0.97, 3.141592653589793}) {
+    EXPECT_EQ(Json::parse(Json::number_to_string(v)).as_number(), v);
+  }
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Escaped strings written by dump() parse back to the original.
+  const std::string weird = "line\nquote\"tab\tctrl\x01";
+  EXPECT_EQ(Json::parse(Json(weird).dump(0)).as_string(), weird);
+}
+
+TEST(JsonParse, ErrorsCarryPositionAndReason) {
+  const auto expect_error = [](const char* text, const char* fragment) {
+    try {
+      Json::parse(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  };
+  expect_error("", "unexpected end of input");
+  expect_error("{\"a\": 1,}", "expected object key string");
+  expect_error("[1, 2", "unexpected end of input");
+  expect_error("[1 2]", "expected ',' or ']'");
+  expect_error("{\"a\" 1}", "expected ':'");
+  expect_error("tru", "invalid literal");
+  expect_error("01", "trailing characters");
+  expect_error("1.", "expected digits after decimal point");
+  expect_error("\"abc", "unterminated string");
+  expect_error("\"\\q\"", "invalid escape");
+  expect_error("\"\\ud83d\"", "unpaired surrogate");
+  expect_error("{\"a\":1,\"a\":2}", "duplicate object key");
+  expect_error("[1] []", "trailing characters");
+}
+
+TEST(JsonParse, DeepNestingIsADiagnosticNotAStackOverflow) {
+  // Untrusted spec files must not be able to exhaust the stack.
+  const std::string deep(100000, '[');
+  EXPECT_THROW(Json::parse(deep), std::invalid_argument);
+  // Reasonable nesting still parses.
+  std::string ok;
+  for (int i = 0; i < 50; ++i) ok += '[';
+  ok += "1";
+  for (int i = 0; i < 50; ++i) ok += ']';
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
+TEST(JsonParse, TypedAccessorsRejectWrongKinds) {
+  EXPECT_THROW(Json::parse("1").as_string(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"s\"").as_number(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[]").members(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{}").items(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("null").as_bool(), std::invalid_argument);
+}
+
 }  // namespace

@@ -21,7 +21,7 @@ using process::Technology;
 class LibertyWriterTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 
   static std::size_t count(const std::string& hay, const std::string& needle) {
     std::size_t n = 0, pos = 0;

@@ -25,7 +25,7 @@ using util::Rng;
 class NetoptTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  timing::DelayModel dm{lib};
+  timing::ClosedFormModel dm{lib};
 };
 
 TEST_F(NetoptTest, CancelSimpleInverterPair) {

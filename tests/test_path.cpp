@@ -21,7 +21,7 @@ using pops::process::Technology;
 class PathTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 
   BoundedPath make_path(std::vector<CellKind> kinds,
                         double off3 = 0.0) const {

@@ -76,7 +76,7 @@ TEST_F(PowerTest, PathAreaHelperAgrees) {
   using namespace pops::timing;
   std::vector<PathStage> stages(3);
   for (auto& s : stages) s.kind = CellKind::Inv;
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   const BoundedPath p(lib, stages, 2.0 * lib.cref_ff(), 8.0 * lib.cref_ff(),
                       Edge::Rise, dm.default_input_slew_ps());
   EXPECT_DOUBLE_EQ(core::path_area_um(p), p.area_um());

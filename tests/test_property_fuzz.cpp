@@ -46,7 +46,7 @@ BoundedPath random_path(const Library& lib, const DelayModel& dm, Rng& rng) {
 
 TEST_P(RandomPathTest, PipelineInvariantsHold) {
   const Library lib(Technology::cmos025());
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
 
   const BoundedPath path = random_path(lib, dm, rng);
@@ -84,7 +84,7 @@ class RandomCircuitTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomCircuitTest, GenerateAnalyzeRoundTrip) {
   const Library lib(Technology::cmos025());
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
 
   netlist::BenchmarkSpec spec;
@@ -121,7 +121,7 @@ class ProtocolSuiteTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ProtocolSuiteTest, MediumConstraintMetAtOrBelowSizingArea) {
   const Library lib(Technology::cmos025());
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   netlist::Netlist nl = netlist::make_benchmark(lib, GetParam());
   const Sta sta(nl, dm);
   const TimedPath tp = sta.critical_path(sta.run());

@@ -20,7 +20,7 @@ using pops::process::Technology;
 class ProtocolTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
   FlimitTable table;
 
   BoundedPath make_path(double off_x = 40.0) const {

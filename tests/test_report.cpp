@@ -18,7 +18,7 @@ using process::Technology;
 class ReportTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 };
 
 TEST_F(ReportTest, PathReportShowsStages) {

@@ -25,7 +25,7 @@ using pops::util::Rng;
 class RestructureTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
   FlimitTable table;
 };
 

@@ -21,7 +21,7 @@ using pops::process::Technology;
 class SensitivityTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 
   BoundedPath make_path(int n = 11) const {
     std::vector<PathStage> stages(static_cast<std::size_t>(n));
@@ -192,7 +192,7 @@ class ConstraintRatioTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(ConstraintRatioTest, FeasibleAndTight) {
   const Library lib(Technology::cmos025());
-  const DelayModel dm(lib);
+  const ClosedFormModel dm(lib);
   std::vector<PathStage> stages(13);
   const CellKind mix[] = {CellKind::Nand2, CellKind::Inv, CellKind::Nor3,
                           CellKind::Inv};

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -16,6 +17,7 @@
 #include "pops/service/serialize.hpp"
 #include "pops/service/sweep.hpp"
 #include "pops/timing/sta.hpp"
+#include "pops/timing/table_model.hpp"
 
 namespace {
 
@@ -623,6 +625,227 @@ TEST(Serialize, SweepReportSchema) {
   const util::Json spec_json = service::to_json(spec);
   EXPECT_EQ(spec_json.find("circuits")->size(), 1u);
   EXPECT_NE(spec_json.find("base"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Delay-model backends through the service layer
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, KeyedByDelayModelBackend) {
+  // hash_config must separate closed-form from table — and two tables
+  // characterized on different grids from each other — so backends can
+  // never replay each other's entries.
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+  const api::PassPipeline pipeline = api::PassPipeline::standard({});
+
+  Optimizer cf_opt(ctx, OptimizerConfig{});
+  const std::uint64_t h_closed =
+      ResultCache::hash_config(ctx, OptimizerConfig{}, pipeline);
+
+  Optimizer tbl_opt(ctx, OptimizerConfig{}.with_delay_model("table"));
+  const std::uint64_t h_table =
+      ResultCache::hash_config(ctx, OptimizerConfig{}, pipeline);
+  EXPECT_NE(h_closed, h_table);
+
+  timing::TableModelOptions coarse;
+  coarse.slew_grid_ps = {10.0, 100.0};
+  coarse.load_grid = {1.0, 10.0};
+  Optimizer coarse_opt(ctx, OptimizerConfig{}
+                                .with_delay_model("table")
+                                .with_table_model(coarse));
+  const std::uint64_t h_coarse =
+      ResultCache::hash_config(ctx, OptimizerConfig{}, pipeline);
+  EXPECT_NE(h_table, h_coarse);
+  EXPECT_NE(h_closed, h_coarse);
+}
+
+TEST(ResultCache, BackendsNeverAliasUnderMixedRepeats) {
+  // A mixed-backend repeat sweep: every backend's first pass must miss
+  // (nothing replayed across backends), every repeat must hit within its
+  // own backend, and the replays must be bit-identical per backend.
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>();
+  ctx.set_result_cache(cache);
+
+  auto run_once = [&](const std::string& model) {
+    Optimizer opt(ctx, OptimizerConfig{}.with_delay_model(model));
+    Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+    return opt.run_relative(nl, 0.85);
+  };
+
+  const PipelineReport cf1 = run_once("closed-form");
+  EXPECT_EQ(cache->misses(), 1u);
+  const PipelineReport tb1 = run_once("table");
+  EXPECT_EQ(cache->misses(), 2u);
+  EXPECT_EQ(cache->hits(), 0u) << "table run replayed a closed-form entry";
+
+  const PipelineReport cf2 = run_once("closed-form");
+  const PipelineReport tb2 = run_once("table");
+  EXPECT_EQ(cache->hits(), 2u);
+  EXPECT_EQ(cache->misses(), 2u);
+  EXPECT_TRUE(cf2.from_cache);
+  EXPECT_TRUE(tb2.from_cache);
+  EXPECT_EQ(cf1.delay_model, "closed-form");
+  EXPECT_EQ(tb1.delay_model, "table");
+  EXPECT_EQ(cf1.final_delay_ps, cf2.final_delay_ps);
+  EXPECT_EQ(tb1.final_delay_ps, tb2.final_delay_ps);
+}
+
+TEST(SweepService, MixedBackendSweepKeepsBackendsApart) {
+  OptContext ctx;
+  SweepService sweeps(ctx);
+
+  SweepSpec spec;
+  spec.circuits = {"c17", "c432"};
+  spec.tc_ratios = {0.85, 1.0};
+  spec.n_threads = 1;
+
+  auto run_model = [&](const std::string& model) {
+    SweepSpec s = spec;
+    s.base.delay_model = model;
+    return sweeps.run(s, builtin_loader(ctx));
+  };
+
+  const service::SweepReport cf = run_model("closed-form");
+  EXPECT_EQ(cf.cache_hits, 0u);
+  EXPECT_EQ(cf.cache_misses, spec.n_jobs());
+
+  const service::SweepReport tb = run_model("table");
+  EXPECT_EQ(tb.cache_hits, 0u) << "table sweep aliased closed-form entries";
+  EXPECT_EQ(tb.cache_misses, spec.n_jobs());
+  for (const service::SweepPoint& p : tb.points)
+    EXPECT_EQ(p.report.delay_model, "table");
+
+  const service::SweepReport cf2 = run_model("closed-form");
+  const service::SweepReport tb2 = run_model("table");
+  EXPECT_EQ(cf2.cache_hits, spec.n_jobs());
+  EXPECT_EQ(tb2.cache_hits, spec.n_jobs());
+  for (std::size_t i = 0; i < tb.points.size(); ++i) {
+    EXPECT_EQ(tb.points[i].report.final_delay_ps,
+              tb2.points[i].report.final_delay_ps);
+    EXPECT_EQ(cf.points[i].report.final_delay_ps,
+              cf2.points[i].report.final_delay_ps);
+  }
+}
+
+TEST(Serialize, ReportsCarryBackendIdentity) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+  Optimizer opt(ctx, OptimizerConfig{}.with_delay_model("table"));
+  const util::Json j = service::to_json(opt.run_relative(nl, 0.9));
+  ASSERT_NE(j.find("delay_model"), nullptr);
+  EXPECT_EQ(j.find("delay_model")->dump(), "\"table\"");
+
+  // delay_model and table_model are archived unconditionally: a
+  // closed-form base can still carry a custom grid that a
+  // --delay-model table run uses, and the dumped spec must reproduce it.
+  for (const char* model : {"closed-form", "table"}) {
+    const util::Json cfg_json =
+        service::to_json(OptimizerConfig{}.with_delay_model(model));
+    ASSERT_NE(cfg_json.find("delay_model"), nullptr) << model;
+    ASSERT_NE(cfg_json.find("table_model"), nullptr) << model;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-file input (sweep_spec_from_json / config_from_json)
+// ---------------------------------------------------------------------------
+
+TEST(SpecFromJson, FullSpecRoundTrips) {
+  SweepSpec spec;
+  spec.circuits = {"c17", "c432"};
+  spec.tc_ratios = {0.8, 0.95};
+  spec.shield_margins = {1.0, 1.5};
+  spec.policies = {service::buffer_policy("standard"),
+                   service::buffer_policy("no-shield")};
+  spec.pipeline = {"cancel-inverters", "protocol"};
+  spec.n_threads = 2;
+  spec.base.with_delay_model("table").with_max_rounds(4);
+
+  const SweepSpec parsed =
+      service::sweep_spec_from_json(service::to_json(spec));
+  EXPECT_EQ(parsed.circuits, spec.circuits);
+  EXPECT_EQ(parsed.tc_ratios, spec.tc_ratios);
+  EXPECT_EQ(parsed.shield_margins, spec.shield_margins);
+  ASSERT_EQ(parsed.policies.size(), 2u);
+  EXPECT_EQ(parsed.policies[1].name, "no-shield");
+  EXPECT_FALSE(parsed.policies[1].shielding);
+  EXPECT_EQ(parsed.pipeline, spec.pipeline);
+  EXPECT_EQ(parsed.n_threads, 2u);
+  EXPECT_EQ(parsed.base.delay_model, "table");
+  EXPECT_EQ(parsed.base.max_rounds, 4);
+  EXPECT_EQ(parsed.base.table_model.slew_grid_ps,
+            spec.base.table_model.slew_grid_ps);
+  EXPECT_TRUE(parsed.validate().empty());
+}
+
+TEST(SpecFromJson, ExplicitlyEmptyPoliciesRejectedLikeOtherAxes) {
+  // "policies": [] must flow into SweepSpec::validate ("policies is
+  // empty"), not silently fall back to the default standard policy.
+  const util::Json j = util::Json::parse(
+      R"({"circuits": ["c17"], "tc_ratios": [0.9], "policies": []})");
+  const SweepSpec spec = service::sweep_spec_from_json(j);
+  EXPECT_TRUE(spec.policies.empty());
+  EXPECT_THROW(spec.ensure_valid(), std::invalid_argument);
+}
+
+TEST(SpecFromJson, PolicyNamesResolve) {
+  const util::Json j = util::Json::parse(
+      R"({"circuits": ["c17"], "tc_ratios": [0.9],
+          "policies": ["minimal", "standard"]})");
+  const SweepSpec spec = service::sweep_spec_from_json(j);
+  ASSERT_EQ(spec.policies.size(), 2u);
+  EXPECT_EQ(spec.policies[0].name, "minimal");
+  EXPECT_FALSE(spec.policies[0].restructuring);
+}
+
+TEST(SpecFromJson, DiagnosticsListEveryProblem) {
+  const util::Json j = util::Json::parse(
+      R"({"circuits": [1], "tc_ratio": [0.9],
+          "base": {"max_paths": "lots", "mystery": true}})");
+  try {
+    service::sweep_spec_from_json(j);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'circuits' must contain only strings"),
+              std::string::npos);
+    EXPECT_NE(msg.find("unknown sweep-spec key 'tc_ratio'"),
+              std::string::npos);
+    EXPECT_NE(msg.find("'max_paths' must be a number"), std::string::npos);
+    EXPECT_NE(msg.find("unknown config key 'mystery'"), std::string::npos);
+  }
+}
+
+TEST(SpecFromJson, OutOfRangeCountsDiagnosedNotCast) {
+  // Counts beyond the integer range must produce diagnostics, never reach
+  // the float->size_t cast (UB on out-of-range input from untrusted files).
+  for (const char* bad : {"1e300", "-3", "2.5", "1e20"}) {
+    const util::Json j = util::Json::parse(
+        std::string(R"({"circuits": ["c17"], "tc_ratios": [0.9], )") +
+        R"("n_threads": )" + bad + "}");
+    EXPECT_THROW(service::sweep_spec_from_json(j), std::invalid_argument)
+        << bad;
+  }
+  // max_rounds additionally narrows to int: values past INT_MAX must be
+  // rejected, not wrapped into a wrong-but-positive round count.
+  const util::Json j = util::Json::parse(
+      R"({"circuits": ["c17"], "tc_ratios": [0.9],
+          "base": {"max_rounds": 4294967297}})");
+  EXPECT_THROW(service::sweep_spec_from_json(j), std::invalid_argument);
+}
+
+TEST(SpecFromJson, ParsedSpecRunsEndToEnd) {
+  const util::Json j = util::Json::parse(
+      R"({"circuits": ["c17"], "tc_ratios": [0.9],
+          "base": {"delay_model": "table"}})");
+  SweepSpec spec = service::sweep_spec_from_json(j);
+  OptContext ctx;
+  SweepService sweeps(ctx);
+  const service::SweepReport report = sweeps.run(spec, builtin_loader(ctx));
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_EQ(report.points[0].report.delay_model, "table");
 }
 
 }  // namespace

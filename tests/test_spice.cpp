@@ -138,7 +138,7 @@ class ModelVsSpiceTest : public ::testing::TestWithParam<double> {};
 TEST_P(ModelVsSpiceTest, InverterDelayTracksSimulation) {
   const Technology tech = Technology::cmos025();
   const Library lib(tech);
-  const pops::timing::DelayModel dm(lib);
+  const pops::timing::ClosedFormModel dm(lib);
   const auto& inv = lib.cell(CellKind::Inv);
   const double wn = 2.0;
   const double cin = inv.cin_ff(tech, wn);
@@ -174,7 +174,7 @@ INSTANTIATE_TEST_SUITE_P(Fanouts, ModelVsSpiceTest,
 TEST_F(SpiceTest, ModelTracksLoadTrend) {
   // Correlation check: delays at increasing load must increase in both
   // worlds with similar ratios.
-  const pops::timing::DelayModel dm(lib);
+  const pops::timing::ClosedFormModel dm(lib);
   const auto& inv = lib.cell(CellKind::Inv);
   const double wn = 2.0;
   const double cin = inv.cin_ff(tech, wn);

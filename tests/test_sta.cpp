@@ -21,7 +21,7 @@ using pops::process::Technology;
 class StaTest : public ::testing::Test {
  protected:
   Library lib{Technology::cmos025()};
-  DelayModel dm{lib};
+  ClosedFormModel dm{lib};
 };
 
 TEST_F(StaTest, SingleInverterMatchesHandComputation) {

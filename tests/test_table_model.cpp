@@ -1,0 +1,279 @@
+// The TableModel backend: characterization from the closed form, grid-point
+// exactness, bilinear interpolation bounds, NLDM-style clamping, backend
+// identity hashing, the numeric stage-coefficient fallback, and the golden
+// STA parity suite (dense-grid table vs. closed form on real benchmarks).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "pops/core/bounds.hpp"
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/process/technology.hpp"
+#include "pops/timing/sta.hpp"
+#include "pops/timing/table_model.hpp"
+
+namespace {
+
+using namespace pops::timing;
+using pops::liberty::CellKind;
+using pops::liberty::Library;
+using pops::process::Technology;
+
+/// A dense characterization grid: geometric slew ladder and a load ladder
+/// fine enough that bilinear interpolation of the Miller-term curvature
+/// stays well under a percent.
+TableModelOptions dense_grid() {
+  TableModelOptions opt;
+  opt.slew_grid_ps.clear();
+  for (double s = 0.5; s <= 1500.0; s *= 1.6) opt.slew_grid_ps.push_back(s);
+  opt.load_grid.clear();
+  for (double r = 0.05; r <= 300.0; r *= 1.3) opt.load_grid.push_back(r);
+  return opt;
+}
+
+class TableModelTest : public ::testing::Test {
+ protected:
+  Library lib{Technology::cmos025()};
+  ClosedFormModel cf{lib};
+  TableModel tm{TableModel::characterize(cf, dense_grid())};
+};
+
+// ---------------------------------------------------------------------------
+// Characterization & evaluation
+// ---------------------------------------------------------------------------
+
+TEST_F(TableModelTest, IdentityAndDowncast) {
+  EXPECT_EQ(cf.name(), "closed-form");
+  EXPECT_EQ(tm.name(), "table");
+  EXPECT_EQ(cf.closed_form(), &cf);
+  EXPECT_EQ(tm.closed_form(), nullptr);
+  EXPECT_EQ(&tm.lib(), &lib);
+  EXPECT_NE(tm.content_hash(), cf.content_hash());
+}
+
+TEST_F(TableModelTest, ExactAtGridPoints) {
+  // Bilinear interpolation is exact at every grid point, so the table
+  // reproduces the source bit-for-bit there — for every cell and edge.
+  const TableModelOptions& opt = tm.options();
+  for (const pops::liberty::Cell& cell : lib.cells()) {
+    const double cin = cell.cin_ff(lib.tech(), lib.wmin_um());
+    for (const Edge e : {Edge::Rise, Edge::Fall}) {
+      for (const double s : opt.slew_grid_ps) {
+        for (const double r : opt.load_grid) {
+          EXPECT_DOUBLE_EQ(tm.delay_ps(cell, e, s, cin, r * cin),
+                           cf.delay_ps(cell, e, s, cin, r * cin))
+              << cell.name << " " << to_string(e) << " s=" << s << " r=" << r;
+        }
+        break;  // transition is slew-independent; one slew row suffices
+      }
+      for (const double r : opt.load_grid)
+        EXPECT_DOUBLE_EQ(tm.transition_ps(cell, e, cin, r * cin),
+                         cf.transition_ps(cell, e, cin, r * cin));
+    }
+  }
+}
+
+TEST_F(TableModelTest, ScalesWithCinLikeTheSource) {
+  // The table is keyed on CL/CIN, so evaluating at a different drive than
+  // the characterization point must still match the closed form exactly at
+  // grid ratios (the closed form depends on the ratio only).
+  const pops::liberty::Cell& nand2 = lib.cell(CellKind::Nand2);
+  const double cin = 4.0 * nand2.cin_ff(lib.tech(), lib.wmin_um());
+  for (const double r : tm.options().load_grid)
+    EXPECT_NEAR(tm.delay_ps(nand2, Edge::Fall, 40.0, cin, r * cin),
+                cf.delay_ps(nand2, Edge::Fall, 40.0, cin, r * cin), 1e-6);
+}
+
+TEST_F(TableModelTest, BilinearBetweenPointsWithinNeighborEnvelope) {
+  const pops::liberty::Cell& inv = lib.cell(CellKind::Inv);
+  const double cin = inv.cin_ff(lib.tech(), lib.wmin_um());
+  // A point strictly inside a grid cell interpolates between the corner
+  // values: it must lie inside their min/max envelope.
+  const double s = 17.0, r = 3.1;
+  const double v = tm.delay_ps(inv, Edge::Fall, s, cin, r * cin);
+  // Envelope from the four surrounding characterized corners.
+  double lo = 1e300, hi = -1e300;
+  const auto& grid = tm.options();
+  auto below = [](const std::vector<double>& axis, double x) {
+    std::size_t i = 0;
+    while (i + 2 < axis.size() && axis[i + 1] <= x) ++i;
+    return i;
+  };
+  const std::size_t si = below(grid.slew_grid_ps, s);
+  const std::size_t ri = below(grid.load_grid, r);
+  for (const double ss : {grid.slew_grid_ps[si], grid.slew_grid_ps[si + 1]}) {
+    for (const double rr : {grid.load_grid[ri], grid.load_grid[ri + 1]}) {
+      const double c = cf.delay_ps(inv, Edge::Fall, ss, cin, rr * cin);
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  EXPECT_GE(v, lo);
+  EXPECT_LE(v, hi);
+}
+
+TEST_F(TableModelTest, ClampsOutsideTheGrid) {
+  // NLDM-style saturation: out-of-range slews and loads evaluate at the
+  // grid envelope instead of extrapolating (or throwing).
+  const pops::liberty::Cell& inv = lib.cell(CellKind::Inv);
+  const double cin = inv.cin_ff(lib.tech(), lib.wmin_um());
+  const auto& grid = tm.options();
+  const double r_max = grid.load_grid.back();
+  EXPECT_DOUBLE_EQ(tm.delay_ps(inv, Edge::Rise, 10.24, cin, 10.0 * r_max * cin),
+                   tm.delay_ps(inv, Edge::Rise, 10.24, cin, r_max * cin));
+  const double s_max = grid.slew_grid_ps.back();
+  EXPECT_DOUBLE_EQ(tm.delay_ps(inv, Edge::Rise, 10.0 * s_max, cin, cin),
+                   tm.delay_ps(inv, Edge::Rise, s_max, cin, cin));
+}
+
+TEST_F(TableModelTest, InvalidArgsThrow) {
+  const pops::liberty::Cell& inv = lib.cell(CellKind::Inv);
+  EXPECT_THROW(tm.transition_ps(inv, Edge::Rise, 0.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(tm.delay_ps(inv, Edge::Rise, -1.0, 5.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(tm.delay_ps(inv, Edge::Rise, 10.0, -5.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(TableModelOptions, GridValidation) {
+  TableModelOptions opt;
+  EXPECT_TRUE(opt.problems().empty());
+  opt.slew_grid_ps = {5.0};
+  EXPECT_FALSE(opt.problems().empty());
+  opt.slew_grid_ps = {5.0, 2.0};
+  EXPECT_FALSE(opt.problems().empty());
+  opt.slew_grid_ps = {-1.0, 2.0};
+  EXPECT_FALSE(opt.problems().empty());
+  opt = TableModelOptions{};
+  opt.load_grid = {1.0, 1.0};
+  EXPECT_FALSE(opt.problems().empty());
+  ClosedFormModel cf{Library{Technology::cmos025()}};
+  EXPECT_THROW(TableModel::characterize(cf, opt), std::invalid_argument);
+}
+
+TEST(TableModelIdentity, ContentHashAndSelectorTrackTheGrid) {
+  Library lib{Technology::cmos025()};
+  ClosedFormModel cf{lib};
+  const TableModel a = TableModel::characterize(cf);
+  const TableModel b = TableModel::characterize(cf);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_EQ(a.selector(), b.selector());
+
+  TableModelOptions coarse;
+  coarse.slew_grid_ps = {10.0, 100.0};
+  coarse.load_grid = {1.0, 10.0};
+  const TableModel c = TableModel::characterize(cf, coarse);
+  EXPECT_NE(a.content_hash(), c.content_hash());
+  EXPECT_NE(a.selector(), c.selector());
+  EXPECT_NE(c.selector(), cf.selector());
+}
+
+TEST(TableModelIdentity, CharacterizableFromAnyBackend) {
+  // The builder samples through the DelayModel interface, so a table can
+  // be re-characterized from another table; on the same grid the copy is
+  // exact at grid points, hence content-identical.
+  Library lib{Technology::cmos025()};
+  ClosedFormModel cf{lib};
+  const TableModel first = TableModel::characterize(cf, dense_grid());
+  const TableModel second = TableModel::characterize(first, dense_grid());
+  EXPECT_EQ(first.content_hash(), second.content_hash());
+}
+
+// ---------------------------------------------------------------------------
+// Generic numeric fallbacks
+// ---------------------------------------------------------------------------
+
+TEST_F(TableModelTest, DefaultInputSlewMatchesClosedForm) {
+  // FO1 sits on the ratio axis; the default grid includes 1.0 exactly only
+  // in the default options, so allow the dense grid's interpolation error.
+  EXPECT_NEAR(tm.default_input_slew_ps(), cf.default_input_slew_ps(),
+              0.05 * cf.default_input_slew_ps());
+}
+
+TEST_F(TableModelTest, SlopeSensitivityApproximatesReducedVt) {
+  // The closed form's slope coefficient is v_T/2 exactly; the table
+  // measures it by finite differences over interpolated delays.
+  for (const Edge e : {Edge::Rise, Edge::Fall}) {
+    EXPECT_NEAR(tm.slope_sensitivity(e), 0.5 * cf.reduced_vt(e),
+                0.02 * cf.reduced_vt(e))
+        << to_string(e);
+  }
+}
+
+TEST_F(TableModelTest, NumericStageCoefficientNearClosedForm) {
+  const pops::liberty::Cell& nand2 = lib.cell(CellKind::Nand2);
+  const double cin = 2.0 * nand2.cin_ff(lib.tech(), lib.wmin_um());
+  for (const bool has_next : {true, false}) {
+    // The table's coefficient is the base-class numeric derivative over
+    // interpolated delays; against the same derivative on the closed form
+    // only interpolation error remains.
+    const double cf_numeric = cf.DelayModel::stage_coefficient(
+        nand2, Edge::Fall, cin, 4.0 * cin, has_next, Edge::Rise);
+    const double numeric = tm.stage_coefficient(
+        nand2, Edge::Fall, cin, 4.0 * cin, has_next, Edge::Rise);
+    EXPECT_NEAR(numeric, cf_numeric, 0.03 * cf_numeric)
+        << "has_next=" << has_next;
+    // Against the analytic A_i the gap is the frozen-Miller convention:
+    // the derivative sees the (weak) load dependence of the Miller factor
+    // that eq. (4) freezes between sweeps — same magnitude, ~15%.
+    const double exact = cf.stage_coefficient(nand2, Edge::Fall, cin,
+                                              4.0 * cin, has_next, Edge::Rise);
+    EXPECT_NEAR(numeric, exact, 0.15 * exact) << "has_next=" << has_next;
+    EXPECT_GT(numeric, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden parity: STA and path sizing under the table backend
+// ---------------------------------------------------------------------------
+
+class BackendParityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BackendParityTest, StaCriticalDelayWithinTolerance) {
+  Library lib{Technology::cmos025()};
+  ClosedFormModel cf{lib};
+  const TableModel tm = TableModel::characterize(cf, dense_grid());
+
+  const pops::netlist::Netlist nl =
+      pops::netlist::make_benchmark(lib, GetParam());
+  const StaResult ref = Sta(nl, cf).run();
+  const StaResult got = Sta(nl, tm).run();
+
+  // Stated tolerance of the dense-grid parity suite: 1% on the critical
+  // delay (bilinear error on the Miller curvature, accumulated per stage).
+  EXPECT_NEAR(got.critical_delay_ps, ref.critical_delay_ps,
+              0.01 * ref.critical_delay_ps);
+  EXPECT_EQ(got.critical_endpoint.node, ref.critical_endpoint.node);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, BackendParityTest,
+                         ::testing::Values("c17", "c432", "c880", "c1355"));
+
+TEST(BackendParity, PathBoundsUnderTableBackendTrackClosedForm) {
+  // The link-equation solvers run on the numeric stage coefficients when
+  // the backend is not closed-form; the resulting bounds must stay close.
+  Library lib{Technology::cmos025()};
+  ClosedFormModel cf{lib};
+  const TableModel tm = TableModel::characterize(cf, dense_grid());
+
+  std::vector<PathStage> stages(6);
+  const CellKind mix[] = {CellKind::Inv, CellKind::Nand2, CellKind::Nor2,
+                          CellKind::Nand3, CellKind::Inv, CellKind::Nand2};
+  for (std::size_t i = 0; i < stages.size(); ++i) stages[i].kind = mix[i];
+  const double cref = lib.cref_ff();
+  const BoundedPath path(lib, stages, cref, 20.0 * cref, Edge::Rise,
+                         cf.default_input_slew_ps());
+
+  const pops::core::PathBounds ref = pops::core::compute_bounds(path, cf);
+  const pops::core::PathBounds got = pops::core::compute_bounds(path, tm);
+  EXPECT_NEAR(got.tmin_ps, ref.tmin_ps, 0.03 * ref.tmin_ps);
+  EXPECT_NEAR(got.tmax_ps, ref.tmax_ps, 0.03 * ref.tmax_ps);
+  EXPECT_LT(got.tmin_ps, got.tmax_ps);
+}
+
+}  // namespace

@@ -5,20 +5,28 @@
 // policies), runs it through SweepService — memoizing repeated points in
 // the context's ResultCache — and writes one JSON report. With --jsonl,
 // each completed point is additionally streamed to stdout as a compact
-// one-line record while the sweep runs.
+// one-line record while the sweep runs. The grid may come from a JSON
+// spec file (--spec, the to_json(SweepSpec) schema) instead of flags, and
+// the same grid can be run under several delay-model backends
+// (--delay-model closed-form,table) for side-by-side comparison — the
+// records carry the producing backend, and the result cache keys on it,
+// so mixed-backend repeats never alias.
 //
 //   pops_sweep --tc 0.7,0.85,1.0 c432.bench @c880
 //   pops_sweep --tc 0.8 --margins 1.0,1.5 --policies standard,no-shield
 //              --repeat 2 --out report.json @c432
+//   pops_sweep --delay-model closed-form,table --tc 0.85 @c432
+//   pops_sweep --spec sweep.json --out report.json
 //
-// See README.md ("Constraint sweeps as a service") for the spec axes,
-// the JSON schema, and the cache semantics.
+// See README.md ("Constraint sweeps as a service" and "Delay-model
+// backends") for the spec axes, the JSON schema, and the cache semantics.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -45,6 +53,18 @@ void usage(std::FILE* out) {
                "no-restructure minimal (default standard)\n"
                "  --pipeline LIST    explicit pass sequence by registry "
                "name (default: standard pipeline)\n"
+               "  --delay-model LIST delay-model backends to run the grid "
+               "under: closed-form table\n"
+               "                     (several = the whole sweep once per "
+               "backend, side by side)\n"
+               "  --spec FILE        load the sweep spec from a JSON file "
+               "(to_json(SweepSpec)\n"
+               "                     schema); replaces axis/base flags "
+               "given before it, flags\n"
+               "                     after it override; spec circuits "
+               "without '@'/'.bench'/'/'\n"
+               "                     resolve as built-ins, CLI circuits "
+               "are merged in\n"
                "\n"
                "Execution:\n"
                "  --threads N        workers per batch (default 0 = "
@@ -136,6 +156,7 @@ std::string circuit_label(const std::string& arg) {
 struct Options {
   service::SweepSpec spec;
   std::map<std::string, std::string> bench_paths;  // label -> file path
+  std::vector<std::string> delay_models;  // empty = the spec base's backend
   double po_load_ff = 12.0;
   int repeat = 1;
   bool use_cache = true;
@@ -153,6 +174,27 @@ Options parse_args(int argc, char** argv) {
     return argv[++i];
   };
 
+  // CLI positionals: '@name' is a built-in, anything else a .bench path.
+  auto add_circuit = [&opt](const std::string& arg) {
+    const std::string label = circuit_label(arg);
+    opt.spec.circuits.push_back(label);
+    if (arg.empty() || arg[0] != '@') opt.bench_paths[label] = arg;
+  };
+  // Spec-file circuits: serialized reports store bare labels (no '@'), so
+  // a dumped spec must round-trip — only names that look like files
+  // ('.bench' suffix or a path separator) are opened as files; everything
+  // else resolves as a built-in benchmark.
+  auto add_spec_circuit = [&opt, &add_circuit](const std::string& name) {
+    const bool is_file = name.find('/') != std::string::npos ||
+                         (name.size() > 6 &&
+                          name.rfind(".bench") == name.size() - 6);
+    if (!name.empty() && (name[0] == '@' || is_file)) {
+      add_circuit(name);
+    } else {
+      opt.spec.circuits.push_back(name);
+    }
+  };
+
   std::vector<std::string> policy_names;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -163,6 +205,28 @@ Options parse_args(int argc, char** argv) {
       for (const std::string& n : api::PassRegistry::global().names())
         std::printf("%s\n", n.c_str());
       std::exit(0);
+    } else if (arg == "--spec") {
+      const std::string path = value(i, "--spec");
+      std::ifstream in(path);
+      if (!in) throw std::runtime_error("cannot open '" + path + "'");
+      std::ostringstream text;
+      text << in.rdbuf();
+      service::SweepSpec file_spec =
+          service::sweep_spec_from_json(util::Json::parse(text.str()));
+      // The spec REPLACES every axis/base value given before it (flags
+      // after --spec override; see usage) — including a pending
+      // --policies or --delay-model, which would otherwise silently win
+      // over the file. Circuits already given on the CLI are kept/merged.
+      policy_names.clear();
+      opt.delay_models.clear();
+      std::vector<std::string> circuits = std::move(file_spec.circuits);
+      file_spec.circuits = std::move(opt.spec.circuits);
+      opt.spec = std::move(file_spec);
+      for (const std::string& c : circuits) add_spec_circuit(c);
+    } else if (arg == "--delay-model") {
+      opt.delay_models = split_list(value(i, "--delay-model"));
+      if (opt.delay_models.empty())
+        throw std::invalid_argument("--delay-model needs at least one name");
     } else if (arg == "--tc") {
       opt.spec.tc_ratios = split_doubles(value(i, "--tc"), "--tc");
     } else if (arg == "--margins") {
@@ -191,9 +255,7 @@ Options parse_args(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
     } else {
-      const std::string label = circuit_label(arg);
-      opt.spec.circuits.push_back(label);
-      if (arg[0] != '@') opt.bench_paths[label] = arg;
+      add_circuit(arg);
     }
   }
 
@@ -226,6 +288,15 @@ int run(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   opt.spec.ensure_valid();
 
+  // The backends the grid runs under; several = the whole sweep once per
+  // backend per repeat, so closed-form and table points sit side by side
+  // in the report (and exercise the cache's backend keying: a backend's
+  // first run never hits entries another backend stored).
+  const std::vector<std::string> models =
+      opt.delay_models.empty()
+          ? std::vector<std::string>{opt.spec.base.delay_model}
+          : opt.delay_models;
+
   api::OptContext ctx;
   service::SweepService sweeps(ctx, opt.use_cache);
 
@@ -242,19 +313,32 @@ int run(int argc, char** argv) {
   report["tool"] = "pops_sweep";
   report["spec"] = service::to_json(opt.spec);
   report["runs"] = opt.repeat;
+  {
+    util::Json models_json = util::Json::array();
+    for (const std::string& m : models) models_json.push_back(m);
+    report["delay_models"] = std::move(models_json);
+  }
 
   util::Json sweeps_json = util::Json::array();
   for (int r = 0; r < opt.repeat; ++r) {
-    const service::SweepReport sweep = sweeps.run(
-        opt.spec,
-        [&](const std::string& label) { return load_circuit(opt, ctx, label); },
-        sink);
-    std::fprintf(stderr,
-                 "run %d/%d: %zu points, %.0f ms, cache %zu hits / %zu "
-                 "misses\n",
-                 r + 1, opt.repeat, sweep.points.size(), sweep.wall_ms,
-                 sweep.cache_hits, sweep.cache_misses);
-    sweeps_json.push_back(service::to_json(sweep));
+    for (const std::string& model : models) {
+      service::SweepSpec spec = opt.spec;
+      spec.base.delay_model = model;
+      const service::SweepReport sweep = sweeps.run(
+          spec,
+          [&](const std::string& label) {
+            return load_circuit(opt, ctx, label);
+          },
+          sink);
+      std::fprintf(stderr,
+                   "run %d/%d [%s]: %zu points, %.0f ms, cache %zu hits / "
+                   "%zu misses\n",
+                   r + 1, opt.repeat, model.c_str(), sweep.points.size(),
+                   sweep.wall_ms, sweep.cache_hits, sweep.cache_misses);
+      util::Json entry = service::to_json(sweep);
+      entry["delay_model"] = model;
+      sweeps_json.push_back(std::move(entry));
+    }
   }
   report["sweeps"] = std::move(sweeps_json);
 
