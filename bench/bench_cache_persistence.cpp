@@ -1,0 +1,118 @@
+// Extension — cost of the persistent result cache and the serving path.
+//
+// The pops::net daemon keeps its ResultCache warm across restarts by
+// archiving every entry (optimized netlist + full report) through
+// util::Json. Three numbers decide whether that is viable operationally:
+//
+//  1. Checkpoint cost — how long does save_result_cache take per entry /
+//     per byte, since the daemon flushes after sweeps?
+//  2. Restart cost — how long does load_result_cache (parse + rebuild +
+//     integrity check) take relative to recomputing the entries?
+//  3. Replay speedup — warm-cache lookup vs fresh optimization, the
+//     number the whole subsystem exists for.
+//
+// Emits BENCH_cache_persistence.json for cross-PR perf tracking.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "pops/service/cache_io.hpp"
+#include "pops/service/result_cache.hpp"
+#include "pops/util/json.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace bench_common;
+using api::Optimizer;
+using service::ResultCache;
+
+/// Fill a cache by sweeping `circuits` over `ratios`; returns ms spent.
+double fill_cache(api::OptContext& ctx,
+                  const std::vector<std::string>& circuits,
+                  const std::vector<double>& ratios) {
+  return time_ms([&] {
+    Optimizer opt(ctx);
+    for (const std::string& name : circuits) {
+      for (const double ratio : ratios) {
+        Netlist nl = netlist::make_benchmark(ctx.lib(), name);
+        opt.run_relative(nl, ratio);
+      }
+    }
+  });
+}
+
+void run(util::Json& doc) {
+  print_header(
+      "Extension — persistent ResultCache: checkpoint, restart, replay",
+      "warm restarts replay sweeps at lookup cost; checkpointing stays "
+      "cheap relative to the optimization it memoizes");
+
+  const std::vector<std::string> circuits = {"c17", "c432", "c880", "c1355"};
+  const std::vector<double> ratios = {0.75, 0.85, 0.95};
+
+  api::OptContext ctx;
+  auto cache = std::make_shared<ResultCache>();
+  ctx.set_result_cache(cache);
+  const double fresh_ms = fill_cache(ctx, circuits, ratios);
+  const std::size_t entries = cache->size();
+
+  util::Json archived;
+  const double save_ms =
+      time_ms([&] { archived = service::save_result_cache(*cache, ctx); });
+  const std::string text = archived.dump(0);
+
+  api::OptContext ctx2;
+  auto warmed = std::make_shared<ResultCache>();
+  ctx2.set_result_cache(warmed);
+  double load_ms = 0.0;
+  service::CacheLoadReport loaded;
+  load_ms = time_ms([&] {
+    loaded = service::load_result_cache(*warmed, ctx2,
+                                        util::Json::parse(text));
+  });
+
+  const double replay_ms = fill_cache(ctx2, circuits, ratios);
+  const ResultCache::Stats stats = warmed->stats();
+
+  util::Table t({"stage", "ms", "notes"});
+  t.set_align(1, util::Align::Right);
+  t.add_row({"fresh sweep", util::Json::number_to_string(fresh_ms),
+             std::to_string(entries) + " points computed"});
+  t.add_row({"save (archive)", util::Json::number_to_string(save_ms),
+             std::to_string(text.size()) + " bytes"});
+  t.add_row({"load (parse+verify)", util::Json::number_to_string(load_ms),
+             std::to_string(loaded.entries_loaded) + " entries restored"});
+  t.add_row({"warm replay", util::Json::number_to_string(replay_ms),
+             std::to_string(stats.hits) + " hits / " +
+                 std::to_string(stats.misses) + " misses"});
+  std::printf("%s", t.str().c_str());
+  std::printf("\nspeedup fresh/replay: %.1fx; checkpoint cost %.1f%% of a "
+              "fresh sweep\n",
+              replay_ms > 0 ? fresh_ms / replay_ms : 0.0,
+              fresh_ms > 0 ? 100.0 * save_ms / fresh_ms : 0.0);
+
+  doc["entries"] = entries;
+  doc["bytes"] = text.size();
+  doc["fresh_ms"] = fresh_ms;
+  doc["save_ms"] = save_ms;
+  doc["load_ms"] = load_ms;
+  doc["replay_ms"] = replay_ms;
+  doc["replay_hits"] = stats.hits;
+  doc["replay_misses"] = stats.misses;
+}
+
+}  // namespace
+
+int main() {
+  util::Json doc = util::Json::object();
+  doc["bench"] = "cache_persistence";
+  run(doc);
+  std::ofstream out("BENCH_cache_persistence.json");
+  out << doc.dump(2) << "\n";
+  std::printf("\nwrote BENCH_cache_persistence.json\n");
+  return 0;
+}

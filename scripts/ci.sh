@@ -15,6 +15,9 @@ ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 echo "=== job 1b: pops_sweep smoke (c17; per-backend sweeps, cache hits, spec file) ==="
 scripts/smoke_sweep.sh "${PREFIX}"
 
+echo "=== job 1c: pops_serve smoke (daemon, client, cache-file restart) ==="
+scripts/smoke_serve.sh "${PREFIX}"
+
 echo "=== job 2: ASan/UBSan, Debug, full ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DPOPS_WERROR=ON -DPOPS_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=Debug

@@ -42,10 +42,20 @@ struct PipelineReport;
 /// configuration (config + pipeline + context characterization), and the
 /// exact constraint value. Two points with equal keys produce bit-identical
 /// results, so a cached entry may be replayed in place of a fresh run.
+///
+/// The first three words are pure *content* — deterministic across
+/// processes, so they can be persisted (service/cache_io.hpp) and replayed
+/// after a restart. `ctx_bits` is the process-local binding to the live
+/// OptContext instance: cached netlists/reports point into the storing
+/// context (library, BoundedPaths), so entries must never hit from another
+/// context. Persistence strips ctx_bits on save and re-binds it to the
+/// loading context after rebuilding every entry against that context's
+/// library.
 struct ResultCacheKey {
   std::uint64_t circuit_hash = 0;  ///< content hash of the input netlist
   std::uint64_t config_hash = 0;   ///< config + pipeline + context tuple
   std::uint64_t tc_bits = 0;       ///< bit pattern of the absolute Tc (ps)
+  std::uint64_t ctx_bits = 0;      ///< identity of the binding OptContext
   friend bool operator==(const ResultCacheKey&,
                          const ResultCacheKey&) = default;
 };

@@ -1,0 +1,83 @@
+#include "pops/net/client.hpp"
+
+#include <stdexcept>
+
+namespace pops::net {
+
+using util::Json;
+
+SweepClient::SweepClient(const std::string& host, std::uint16_t port)
+    : stream_(TcpStream::connect(host, port)) {}
+
+Json SweepClient::read_record() {
+  std::string line;
+  if (!stream_.read_line(line))
+    throw std::runtime_error("connection closed by server");
+  return Json::parse(line);
+}
+
+Json SweepClient::control(const std::string& op) {
+  Json req = Json::object();
+  req["op"] = op;
+  stream_.write_line(req.dump(0));
+  const Json reply = read_record();
+  if (event_name(reply) == "error") {
+    const Json* msg = reply.find("message");
+    throw std::runtime_error("server error: " +
+                             (msg && msg->is_string() ? msg->as_string()
+                                                      : std::string("?")));
+  }
+  return reply;
+}
+
+SweepSummary SweepClient::submit(const service::SweepSpec& spec,
+                                 const PointSink& on_point,
+                                 const std::map<std::string, std::string>& bench,
+                                 double po_load_ff) {
+  stream_.write_line(make_sweep_request(spec, bench, po_load_ff).dump(0));
+
+  for (;;) {
+    std::string line;
+    if (!stream_.read_line(line))
+      throw std::runtime_error("connection closed mid-sweep");
+    const Json record = Json::parse(line);
+    if (!is_event(record)) {
+      if (on_point) on_point(record, line);
+      continue;
+    }
+    const std::string event = event_name(record);
+    if (event == "error") {
+      const Json* msg = record.find("message");
+      throw std::runtime_error("sweep failed: " +
+                               (msg && msg->is_string() ? msg->as_string()
+                                                        : std::string("?")));
+    }
+    if (event != "done")
+      throw std::runtime_error("unexpected event '" + event +
+                               "' during sweep");
+
+    SweepSummary out;
+    const auto count = [&record](const char* key) -> std::size_t {
+      const Json* v = record.find(key);
+      return v && v->is_number() ? static_cast<std::size_t>(v->as_number())
+                                 : 0;
+    };
+    out.points = count("points");
+    out.unmet = count("unmet");
+    if (const Json* cache = record.find("cache")) {
+      const auto cache_count = [cache](const char* key) -> std::size_t {
+        const Json* v = cache->find(key);
+        return v && v->is_number() ? static_cast<std::size_t>(v->as_number())
+                                   : 0;
+      };
+      out.cache_hits = cache_count("hits");
+      out.cache_misses = cache_count("misses");
+      out.cache_entries = cache_count("entries");
+    }
+    if (const Json* wall = record.find("wall_ms"))
+      if (wall->is_number()) out.wall_ms = wall->as_number();
+    return out;
+  }
+}
+
+}  // namespace pops::net

@@ -1,0 +1,70 @@
+#pragma once
+// Client side of the sweep daemon protocol.
+//
+// SweepClient wraps one TCP connection to a SweepServer: submit() sends a
+// sweep request and invokes a callback per streamed point record while
+// the sweep is still running server-side (the records are byte-identical
+// to service::to_json(SweepPoint).dump(0)); the control ops (ping, stats,
+// save, shutdown) are one-line request/response calls. One client may
+// issue any number of requests sequentially over its connection.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "pops/net/protocol.hpp"
+#include "pops/net/socket.hpp"
+#include "pops/service/sweep.hpp"
+#include "pops/util/json.hpp"
+
+namespace pops::net {
+
+/// Summary of one submitted sweep (the server's "done" event).
+struct SweepSummary {
+  std::size_t points = 0;  ///< records streamed for this sweep
+  std::size_t unmet = 0;   ///< points whose constraint was not met
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_entries = 0;
+  double wall_ms = 0.0;
+};
+
+class SweepClient {
+ public:
+  /// Connect to a running SweepServer. Throws std::runtime_error when the
+  /// daemon is unreachable.
+  SweepClient(const std::string& host, std::uint16_t port);
+
+  /// Called once per streamed point record, in job order, while the
+  /// server is still sweeping. The Json is the parsed SweepPoint record;
+  /// `raw` is the exact line as received (for byte-faithful relaying).
+  using PointSink =
+      std::function<void(const util::Json& point, const std::string& raw)>;
+
+  /// Submit `spec`; optionally ship local .bench sources inline
+  /// (label -> file text; spec circuits resolve against these first, then
+  /// as server-side built-ins). Blocks until the server's "done" event.
+  /// Throws std::runtime_error carrying the server's message when the
+  /// sweep fails server-side ("error" event) or the connection drops.
+  SweepSummary submit(const service::SweepSpec& spec,
+                      const PointSink& on_point = {},
+                      const std::map<std::string, std::string>& bench = {},
+                      double po_load_ff = 12.0);
+
+  /// Round-trip a control op; returns the event record. Throws on an
+  /// "error" reply or a dropped connection.
+  util::Json ping() { return control("ping"); }
+  util::Json server_stats() { return control("stats"); }
+  util::Json save() { return control("save"); }
+  /// Ask the daemon to shut down (it answers "bye" first).
+  util::Json shutdown_server() { return control("shutdown"); }
+
+ private:
+  util::Json control(const std::string& op);
+  util::Json read_record();
+
+  TcpStream stream_;
+};
+
+}  // namespace pops::net

@@ -1,0 +1,87 @@
+#include "pops/net/protocol.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pops/service/serialize.hpp"
+
+namespace pops::net {
+
+using util::Json;
+
+Json make_sweep_request(const service::SweepSpec& spec,
+                        const std::map<std::string, std::string>& bench,
+                        double po_load_ff) {
+  Json j = Json::object();
+  j["op"] = "sweep";
+  j["spec"] = service::to_json(spec);
+  if (!bench.empty()) {
+    Json files = Json::object();
+    for (const auto& [label, text] : bench) files[label] = text;
+    j["bench"] = std::move(files);
+    j["po_load_ff"] = po_load_ff;
+  }
+  return j;
+}
+
+Request parse_request(const Json& j) {
+  if (!j.is_object())
+    throw std::invalid_argument("request must be a JSON object");
+  const Json* op = j.find("op");
+  if (!op || !op->is_string())
+    throw std::invalid_argument("request needs a string 'op'");
+
+  Request req;
+  req.op = op->as_string();
+  if (req.op == "ping" || req.op == "stats" || req.op == "save" ||
+      req.op == "shutdown")
+    return req;
+  if (req.op != "sweep")
+    throw std::invalid_argument(
+        "unknown op '" + req.op +
+        "' (known: ping save shutdown stats sweep)");
+
+  const Json* spec = j.find("spec");
+  if (!spec) throw std::invalid_argument("'sweep' request needs a 'spec'");
+  req.spec = service::sweep_spec_from_json(*spec);
+
+  if (const Json* bench = j.find("bench")) {
+    if (!bench->is_object())
+      throw std::invalid_argument(
+          "'bench' must be an object of label -> .bench source");
+    for (const auto& [label, text] : bench->members()) {
+      if (!text.is_string())
+        throw std::invalid_argument("'bench." + label + "' must be a string");
+      req.bench.emplace(label, text.as_string());
+    }
+  }
+  if (const Json* po = j.find("po_load_ff")) {
+    if (!po->is_number())
+      throw std::invalid_argument("'po_load_ff' must be a number");
+    req.po_load_ff = po->as_number();
+  }
+  return req;
+}
+
+bool is_event(const Json& record) {
+  return record.is_object() && record.find("event") != nullptr;
+}
+
+std::string event_name(const Json& record) {
+  const Json* e = record.is_object() ? record.find("event") : nullptr;
+  return e && e->is_string() ? e->as_string() : std::string();
+}
+
+Json make_event(const std::string& name) {
+  Json j = Json::object();
+  j["event"] = name;
+  return j;
+}
+
+Json make_error(const std::string& message) {
+  Json j = make_event("error");
+  j["message"] = message;
+  return j;
+}
+
+}  // namespace pops::net

@@ -1,0 +1,73 @@
+#pragma once
+// The wire protocol of the sweep daemon.
+//
+// Framing: newline-delimited JSON, both directions — every request and
+// every response record is exactly one '\n'-terminated line of compact
+// JSON (util::Json, dump(0)). A connection carries any number of requests
+// sequentially; the server answers each request completely before reading
+// the next line.
+//
+// Requests ({"op": ...}):
+//
+//   {"op": "sweep", "spec": {SweepSpec JSON},
+//    "bench": {"label": "<.bench source>", ...},   // optional inline files
+//    "po_load_ff": 12.0}                           // optional, for "bench"
+//       Runs the spec on the server's shared SweepService. Spec circuit
+//       names resolve against "bench" first, then as built-in benchmarks.
+//       Response: one line per completed point — the *bare*
+//       service::to_json(SweepPoint) record, byte-identical to what an
+//       in-process run (or pops_sweep --jsonl) emits — followed by one
+//       "done" event line.
+//   {"op": "ping"}      -> {"event": "pong"}
+//   {"op": "stats"}     -> {"event": "stats", cache: {...}, sweeps, points}
+//   {"op": "save"}      -> {"event": "saved", entries, path} (checkpoint
+//                          the result cache to the server's --cache-file)
+//   {"op": "shutdown"}  -> {"event": "bye"}; the server then stops
+//                          accepting, drains, flushes the cache, exits.
+//
+// Response records: a line is either a sweep POINT record (no "event"
+// member — exactly the schema of service/serialize.hpp's SweepPoint) or a
+// control EVENT ({"event": "done" | "error" | "pong" | ...}). "done"
+// carries {points, unmet, cache: {hits, misses, entries, evictions},
+// wall_ms}. "error" carries {message} and ends the current request —
+// points already streamed for it remain valid.
+
+#include <map>
+#include <string>
+
+#include "pops/service/sweep.hpp"
+#include "pops/util/json.hpp"
+
+namespace pops::net {
+
+/// One parsed client request.
+struct Request {
+  std::string op;
+  service::SweepSpec spec;                   ///< for op == "sweep"
+  std::map<std::string, std::string> bench;  ///< label -> .bench source
+  double po_load_ff = 12.0;  ///< PO load applied to inline .bench circuits
+};
+
+/// Build the wire form of a sweep request.
+util::Json make_sweep_request(const service::SweepSpec& spec,
+                              const std::map<std::string, std::string>& bench,
+                              double po_load_ff);
+
+/// Parse one request line. Throws std::invalid_argument on an unknown op
+/// or malformed body (the server answers with an "error" event).
+Request parse_request(const util::Json& j);
+
+/// True when `record` is a control event (has an "event" member) rather
+/// than a streamed sweep point.
+bool is_event(const util::Json& record);
+
+/// The "event" name, or "" when `record` is a point record.
+std::string event_name(const util::Json& record);
+
+/// Build an {"event": name} record; callers add fields.
+util::Json make_event(const std::string& name);
+
+/// {"event": "error", "message": message}.
+util::Json make_error(const std::string& message);
+
+}  // namespace pops::net

@@ -1,0 +1,296 @@
+#include "pops/net/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "pops/netlist/bench_io.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/service/serialize.hpp"
+
+namespace pops::net {
+
+using util::Json;
+
+SweepServer::SweepServer(SweepServerOptions opt)
+    : opt_(std::move(opt)),
+      cache_(std::make_shared<service::ResultCache>(opt_.cache_capacity)),
+      // Install the bounded cache before SweepService binds to the
+      // context (the service reuses an installed cache instead of
+      // creating its own unbounded one) — hence the comma expression.
+      sweeps_((ctx_.set_result_cache(cache_), ctx_)) {}
+
+SweepServer::~SweepServer() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructors must not throw; a failed final checkpoint loses the
+    // delta since the last successful one, nothing else.
+  }
+}
+
+service::CacheLoadReport SweepServer::start() {
+  if (listener_.valid()) throw std::logic_error("SweepServer already started");
+
+  service::CacheLoadReport loaded;
+  if (!opt_.cache_file.empty()) {
+    // A missing file is a cold start; an existing-but-unreadable or
+    // foreign file is an error (load_result_cache_file's open-failure /
+    // stale-context diagnostics propagate) — starting cold would
+    // rename-replace the persisted cache at the next checkpoint.
+    if (std::filesystem::exists(opt_.cache_file))
+      loaded = service::load_result_cache_file(*cache_, ctx_, opt_.cache_file);
+  }
+
+  listener_ = TcpListener::bind(opt_.host, opt_.port);
+  port_ = listener_.port();
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return loaded;
+}
+
+void SweepServer::wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+bool SweepServer::wait_for_ms(long ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                               [this] { return shutdown_requested_; });
+}
+
+void SweepServer::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void SweepServer::stop() {
+  if (stopping_.exchange(true)) return;
+  request_shutdown();  // release wait()ers even when stop() came first
+
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection& conn : conns_)
+      if (conn.stream) conn.stream->shutdown_both();
+  }
+  // Join outside the registry lock: a finishing connection thread takes
+  // conns_mu_ is not needed — threads never erase themselves, so the list
+  // is stable here and joining cannot deadlock.
+  for (Connection& conn : conns_)
+    if (conn.thread.joinable()) conn.thread.join();
+  conns_.clear();
+
+  if (!opt_.cache_file.empty()) save_cache();
+}
+
+std::size_t SweepServer::save_cache() {
+  if (opt_.cache_file.empty()) return 0;
+  // exec_mu_, not a dedicated save mutex: archiving reads the context's
+  // installed delay-model backend (the file header's informational
+  // selector), and a concurrent sweep's Optimizer construction may swap
+  // that backend — set_delay_model is documented unsafe against
+  // unsynchronized dm() readers. Serializing saves against sweep
+  // execution removes the race and orders concurrent save requests.
+  std::lock_guard<std::mutex> lock(exec_mu_);
+  service::save_result_cache_file(*cache_, ctx_, opt_.cache_file);
+  return cache_->size();
+}
+
+SweepServerStats SweepServer::stats() const {
+  SweepServerStats s;
+  s.connections = n_connections_.load();
+  s.requests = n_requests_.load();
+  s.sweeps = n_sweeps_.load();
+  s.points = n_points_.load();
+  s.errors = n_errors_.load();
+  return s;
+}
+
+void SweepServer::accept_loop() {
+  for (;;) {
+    Socket peer = listener_.accept();
+    if (!peer.valid()) return;  // listener closed (stop())
+    if (stopping_.load()) return;
+    n_connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    reap_finished_locked();
+    conns_.emplace_back();
+    Connection& conn = conns_.back();
+    conn.stream = std::make_unique<TcpStream>(std::move(peer));
+    conn.thread = std::thread([this, &conn] { serve_connection(conn); });
+  }
+}
+
+void SweepServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done.load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SweepServer::serve_connection(Connection& conn) {
+  TcpStream& stream = *conn.stream;
+  std::string line;
+  try {
+    while (!stopping_.load() &&
+           stream.read_line(line, opt_.max_request_bytes)) {
+      if (line.empty()) continue;  // tolerate blank keep-alive lines
+      n_requests_.fetch_add(1);
+      Request req;
+      try {
+        req = parse_request(Json::parse(line));
+      } catch (const std::exception& e) {
+        n_errors_.fetch_add(1);
+        stream.write_line(make_error(e.what()).dump(0));
+        continue;
+      }
+      handle_request(stream, req);
+      if (req.op == "shutdown") break;
+    }
+  } catch (const std::exception&) {
+    // Peer vanished mid-request (broken pipe / oversized line): the
+    // connection is over; the sweep state it caused remains valid.
+  }
+  conn.done.store(true);
+}
+
+void SweepServer::handle_request(TcpStream& stream, const Request& req) {
+  if (req.op == "ping") {
+    stream.write_line(make_event("pong").dump(0));
+    return;
+  }
+  if (req.op == "stats") {
+    Json j = make_event("stats");
+    const service::ResultCache::Stats cs = cache_->stats();
+    Json cache = Json::object();
+    cache["hits"] = cs.hits;
+    cache["misses"] = cs.misses;
+    cache["entries"] = cs.entries;
+    cache["evictions"] = cs.evictions;
+    cache["capacity"] = cs.capacity;
+    j["cache"] = std::move(cache);
+    const SweepServerStats s = stats();
+    j["connections"] = s.connections;
+    j["requests"] = s.requests;
+    j["sweeps"] = s.sweeps;
+    j["points"] = s.points;
+    j["errors"] = s.errors;
+    j["cache_file"] = opt_.cache_file;
+    stream.write_line(j.dump(0));
+    return;
+  }
+  if (req.op == "save") {
+    try {
+      const std::size_t entries = save_cache();
+      Json j = make_event("saved");
+      j["entries"] = entries;
+      j["path"] = opt_.cache_file;
+      stream.write_line(j.dump(0));
+    } catch (const std::exception& e) {
+      n_errors_.fetch_add(1);
+      stream.write_line(make_error(e.what()).dump(0));
+    }
+    return;
+  }
+  if (req.op == "shutdown") {
+    stream.write_line(make_event("bye").dump(0));
+    request_shutdown();
+    return;
+  }
+  run_sweep(stream, req);
+}
+
+void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
+  service::SweepSpec spec = req.spec;
+  if (spec.n_threads == 0) spec.n_threads = opt_.n_threads;
+
+  const auto load = [this, &req](const std::string& label) {
+    const auto it = req.bench.find(label);
+    if (it == req.bench.end())
+      return netlist::make_benchmark(ctx_.lib(), label);
+    netlist::BenchReadOptions opt;
+    opt.po_load_ff = req.po_load_ff;
+    opt.name = label;
+    return netlist::read_bench_string(it->second, ctx_.lib(), opt);
+  };
+
+  std::size_t streamed = 0;
+  std::size_t unmet = 0;
+  // Streaming sink: runs on this thread (SweepService invokes it from the
+  // scheduling thread, in job order), so socket writes need no locking.
+  // The record bytes are exactly service::to_json(SweepPoint).dump(0) —
+  // the contract that makes daemon output diffable against in-process
+  // runs and pops_sweep --jsonl.
+  const service::SweepService::RecordSink sink =
+      [&](const service::SweepPoint& point) {
+        stream.write_line(service::to_json(point).dump(0));
+        ++streamed;
+        if (!point.report.met) ++unmet;
+      };
+
+  service::SweepReport report;
+  try {
+    // One sweep at a time on the shared context: Optimizer construction
+    // swaps the context's delay-model backend, which must not happen
+    // while another sweep is in flight (see the class comment).
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    report = sweeps_.run(spec, load, sink);
+  } catch (const std::exception& e) {
+    n_errors_.fetch_add(1);
+    n_points_.fetch_add(streamed);
+    stream.write_line(make_error(e.what()).dump(0));
+    return;
+  }
+  n_sweeps_.fetch_add(1);
+  n_points_.fetch_add(streamed);
+
+  Json done = make_event("done");
+  done["points"] = report.points.size();
+  done["unmet"] = unmet;
+  Json cache = Json::object();
+  cache["hits"] = report.cache_hits;
+  cache["misses"] = report.cache_misses;
+  cache["entries"] = report.cache_entries;
+  cache["evictions"] = cache_->stats().evictions;
+  done["cache"] = std::move(cache);
+  done["wall_ms"] = report.wall_ms;
+  stream.write_line(done.dump(0));
+
+  if (!opt_.cache_file.empty() && opt_.checkpoint_every > 0) {
+    bool flush = false;
+    {
+      std::lock_guard<std::mutex> lock(exec_mu_);
+      if (++sweeps_since_checkpoint_ >= opt_.checkpoint_every) {
+        sweeps_since_checkpoint_ = 0;
+        flush = true;
+      }
+    }
+    if (flush) {
+      try {
+        save_cache();
+      } catch (const std::exception& e) {
+        // Checkpoint failure must not kill the connection: results were
+        // already streamed; the next checkpoint retries.
+        n_errors_.fetch_add(1);
+        stream.write_line(make_error(std::string("checkpoint failed: ") +
+                                     e.what())
+                              .dump(0));
+      }
+    }
+  }
+}
+
+}  // namespace pops::net

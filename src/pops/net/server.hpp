@@ -1,0 +1,151 @@
+#pragma once
+// The sweep-serving daemon: SweepService over a TCP port.
+//
+// SweepServer completes the heavy-traffic picture of the ROADMAP: many
+// clients submit SweepSpec JSON over loopback/TCP (newline-delimited
+// framing, net/protocol.hpp), the server schedules each sweep onto one
+// shared OptContext + SweepService — whose run_many worker pool fans the
+// grid points out across threads — and streams per-point JSONL records
+// back as they complete, byte-identical to an in-process run. The shared
+// ResultCache memoizes across *all* clients and, with a cache file
+// configured, across *restarts*: the cache is loaded at start, flushed
+// after every sweep (checkpoint), on the "save" op, and at stop, so a
+// warm restart replays repeated specs without recomputing anything.
+//
+// Concurrency model (the shared-context audit): connections are handled
+// on one thread each, but sweep *execution* is serialized by a mutex.
+// This is a correctness requirement, not laziness — constructing an
+// Optimizer installs the spec's delay-model backend on the shared
+// OptContext (OptContext::set_delay_model), which is documented unsafe
+// while other optimizations are in flight on that context, and the
+// per-context ResultCache binds entries to that one context (sharding
+// across contexts would lose cross-client memoization). Parallelism
+// lives *inside* a sweep (Optimizer::run_many workers), where it is
+// proven bit-identical across thread counts.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "pops/api/api.hpp"
+#include "pops/net/protocol.hpp"
+#include "pops/net/socket.hpp"
+#include "pops/service/cache_io.hpp"
+#include "pops/service/result_cache.hpp"
+#include "pops/service/sweep.hpp"
+
+namespace pops::net {
+
+struct SweepServerOptions {
+  std::string host = "127.0.0.1";  ///< loopback by default; no auth yet
+  std::uint16_t port = 0;          ///< 0 = kernel-assigned (see port())
+  /// Worker threads per sweep (run_many), applied when a spec leaves
+  /// n_threads at 0; 0 = hardware concurrency.
+  std::size_t n_threads = 0;
+  /// Persist the ResultCache here (empty = in-memory only). Loaded at
+  /// start when the file exists; flushed on checkpoint/save/stop.
+  std::string cache_file;
+  /// LRU bound on the cache (entries); 0 = unbounded.
+  std::size_t cache_capacity = 0;
+  /// Flush the cache file every N completed sweeps (0 = only on
+  /// save/stop). Checkpoints are atomic (tmp + rename).
+  std::size_t checkpoint_every = 1;
+  std::size_t max_request_bytes = TcpStream::kMaxLineBytes;
+};
+
+/// Aggregate serving counters, snapshot via SweepServer::stats().
+struct SweepServerStats {
+  std::size_t connections = 0;  ///< accepted so far
+  std::size_t requests = 0;     ///< request lines parsed
+  std::size_t sweeps = 0;       ///< sweep ops completed
+  std::size_t points = 0;       ///< point records streamed
+  std::size_t errors = 0;       ///< error events sent
+};
+
+class SweepServer {
+ public:
+  explicit SweepServer(SweepServerOptions opt = {});
+  ~SweepServer();
+
+  /// Bind + listen + start accepting. Returns what the cache file
+  /// contributed (zeros when none was configured or the file does not
+  /// exist yet). Throws when the port cannot be bound or the cache file
+  /// exists but is foreign/corrupt (stale-context rejection — refusing to
+  /// serve from a cache that would not replay bit-identically).
+  service::CacheLoadReport start();
+
+  /// Block until a client's "shutdown" op (or stop() from another
+  /// thread).
+  void wait();
+
+  /// wait() with a timeout: returns true when shutdown was requested,
+  /// false after `ms` milliseconds — the polling primitive that lets a
+  /// tool interleave signal-flag checks (Ctrl-C) with protocol shutdown.
+  bool wait_for_ms(long ms);
+
+  /// Stop accepting, wake every connection, join all threads, flush the
+  /// cache file. Idempotent; called by the destructor.
+  void stop();
+
+  /// The actual listening port (after start(); resolves port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Flush the cache to the configured file now. Returns the number of
+  /// entries written; 0 with no cache file configured.
+  std::size_t save_cache();
+
+  SweepServerStats stats() const;
+
+  api::OptContext& context() noexcept { return ctx_; }
+  service::ResultCache* cache() const noexcept { return cache_.get(); }
+
+ private:
+  struct Connection {
+    std::unique_ptr<TcpStream> stream;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& conn);
+  void handle_request(TcpStream& stream, const Request& req);
+  void run_sweep(TcpStream& stream, const Request& req);
+  void request_shutdown();
+  void reap_finished_locked();
+
+  SweepServerOptions opt_;
+  api::OptContext ctx_;
+  std::shared_ptr<service::ResultCache> cache_;
+  service::SweepService sweeps_;
+
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;
+
+  /// Serializes sweep execution on the shared context (see file header)
+  /// AND cache-file saves: archiving reads ctx_.dm(), which a sweep's
+  /// Optimizer construction may swap.
+  std::mutex exec_mu_;
+  std::size_t sweeps_since_checkpoint_ = 0;  ///< guarded by exec_mu_
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::atomic<std::size_t> n_connections_{0};
+  std::atomic<std::size_t> n_requests_{0};
+  std::atomic<std::size_t> n_sweeps_{0};
+  std::atomic<std::size_t> n_points_{0};
+  std::atomic<std::size_t> n_errors_{0};
+};
+
+}  // namespace pops::net

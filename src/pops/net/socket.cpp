@@ -1,0 +1,158 @@
+#include "pops/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace pops::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  // The protocol is request/response lines; latency beats batching.
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  for (;;) {
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      break;
+    if (errno == EINTR) continue;
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  return TcpStream(std::move(s));
+}
+
+bool TcpStream::read_line(std::string& line, std::size_t max_bytes) {
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    if (buffer_.size() > max_bytes)
+      throw std::runtime_error("line exceeds " + std::to_string(max_bytes) +
+                               " bytes");
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("recv");
+    if (n == 0) {
+      if (buffer_.empty()) return false;  // clean EOF
+      line = std::move(buffer_);          // final unterminated line
+      buffer_.clear();
+      return true;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void TcpStream::write_line(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  const char* data = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    ssize_t n;
+    do {
+      n = ::send(socket_.fd(), data, left, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("send");
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::shutdown_write() noexcept {
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_WR);
+}
+
+TcpListener TcpListener::bind(const std::string& host, std::uint16_t port,
+                              int backlog) {
+  const sockaddr_in addr = make_addr(host, port);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  const int one = 1;
+  // Daemon restarts must not wait out TIME_WAIT on a fixed port.
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  if (::listen(s.fd(), backlog) != 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    throw_errno("getsockname");
+  return TcpListener(std::move(s), ntohs(bound.sin_port));
+}
+
+Socket TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // close() shut the listener down (EINVAL) — or the descriptor became
+    // unusable some other way; either way the accept loop is over.
+    return Socket();
+  }
+}
+
+void TcpListener::close() noexcept {
+  // shutdown only — the descriptor stays allocated until destruction. An
+  // acceptor thread may be entering ::accept concurrently; closing the fd
+  // here could hand it a recycled descriptor opened by another thread.
+  socket_.shutdown_both();
+}
+
+}  // namespace pops::net

@@ -1,0 +1,126 @@
+#pragma once
+// Minimal POSIX TCP building blocks for the sweep daemon.
+//
+// pops::net speaks one deliberately simple wire format: newline-delimited
+// JSON over a TCP stream (loopback by default). These wrappers add exactly
+// what the daemon and client need on top of raw sockets — RAII ownership
+// of file descriptors, bind-to-ephemeral-port with port readback, an
+// accept loop that can be woken for shutdown, buffered line reads with a
+// size bound (untrusted peers must not grow a line without limit), and
+// EINTR/partial-write-safe sends that never raise SIGPIPE.
+//
+// Nothing here knows about sweeps; the protocol lives one layer up
+// (net/protocol.hpp, net/server.hpp, net/client.hpp).
+
+#include <cstdint>
+#include <string>
+
+namespace pops::net {
+
+/// RAII owner of one socket file descriptor. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+
+  /// shutdown(2) both directions — wakes a thread blocked in accept/read
+  /// on this descriptor without closing it (close alone does not reliably
+  /// interrupt a blocked syscall on Linux).
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream with buffered, bounded line framing.
+class TcpStream {
+ public:
+  explicit TcpStream(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Connect to host:port (IPv4 dotted quad, e.g. "127.0.0.1"). Throws
+  /// std::runtime_error with the errno text on failure.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  /// Read one '\n'-terminated line (the terminator is stripped; a final
+  /// unterminated chunk before EOF counts as a line). Returns false on
+  /// clean EOF with no buffered data. Throws std::runtime_error on a read
+  /// error or when a line exceeds `max_bytes`.
+  bool read_line(std::string& line, std::size_t max_bytes = kMaxLineBytes);
+
+  /// Write `line` plus a trailing '\n', looping over partial writes.
+  /// SIGPIPE is suppressed (MSG_NOSIGNAL); a closed peer throws
+  /// std::runtime_error instead of killing the process.
+  void write_line(const std::string& line);
+
+  /// Half-close the sending side (signals end-of-requests to the peer).
+  void shutdown_write() noexcept;
+
+  /// Shut down both directions: wakes a thread blocked in read_line on
+  /// this stream (it sees EOF) without closing the descriptor — the
+  /// server's stop path for in-flight connections.
+  void shutdown_both() noexcept { socket_.shutdown_both(); }
+
+  bool valid() const noexcept { return socket_.valid(); }
+  void close() noexcept { socket_.close(); }
+
+  /// Default per-line bound: a request carries at most a sweep spec plus
+  /// inlined .bench sources — 16 MiB is far above any sane request and
+  /// far below a memory-exhaustion attack.
+  static constexpr std::size_t kMaxLineBytes = 16u << 20;
+
+ private:
+  Socket socket_;
+  std::string buffer_;  ///< bytes received but not yet returned
+};
+
+/// A listening TCP socket. Construction binds + listens; port() reports
+/// the actual port (useful with port 0 = kernel-assigned ephemeral port,
+/// how tests and the smoke script avoid collisions).
+class TcpListener {
+ public:
+  /// An unbound placeholder (valid() == false); assign from bind().
+  TcpListener() = default;
+
+  /// Bind to host:port and listen. Throws std::runtime_error (errno text)
+  /// when the address is unavailable.
+  static TcpListener bind(const std::string& host, std::uint16_t port,
+                          int backlog = 16);
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a peer connects. Returns an invalid Socket (instead of
+  /// throwing) once close() was called — the accept-loop termination
+  /// signal.
+  Socket accept();
+
+  /// Wake any thread blocked in accept() (subsequent accepts return an
+  /// invalid Socket). The descriptor — and with it the bound port — is
+  /// released at destruction, after the accept loop has been joined;
+  /// closing it here could recycle the fd under a concurrent ::accept.
+  void close() noexcept;
+
+  bool valid() const noexcept { return socket_.valid(); }
+
+ private:
+  TcpListener(Socket socket, std::uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace pops::net

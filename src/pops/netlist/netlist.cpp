@@ -9,6 +9,23 @@ namespace pops::netlist {
 Netlist::Netlist(const liberty::Library& lib, std::string name)
     : lib_(&lib), name_(std::move(name)) {}
 
+Netlist Netlist::from_nodes(const liberty::Library& lib, std::string name,
+                            std::vector<Node> nodes, int fresh_counter) {
+  Netlist nl(lib, std::move(name));
+  nl.nodes_ = std::move(nodes);
+  for (NodeId id = 0; id < static_cast<NodeId>(nl.nodes_.size()); ++id) {
+    const Node& n = nl.nodes_[static_cast<std::size_t>(id)];
+    if (!nl.by_name_.emplace(n.name, id).second)
+      throw std::invalid_argument("Netlist::from_nodes: duplicate node name " +
+                                  n.name);
+    if (n.is_input) nl.inputs_.push_back(id);
+  }
+  nl.fresh_counter_ = fresh_counter;
+  nl.invalidate_caches();
+  nl.validate();  // arity, fanin range, drive range, acyclicity, dangling
+  return nl;
+}
+
 NodeId Netlist::add_node(Node node) {
   if (by_name_.count(node.name))
     throw std::invalid_argument("Netlist: duplicate node name " + node.name);

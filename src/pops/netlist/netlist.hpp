@@ -51,6 +51,20 @@ class Netlist {
   /// Create an empty netlist over `lib` (not owned; must outlive the netlist).
   explicit Netlist(const liberty::Library& lib, std::string name = "top");
 
+  /// Reconstruct a netlist from raw node records (deserialization —
+  /// service/cache_io.hpp). add_gate cannot replay an optimized netlist:
+  /// buffer insertion re-points existing fanins at later-appended nodes,
+  /// so fanins may reference *forward*. from_nodes admits any DAG order,
+  /// rebuilds the name index and input list, restores the fresh-name
+  /// counter, and runs validate(); a structurally invalid node set throws
+  /// std::logic_error / std::invalid_argument with a diagnostic.
+  static Netlist from_nodes(const liberty::Library& lib, std::string name,
+                            std::vector<Node> nodes, int fresh_counter = 0);
+
+  /// The fresh_name counter (persisted so a deserialized netlist names
+  /// future inserted buffers exactly like the original would).
+  int fresh_counter() const noexcept { return fresh_counter_; }
+
   const liberty::Library& lib() const noexcept { return *lib_; }
   const std::string& name() const noexcept { return name_; }
 

@@ -1,0 +1,581 @@
+#include "pops/service/cache_io.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "pops/timing/path.hpp"
+#include "pops/util/hash.hpp"
+
+namespace pops::service {
+
+using util::Json;
+
+namespace {
+
+constexpr const char* kFormat = "pops-result-cache";
+constexpr int kVersion = 1;
+
+// ----- strict readers ---------------------------------------------------------
+// Archives are machine-written; any deviation is corruption, so readers
+// throw std::invalid_argument naming the offending key (load_result_cache
+// catches per entry and skips).
+
+const Json& member(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  if (!v) throw std::invalid_argument(std::string("missing key '") + key + "'");
+  return *v;
+}
+
+double num(const Json& j, const char* key) {
+  const Json& v = member(j, key);
+  if (!v.is_number())
+    throw std::invalid_argument(std::string("'") + key + "' must be a number");
+  return v.as_number();
+}
+
+/// Archive form of a double that may legitimately be non-finite: report
+/// fields like the sensitivity coefficient are -inf on the weak-
+/// constraint path (size_for_constraint's a -> -inf limit), and JSON
+/// numbers cannot carry that (Json serializes non-finite as null, which
+/// would silently drop the entry at load). Finite values stay plain
+/// numbers; non-finite ones become the strings "inf" / "-inf" / "nan"
+/// (NaN loses its payload bits — no optimizer result carries a payload).
+Json archive_f64(double v) {
+  if (std::isfinite(v)) return Json(v);
+  if (std::isnan(v)) return Json("nan");
+  return Json(v > 0 ? "inf" : "-inf");
+}
+
+double restore_f64(const Json& j, const char* key) {
+  const Json& v = member(j, key);
+  if (v.is_number()) return v.as_number();
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s == "inf") return std::numeric_limits<double>::infinity();
+    if (s == "-inf") return -std::numeric_limits<double>::infinity();
+    if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+  }
+  throw std::invalid_argument(std::string("'") + key +
+                              "' must be a number (or inf/-inf/nan)");
+}
+
+bool boolean(const Json& j, const char* key) {
+  const Json& v = member(j, key);
+  if (!v.is_bool())
+    throw std::invalid_argument(std::string("'") + key + "' must be a boolean");
+  return v.as_bool();
+}
+
+const std::string& str(const Json& j, const char* key) {
+  const Json& v = member(j, key);
+  if (!v.is_string())
+    throw std::invalid_argument(std::string("'") + key + "' must be a string");
+  return v.as_string();
+}
+
+std::uint64_t hex(const Json& j, const char* key) {
+  std::uint64_t out = 0;
+  if (!util::parse_hex_u64(str(j, key), out))
+    throw std::invalid_argument(std::string("'") + key +
+                                "' must be a hex u64 string");
+  return out;
+}
+
+const std::vector<Json>& array(const Json& j, const char* key) {
+  const Json& v = member(j, key);
+  if (!v.is_array())
+    throw std::invalid_argument(std::string("'") + key + "' must be an array");
+  return v.items();
+}
+
+std::size_t count(const Json& j, const char* key) {
+  const double d = num(j, key);
+  if (!(d >= 0.0 && d <= 9007199254740992.0) || d != static_cast<double>(
+          static_cast<std::uint64_t>(d)))
+    throw std::invalid_argument(std::string("'") + key +
+                                "' must be a non-negative integer");
+  return static_cast<std::size_t>(d);
+}
+
+// ----- enum spellings ---------------------------------------------------------
+
+core::ConstraintDomain domain_from_string(const std::string& s) {
+  for (const core::ConstraintDomain d :
+       {core::ConstraintDomain::Infeasible, core::ConstraintDomain::Hard,
+        core::ConstraintDomain::Medium, core::ConstraintDomain::Weak})
+    if (s == core::to_string(d)) return d;
+  throw std::invalid_argument("unknown constraint domain '" + s + "'");
+}
+
+core::Method method_from_string(const std::string& s) {
+  for (const core::Method m :
+       {core::Method::Sizing, core::Method::LocalBufferSizing,
+        core::Method::GlobalBufferSizing, core::Method::Restructure})
+    if (s == core::to_string(m)) return m;
+  throw std::invalid_argument("unknown protocol method '" + s + "'");
+}
+
+const char* edge_to_string(timing::Edge e) {
+  return e == timing::Edge::Rise ? "rise" : "fall";
+}
+
+timing::Edge edge_from_string(const std::string& s) {
+  if (s == "rise") return timing::Edge::Rise;
+  if (s == "fall") return timing::Edge::Fall;
+  throw std::invalid_argument("unknown edge '" + s + "'");
+}
+
+// ----- BoundedPath ------------------------------------------------------------
+
+Json archive_path(const timing::BoundedPath& path) {
+  Json j = Json::object();
+  j["input_edge"] = edge_to_string(path.input_edge());
+  j["input_slew_ps"] = path.input_slew_ps();
+  j["terminal_ff"] = path.terminal_ff();
+  Json stages = Json::array();
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const timing::PathStage& st = path.stage(i);
+    Json s = Json::object();
+    s["kind"] = liberty::to_string(st.kind);
+    s["node"] = static_cast<long long>(st.node);
+    s["off_path_ff"] = st.off_path_ff;
+    s["sizable"] = st.sizable;
+    s["shielded"] = st.shielded;
+    stages.push_back(std::move(s));
+  }
+  j["stages"] = std::move(stages);
+  Json cins = Json::array();
+  for (const double c : path.cins()) cins.push_back(c);
+  j["cins"] = std::move(cins);
+  return j;
+}
+
+timing::BoundedPath restore_path(const Json& j, const liberty::Library& lib) {
+  std::vector<timing::PathStage> stages;
+  for (const Json& s : array(j, "stages")) {
+    timing::PathStage st;
+    st.kind = liberty::cell_kind_from_string(str(s, "kind"));
+    const double node = num(s, "node");
+    st.node = static_cast<netlist::NodeId>(node);
+    if (static_cast<double>(st.node) != node)
+      throw std::invalid_argument("stage 'node' out of range");
+    st.off_path_ff = num(s, "off_path_ff");
+    st.sizable = boolean(s, "sizable");
+    st.shielded = boolean(s, "shielded");
+    stages.push_back(st);
+  }
+  std::vector<double> cins;
+  for (const Json& c : array(j, "cins")) {
+    if (!c.is_number())
+      throw std::invalid_argument("'cins' must contain only numbers");
+    cins.push_back(c.as_number());
+  }
+  if (cins.size() != stages.size())
+    throw std::invalid_argument("'cins' arity does not match 'stages'");
+  if (cins.empty()) throw std::invalid_argument("'stages' is empty");
+  timing::BoundedPath path(lib, std::move(stages), cins[0],
+                           num(j, "terminal_ff"),
+                           edge_from_string(str(j, "input_edge")),
+                           num(j, "input_slew_ps"));
+  // set_cin clamps to the realisable range; archived CINs were produced
+  // through set_cin over an identical library, so the clamp is an identity
+  // and the restored values are bit-exact.
+  for (std::size_t i = 1; i < cins.size(); ++i) path.set_cin(i, cins[i]);
+  return path;
+}
+
+// ----- protocol / circuit results ---------------------------------------------
+
+Json archive_protocol_result(const core::ProtocolResult& r) {
+  Json j = Json::object();
+  j["domain"] = core::to_string(r.domain);
+  j["method"] = core::to_string(r.method);
+  j["tmin_ps"] = archive_f64(r.tmin_ps);
+  j["tmax_ps"] = archive_f64(r.tmax_ps);
+  j["buffers_inserted"] = r.buffers_inserted;
+  j["gates_restructured"] = r.gates_restructured;
+  j["extra_area_um"] = archive_f64(r.extra_area_um);
+  Json s = Json::object();
+  s["delay_ps"] = archive_f64(r.sizing.delay_ps);
+  s["area_um"] = archive_f64(r.sizing.area_um);
+  // The weak-constraint path (Tc >= Tmax) realizes a = -inf.
+  s["a"] = archive_f64(r.sizing.a);
+  s["feasible"] = r.sizing.feasible;
+  s["sweeps"] = r.sizing.sweeps;
+  s["path"] = archive_path(r.sizing.path);
+  j["sizing"] = std::move(s);
+  return j;
+}
+
+core::ProtocolResult restore_protocol_result(const Json& j,
+                                             const liberty::Library& lib) {
+  const Json& s = member(j, "sizing");
+  core::SizingResult sizing{restore_path(member(s, "path"), lib),
+                            restore_f64(s, "delay_ps"),
+                            restore_f64(s, "area_um"),
+                            restore_f64(s, "a"),
+                            boolean(s, "feasible"),
+                            static_cast<int>(num(s, "sweeps"))};
+  core::ProtocolResult r(std::move(sizing));
+  r.domain = domain_from_string(str(j, "domain"));
+  r.method = method_from_string(str(j, "method"));
+  r.tmin_ps = restore_f64(j, "tmin_ps");
+  r.tmax_ps = restore_f64(j, "tmax_ps");
+  r.buffers_inserted = count(j, "buffers_inserted");
+  r.gates_restructured = count(j, "gates_restructured");
+  r.extra_area_um = restore_f64(j, "extra_area_um");
+  return r;
+}
+
+Json archive_circuit_result(const core::CircuitResult& r) {
+  Json j = Json::object();
+  j["tc_ps"] = archive_f64(r.tc_ps);
+  j["achieved_delay_ps"] = archive_f64(r.achieved_delay_ps);
+  j["area_um"] = archive_f64(r.area_um);
+  j["met"] = r.met;
+  j["paths_optimized"] = r.paths_optimized;
+  Json paths = Json::array();
+  for (const core::ProtocolResult& p : r.per_path)
+    paths.push_back(archive_protocol_result(p));
+  j["per_path"] = std::move(paths);
+  return j;
+}
+
+core::CircuitResult restore_circuit_result(const Json& j,
+                                           const liberty::Library& lib) {
+  core::CircuitResult r;
+  r.tc_ps = restore_f64(j, "tc_ps");
+  r.achieved_delay_ps = restore_f64(j, "achieved_delay_ps");
+  r.area_um = restore_f64(j, "area_um");
+  r.met = boolean(j, "met");
+  r.paths_optimized = count(j, "paths_optimized");
+  for (const Json& p : array(j, "per_path"))
+    r.per_path.push_back(restore_protocol_result(p, lib));
+  return r;
+}
+
+// ----- pass / pipeline reports ------------------------------------------------
+
+Json archive_pass_report(const api::PassReport& r) {
+  Json j = Json::object();
+  j["pass"] = r.pass_name;
+  j["delay_before_ps"] = archive_f64(r.delay_before_ps);
+  j["delay_after_ps"] = archive_f64(r.delay_after_ps);
+  j["area_before_um"] = archive_f64(r.area_before_um);
+  j["area_after_um"] = archive_f64(r.area_after_um);
+  j["runtime_ms"] = archive_f64(r.runtime_ms);
+  j["changed"] = r.changed;
+  j["buffers_inserted"] = r.buffers_inserted;
+  j["sinks_rewired"] = r.sinks_rewired;
+  j["gates_removed"] = r.gates_removed;
+  j["paths_optimized"] = r.paths_optimized;
+  if (r.circuit) j["protocol"] = archive_circuit_result(*r.circuit);
+  return j;
+}
+
+api::PassReport restore_pass_report(const Json& j,
+                                    const liberty::Library& lib) {
+  api::PassReport r;
+  r.pass_name = str(j, "pass");
+  r.delay_before_ps = restore_f64(j, "delay_before_ps");
+  r.delay_after_ps = restore_f64(j, "delay_after_ps");
+  r.area_before_um = restore_f64(j, "area_before_um");
+  r.area_after_um = restore_f64(j, "area_after_um");
+  r.runtime_ms = restore_f64(j, "runtime_ms");
+  r.changed = boolean(j, "changed");
+  r.buffers_inserted = count(j, "buffers_inserted");
+  r.sinks_rewired = count(j, "sinks_rewired");
+  r.gates_removed = count(j, "gates_removed");
+  r.paths_optimized = count(j, "paths_optimized");
+  if (const Json* protocol = j.find("protocol"))
+    r.circuit = restore_circuit_result(*protocol, lib);
+  return r;
+}
+
+}  // namespace
+
+Json archive_report(const api::PipelineReport& report) {
+  Json j = Json::object();
+  j["tc_ps"] = archive_f64(report.tc_ps);
+  j["initial_delay_ps"] = archive_f64(report.initial_delay_ps);
+  j["final_delay_ps"] = archive_f64(report.final_delay_ps);
+  j["initial_area_um"] = archive_f64(report.initial_area_um);
+  j["final_area_um"] = archive_f64(report.final_area_um);
+  j["met"] = report.met;
+  j["from_cache"] = report.from_cache;
+  j["delay_model"] = report.delay_model;
+  Json passes = Json::array();
+  for (const api::PassReport& p : report.passes)
+    passes.push_back(archive_pass_report(p));
+  j["passes"] = std::move(passes);
+  return j;
+}
+
+api::PipelineReport restore_report(const Json& j,
+                                   const liberty::Library& lib) {
+  api::PipelineReport r;
+  r.tc_ps = restore_f64(j, "tc_ps");
+  r.initial_delay_ps = restore_f64(j, "initial_delay_ps");
+  r.final_delay_ps = restore_f64(j, "final_delay_ps");
+  r.initial_area_um = restore_f64(j, "initial_area_um");
+  r.final_area_um = restore_f64(j, "final_area_um");
+  r.met = boolean(j, "met");
+  r.from_cache = boolean(j, "from_cache");
+  r.delay_model = str(j, "delay_model");
+  for (const Json& p : array(j, "passes"))
+    r.passes.push_back(restore_pass_report(p, lib));
+  return r;
+}
+
+Json archive_netlist(const netlist::Netlist& nl) {
+  Json j = Json::object();
+  j["name"] = nl.name();
+  j["fresh_counter"] = nl.fresh_counter();
+  Json nodes = Json::array();
+  for (netlist::NodeId id = 0; id < static_cast<netlist::NodeId>(nl.size());
+       ++id) {
+    const netlist::Node& n = nl.node(id);
+    Json node = Json::object();
+    node["name"] = n.name;
+    if (n.is_input) {
+      node["input"] = true;
+    } else {
+      node["kind"] = liberty::to_string(n.kind);
+      Json fanins = Json::array();
+      for (const netlist::NodeId f : n.fanins)
+        fanins.push_back(static_cast<long long>(f));
+      node["fanins"] = std::move(fanins);
+      node["wn_um"] = n.wn_um;
+    }
+    node["wire_cap_ff"] = n.wire_cap_ff;
+    if (n.is_output) node["po_load_ff"] = n.po_load_ff;
+    nodes.push_back(std::move(node));
+  }
+  j["nodes"] = std::move(nodes);
+  return j;
+}
+
+netlist::Netlist restore_netlist(const Json& j, const liberty::Library& lib) {
+  std::vector<netlist::Node> nodes;
+  for (const Json& v : array(j, "nodes")) {
+    netlist::Node n;
+    n.name = str(v, "name");
+    if (const Json* input = v.find("input")) {
+      if (!input->is_bool() || !input->as_bool())
+        throw std::invalid_argument("'input' must be true when present");
+      n.is_input = true;
+    } else {
+      n.kind = liberty::cell_kind_from_string(str(v, "kind"));
+      for (const Json& f : array(v, "fanins")) {
+        if (!f.is_number())
+          throw std::invalid_argument("'fanins' must contain only numbers");
+        const double id = f.as_number();
+        n.fanins.push_back(static_cast<netlist::NodeId>(id));
+        if (static_cast<double>(n.fanins.back()) != id)
+          throw std::invalid_argument("'fanins' id out of range");
+      }
+      n.wn_um = num(v, "wn_um");
+    }
+    n.wire_cap_ff = num(v, "wire_cap_ff");
+    if (const Json* po = v.find("po_load_ff")) {
+      if (!po->is_number())
+        throw std::invalid_argument("'po_load_ff' must be a number");
+      n.is_output = true;
+      n.po_load_ff = po->as_number();
+    }
+    nodes.push_back(std::move(n));
+  }
+  const double fresh = num(j, "fresh_counter");
+  return netlist::Netlist::from_nodes(lib, str(j, "name"), std::move(nodes),
+                                      static_cast<int>(fresh));
+}
+
+Json save_result_cache(const ResultCache& cache, const api::OptContext& ctx) {
+  Json doc = Json::object();
+  doc["format"] = kFormat;
+  doc["version"] = kVersion;
+
+  Json context = Json::object();
+  context["signature"] = util::hex_u64(ResultCache::hash_context(ctx));
+  context["technology"] = ctx.tech().name;
+  context["rng_seed"] = util::hex_u64(ctx.rng_seed());
+  // The backend installed at save time — informational only (entries key
+  // their own backend through config_hash and may span several).
+  context["delay_model"] = ctx.dm().selector();
+  doc["context"] = std::move(context);
+
+  struct Keyed {
+    std::string sort_key;
+    Json value;
+  };
+  std::vector<Keyed> entries;
+  cache.for_each_entry([&](const api::ResultCacheKey& key,
+                           const netlist::Netlist& nl,
+                           const api::PipelineReport& report) {
+    Json e = Json::object();
+    Json k = Json::object();
+    k["circuit"] = util::hex_u64(key.circuit_hash);
+    k["config"] = util::hex_u64(key.config_hash);
+    k["tc"] = util::hex_u64(key.tc_bits);
+    e["key"] = std::move(k);
+    // Integrity hash of the archived (optimized) netlist — NOT the same as
+    // key.circuit (which hashes the pre-optimization input); lets load
+    // detect truncated/bit-rotted records before installing them.
+    e["netlist_hash"] = util::hex_u64(ResultCache::hash_netlist(nl));
+    e["delay_model"] = report.delay_model;
+    e["netlist"] = archive_netlist(nl);
+    e["report"] = archive_report(report);
+    entries.push_back(Keyed{util::hex_u64(key.circuit_hash) +
+                                util::hex_u64(key.config_hash) +
+                                util::hex_u64(key.tc_bits),
+                            std::move(e)});
+  });
+  // Sorted by key, not by LRU recency: the same resident state must
+  // serialize to the same bytes regardless of access history.
+  std::sort(entries.begin(), entries.end(),
+            [](const Keyed& a, const Keyed& b) {
+              return a.sort_key < b.sort_key;
+            });
+  Json entries_json = Json::array();
+  for (Keyed& e : entries) entries_json.push_back(std::move(e.value));
+  doc["entries"] = std::move(entries_json);
+
+  std::vector<Keyed> delays;
+  cache.for_each_initial_delay(
+      [&](const api::ResultCacheKey& key, double delay_ps) {
+        Json e = Json::object();
+        Json k = Json::object();
+        k["circuit"] = util::hex_u64(key.circuit_hash);
+        k["config"] = util::hex_u64(key.config_hash);
+        e["key"] = std::move(k);
+        e["delay_ps"] = delay_ps;
+        delays.push_back(Keyed{util::hex_u64(key.circuit_hash) +
+                                   util::hex_u64(key.config_hash),
+                               std::move(e)});
+      });
+  std::sort(delays.begin(), delays.end(), [](const Keyed& a, const Keyed& b) {
+    return a.sort_key < b.sort_key;
+  });
+  Json delays_json = Json::array();
+  for (Keyed& e : delays) delays_json.push_back(std::move(e.value));
+  doc["initial_delays"] = std::move(delays_json);
+  return doc;
+}
+
+CacheLoadReport load_result_cache(ResultCache& cache, api::OptContext& ctx,
+                                  const Json& doc) {
+  if (!doc.is_object() || !doc.find("format") ||
+      !member(doc, "format").is_string() ||
+      member(doc, "format").as_string() != kFormat)
+    throw std::invalid_argument(
+        "not a pops-result-cache document (missing/wrong 'format')");
+  if (static_cast<int>(num(doc, "version")) != kVersion)
+    throw std::invalid_argument(
+        "unsupported pops-result-cache version " +
+        Json::number_to_string(num(doc, "version")) + " (expected " +
+        std::to_string(kVersion) + ")");
+
+  const Json& context = member(doc, "context");
+  const std::uint64_t stored_sig = hex(context, "signature");
+  const std::uint64_t live_sig = ResultCache::hash_context(ctx);
+  if (stored_sig != live_sig) {
+    // Stale-context rejection: entries are only replayable under the exact
+    // characterization that produced them. Name what differs where we can.
+    std::string msg =
+        "result-cache document was saved under a different context "
+        "characterization (stored signature " +
+        util::hex_u64(stored_sig) + ", live " + util::hex_u64(live_sig) + ")";
+    msg += "; stored technology '" + str(context, "technology") +
+           "' vs live '" + ctx.tech().name + "'";
+    msg += ", stored rng_seed " + str(context, "rng_seed") + " vs live " +
+           util::hex_u64(ctx.rng_seed());
+    msg += " — refusing to load (results would not replay bit-identically)";
+    throw std::invalid_argument(msg);
+  }
+
+  CacheLoadReport out;
+  const std::uint64_t ctx_bits = reinterpret_cast<std::uintptr_t>(&ctx);
+  const std::vector<Json>& entries = array(doc, "entries");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    try {
+      const Json& e = entries[i];
+      const Json& k = member(e, "key");
+      api::ResultCacheKey key;
+      key.circuit_hash = hex(k, "circuit");
+      key.config_hash = hex(k, "config");
+      key.tc_bits = hex(k, "tc");
+      key.ctx_bits = ctx_bits;
+      netlist::Netlist nl = restore_netlist(member(e, "netlist"), ctx.lib());
+      const std::uint64_t want = hex(e, "netlist_hash");
+      const std::uint64_t got = ResultCache::hash_netlist(nl);
+      if (want != got)
+        throw std::invalid_argument("netlist integrity hash mismatch (stored " +
+                                    util::hex_u64(want) + ", restored " +
+                                    util::hex_u64(got) + ")");
+      api::PipelineReport report =
+          restore_report(member(e, "report"), ctx.lib());
+      cache.store(key, nl, report);
+      ++out.entries_loaded;
+    } catch (const std::exception& err) {
+      out.problems.push_back("entry " + std::to_string(i) + " skipped: " +
+                             err.what());
+    }
+  }
+
+  const std::vector<Json>& delays = array(doc, "initial_delays");
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    try {
+      const Json& e = delays[i];
+      const Json& k = member(e, "key");
+      api::ResultCacheKey key;
+      key.circuit_hash = hex(k, "circuit");
+      key.config_hash = hex(k, "config");
+      key.ctx_bits = ctx_bits;
+      cache.store_initial_delay(key, num(e, "delay_ps"));
+      ++out.initial_delays_loaded;
+    } catch (const std::exception& err) {
+      out.problems.push_back("initial_delay " + std::to_string(i) +
+                             " skipped: " + err.what());
+    }
+  }
+  return out;
+}
+
+void save_result_cache_file(const ResultCache& cache,
+                            const api::OptContext& ctx,
+                            const std::string& path) {
+  const std::string text = save_result_cache(cache, ctx).dump(2) + "\n";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write '" + tmp + "'");
+    out << text;
+    if (!out.flush())
+      throw std::runtime_error("short write to '" + tmp + "'");
+  }
+  // Atomic replace: a crash mid-checkpoint leaves the previous snapshot
+  // intact, never a half-written file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+CacheLoadReport load_result_cache_file(ResultCache& cache,
+                                       api::OptContext& ctx,
+                                       const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return load_result_cache(cache, ctx, Json::parse(text.str()));
+}
+
+}  // namespace pops::service

@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "pops/util/hash.hpp"
 
@@ -33,26 +35,14 @@ std::uint64_t ResultCache::hash_netlist(const netlist::Netlist& nl) {
   return h.h;
 }
 
-std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
-                                       const api::OptimizerConfig& cfg,
-                                       const api::PassPipeline& pipeline) {
+std::uint64_t ResultCache::hash_context(const api::OptContext& ctx) {
   Fnv1a h;
-  // Entries hold pointers into the storing context (the cached netlist's
-  // library, BoundedPaths inside reports), so replaying them on another
-  // context would be unsafe. Folding the context address into the key
-  // makes cross-context lookups structural misses: one cache may be
-  // installed on several contexts, but points only hit within the
-  // context that stored them. Address reuse (a context destroyed and a
-  // new one constructed at the same address) is benign: key equality
-  // also requires identical Technology/Flimit/seed below, the library is
-  // a by-value member deterministically derived from those, and the
-  // caller holds a live context at this address — so an address-reusing
-  // hit dereferences a live, bit-identical library.
-  h.u64(reinterpret_cast<std::uintptr_t>(&ctx));
-
-  // Context characterization: every Technology parameter (two contexts
-  // may carry same-named but differently calibrated nodes), the Fig. 5
-  // Flimit set-up, and the RNG seed handed to stochastic consumers.
+  // Every Technology parameter (two contexts may carry same-named but
+  // differently calibrated nodes), the Fig. 5 Flimit set-up, and the RNG
+  // seed handed to stochastic consumers. Deliberately NOT the delay-model
+  // backend: it is swapped per Optimizer on a live context and keyed per
+  // entry (hash_config), so it is no part of the context's persistent
+  // identity.
   const process::Technology& tech = ctx.tech();
   h.str(tech.name);
   h.f64(tech.feature_um);
@@ -77,6 +67,17 @@ std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
   h.f64(fo.tol);
   h.i(static_cast<long long>(fo.aggregate));
   h.u64(ctx.rng_seed());
+  return h.h;
+}
+
+std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
+                                       const api::OptimizerConfig& cfg,
+                                       const api::PassPipeline& pipeline) {
+  Fnv1a h;
+  // Context characterization — pure content (the binding to the live
+  // context *instance* lives in ResultCacheKey::ctx_bits, set by make_key,
+  // so config hashes can be persisted and compared across processes).
+  h.u64(hash_context(ctx));
 
   // Delay-model backend identity: family name plus content hash (for a
   // table backend, the grid and every tabulated value), so closed-form and
@@ -139,12 +140,24 @@ api::ResultCacheKey ResultCache::make_key(const api::OptContext& ctx,
   key.circuit_hash = hash_netlist(nl);
   key.config_hash = hash_config(ctx, cfg, pipeline);
   key.tc_bits = std::bit_cast<std::uint64_t>(tc_ps);
+  // Entries hold pointers into the storing context (the cached netlist's
+  // library, BoundedPaths inside reports), so replaying them on another
+  // context would be unsafe. Binding the context address into the key
+  // makes cross-context lookups structural misses: one cache may be
+  // installed on several contexts, but points only hit within the
+  // context that stored them. Address reuse (a context destroyed and a
+  // new one constructed at the same address) is benign: key equality
+  // also requires an identical hash_context, the library is a by-value
+  // member deterministically derived from it, and the caller holds a
+  // live context at this address — so an address-reusing hit
+  // dereferences a live, bit-identical library.
+  key.ctx_bits = reinterpret_cast<std::uintptr_t>(&ctx);
   return key;
 }
 
 bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
                          api::PipelineReport& report) {
-  const Entry* entry = nullptr;
+  std::shared_ptr<const Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = map_.find(key);
@@ -153,11 +166,11 @@ bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
       return false;
     }
     ++hits_;
-    entry = it->second.get();
+    entry = it->second.entry;  // shared: survives a concurrent eviction
+    lru_.splice(lru_.begin(), lru_, it->second.lru);  // mark most recent
   }
-  // Entries are immutable and only erased by clear() (documented as
-  // unsafe while runs are in flight), so the copies may proceed outside
-  // the lock.
+  // Entries are immutable after insertion, so the copies may proceed
+  // outside the lock while holding shared ownership.
   nl = entry->result;
   report = entry->report;
   return true;
@@ -166,11 +179,32 @@ bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
 void ResultCache::store(const api::ResultCacheKey& key,
                         const netlist::Netlist& nl,
                         const api::PipelineReport& report) {
-  auto entry = std::make_unique<const Entry>(Entry{report, nl});
+  auto entry = std::make_shared<const Entry>(Entry{report, nl});
   std::lock_guard<std::mutex> lock(mu_);
-  // First writer wins; concurrent run_many workers that raced on the same
-  // point computed bit-identical results anyway.
-  map_.try_emplace(key, std::move(entry));
+  store_locked(key, std::move(entry));
+}
+
+void ResultCache::store_locked(const api::ResultCacheKey& key,
+                               std::shared_ptr<const Entry> entry) {
+  const auto [it, inserted] = map_.try_emplace(key);
+  if (!inserted) return;  // first writer wins; racing run_many workers
+                          // computed bit-identical results anyway
+  lru_.push_front(key);
+  it->second = Slot{std::move(entry), lru_.begin()};
+  evict_over_capacity_locked();
+}
+
+void ResultCache::evict_over_capacity_locked() {
+  if (capacity_ == 0) return;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  while (initial_delays_.size() > capacity_) {
+    initial_delays_.erase(initial_delay_order_.front());
+    initial_delay_order_.pop_front();
+  }
 }
 
 double ResultCache::initial_delay_ps(const api::ResultCacheKey& key) const {
@@ -186,28 +220,78 @@ void ResultCache::store_initial_delay(const api::ResultCacheKey& key,
   api::ResultCacheKey memo_key = key;
   memo_key.tc_bits = 0;
   std::lock_guard<std::mutex> lock(mu_);
-  initial_delays_.try_emplace(memo_key, delay_ps);
+  if (!initial_delays_.try_emplace(memo_key, delay_ps).second) return;
+  initial_delay_order_.push_back(memo_key);
+  evict_over_capacity_locked();
 }
 
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, map_.size()};
+  return Stats{hits_, misses_, map_.size(), evictions_, capacity_};
+}
+
+void ResultCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  evict_over_capacity_locked();
+}
+
+std::size_t ResultCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
+  lru_.clear();
   initial_delays_.clear();
+  initial_delay_order_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+}
+
+void ResultCache::for_each_entry(
+    const std::function<void(const api::ResultCacheKey&,
+                             const netlist::Netlist&,
+                             const api::PipelineReport&)>& fn) const {
+  // Snapshot the (key, entry) pairs under the lock, then invoke fn
+  // outside it: a checkpoint serializes every resident netlist/report
+  // (O(cache size)), and holding mu_ for that long would stall every
+  // concurrent sweep's lookup/store. Entries are immutable shared_ptrs,
+  // so the snapshot stays valid even if an eviction races the visit.
+  std::vector<std::pair<api::ResultCacheKey, std::shared_ptr<const Entry>>>
+      snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(lru_.size());
+    for (const api::ResultCacheKey& key : lru_)
+      snapshot.emplace_back(key, map_.at(key).entry);
+  }
+  for (const auto& [key, entry] : snapshot)
+    fn(key, entry->result, entry->report);
+}
+
+void ResultCache::for_each_initial_delay(
+    const std::function<void(const api::ResultCacheKey&, double)>& fn) const {
+  std::vector<std::pair<api::ResultCacheKey, double>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(initial_delay_order_.size());
+    for (const api::ResultCacheKey& key : initial_delay_order_)
+      snapshot.emplace_back(key, initial_delays_.at(key));
+  }
+  for (const auto& [key, delay_ps] : snapshot) fn(key, delay_ps);
 }
 
 std::size_t ResultCache::KeyHash::operator()(
     const api::ResultCacheKey& k) const noexcept {
-  // splitmix64-style mix of the three words.
+  // splitmix64-style mix of the four words.
   std::uint64_t x = k.circuit_hash;
   x ^= k.config_hash + 0x9E3779B97F4A7C15ull + (x << 6) + (x >> 2);
   x ^= k.tc_bits + 0x9E3779B97F4A7C15ull + (x << 6) + (x >> 2);
+  x ^= k.ctx_bits + 0x9E3779B97F4A7C15ull + (x << 6) + (x >> 2);
   x ^= x >> 30;
   x *= 0xbf58476d1ce4e5b9ull;
   x ^= x >> 27;

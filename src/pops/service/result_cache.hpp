@@ -14,8 +14,17 @@
 // that context memoizes through it, including run_many workers (all
 // methods are mutex-guarded). Hit/miss counters are surfaced in sweep
 // reports (service/sweep.hpp) and in the pops_sweep JSON output.
+//
+// Long-lived servers (pops::net::SweepServer) bound the cache with an LRU
+// capacity (least-recently-used entries evicted on insert, counted in
+// stats().evictions) and persist it across processes through
+// service/cache_io.hpp — entries are pure content once the process-local
+// context binding (ResultCacheKey::ctx_bits) is stripped.
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -33,15 +42,22 @@ class ResultCache final : public api::ResultCacheHook {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t entries = 0;
+    std::size_t evictions = 0;  ///< entries dropped by the LRU bound
+    std::size_t capacity = 0;   ///< 0 = unbounded
   };
 
-  ResultCache() = default;
+  /// `capacity` bounds the number of resident entries (LRU eviction on
+  /// insert); 0 keeps the cache unbounded — the default, so short-lived
+  /// batch runs stay bit-identical to the uncapped behaviour. The
+  /// initial-delay memo is bounded by the same capacity (FIFO).
+  explicit ResultCache(std::size_t capacity = 0) : capacity_(capacity) {}
 
   // ----- api::ResultCacheHook -------------------------------------------------
 
   /// Key = (content hash of `nl`, hash of everything else that determines
   /// the result: config knobs, pipeline pass sequence, technology, Flimit
-  /// characterization options, RNG seed, exact Tc bits).
+  /// characterization options, RNG seed, exact Tc bits) plus the identity
+  /// of `ctx` in ctx_bits (entries are context-bound; see ResultCacheKey).
   api::ResultCacheKey make_key(const api::OptContext& ctx,
                                const netlist::Netlist& nl,
                                const api::OptimizerConfig& cfg,
@@ -68,10 +84,28 @@ class ResultCache final : public api::ResultCacheHook {
   std::size_t misses() const { return stats().misses; }
   std::size_t size() const { return stats().entries; }
 
-  /// Drop all entries and reset the counters. Not safe to call while
-  /// optimizations are in flight on this cache (lookups copy from entries
-  /// outside the lock).
+  /// Change the LRU bound; 0 = unbounded. Shrinking below the resident
+  /// count evicts the excess least-recently-used entries immediately.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Drop all entries and reset the counters. Safe for concurrent calls
+  /// (in-flight lookups hold shared ownership of their entry).
   void clear();
+
+  // ----- persistence support (service/cache_io.hpp) ---------------------------
+
+  /// Visit every resident entry / initial-delay memo, in most-recently-
+  /// used-first order. The visit runs over a consistent snapshot taken
+  /// under the lock; `fn` itself runs *outside* it (it may be expensive —
+  /// checkpoints serialize whole netlists — without stalling concurrent
+  /// lookups), so entries evicted mid-visit are still delivered.
+  void for_each_entry(
+      const std::function<void(const api::ResultCacheKey&,
+                               const netlist::Netlist&,
+                               const api::PipelineReport&)>& fn) const;
+  void for_each_initial_delay(
+      const std::function<void(const api::ResultCacheKey&, double)>& fn) const;
 
   // ----- hashing building blocks (exposed for tests) --------------------------
 
@@ -82,16 +116,25 @@ class ResultCache final : public api::ResultCacheHook {
 
   /// Hash of the non-circuit half of the key: the pipeline's pass
   /// sequence (name + Pass::cache_salt per pass), the context
-  /// characterization (technology, FlimitOptions, RNG seed, delay-model
-  /// backend identity = name + content hash), and the
-  /// *normalized* config tuple — only knobs a pass of this pipeline can
-  /// read contribute (shield knobs require the shield pass, protocol/
-  /// solver knobs the protocol pass; an unknown custom pass hashes
-  /// everything), so sweeping a knob no pass consumes cannot force
-  /// redundant recomputes.
+  /// characterization (hash_context plus the delay-model backend identity
+  /// = name + content hash), and the *normalized* config tuple — only
+  /// knobs a pass of this pipeline can read contribute (shield knobs
+  /// require the shield pass, protocol/solver knobs the protocol pass; an
+  /// unknown custom pass hashes everything), so sweeping a knob no pass
+  /// consumes cannot force redundant recomputes. Pure content: stable
+  /// across processes (the live-instance binding lives in
+  /// ResultCacheKey::ctx_bits instead).
   static std::uint64_t hash_config(const api::OptContext& ctx,
                                    const api::OptimizerConfig& cfg,
                                    const api::PassPipeline& pipeline);
+
+  /// The *immutable* characterization of a context: every Technology
+  /// parameter, the Fig. 5 Flimit set-up, and the RNG seed. Excludes the
+  /// delay-model backend (swappable per Optimizer; it is keyed per entry
+  /// through hash_config). Two contexts with equal hash_context produce
+  /// bit-identical results for equal (circuit, config, pipeline, Tc) —
+  /// the compatibility check for loading a persisted cache.
+  static std::uint64_t hash_context(const api::OptContext& ctx);
 
  private:
   struct Entry {
@@ -101,17 +144,26 @@ class ResultCache final : public api::ResultCacheHook {
   struct KeyHash {
     std::size_t operator()(const api::ResultCacheKey& k) const noexcept;
   };
+  struct Slot {
+    // shared_ptr: an in-flight lookup copies from its entry outside the
+    // lock while an LRU eviction may drop the map's reference.
+    std::shared_ptr<const Entry> entry;
+    std::list<api::ResultCacheKey>::iterator lru;  ///< position in lru_
+  };
+
+  void store_locked(const api::ResultCacheKey& key,
+                    std::shared_ptr<const Entry> entry);
+  void evict_over_capacity_locked();
 
   mutable std::mutex mu_;
-  // unique_ptr values: entries are immutable after insertion and
-  // node-based, so concurrent lookups may copy from an entry while other
-  // keys are being inserted.
-  std::unordered_map<api::ResultCacheKey, std::unique_ptr<const Entry>,
-                     KeyHash>
-      map_;
+  std::unordered_map<api::ResultCacheKey, Slot, KeyHash> map_;
+  std::list<api::ResultCacheKey> lru_;  ///< front = most recently used
   std::unordered_map<api::ResultCacheKey, double, KeyHash> initial_delays_;
+  std::list<api::ResultCacheKey> initial_delay_order_;  ///< FIFO, front = oldest
+  std::size_t capacity_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace pops::service

@@ -14,10 +14,39 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
 namespace pops::util {
+
+/// Fixed-width lowercase hex of a 64-bit word ("00000000000000ff").
+/// JSON numbers are doubles — they cannot carry a full uint64_t — so
+/// persisted hashes/keys (service/cache_io.hpp) travel as hex strings.
+inline std::string hex_u64(std::uint64_t v) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) out[static_cast<std::size_t>(i)] =
+      digits[v & 0xF];
+  return out;
+}
+
+/// Inverse of hex_u64; accepts 1..16 lowercase/uppercase hex digits.
+/// Returns false (leaving `out` untouched) on anything else.
+inline bool parse_hex_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = v;
+  return true;
+}
 
 /// FNV-1a, the offset-basis/prime pair of the 64-bit variant.
 struct Fnv1a {

@@ -32,6 +32,12 @@ const Json* Json::find(const std::string& key) const {
   return nullptr;
 }
 
+const Json& Json::at(std::size_t i) const {
+  if (kind_ != Kind::Array)
+    throw std::invalid_argument("Json::at: not an array");
+  return arr_.at(i);
+}
+
 std::size_t Json::size() const noexcept {
   switch (kind_) {
     case Kind::Array:

@@ -95,6 +95,17 @@ class Json {
 
   /// Lookup without insertion; nullptr when absent or not an object.
   const Json* find(const std::string& key) const;
+  /// Mutable lookup without insertion (edit-in-place of parsed documents).
+  Json* find(const std::string& key) {
+    return const_cast<Json*>(static_cast<const Json*>(this)->find(key));
+  }
+
+  /// The i-th array element; throws std::invalid_argument for non-arrays,
+  /// std::out_of_range past the end.
+  const Json& at(std::size_t i) const;
+  Json& at(std::size_t i) {
+    return const_cast<Json&>(static_cast<const Json*>(this)->at(i));
+  }
 
   std::size_t size() const noexcept;
 

@@ -1,0 +1,467 @@
+// Persistence of ResultCache (service/cache_io.hpp): full-fidelity JSON
+// round trips of netlists and reports, save -> load -> replay
+// bit-identical to the original run, stale-context rejection with
+// diagnostics, per-entry corruption skipping, deterministic serialization,
+// and the LRU capacity bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pops/api/api.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/service/cache_io.hpp"
+#include "pops/service/result_cache.hpp"
+#include "pops/service/serialize.hpp"
+#include "pops/util/hash.hpp"
+
+namespace {
+
+using namespace pops;
+using api::OptContext;
+using api::Optimizer;
+using api::OptimizerConfig;
+using api::PipelineReport;
+using netlist::Netlist;
+using service::CacheLoadReport;
+using service::ResultCache;
+using util::Json;
+
+void expect_same_netlist(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.fresh_counter(), b.fresh_counter());
+  for (netlist::NodeId id = 0; id < static_cast<netlist::NodeId>(a.size());
+       ++id) {
+    const netlist::Node& na = a.node(id);
+    const netlist::Node& nb = b.node(id);
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.is_input, nb.is_input);
+    EXPECT_EQ(na.kind, nb.kind);
+    EXPECT_EQ(na.fanins, nb.fanins);
+    EXPECT_EQ(na.wn_um, nb.wn_um);  // bit-exact, not just close
+    EXPECT_EQ(na.wire_cap_ff, nb.wire_cap_ff);
+    EXPECT_EQ(na.is_output, nb.is_output);
+    EXPECT_EQ(na.po_load_ff, nb.po_load_ff);
+  }
+}
+
+// ----- netlist archive --------------------------------------------------------
+
+TEST(CacheIo, NetlistRoundTripIsExact) {
+  OptContext ctx;
+  // An *optimized* netlist: buffer insertion re-points fanins at
+  // later-appended nodes, the exact shape add_gate cannot replay.
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+  Optimizer opt(ctx);
+  opt.run_relative(nl, 0.75);
+
+  const Json archived = service::archive_netlist(nl);
+  const Netlist restored = service::restore_netlist(archived, ctx.lib());
+  expect_same_netlist(nl, restored);
+  EXPECT_EQ(ResultCache::hash_netlist(nl), ResultCache::hash_netlist(restored));
+  // Serialization is deterministic: archiving the restored netlist gives
+  // the same bytes.
+  EXPECT_EQ(archived.dump(0), service::archive_netlist(restored).dump(0));
+}
+
+TEST(CacheIo, RestoreNetlistRejectsCorruption) {
+  OptContext ctx;
+  const Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+  Json j = service::archive_netlist(nl);
+  // Duplicate a node name.
+  Json& nodes = j["nodes"];
+  nodes.push_back(nodes.items().front());
+  EXPECT_THROW(service::restore_netlist(j, ctx.lib()), std::invalid_argument);
+}
+
+// ----- report archive ---------------------------------------------------------
+
+TEST(CacheIo, ReportRoundTripIsExact) {
+  OptContext ctx;
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c432");
+  Optimizer opt(ctx);
+  const PipelineReport report = opt.run_relative(nl, 0.8);
+  ASSERT_NE(report.protocol(), nullptr) << "fixture must exercise per-path "
+                                           "protocol results";
+
+  const Json archived = service::archive_report(report);
+  const PipelineReport restored =
+      service::restore_report(archived, ctx.lib());
+
+  // Field-by-field bit-exactness, including the nested per-path sizing.
+  EXPECT_EQ(report.tc_ps, restored.tc_ps);
+  EXPECT_EQ(report.initial_delay_ps, restored.initial_delay_ps);
+  EXPECT_EQ(report.final_delay_ps, restored.final_delay_ps);
+  EXPECT_EQ(report.initial_area_um, restored.initial_area_um);
+  EXPECT_EQ(report.final_area_um, restored.final_area_um);
+  EXPECT_EQ(report.met, restored.met);
+  EXPECT_EQ(report.delay_model, restored.delay_model);
+  ASSERT_EQ(report.passes.size(), restored.passes.size());
+  for (std::size_t i = 0; i < report.passes.size(); ++i) {
+    EXPECT_EQ(report.passes[i].pass_name, restored.passes[i].pass_name);
+    EXPECT_EQ(report.passes[i].runtime_ms, restored.passes[i].runtime_ms);
+    EXPECT_EQ(report.passes[i].circuit.has_value(),
+              restored.passes[i].circuit.has_value());
+  }
+  const core::CircuitResult* orig = report.protocol();
+  const core::CircuitResult* back = restored.protocol();
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(orig->per_path.size(), back->per_path.size());
+  for (std::size_t i = 0; i < orig->per_path.size(); ++i) {
+    const core::ProtocolResult& a = orig->per_path[i];
+    const core::ProtocolResult& b = back->per_path[i];
+    EXPECT_EQ(a.domain, b.domain);
+    EXPECT_EQ(a.method, b.method);
+    EXPECT_EQ(a.tmin_ps, b.tmin_ps);
+    EXPECT_EQ(a.tmax_ps, b.tmax_ps);
+    EXPECT_EQ(a.sizing.delay_ps, b.sizing.delay_ps);
+    EXPECT_EQ(a.sizing.a, b.sizing.a);
+    ASSERT_EQ(a.sizing.path.size(), b.sizing.path.size());
+    EXPECT_EQ(a.sizing.path.cins(), b.sizing.path.cins());
+    EXPECT_EQ(a.sizing.path.terminal_ff(), b.sizing.path.terminal_ff());
+  }
+  // The public JSON projection of both reports is byte-identical — what
+  // sweep records and JSONL streams are made of.
+  EXPECT_EQ(service::to_json(report).dump(0),
+            service::to_json(restored).dump(0));
+}
+
+// ----- full cache round trip --------------------------------------------------
+
+/// Run a two-circuit, two-Tc grid with a cache installed; returns the
+/// reports in run order.
+std::vector<PipelineReport> run_grid(OptContext& ctx) {
+  Optimizer opt(ctx);
+  std::vector<PipelineReport> reports;
+  for (const char* name : {"c17", "c432"}) {
+    for (const double ratio : {0.8, 0.9}) {
+      Netlist nl = netlist::make_benchmark(ctx.lib(), name);
+      reports.push_back(opt.run_relative(nl, ratio));
+    }
+  }
+  return reports;
+}
+
+TEST(CacheIo, SaveLoadReplayIsBitIdentical) {
+  // Process A: run a grid, save the cache.
+  OptContext save_ctx;
+  auto save_cache = std::make_shared<ResultCache>();
+  save_ctx.set_result_cache(save_cache);
+  const std::vector<PipelineReport> fresh = run_grid(save_ctx);
+  ASSERT_EQ(save_cache->size(), 4u);
+  const Json doc = service::save_result_cache(*save_cache, save_ctx);
+
+  // "Process B": a brand-new context + cache, warmed from the document.
+  OptContext load_ctx;
+  auto load_cache = std::make_shared<ResultCache>();
+  load_ctx.set_result_cache(load_cache);
+  const CacheLoadReport loaded =
+      service::load_result_cache(*load_cache, load_ctx, doc);
+  EXPECT_EQ(loaded.entries_loaded, 4u);
+  EXPECT_GT(loaded.initial_delays_loaded, 0u);
+  EXPECT_TRUE(loaded.problems.empty()) << loaded.problems.front();
+
+  // The same grid replays entirely from cache, bit-identically.
+  const std::vector<PipelineReport> replayed = run_grid(load_ctx);
+  EXPECT_EQ(load_cache->hits(), 4u);
+  EXPECT_EQ(load_cache->misses(), 0u);
+  ASSERT_EQ(fresh.size(), replayed.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_TRUE(replayed[i].from_cache) << i;
+    PipelineReport expect = fresh[i];
+    // from_cache is the only field allowed to differ.
+    expect.from_cache = replayed[i].from_cache;
+    EXPECT_EQ(service::to_json(expect).dump(0),
+              service::to_json(replayed[i]).dump(0))
+        << i;
+  }
+
+  // Determinism: re-saving the loaded cache reproduces the document.
+  EXPECT_EQ(doc.dump(2),
+            service::save_result_cache(*load_cache, load_ctx).dump(2));
+}
+
+TEST(CacheIo, LoadRejectsStaleContextWithDiagnostics) {
+  OptContext save_ctx;
+  auto cache = std::make_shared<ResultCache>();
+  save_ctx.set_result_cache(cache);
+  Optimizer opt(save_ctx);
+  Netlist nl = netlist::make_benchmark(save_ctx.lib(), "c17");
+  opt.run_relative(nl, 0.9);
+  const Json doc = service::save_result_cache(*cache, save_ctx);
+
+  // A context with a different RNG seed is a different characterization:
+  // its results would not replay bit-identically.
+  OptContext other(process::Technology::cmos025(), core::FlimitOptions{},
+                   /*rng_seed=*/99);
+  ResultCache fresh;
+  try {
+    service::load_result_cache(fresh, other, doc);
+    FAIL() << "expected stale-context rejection";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("different context characterization"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("rng_seed"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(fresh.size(), 0u);
+}
+
+TEST(CacheIo, LoadRejectsWrongFormatAndVersion) {
+  OptContext ctx;
+  ResultCache cache;
+  EXPECT_THROW(service::load_result_cache(cache, ctx, Json::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW(service::load_result_cache(
+                   cache, ctx, Json::parse(R"({"format": "other"})")),
+               std::invalid_argument);
+
+  OptContext save_ctx;
+  auto save_cache = std::make_shared<ResultCache>();
+  Json doc = service::save_result_cache(*save_cache, save_ctx);
+  doc["version"] = 999;
+  EXPECT_THROW(service::load_result_cache(cache, ctx, doc),
+               std::invalid_argument);
+}
+
+TEST(CacheIo, CorruptEntriesAreSkippedWithDiagnostics) {
+  OptContext save_ctx;
+  auto cache = std::make_shared<ResultCache>();
+  save_ctx.set_result_cache(cache);
+  run_grid(save_ctx);
+  Json doc = service::save_result_cache(*cache, save_ctx);
+
+  // Corrupt the first entry's integrity hash: its netlist no longer
+  // matches, so load must skip exactly that entry.
+  Json corrupted = Json::array();
+  bool first = true;
+  for (const Json& e : doc["entries"].items()) {
+    Json copy = e;
+    if (first) {
+      copy["netlist_hash"] = "00000000deadbeef";
+      first = false;
+    }
+    corrupted.push_back(std::move(copy));
+  }
+  doc["entries"] = std::move(corrupted);
+
+  OptContext load_ctx;
+  ResultCache fresh;
+  const CacheLoadReport loaded =
+      service::load_result_cache(fresh, load_ctx, doc);
+  EXPECT_EQ(loaded.entries_loaded, 3u);
+  ASSERT_EQ(loaded.problems.size(), 1u);
+  EXPECT_NE(loaded.problems[0].find("integrity"), std::string::npos)
+      << loaded.problems[0];
+  EXPECT_EQ(fresh.size(), 3u);
+}
+
+TEST(CacheIo, NonFiniteReportFieldsSurviveTheRoundTrip) {
+  // The weak-constraint path realizes a sensitivity coefficient of -inf
+  // (size_for_constraint's all-minimum limit). JSON numbers cannot carry
+  // non-finite values — a naive archive writes null and the entry would
+  // be skipped on every reload, silently defeating persistence for
+  // exactly those points.
+  OptContext save_ctx;
+  auto cache = std::make_shared<ResultCache>();
+  save_ctx.set_result_cache(cache);
+  Optimizer opt(save_ctx);
+  Netlist nl = netlist::make_benchmark(save_ctx.lib(), "c17");
+  // A tight constraint: after buffering/interaction some per-path
+  // constraints land at/above that path's Tmax, whose sizing realizes
+  // a = -inf (c17 at 0.7x initial hits it on several paths).
+  const PipelineReport fresh = opt.run_relative(nl, 0.7);
+  ASSERT_NE(fresh.protocol(), nullptr);
+  bool has_nonfinite_a = false;
+  for (const core::ProtocolResult& p : fresh.protocol()->per_path)
+    if (!std::isfinite(p.sizing.a)) has_nonfinite_a = true;
+  ASSERT_TRUE(has_nonfinite_a)
+      << "fixture must exercise the a = -inf weak-constraint path";
+
+  const Json doc = service::save_result_cache(*cache, save_ctx);
+  OptContext load_ctx;
+  auto warmed = std::make_shared<ResultCache>();
+  load_ctx.set_result_cache(warmed);
+  const CacheLoadReport loaded =
+      service::load_result_cache(*warmed, load_ctx, doc);
+  EXPECT_EQ(loaded.entries_loaded, 1u);
+  EXPECT_TRUE(loaded.problems.empty())
+      << loaded.problems.front();
+
+  Optimizer opt2(load_ctx);
+  Netlist nl2 = netlist::make_benchmark(load_ctx.lib(), "c17");
+  const PipelineReport replay = opt2.run_relative(nl2, 0.7);
+  EXPECT_TRUE(replay.from_cache);
+  PipelineReport expect = fresh;
+  expect.from_cache = replay.from_cache;
+  EXPECT_EQ(service::to_json(expect).dump(0),
+            service::to_json(replay).dump(0));
+}
+
+TEST(CacheIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "pops_cache_io_test.json";
+  OptContext save_ctx;
+  auto cache = std::make_shared<ResultCache>();
+  save_ctx.set_result_cache(cache);
+  Optimizer opt(save_ctx);
+  Netlist nl = netlist::make_benchmark(save_ctx.lib(), "c17");
+  const PipelineReport fresh = opt.run_relative(nl, 0.85);
+  service::save_result_cache_file(*cache, save_ctx, path);
+
+  OptContext load_ctx;
+  auto warmed = std::make_shared<ResultCache>();
+  load_ctx.set_result_cache(warmed);
+  const CacheLoadReport loaded =
+      service::load_result_cache_file(*warmed, load_ctx, path);
+  EXPECT_EQ(loaded.entries_loaded, 1u);
+
+  Optimizer opt2(load_ctx);
+  Netlist nl2 = netlist::make_benchmark(load_ctx.lib(), "c17");
+  const PipelineReport replay = opt2.run_relative(nl2, 0.85);
+  EXPECT_TRUE(replay.from_cache);
+  EXPECT_EQ(fresh.final_delay_ps, replay.final_delay_ps);
+  expect_same_netlist(nl, nl2);
+  std::remove(path.c_str());
+}
+
+TEST(CacheIo, MissingFileThrowsRuntimeError) {
+  OptContext ctx;
+  ResultCache cache;
+  EXPECT_THROW(service::load_result_cache_file(
+                   cache, ctx, "/nonexistent/pops-cache.json"),
+               std::runtime_error);
+}
+
+// ----- foreign-backend entries ------------------------------------------------
+
+TEST(CacheIo, ForeignBackendEntriesNeverAliasAfterLoad) {
+  // Save a cache whose single entry was computed under the table backend.
+  OptContext save_ctx;
+  auto cache = std::make_shared<ResultCache>();
+  save_ctx.set_result_cache(cache);
+  OptimizerConfig table_cfg;
+  table_cfg.delay_model = "table";
+  Optimizer table_opt(save_ctx, table_cfg);
+  Netlist nl = netlist::make_benchmark(save_ctx.lib(), "c17");
+  const PipelineReport table_fresh = table_opt.run_relative(nl, 0.9);
+  EXPECT_EQ(table_fresh.delay_model, "table");
+  const Json doc = service::save_result_cache(*cache, save_ctx);
+  {
+    // The archived entry records which backend produced it.
+    const Json& entry = doc.find("entries")->items().front();
+    EXPECT_EQ(entry.find("delay_model")->as_string(), "table");
+  }
+
+  OptContext load_ctx;
+  auto warmed = std::make_shared<ResultCache>();
+  load_ctx.set_result_cache(warmed);
+  service::load_result_cache(*warmed, load_ctx, doc);
+
+  // A closed-form run of the same point must MISS (recompute under its own
+  // backend), not replay the table entry.
+  Optimizer cf_opt(load_ctx);
+  Netlist cf_nl = netlist::make_benchmark(load_ctx.lib(), "c17");
+  const PipelineReport cf = cf_opt.run_relative(cf_nl, 0.9);
+  EXPECT_FALSE(cf.from_cache);
+  EXPECT_EQ(cf.delay_model, "closed-form");
+
+  // The table run under the loaded cache replays the persisted entry.
+  Optimizer table_opt2(load_ctx, table_cfg);
+  Netlist table_nl = netlist::make_benchmark(load_ctx.lib(), "c17");
+  const PipelineReport table_replay = table_opt2.run_relative(table_nl, 0.9);
+  EXPECT_TRUE(table_replay.from_cache);
+  EXPECT_EQ(table_replay.delay_model, "table");
+  EXPECT_EQ(table_fresh.final_delay_ps, table_replay.final_delay_ps);
+}
+
+// ----- LRU bound --------------------------------------------------------------
+
+TEST(ResultCacheLru, EvictsLeastRecentlyUsed) {
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>(/*capacity=*/2);
+  ctx.set_result_cache(cache);
+  Optimizer opt(ctx);
+
+  auto run_point = [&](double ratio) {
+    Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+    return opt.run_relative(nl, ratio);
+  };
+
+  run_point(0.80);  // A
+  run_point(0.90);  // B
+  EXPECT_EQ(cache->size(), 2u);
+  EXPECT_EQ(cache->stats().evictions, 0u);
+
+  run_point(0.80);  // touch A: B becomes least-recent
+  run_point(0.95);  // C -> evicts B
+  EXPECT_EQ(cache->size(), 2u);
+  EXPECT_EQ(cache->stats().evictions, 1u);
+
+  EXPECT_TRUE(run_point(0.80).from_cache);   // A survived
+  EXPECT_TRUE(run_point(0.95).from_cache);   // C resident
+  EXPECT_FALSE(run_point(0.90).from_cache);  // B was evicted, recomputed
+}
+
+TEST(ResultCacheLru, UnboundedByDefaultAndShrinkEvicts) {
+  ResultCache cache;
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.stats().capacity, 0u);
+
+  OptContext ctx;
+  ctx.set_result_cache(std::shared_ptr<ResultCache>(&cache, [](auto*) {}));
+  Optimizer opt(ctx);
+  for (const double ratio : {0.8, 0.85, 0.9, 0.95}) {
+    Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+    opt.run_relative(nl, ratio);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  // The survivor is the most recently used point.
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+  EXPECT_TRUE(opt.run_relative(nl, 0.95).from_cache);
+  ctx.set_result_cache(nullptr);
+}
+
+TEST(ResultCacheLru, EvictedEntriesPersistNothing) {
+  // Persistence only archives *resident* entries: what was evicted is gone.
+  OptContext ctx;
+  auto cache = std::make_shared<ResultCache>(/*capacity=*/1);
+  ctx.set_result_cache(cache);
+  Optimizer opt(ctx);
+  for (const double ratio : {0.8, 0.9}) {
+    Netlist nl = netlist::make_benchmark(ctx.lib(), "c17");
+    opt.run_relative(nl, ratio);
+  }
+  const Json doc = service::save_result_cache(*cache, ctx);
+  EXPECT_EQ(doc.find("entries")->items().size(), 1u);
+}
+
+// ----- hex helpers ------------------------------------------------------------
+
+TEST(HexU64, RoundTripAndRejection) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{0xffffffffffffffffull},
+        std::uint64_t{0x0123456789abcdefull}}) {
+    std::uint64_t back = 1;
+    EXPECT_TRUE(util::parse_hex_u64(util::hex_u64(v), back));
+    EXPECT_EQ(v, back);
+  }
+  EXPECT_EQ(util::hex_u64(0xff), "00000000000000ff");
+  std::uint64_t out = 0;
+  EXPECT_FALSE(util::parse_hex_u64("", out));
+  EXPECT_FALSE(util::parse_hex_u64("xyz", out));
+  EXPECT_FALSE(util::parse_hex_u64("00000000000000000", out));  // 17 digits
+  EXPECT_TRUE(util::parse_hex_u64("FF", out));
+  EXPECT_EQ(out, 0xffu);
+}
+
+}  // namespace

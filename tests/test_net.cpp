@@ -1,0 +1,348 @@
+// The pops::net daemon: loopback integration. A spec submitted through
+// SweepServer must stream point records byte-identical to an in-process
+// SweepService run of the same spec, under concurrent clients; a
+// cache-file restart must serve the resubmitted spec entirely from the
+// persisted cache. Plus protocol plumbing: control ops, inline .bench
+// shipping, error events, and line framing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pops/api/api.hpp"
+#include "pops/net/client.hpp"
+#include "pops/net/protocol.hpp"
+#include "pops/net/server.hpp"
+#include "pops/net/socket.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/service/serialize.hpp"
+#include "pops/service/sweep.hpp"
+
+namespace {
+
+using namespace pops;
+using net::SweepClient;
+using net::SweepServer;
+using net::SweepServerOptions;
+using net::SweepSummary;
+using service::SweepSpec;
+using util::Json;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.circuits = {"c17", "c432"};
+  spec.tc_ratios = {0.85, 0.95};
+  spec.n_threads = 2;
+  return spec;
+}
+
+/// Parse a streamed record and neutralize report.from_cache — the one
+/// field allowed to differ between a fresh run and a *replay of that
+/// run* (replays restore the stored report verbatim, runtimes included).
+std::string scrub_from_cache(const std::string& raw) {
+  Json record = Json::parse(raw);
+  (*record.find("report")->find("from_cache")) = false;
+  return record.dump(0);
+}
+
+/// Additionally zero the measured runtimes: two *independent fresh
+/// executions* (in-process reference vs daemon) compute bit-identical
+/// results but cannot measure bit-identical wall clocks.
+std::string scrub_timing(const std::string& raw) {
+  Json record = Json::parse(raw);
+  Json& report = *record.find("report");
+  (*report.find("from_cache")) = false;
+  (*report.find("runtime_ms")) = 0.0;
+  Json& passes = *report.find("passes");
+  for (std::size_t i = 0; i < passes.size(); ++i)
+    (*passes.at(i).find("runtime_ms")) = 0.0;
+  return record.dump(0);
+}
+
+/// The reference: the same spec run in-process, records dumped exactly
+/// like the daemon streams them.
+std::vector<std::string> in_process_records(const SweepSpec& spec) {
+  api::OptContext ctx;
+  service::SweepService sweeps(ctx);
+  std::vector<std::string> records;
+  sweeps.run(
+      spec,
+      [&ctx](const std::string& name) {
+        return netlist::make_benchmark(ctx.lib(), name);
+      },
+      [&records](const service::SweepPoint& point) {
+        records.push_back(service::to_json(point).dump(0));
+      });
+  return records;
+}
+
+TEST(SweepServer, StreamsRecordsBitIdenticalToInProcessRun) {
+  const SweepSpec spec = small_spec();
+  const std::vector<std::string> expected = in_process_records(spec);
+  ASSERT_EQ(expected.size(), 4u);
+
+  SweepServer server;  // ephemeral port, in-memory cache
+  server.start();
+  SweepClient client("127.0.0.1", server.port());
+
+  std::vector<std::string> streamed;
+  const SweepSummary summary = client.submit(
+      spec, [&streamed](const Json&, const std::string& raw) {
+        streamed.push_back(raw);
+      });
+  EXPECT_EQ(summary.points, 4u);
+  EXPECT_EQ(summary.cache_misses, 4u);
+  // Byte-identical record for record, modulo measured wall clocks (two
+  // independent executions cannot time identically).
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(scrub_timing(streamed[i]), scrub_timing(expected[i])) << i;
+
+  // Resubmission over the same connection replays from the shared cache,
+  // bit-identically modulo the from_cache flag.
+  std::vector<std::string> replayed;
+  const SweepSummary again = client.submit(
+      spec, [&replayed](const Json& point, const std::string& raw) {
+        const Json* report = point.find("report");
+        ASSERT_NE(report, nullptr);
+        EXPECT_TRUE(report->find("from_cache")->as_bool());
+        replayed.push_back(raw);
+      });
+  EXPECT_EQ(again.points, 4u);
+  EXPECT_EQ(again.cache_hits, 4u);
+  EXPECT_EQ(again.cache_misses, 0u);
+  // Replays restore the stored reports verbatim — runtimes included —
+  // so only the from_cache flag may differ from the daemon's first run.
+  ASSERT_EQ(replayed.size(), streamed.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i)
+    EXPECT_EQ(scrub_from_cache(replayed[i]), scrub_from_cache(streamed[i]))
+        << i;
+  server.stop();
+}
+
+TEST(SweepServer, ConcurrentClientsGetTheirOwnStreams) {
+  const SweepSpec spec = small_spec();
+  const std::vector<std::string> expected = in_process_records(spec);
+
+  SweepServer server;
+  server.start();
+
+  // >= 2 concurrent clients, same spec: each must receive the complete,
+  // correctly ordered record stream on its own connection (the server
+  // serializes execution; the second submission is served from cache).
+  constexpr int kClients = 3;
+  std::vector<std::vector<std::string>> streams(kClients);
+  std::vector<SweepSummary> summaries(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      SweepClient client("127.0.0.1", server.port());
+      summaries[c] = client.submit(
+          spec, [&streams, c](const Json&, const std::string& raw) {
+            streams[c].push_back(raw);
+          });
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  std::size_t total_hits = 0;
+  std::size_t total_misses = 0;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(summaries[c].points, expected.size()) << "client " << c;
+    ASSERT_EQ(streams[c].size(), expected.size()) << "client " << c;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      // Same results as the in-process reference (modulo wall clocks) —
+      // and byte-identical across clients modulo from_cache, because
+      // whichever client executed first populated the cache the others
+      // replay verbatim.
+      EXPECT_EQ(scrub_timing(streams[c][i]), scrub_timing(expected[i]))
+          << "client " << c << " record " << i;
+      EXPECT_EQ(scrub_from_cache(streams[c][i]),
+                scrub_from_cache(streams[0][i]))
+          << "client " << c << " record " << i;
+    }
+    total_hits += summaries[c].cache_hits;
+    total_misses += summaries[c].cache_misses;
+  }
+  // The grid is computed once; every other client replays it.
+  EXPECT_EQ(total_misses, expected.size());
+  EXPECT_EQ(total_hits, expected.size() * (kClients - 1));
+  server.stop();
+}
+
+TEST(SweepServer, CacheFileRestartServesEverythingFromCache) {
+  const std::string path =
+      ::testing::TempDir() + "pops_net_restart_cache.json";
+  std::remove(path.c_str());
+  const SweepSpec spec = small_spec();
+
+  std::vector<std::string> first_run;
+  {
+    SweepServerOptions opt;
+    opt.cache_file = path;
+    SweepServer server(opt);
+    const service::CacheLoadReport loaded = server.start();
+    EXPECT_EQ(loaded.entries_loaded, 0u);  // cold start
+    SweepClient client("127.0.0.1", server.port());
+    const SweepSummary summary = client.submit(
+        spec, [&first_run](const Json&, const std::string& raw) {
+          first_run.push_back(raw);
+        });
+    EXPECT_EQ(summary.cache_misses, 4u);
+    client.shutdown_server();
+    server.wait();
+    server.stop();  // flushes the cache file
+  }
+
+  {
+    SweepServerOptions opt;
+    opt.cache_file = path;
+    SweepServer server(opt);
+    const service::CacheLoadReport loaded = server.start();
+    EXPECT_EQ(loaded.entries_loaded, 4u);
+    EXPECT_TRUE(loaded.problems.empty());
+    SweepClient client("127.0.0.1", server.port());
+    std::vector<std::string> warm_run;
+    const SweepSummary summary = client.submit(
+        spec, [&warm_run](const Json& point, const std::string& raw) {
+          EXPECT_TRUE(
+              point.find("report")->find("from_cache")->as_bool());
+          warm_run.push_back(raw);
+        });
+    // ALL points served from the persisted cache, bit-identically
+    // (modulo the from_cache flag itself).
+    EXPECT_EQ(summary.cache_hits, 4u);
+    EXPECT_EQ(summary.cache_misses, 0u);
+    // Persisted replays restore the stored bytes verbatim (runtimes
+    // included); only from_cache differs.
+    ASSERT_EQ(warm_run.size(), first_run.size());
+    for (std::size_t i = 0; i < warm_run.size(); ++i)
+      EXPECT_EQ(scrub_from_cache(warm_run[i]), scrub_from_cache(first_run[i]))
+          << i;
+    server.stop();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepServer, InlineBenchSourcesResolveBeforeBuiltins) {
+  SweepServer server;
+  server.start();
+  SweepClient client("127.0.0.1", server.port());
+
+  // A tiny hand-written circuit shipped inline — no built-in fallback.
+  const std::string bench =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+  SweepSpec spec;
+  spec.circuits = {"tiny"};
+  spec.tc_ratios = {0.9};
+
+  std::vector<Json> points;
+  const SweepSummary summary = client.submit(
+      spec,
+      [&points](const Json& point, const std::string&) {
+        points.push_back(point);
+      },
+      {{"tiny", bench}}, /*po_load_ff=*/9.0);
+  EXPECT_EQ(summary.points, 1u);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].find("circuit")->as_string(), "tiny");
+  server.stop();
+}
+
+TEST(SweepServer, ControlOpsAndErrorEvents) {
+  SweepServer server;
+  server.start();
+  SweepClient client("127.0.0.1", server.port());
+
+  EXPECT_EQ(net::event_name(client.ping()), "pong");
+
+  const Json stats = client.server_stats();
+  EXPECT_EQ(net::event_name(stats), "stats");
+  ASSERT_NE(stats.find("cache"), nullptr);
+  EXPECT_TRUE(stats.find("cache")->find("entries")->is_number());
+
+  // An invalid spec (empty circuits) must come back as an error event
+  // that throws client-side — and the connection stays usable.
+  SweepSpec bad;
+  bad.tc_ratios = {0.9};
+  EXPECT_THROW(client.submit(bad), std::runtime_error);
+  EXPECT_EQ(net::event_name(client.ping()), "pong");
+
+  // Unknown circuit: make_benchmark throws server-side -> error event.
+  SweepSpec unknown;
+  unknown.circuits = {"no-such-circuit"};
+  unknown.tc_ratios = {0.9};
+  EXPECT_THROW(client.submit(unknown), std::runtime_error);
+  EXPECT_EQ(net::event_name(client.ping()), "pong");
+  EXPECT_GE(server.stats().errors, 2u);
+  server.stop();
+}
+
+TEST(SweepServer, MalformedLinesAnswerWithErrors) {
+  SweepServer server;
+  server.start();
+  net::TcpStream raw = net::TcpStream::connect("127.0.0.1", server.port());
+  std::string line;
+
+  raw.write_line("this is not json");
+  ASSERT_TRUE(raw.read_line(line));
+  EXPECT_EQ(net::event_name(Json::parse(line)), "error");
+
+  raw.write_line(R"({"op": "frobnicate"})");
+  ASSERT_TRUE(raw.read_line(line));
+  const Json reply = Json::parse(line);
+  EXPECT_EQ(net::event_name(reply), "error");
+  EXPECT_NE(reply.find("message")->as_string().find("unknown op"),
+            std::string::npos);
+
+  raw.write_line(R"({"op": "sweep"})");  // missing spec
+  ASSERT_TRUE(raw.read_line(line));
+  EXPECT_EQ(net::event_name(Json::parse(line)), "error");
+  server.stop();
+}
+
+TEST(SweepServer, ShutdownOpStopsWait) {
+  SweepServer server;
+  server.start();
+  std::thread waiter([&server] { server.wait(); });
+  SweepClient client("127.0.0.1", server.port());
+  EXPECT_EQ(net::event_name(client.shutdown_server()), "bye");
+  waiter.join();  // wait() released by the op
+  server.stop();
+}
+
+TEST(TcpStream, LineFramingAndBounds) {
+  net::TcpListener listener = net::TcpListener::bind("127.0.0.1", 0);
+  net::TcpStream client =
+      net::TcpStream::connect("127.0.0.1", listener.port());
+  net::TcpStream peer{listener.accept()};
+  ASSERT_TRUE(peer.valid());
+
+  client.write_line("alpha");
+  client.write_line("beta");
+  std::string line;
+  ASSERT_TRUE(peer.read_line(line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(peer.read_line(line));
+  EXPECT_EQ(line, "beta");
+
+  // Oversized line -> bounded read throws instead of buffering forever.
+  client.write_line(std::string(4096, 'x'));
+  EXPECT_THROW(peer.read_line(line, 16), std::runtime_error);
+
+  // EOF after half-close.
+  net::TcpStream client2 =
+      net::TcpStream::connect("127.0.0.1", listener.port());
+  net::TcpStream peer2{listener.accept()};
+  client2.write_line("last");
+  client2.shutdown_write();
+  ASSERT_TRUE(peer2.read_line(line));
+  EXPECT_EQ(line, "last");
+  EXPECT_FALSE(peer2.read_line(line));
+  listener.close();
+}
+
+}  // namespace

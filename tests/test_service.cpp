@@ -226,15 +226,36 @@ TEST(ResultCache, UnknownPassHashesEveryKnob) {
 TEST(ResultCache, KeyIsContextBound) {
   // Cached netlists/reports point into the storing context (library,
   // BoundedPaths), so a second context — even an identically configured
-  // one — must miss rather than replay foreign state.
+  // one — must miss rather than replay foreign state. The binding lives
+  // in ResultCacheKey::ctx_bits (set by make_key), NOT in hash_config:
+  // config hashes are pure content so persisted entries stay comparable
+  // across processes (service/cache_io.hpp).
   OptContext a, b;
   const OptimizerConfig cfg;
   const api::PassPipeline p1 = api::PassPipeline::standard(cfg);
   const api::PassPipeline p2 = api::PassPipeline::standard(cfg);
   EXPECT_EQ(ResultCache::hash_config(a, cfg, p1),
             ResultCache::hash_config(a, cfg, p2));
-  EXPECT_NE(ResultCache::hash_config(a, cfg, p1),
+  EXPECT_EQ(ResultCache::hash_config(a, cfg, p1),
             ResultCache::hash_config(b, cfg, p2));
+  EXPECT_EQ(ResultCache::hash_context(a), ResultCache::hash_context(b));
+
+  ResultCache cache;
+  const Netlist nl = netlist::make_benchmark(a.lib(), "c17");
+  const api::ResultCacheKey ka = cache.make_key(a, nl, cfg, p1, 100.0);
+  const api::ResultCacheKey kb = cache.make_key(b, nl, cfg, p2, 100.0);
+  EXPECT_EQ(ka.circuit_hash, kb.circuit_hash);
+  EXPECT_EQ(ka.config_hash, kb.config_hash);
+  EXPECT_EQ(ka.tc_bits, kb.tc_bits);
+  EXPECT_NE(ka.ctx_bits, kb.ctx_bits);
+  EXPECT_FALSE(ka == kb);
+}
+
+TEST(ResultCache, HashContextSeparatesSeedsAndTechnologies) {
+  OptContext a;
+  OptContext seeded(process::Technology::cmos025(), core::FlimitOptions{},
+                    /*rng_seed=*/12345);
+  EXPECT_NE(ResultCache::hash_context(a), ResultCache::hash_context(seeded));
 }
 
 TEST(ResultCache, KeyDependsOnNetlistName) {

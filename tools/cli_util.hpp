@@ -1,0 +1,92 @@
+#pragma once
+// Shared command-line plumbing for the pops_* tools (pops_sweep,
+// pops_serve): comma-list splitting, strict numeric parsing, whole-file
+// reads, and .bench-path labelling. One copy so the error-message
+// conventions (diagnose the flag and the offending token, never a bare
+// "stod") cannot drift between tools.
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pops::cli {
+
+/// Split a comma-separated flag value; empty items are dropped.
+inline std::vector<std::string> split_list(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : arg) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Strict numeric parsing: the whole token must be consumed ("2x" or
+/// "abc" are diagnosed, not silently truncated or rethrown as bare
+/// "stod").
+inline double parse_double(const std::string& s, const char* flag) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (s.empty() || used != s.size())
+    throw std::invalid_argument(std::string(flag) + ": bad number '" + s +
+                                "'");
+  return v;
+}
+
+inline long parse_long(const std::string& s, const char* flag) {
+  std::size_t used = 0;
+  long v = 0;
+  try {
+    v = std::stol(s, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (s.empty() || used != s.size())
+    throw std::invalid_argument(std::string(flag) + ": bad integer '" + s +
+                                "'");
+  return v;
+}
+
+inline std::vector<double> split_doubles(const std::string& arg,
+                                         const char* flag) {
+  std::vector<double> out;
+  for (const std::string& item : split_list(arg))
+    out.push_back(parse_double(item, flag));
+  return out;
+}
+
+/// Whole file as a string; throws std::runtime_error when unreadable.
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Label under which a .bench path appears in specs/reports: the
+/// basename without the ".bench" suffix.
+inline std::string bench_label(const std::string& path) {
+  std::string base = path;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const std::size_t dot = base.rfind(".bench");
+  if (dot != std::string::npos && dot + 6 == base.size())
+    base = base.substr(0, dot);
+  return base;
+}
+
+}  // namespace pops::cli

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "pops/netlist/bench_io.hpp"
 #include "pops/netlist/benchmarks.hpp"
 #include "pops/service/serialize.hpp"
@@ -39,6 +40,10 @@
 namespace {
 
 using namespace pops;
+using cli::parse_double;
+using cli::parse_long;
+using cli::split_doubles;
+using cli::split_list;
 
 void usage(std::FILE* out) {
   std::fprintf(out,
@@ -75,6 +80,11 @@ void usage(std::FILE* out) {
                "  --po-load FF       primary-output load for .bench "
                "files (default 12.0)\n"
                "\n"
+               "  --allow-unmet      exit 0 even when sweep points miss "
+               "their constraint\n"
+               "                     (default: any unmet point exits 2, "
+               "so CI can assert)\n"
+               "\n"
                "Output:\n"
                "  --out FILE         write the JSON report to FILE "
                "(default: stdout)\n"
@@ -87,70 +97,11 @@ void usage(std::FILE* out) {
                "  -h, --help         this text\n");
 }
 
-std::vector<std::string> split_list(const std::string& arg) {
-  std::vector<std::string> out;
-  std::string item;
-  for (const char c : arg) {
-    if (c == ',') {
-      if (!item.empty()) out.push_back(item);
-      item.clear();
-    } else {
-      item += c;
-    }
-  }
-  if (!item.empty()) out.push_back(item);
-  return out;
-}
-
-/// Strict numeric parsing: the whole token must be consumed ("2x" or
-/// "abc" are diagnosed, not silently truncated or rethrown as bare
-/// "stod").
-double parse_double(const std::string& s, const char* flag) {
-  std::size_t used = 0;
-  double v = 0.0;
-  try {
-    v = std::stod(s, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (s.empty() || used != s.size())
-    throw std::invalid_argument(std::string(flag) + ": bad number '" + s +
-                                "'");
-  return v;
-}
-
-long parse_long(const std::string& s, const char* flag) {
-  std::size_t used = 0;
-  long v = 0;
-  try {
-    v = std::stol(s, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (s.empty() || used != s.size())
-    throw std::invalid_argument(std::string(flag) + ": bad integer '" + s +
-                                "'");
-  return v;
-}
-
-std::vector<double> split_doubles(const std::string& arg, const char* flag) {
-  std::vector<double> out;
-  for (const std::string& item : split_list(arg))
-    out.push_back(parse_double(item, flag));
-  return out;
-}
-
 /// Label under which a circuit argument appears in spec/report: built-ins
 /// keep their name, files their basename without the .bench suffix.
 std::string circuit_label(const std::string& arg) {
   if (!arg.empty() && arg[0] == '@') return arg.substr(1);
-  std::string base = arg;
-  const std::size_t slash = base.find_last_of('/');
-  if (slash != std::string::npos) base = base.substr(slash + 1);
-  const std::size_t dot = base.rfind(".bench");
-  if (dot != std::string::npos && dot + 6 == base.size())
-    base = base.substr(0, dot);
-  return base;
+  return cli::bench_label(arg);
 }
 
 struct Options {
@@ -161,6 +112,7 @@ struct Options {
   int repeat = 1;
   bool use_cache = true;
   bool jsonl = false;
+  bool allow_unmet = false;
   std::string out_path;
 };
 
@@ -246,6 +198,8 @@ Options parse_args(int argc, char** argv) {
       opt.repeat = static_cast<int>(n);
     } else if (arg == "--no-cache") {
       opt.use_cache = false;
+    } else if (arg == "--allow-unmet") {
+      opt.allow_unmet = true;
     } else if (arg == "--po-load") {
       opt.po_load_ff = parse_double(value(i, "--po-load"), "--po-load");
     } else if (arg == "--out") {
@@ -319,6 +273,7 @@ int run(int argc, char** argv) {
     report["delay_models"] = std::move(models_json);
   }
 
+  std::size_t unmet_points = 0;
   util::Json sweeps_json = util::Json::array();
   for (int r = 0; r < opt.repeat; ++r) {
     for (const std::string& model : models) {
@@ -330,6 +285,12 @@ int run(int argc, char** argv) {
             return load_circuit(opt, ctx, label);
           },
           sink);
+      // Count distinct failing points, not failures x repeats: repeats
+      // replay bit-identical results, so the first pass over each
+      // backend already covers every point once.
+      if (r == 0)
+        for (const service::SweepPoint& point : sweep.points)
+          if (!point.report.met) ++unmet_points;
       std::fprintf(stderr,
                    "run %d/%d [%s]: %zu points, %.0f ms, cache %zu hits / "
                    "%zu misses\n",
@@ -351,6 +312,18 @@ int run(int argc, char** argv) {
     report["cache"] = std::move(cache_json);
   }
 
+  // A point that misses its constraint fails the run (exit 2, distinct
+  // from usage/IO errors) unless --allow-unmet: CI scripts assert on the
+  // exit code instead of parsing the report.
+  int exit_code = 0;
+  if (unmet_points > 0 && !opt.allow_unmet) {
+    std::fprintf(stderr,
+                 "pops_sweep: %zu sweep point(s) missed their constraint "
+                 "(pass --allow-unmet to ignore)\n",
+                 unmet_points);
+    exit_code = 2;
+  }
+
   const std::string text = report.dump(2) + "\n";
   if (opt.out_path.empty()) {
     if (opt.jsonl) {
@@ -360,7 +333,7 @@ int run(int argc, char** argv) {
       std::fprintf(stderr,
                    "note: final report suppressed in --jsonl mode; pass "
                    "--out FILE to keep it\n");
-      return 0;
+      return exit_code;
     }
     std::fputs(text.c_str(), stdout);
   } else {
@@ -369,7 +342,7 @@ int run(int argc, char** argv) {
       throw std::runtime_error("cannot write '" + opt.out_path + "'");
     out << text;
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
