@@ -1,0 +1,145 @@
+// Extension — incremental vs. cold STA round cost.
+//
+// The Fig. 7 protocol pays one full timing re-verification per sizing
+// round; the round touches a handful of gates, so almost all of that work
+// re-derives unchanged values. timing::IncrementalSta repropagates only
+// the affected fanout/fan-in cones (arrivals, slews, and the K-paths
+// downstream bounds), bit-identical to a cold run. This bench measures
+// the per-round re-analysis cost — Sta::run() + Sta::downstream_delays()
+// cold, vs. IncrementalSta::update() warm — on c432/c880/c1355 across
+// dirty-set sizes, which is exactly what ProtocolPass::run_protocol pays
+// per round.
+//
+// Emits BENCH_incremental_sta.json for cross-PR perf tracking; the CI
+// smoke (scripts/smoke_bench_incremental.sh) asserts incremental <= cold
+// for the smallest dirty set.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "pops/timing/incremental_sta.hpp"
+#include "pops/util/json.hpp"
+#include "pops/util/rng.hpp"
+
+namespace {
+
+using namespace pops;
+using namespace bench_common;
+using netlist::NodeId;
+using timing::IncrementalSta;
+using timing::Sta;
+
+constexpr int kReps = 60;
+
+double random_drive(const Netlist& nl, util::Rng& rng) {
+  return rng.uniform(nl.lib().wmin_um(), nl.lib().wmax_um());
+}
+
+void incremental_sta(util::Json& doc) {
+  print_header(
+      "Extension — incremental STA for the protocol hot loop",
+      "a sizing round's re-verification costs O(changed fanout cone), not "
+      "O(E); bit-identical to a cold Sta::run()");
+
+  api::OptContext ctx;
+  const timing::DelayModel& dm = ctx.dm();
+
+  util::Table t({"circuit", "gates", "dirty", "cold round (ms)",
+                 "incremental (ms)", "speedup"});
+  for (std::size_t c = 1; c < 6; ++c) t.set_align(c, util::Align::Right);
+
+  util::Json circuits = util::Json::array();
+  double min_speedup_dirty1 = 1e300;
+
+  for (const std::string& name :
+       {std::string("c432"), std::string("c880"), std::string("c1355")}) {
+    Netlist nl = netlist::make_benchmark(ctx.lib(), name);
+    const std::vector<NodeId> gates = nl.gates();
+    const Sta sta(nl, dm);
+    IncrementalSta inc(nl, dm);
+    inc.run_full();
+    // Activate bound maintenance (the protocol queries the bounds every
+    // round via k_critical_paths), so update() below pays for both the
+    // forward and the backward pass — like-for-like with the cold round.
+    inc.downstream();
+
+    util::Json rows = util::Json::array();
+    for (const std::size_t dirty_size : {1u, 2u, 4u, 8u, 16u}) {
+      util::Rng rng(0x5EED0000u + dirty_size);
+
+      // Identical mutation stream for both timings: each rep resizes
+      // `dirty_size` random gates, then re-analyzes.
+      double inc_ms = 0.0;
+      double cold_ms = 0.0;
+      double sink = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::vector<NodeId> dirty;
+        dirty.reserve(dirty_size);
+        for (std::size_t i = 0; i < dirty_size; ++i) {
+          const NodeId g = gates[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(gates.size()) - 1))];
+          nl.set_drive(g, random_drive(nl, rng));
+          dirty.push_back(g);
+        }
+        inc_ms += time_ms([&] { sink += inc.update(dirty).critical_delay_ps; });
+        cold_ms += time_ms([&] {
+          const timing::StaResult r = sta.run();
+          sink += sta.downstream_delays(r)[0] == 0.0 ? 0.0 : r.critical_delay_ps;
+        });
+      }
+      if (sink == 0.0) std::printf(" ");  // keep the analyses observable
+
+      // The exactness guarantee, once per configuration (outside timing).
+      inc.check_against_full();
+
+      const double speedup = cold_ms / inc_ms;
+      if (dirty_size == 1) min_speedup_dirty1 = std::min(min_speedup_dirty1, speedup);
+      t.add_row({name, std::to_string(gates.size()),
+                 std::to_string(dirty_size), util::fmt(cold_ms / kReps, 3),
+                 util::fmt(inc_ms / kReps, 3), util::fmt(speedup, 1) + "x"});
+
+      util::Json row = util::Json::object();
+      row["dirty"] = dirty_size;
+      row["cold_round_ms"] = cold_ms / kReps;
+      row["incremental_ms"] = inc_ms / kReps;
+      row["speedup"] = speedup;
+      rows.push_back(std::move(row));
+    }
+
+    util::Json entry = util::Json::object();
+    entry["circuit"] = name;
+    entry["gates"] = gates.size();
+    entry["rows"] = std::move(rows);
+    circuits.push_back(std::move(entry));
+  }
+
+  doc["circuits"] = std::move(circuits);
+  doc["reps"] = kReps;
+  doc["min_speedup_dirty1"] = min_speedup_dirty1;
+  std::printf("%s", t.str().c_str());
+  std::printf("(cold round = Sta::run + downstream_delays, what the "
+              "protocol paid per round before; smallest dirty-1 speedup "
+              "%.1fx)\n",
+              min_speedup_dirty1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Json doc = util::Json::object();
+  doc["bench"] = "incremental_sta";
+  incremental_sta(doc);
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_incremental_sta.json";
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("\nJSON timings written to %s\n", json_path);
+  return 0;
+}

@@ -18,10 +18,20 @@ scripts/smoke_sweep.sh "${PREFIX}"
 echo "=== job 1c: pops_serve smoke (daemon, client, cache-file restart) ==="
 scripts/smoke_serve.sh "${PREFIX}"
 
+echo "=== job 1d: bench_incremental_sta smoke (valid JSON, incremental <= cold) ==="
+scripts/smoke_bench_incremental.sh "${PREFIX}"
+
 echo "=== job 2: ASan/UBSan, Debug, full ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DPOPS_WERROR=ON -DPOPS_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=Debug
 cmake --build "${PREFIX}-asan" -j "${JOBS}"
+# The incremental-vs-full fuzz suites must run under the sanitizers (and
+# debug builds additionally self-check every IncrementalSta::update
+# against a cold run).
+# Plain grep (not -q) drains ctest's stdout — under pipefail, -q would
+# SIGPIPE ctest once the test listing outgrows the pipe buffer.
+ctest --test-dir "${PREFIX}-asan" -N | grep "IncrementalSta\." > /dev/null \
+  || { echo "ASan job does not cover the IncrementalSta fuzz tests"; exit 1; }
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "pops/core/buffer.hpp"
 #include "pops/liberty/library.hpp"
@@ -90,14 +91,17 @@ class ResultCacheHook {
                      const PipelineReport& report) = 0;
 
   /// Memoized initial critical delay for the circuit + configuration of
-  /// `key` (tc_bits ignored), or a negative value when unknown. Relative
-  /// runs need one STA to turn a Tc ratio into the absolute constraint
-  /// before they can even form the full key; memoizing it makes repeated
-  /// sweep points O(lookup) end to end. Optional: the defaults keep a
-  /// hook lookup-only.
-  virtual double initial_delay_ps(const ResultCacheKey& key) const {
+  /// `key` (tc_bits ignored), or nullopt when unknown. Relative runs need
+  /// one STA to turn a Tc ratio into the absolute constraint before they
+  /// can even form the full key; memoizing it makes repeated sweep points
+  /// O(lookup) end to end. nullopt (not a sentinel value) distinguishes
+  /// "unknown" from a legitimately memoized 0.0 — degenerate netlists
+  /// with zero critical delay must not re-run full STA on every replay.
+  /// Optional: the defaults keep a hook lookup-only.
+  virtual std::optional<double> initial_delay_ps(
+      const ResultCacheKey& key) const {
     (void)key;
-    return -1.0;
+    return std::nullopt;
   }
   virtual void store_initial_delay(const ResultCacheKey& key,
                                    double delay_ps) {

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
-#include "pops/timing/sta.hpp"
+#include "pops/timing/incremental_sta.hpp"
 
 namespace pops::api {
 
@@ -76,7 +78,12 @@ PipelineReport Optimizer::run(netlist::Netlist& nl, double tc_ps) const {
 double Optimizer::initial_delay_ps(const netlist::Netlist& nl) const {
   timing::StaOptions opt;
   opt.pi_slew_ps = cfg_.pi_slew_ps;
-  return timing::Sta(nl, ctx_->dm(), opt).run().critical_delay_ps;
+  // One-shot measurement on the incremental engine: run_full() delegates
+  // to Sta::run() and materializes no incremental state until the first
+  // update()/downstream() call, so this costs exactly a plain cold STA.
+  return timing::IncrementalSta(nl, ctx_->dm(), opt)
+      .run_full()
+      .critical_delay_ps;
 }
 
 PipelineReport Optimizer::run_relative_point(netlist::Netlist& nl,
@@ -91,12 +98,14 @@ PipelineReport Optimizer::run_relative_point(netlist::Netlist& nl,
 
   // The full key needs the absolute Tc, which needs the initial delay —
   // so the STA itself is memoized under the tc-less half of the key.
+  // Any finite value memoizes, including 0.0: a degenerate (gate-free)
+  // netlist has a legitimate zero critical delay, and skipping the memo
+  // for it would re-run full STA on every cached replay.
   ResultCacheKey key = cache->make_key(*ctx_, nl, cfg_, pipeline_, 0.0);
-  double initial = cache->initial_delay_ps(key);
-  if (!(initial > 0.0)) {
-    initial = initial_delay_ps(nl);
-    if (initial > 0.0) cache->store_initial_delay(key, initial);
-  }
+  const std::optional<double> memo = cache->initial_delay_ps(key);
+  const double initial = memo ? *memo : initial_delay_ps(nl);
+  if (!memo && std::isfinite(initial))
+    cache->store_initial_delay(key, initial);
   const double tc_ps = tc_ratio * initial;
   // A degenerate derived Tc (e.g. a gate-free netlist with zero critical
   // delay) must throw from pipeline.run without polluting the miss

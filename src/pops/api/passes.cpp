@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pops/core/netopt.hpp"
+#include "pops/timing/incremental_sta.hpp"
 #include "pops/timing/path.hpp"
 #include "pops/timing/sta.hpp"
 
@@ -61,13 +62,19 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
 
   timing::StaOptions sta_opt;
   sta_opt.pi_slew_ps = opt.pi_slew_ps;
-  const timing::Sta sta(nl, dm, sta_opt);
+  // The protocol's hot loop: one STA verification per sizing round. The
+  // incremental analyzer keeps arrivals/slews AND the K-paths downstream
+  // bounds alive between rounds, so a round costs O(resized fanout cone)
+  // instead of O(E) — bit-identical to re-running Sta from cold.
+  timing::IncrementalSta sta(nl, dm, sta_opt);
   const double input_slew =
       opt.pi_slew_ps > 0.0 ? opt.pi_slew_ps : dm.default_input_slew_ps();
 
+  const timing::StaResult* result = &sta.run_full();
   for (int round = 0; round < opt.max_rounds; ++round) {
-    const timing::StaResult result = sta.run();
-    if (result.critical_delay_ps <= tc_ps) break;
+    // Same predicate as `met` below (kTcMetRelTol): a point at the
+    // boundary must not iterate as "violating" yet report met=true.
+    if (core::tc_met(result->critical_delay_ps, tc_ps)) break;
 
     // Tighten per-path targets round by round: resizing one path loads its
     // neighbours, so a straight Tc target leaves residual violations.
@@ -76,10 +83,15 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
     const double path_tc = tc_ps * margin;
 
     const std::vector<timing::TimedPath> paths =
-        sta.k_critical_paths(result, opt.max_paths);
+        sta.k_critical_paths(opt.max_paths);
     bool any_change = false;
+    std::size_t below_target = 0;  // skipped now, admitted by tighter targets
+    std::vector<netlist::NodeId> resized;
     for (const timing::TimedPath& tp : paths) {
-      if (tp.delay_ps <= path_tc) continue;  // already fast enough
+      if (tp.delay_ps <= path_tc) {  // already fast enough this round
+        ++below_target;
+        continue;
+      }
       if (tp.points.size() < 2) continue;
       BoundedPath bp = BoundedPath::extract(nl, tp, input_slew);
       // Circuit mode applies sizing only (see protocol.hpp); the
@@ -87,18 +99,32 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
       // stages carry their sizes back to the netlist.
       core::ProtocolResult pr =
           core::optimize_path(bp, dm, table, path_tc, opt.protocol);
-      pr.sizing.path.apply_sizes_to(nl);
+      const std::vector<netlist::NodeId> changed =
+          pr.sizing.path.apply_sizes_to(nl);
+      if (!changed.empty()) any_change = true;
+      resized.insert(resized.end(), changed.begin(), changed.end());
       out.per_path.push_back(std::move(pr));
       ++out.paths_optimized;
-      any_change = true;
     }
-    if (!any_change) break;
+    ++out.rounds;
+    if (!any_change) {
+      // No drive moved. If every enumerated path was already processed
+      // (none skipped as fast-enough), further rounds would replay the
+      // same pinned paths against ever-tighter targets — stop instead of
+      // burning the round budget on zero-progress re-verifications. When
+      // paths WERE skipped, keep tightening: a later round admits them
+      // (tp.delay_ps > tc*margin^(r+1)) and their resizing can unload
+      // shared gates on the still-violating critical path. Timing is
+      // unchanged either way, so no STA update is needed.
+      if (below_target == 0) break;
+      continue;
+    }
+    result = &sta.update(resized);
   }
 
-  const timing::StaResult final_sta = sta.run();
-  out.achieved_delay_ps = final_sta.critical_delay_ps;
+  out.achieved_delay_ps = result->critical_delay_ps;
   out.area_um = nl.total_width_um();
-  out.met = final_sta.critical_delay_ps <= tc_ps * 1.0001;
+  out.met = core::tc_met(result->critical_delay_ps, tc_ps);
   return out;
 }
 

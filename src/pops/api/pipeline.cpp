@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pops/api/passes.hpp"
+#include "pops/core/protocol.hpp"
 #include "pops/timing/sta.hpp"
 
 namespace pops::api {
@@ -123,7 +124,10 @@ PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
 
   out.final_delay_ps = delay;
   out.final_area_um = nl.total_width_um();
-  out.met = out.final_delay_ps <= tc_ps * 1.0001;
+  // Same tolerance the ProtocolPass round loop stops on (core::tc_met):
+  // the two must agree or a boundary point could iterate as violating yet
+  // report met (pops_sweep exits 2 off this flag).
+  out.met = core::tc_met(out.final_delay_ps, tc_ps);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "pops/timing/incremental_sta.hpp"
 #include "pops/timing/sta.hpp"
 
 namespace pops::core {
@@ -81,8 +82,11 @@ ShieldReport shield_high_fanout_nets(Netlist& nl,
                                      FlimitTable& table,
                                      const ShieldOptions& opt) {
   ShieldReport report;
-  const timing::Sta sta(nl, dm);
-  report.delay_before_ps = sta.run().critical_delay_ps;
+  // One full STA up front; every buffer insertion afterwards re-times
+  // only the affected cone (the edit touches the driver, the new buffer
+  // and the re-pointed sinks — a local neighbourhood).
+  timing::IncrementalSta sta(nl, dm);
+  report.delay_before_ps = sta.run_full().critical_delay_ps;
 
   struct Candidate {
     NodeId net;
@@ -114,9 +118,8 @@ ShieldReport shield_high_fanout_nets(Netlist& nl,
 
     // Keep the most timing-critical sink direct: smallest slack w.r.t. the
     // current critical delay.
-    const timing::StaResult res = sta.run();
-    const std::vector<double> slack =
-        sta.slacks(res, res.critical_delay_ps);
+    const timing::StaResult& res = sta.result();
+    const std::vector<double> slack = sta.slacks(res.critical_delay_ps);
     const std::vector<NodeId> sinks = nl.fanouts(g);
     if (sinks.size() < 2) continue;  // may have changed since collection
     NodeId keep = sinks.front();
@@ -139,9 +142,16 @@ ShieldReport shield_high_fanout_nets(Netlist& nl,
     nl.set_drive(buf, bufc.wn_for_cin(nl.lib().tech(),
                                       load / opt.shield_fanout));
     ++report.buffers_inserted;
+
+    // Dirty set of the edit: the unloaded driver, the sized new buffer,
+    // and every re-pointed sink (their fanin lists changed).
+    std::vector<NodeId> dirty = moved;
+    dirty.push_back(g);
+    dirty.push_back(buf);
+    sta.update(dirty, /*structure_changed=*/true);
   }
 
-  report.delay_after_ps = sta.run().critical_delay_ps;
+  report.delay_after_ps = sta.result().critical_delay_ps;
   report.area_added_um = nl.total_width_um() - area_before;
   return report;
 }

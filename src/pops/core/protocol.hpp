@@ -31,6 +31,19 @@
 
 namespace pops::core {
 
+/// Relative tolerance under which a measured critical delay counts as
+/// meeting Tc. One named constant shared by the ProtocolPass round loop,
+/// the pipeline's `met` field and (through them) the sweep front-ends'
+/// unmet counters — a point must never iterate as "violating" yet report
+/// met=true, or vice versa at the boundary (pops_sweep's exit-2 contract
+/// keys off `met`).
+inline constexpr double kTcMetRelTol = 1e-4;
+
+/// Whether `delay_ps` meets `tc_ps` within the shared tolerance.
+constexpr bool tc_met(double delay_ps, double tc_ps) noexcept {
+  return delay_ps <= tc_ps * (1.0 + kTcMetRelTol);
+}
+
 /// Where a constraint falls relative to the path's feasible range.
 enum class ConstraintDomain { Infeasible, Hard, Medium, Weak };
 const char* to_string(ConstraintDomain d) noexcept;
@@ -105,6 +118,11 @@ struct CircuitResult {
   double area_um = 0.0;             ///< ΣW over the whole netlist
   bool met = false;
   std::size_t paths_optimized = 0;
+  /// Rounds that evaluated paths (0 when the input already met Tc).
+  /// Strictly less than max_rounds when a round's write-back moved no
+  /// drive and no enumerated path was still below the tightening target
+  /// — the loop stops instead of replaying identical rounds.
+  std::size_t rounds = 0;
   std::vector<ProtocolResult> per_path;
 };
 

@@ -20,7 +20,9 @@ using util::Json;
 namespace {
 
 constexpr const char* kFormat = "pops-result-cache";
-constexpr int kVersion = 1;
+// v2: CircuitResult entries carry the `rounds` counter (the protocol's
+// no-op-round fix made round counts meaningful and reportable).
+constexpr int kVersion = 2;
 
 // ----- strict readers ---------------------------------------------------------
 // Archives are machine-written; any deviation is corruption, so readers
@@ -241,6 +243,7 @@ Json archive_circuit_result(const core::CircuitResult& r) {
   j["area_um"] = archive_f64(r.area_um);
   j["met"] = r.met;
   j["paths_optimized"] = r.paths_optimized;
+  j["rounds"] = r.rounds;
   Json paths = Json::array();
   for (const core::ProtocolResult& p : r.per_path)
     paths.push_back(archive_protocol_result(p));
@@ -256,6 +259,7 @@ core::CircuitResult restore_circuit_result(const Json& j,
   r.area_um = restore_f64(j, "area_um");
   r.met = boolean(j, "met");
   r.paths_optimized = count(j, "paths_optimized");
+  r.rounds = count(j, "rounds");
   for (const Json& p : array(j, "per_path"))
     r.per_path.push_back(restore_protocol_result(p, lib));
   return r;
@@ -477,10 +481,16 @@ CacheLoadReport load_result_cache(ResultCache& cache, api::OptContext& ctx,
     throw std::invalid_argument(
         "not a pops-result-cache document (missing/wrong 'format')");
   if (static_cast<int>(num(doc, "version")) != kVersion)
+    // Old-version entries cannot be admitted (replays must stay
+    // bit-identical to fresh runs, and older schemas lack fields fresh
+    // reports carry), and silently cold-starting would rename-destroy
+    // the file at the next checkpoint — so name the recovery instead.
     throw std::invalid_argument(
         "unsupported pops-result-cache version " +
         Json::number_to_string(num(doc, "version")) + " (expected " +
-        std::to_string(kVersion) + ")");
+        std::to_string(kVersion) +
+        "); move the file aside (or delete it) to cold-start and let the "
+        "server rebuild its cache");
 
   const Json& context = member(doc, "context");
   const std::uint64_t stored_sig = hex(context, "signature");

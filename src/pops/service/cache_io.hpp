@@ -22,9 +22,10 @@
 // closed-form and table entries side by side; an entry stored under a
 // backend the loading process never selects simply never hits.
 //
-// The document layout (version 1):
+// The document layout (version 2 — v2 added CircuitResult::rounds to
+// archived protocol reports):
 //
-//   {format: "pops-result-cache", version: 1,
+//   {format: "pops-result-cache", version: 2,
 //    context: {signature, technology, rng_seed, delay_model},
 //    entries: [{key: {circuit, config, tc}, netlist_hash, delay_model,
 //               netlist: {...}, report: {...}}],

@@ -207,12 +207,14 @@ void ResultCache::evict_over_capacity_locked() {
   }
 }
 
-double ResultCache::initial_delay_ps(const api::ResultCacheKey& key) const {
+std::optional<double> ResultCache::initial_delay_ps(
+    const api::ResultCacheKey& key) const {
   api::ResultCacheKey memo_key = key;
   memo_key.tc_bits = 0;  // the initial delay precedes any constraint
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = initial_delays_.find(memo_key);
-  return it == initial_delays_.end() ? -1.0 : it->second;
+  if (it == initial_delays_.end()) return std::nullopt;
+  return it->second;
 }
 
 void ResultCache::store_initial_delay(const api::ResultCacheKey& key,

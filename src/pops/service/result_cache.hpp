@@ -27,6 +27,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "pops/api/context.hpp"
@@ -71,9 +72,11 @@ class ResultCache final : public api::ResultCacheHook {
              const api::PipelineReport& report) override;
 
   /// Initial-delay memo keyed by (circuit_hash, config_hash) — tc_bits is
-  /// ignored, the initial delay precedes any constraint. Not counted in
-  /// hits/misses (those track full result replays).
-  double initial_delay_ps(const api::ResultCacheKey& key) const override;
+  /// ignored, the initial delay precedes any constraint. Any stored value
+  /// (including 0.0) is returned; nullopt means "never stored". Not
+  /// counted in hits/misses (those track full result replays).
+  std::optional<double> initial_delay_ps(
+      const api::ResultCacheKey& key) const override;
   void store_initial_delay(const api::ResultCacheKey& key,
                            double delay_ps) override;
 

@@ -67,6 +67,7 @@ Json to_json(const core::CircuitResult& result) {
   j["area_um"] = result.area_um;
   j["met"] = result.met;
   j["paths_optimized"] = result.paths_optimized;
+  j["rounds"] = result.rounds;
   Json paths = Json::array();
   for (const core::ProtocolResult& p : result.per_path)
     paths.push_back(to_json(p));

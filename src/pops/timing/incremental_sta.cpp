@@ -1,0 +1,244 @@
+#include "pops/timing/incremental_sta.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pops::timing {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Bitwise double comparison: the identity guarantee is "same bits as a
+/// cold run", so the change test must distinguish what == would conflate
+/// (±0.0) and not conflate what == would split (NaN never propagates as
+/// "unchanged").
+inline bool same_bits(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+IncrementalSta::IncrementalSta(const Netlist& nl, const DelayModel& dm,
+                               StaOptions opt)
+    : nl_(&nl), dm_(&dm), sta_(nl, dm, opt) {
+  // Sta's constructor resolved a non-positive pi_slew to the model
+  // default; mirror the resolved value for array initialization.
+  pi_slew_ps_ = sta_.opt_.pi_slew_ps;
+}
+
+const StaResult& IncrementalSta::result() const {
+  if (!valid_)
+    throw std::logic_error("IncrementalSta: no result yet (call run_full)");
+  return res_;
+}
+
+const std::vector<double>& IncrementalSta::downstream() const {
+  if (!valid_)
+    throw std::logic_error("IncrementalSta: no result yet (call run_full)");
+  // Lazily computed on first query: consumers that never enumerate paths
+  // (the shield pass, initial-delay measurements) skip the O(E) bound
+  // sweep entirely; once queried, update() maintains the vector.
+  if (!down_valid_) {
+    down_ = sta_.downstream_delays(res_);
+    down_valid_ = true;
+  }
+  return down_;
+}
+
+void IncrementalSta::rebuild_positions() {
+  const auto& topo = nl_->topo_order();
+  topo_pos_.assign(nl_->size(), 0);
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    topo_pos_[static_cast<std::size_t>(topo[i])] = i;
+}
+
+void IncrementalSta::grow_arrays(std::size_t n) {
+  // Appended nodes start exactly like run_full initializes them: gates
+  // get computed before they are read (they are in the dirty set), and an
+  // appended PI gets the zero arrival a cold run assigns to inputs.
+  const std::size_t old = res_.arrival_ps.size();
+  res_.arrival_ps.resize(n, {kNegInf, kNegInf});
+  res_.slew_ps.resize(n, {pi_slew_ps_, pi_slew_ps_});
+  res_.prev.resize(n, {PathPoint{}, PathPoint{}});
+  for (std::size_t i = old; i < n; ++i)
+    if (nl_->node(static_cast<NodeId>(i)).is_input)
+      res_.arrival_ps[i] = {0.0, 0.0};
+  if (down_valid_) down_.resize(2 * n, kNegInf);
+  // in_heap_/seed_mark_ are re-assigned by update() whenever the netlist
+  // grew (the positions_valid_ branch), so they are not resized here.
+}
+
+const StaResult& IncrementalSta::run_full() {
+  // Exactly a cold Sta::run(): the bound vector and the worklist
+  // bookkeeping (positions, scratch flags) are materialized on first use,
+  // so one-shot consumers (initial-delay measurements) pay nothing extra.
+  res_ = sta_.run();
+  down_valid_ = false;
+  positions_valid_ = false;
+  valid_ = true;
+  return res_;
+}
+
+const StaResult& IncrementalSta::update(std::span<const NodeId> dirty,
+                                        bool structure_changed) {
+  if (!valid_) return run_full();
+
+  const std::size_t n = nl_->size();
+  const bool grew = res_.arrival_ps.size() != n;
+  if (grew) grow_arrays(n);
+  if (grew || structure_changed || !positions_valid_) {
+    rebuild_positions();
+    in_heap_.assign(n, 0);
+    seed_mark_.assign(n, 0);
+    positions_valid_ = true;
+  }
+
+  // ----- seed set F = dirty ∪ fanins(dirty) ---------------------------------
+  // A resize of d changes cin(d) and cpar(d); cin(d) loads every fanin
+  // driver (their slew AND delay change), cpar(d) is part of d's own
+  // load. So the nodes whose stage inputs (cin, cload) may have moved are
+  // exactly F. Structural edits are covered by the dirty-set contract
+  // (both endpoints of every rewire are listed).
+  std::vector<NodeId> seeds;
+  auto add_seed = [&](NodeId id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (seed_mark_[i]) return;
+    seed_mark_[i] = 1;
+    seeds.push_back(id);
+  };
+  for (NodeId d : dirty) {
+    add_seed(d);
+    for (NodeId f : nl_->node(d).fanins) add_seed(f);
+  }
+
+  // ----- forward pass: arrivals / slews / prev ------------------------------
+  // Worklist ordered by topological position, so every recomputed node
+  // reads fanin values that are final for this update — recomputation
+  // then replays Sta::compute_node on bit-identical inputs.
+  using Pos = std::pair<std::size_t, NodeId>;
+  std::priority_queue<Pos, std::vector<Pos>, std::greater<Pos>> fwd;
+  auto push_fwd = [&](NodeId id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (in_heap_[i] || nl_->node(id).is_input) return;
+    in_heap_[i] = 1;
+    fwd.emplace(topo_pos_[i], id);
+  };
+  for (NodeId id : seeds) push_fwd(id);
+
+  std::vector<NodeId> slew_changed;
+  while (!fwd.empty()) {
+    const NodeId id = fwd.top().second;
+    fwd.pop();
+    const auto i = static_cast<std::size_t>(id);
+    in_heap_[i] = 0;
+
+    const std::array<double, 2> old_arrival = res_.arrival_ps[i];
+    const std::array<double, 2> old_slew = res_.slew_ps[i];
+    sta_.compute_node(id, res_);
+
+    const bool slew_diff = !same_bits(res_.slew_ps[i][0], old_slew[0]) ||
+                           !same_bits(res_.slew_ps[i][1], old_slew[1]);
+    const bool arrival_diff =
+        !same_bits(res_.arrival_ps[i][0], old_arrival[0]) ||
+        !same_bits(res_.arrival_ps[i][1], old_arrival[1]);
+    if (slew_diff) slew_changed.push_back(id);
+    if (slew_diff || arrival_diff)
+      for (NodeId g : nl_->fanouts(id)) push_fwd(g);
+  }
+  sta_.finalize_critical(res_);
+
+  // ----- backward pass: downstream bounds -----------------------------------
+  // down[f] reads, per fanout g of f: cin(g), cload(g) (changed ⊆ F, so
+  // the readers are fanins(F)), slew(f) (changed = slew_changed), f's own
+  // fanout set / PO flag (changed nodes are in the dirty set ⊆ F), and
+  // down[g] (propagated below). Only maintained once a consumer has asked
+  // for the bounds (down_valid_); never-enumerating users skip it.
+  if (down_valid_) {
+    std::priority_queue<Pos> bwd;  // max position first = reverse topo
+    auto push_bwd = [&](NodeId id) {
+      const auto i = static_cast<std::size_t>(id);
+      if (in_heap_[i]) return;
+      in_heap_[i] = 1;
+      bwd.emplace(topo_pos_[i], id);
+    };
+    for (NodeId id : seeds) {
+      push_bwd(id);
+      for (NodeId f : nl_->node(id).fanins) push_bwd(f);
+    }
+    for (NodeId id : slew_changed) push_bwd(id);
+
+    while (!bwd.empty()) {
+      const NodeId id = bwd.top().second;
+      bwd.pop();
+      const auto i = static_cast<std::size_t>(id);
+      in_heap_[i] = 0;
+
+      bool changed = false;
+      for (Edge e : {Edge::Rise, Edge::Fall}) {
+        const std::size_t v = 2 * i + StaResult::idx(e);
+        const double fresh = sta_.compute_down(id, e, res_, down_);
+        if (!same_bits(fresh, down_[v])) {
+          down_[v] = fresh;
+          changed = true;
+        }
+      }
+      if (changed)
+        for (NodeId f : nl_->node(id).fanins) push_bwd(f);
+    }
+  }
+
+  for (NodeId id : seeds) seed_mark_[static_cast<std::size_t>(id)] = 0;
+
+#ifndef NDEBUG
+  check_against_full();  // the exactness guarantee, paid only in debug
+#endif
+  return res_;
+}
+
+void IncrementalSta::check_against_full() const {
+  if (!valid_)
+    throw std::logic_error("IncrementalSta: no result to check");
+  const StaResult cold = sta_.run();
+  // The bound vector only exists once a consumer queried it; compare it
+  // only then (the forward state is always checked).
+  const std::vector<double> cold_down =
+      down_valid_ ? sta_.downstream_delays(cold) : std::vector<double>{};
+
+  auto fail = [&](const std::string& what, NodeId id) {
+    throw std::logic_error(
+        "IncrementalSta: incremental state diverged from cold run (" + what +
+        " at node " +
+        (id == netlist::kNoNode ? std::string("<global>") : nl_->node(id).name) +
+        ")");
+  };
+
+  const std::size_t n = nl_->size();
+  if (res_.arrival_ps.size() != n || cold.arrival_ps.size() != n)
+    fail("result size", netlist::kNoNode);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      const NodeId id = static_cast<NodeId>(i);
+      if (!same_bits(res_.arrival_ps[i][e], cold.arrival_ps[i][e]))
+        fail("arrival", id);
+      if (!same_bits(res_.slew_ps[i][e], cold.slew_ps[i][e])) fail("slew", id);
+      if (!(res_.prev[i][e] == cold.prev[i][e])) fail("prev", id);
+      if (down_valid_ && !same_bits(down_[2 * i + e], cold_down[2 * i + e]))
+        fail("downstream", id);
+    }
+  }
+  if (!same_bits(res_.critical_delay_ps, cold.critical_delay_ps) ||
+      !(res_.critical_endpoint == cold.critical_endpoint))
+    fail("critical delay/endpoint", netlist::kNoNode);
+}
+
+}  // namespace pops::timing

@@ -217,13 +217,17 @@ void BoundedPath::replace_stage(std::size_t i, liberty::CellKind kind) {
   recompute_edges();
 }
 
-void BoundedPath::apply_sizes_to(Netlist& nl) const {
+std::vector<netlist::NodeId> BoundedPath::apply_sizes_to(Netlist& nl) const {
+  std::vector<netlist::NodeId> changed;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const netlist::NodeId id = stages_[i].node;
     if (id == netlist::kNoNode) continue;
     const liberty::Cell& c = nl.lib().cell(nl.node(id).kind);
+    const double before = nl.drive(id);
     nl.set_drive(id, c.wn_for_cin(nl.lib().tech(), cin_[i]));
+    if (nl.drive(id) != before) changed.push_back(id);
   }
+  return changed;
 }
 
 }  // namespace pops::timing

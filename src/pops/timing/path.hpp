@@ -169,8 +169,11 @@ class BoundedPath {
   }
 
   /// Write the sizes (and only the sizes) back to the origin netlist for
-  /// stages that carry a valid origin node.
-  void apply_sizes_to(netlist::Netlist& nl) const;
+  /// stages that carry a valid origin node. Returns the ids of the nodes
+  /// whose drive actually moved (bitwise, after the library clamp) — the
+  /// dirty set for incremental re-timing; empty means the write-back was
+  /// a no-op (the protocol's round loop stops instead of spinning).
+  std::vector<netlist::NodeId> apply_sizes_to(netlist::Netlist& nl) const;
 
  private:
   void recompute_edges();

@@ -26,6 +26,52 @@ std::vector<Edge> Sta::cause_edges(const liberty::Cell& cell, Edge out) {
   return {cell.inverting ? flip(out) : out};
 }
 
+void Sta::compute_node(NodeId id, StaResult& r) const {
+  const Netlist& nl = *nl_;
+  const netlist::Node& node = nl.node(id);
+  const liberty::Cell& cell = nl.cell_of(id);
+  const double cin = nl.cin_ff(id);
+  const double cload = nl.load_ff(id) + nl.cpar_ff(id);
+
+  for (Edge out : {Edge::Rise, Edge::Fall}) {
+    // Slew is a property of the stage alone (eq. 2).
+    r.slew_ps[static_cast<std::size_t>(id)][StaResult::idx(out)] =
+        dm_->transition_ps(cell, out, cin, cload);
+
+    double best = kNegInf;
+    PathPoint best_prev;
+    for (NodeId f : node.fanins) {
+      for (Edge ein : cause_edges(cell, out)) {
+        const double at_f = r.arrival(f, ein);
+        if (at_f == kNegInf) continue;
+        const double d =
+            dm_->delay_ps(cell, out, r.slew(f, ein), cin, cload);
+        if (at_f + d > best) {
+          best = at_f + d;
+          best_prev = {f, ein};
+        }
+      }
+    }
+    r.arrival_ps[static_cast<std::size_t>(id)][StaResult::idx(out)] = best;
+    r.prev[static_cast<std::size_t>(id)][StaResult::idx(out)] = best_prev;
+  }
+}
+
+void Sta::finalize_critical(StaResult& r) const {
+  r.critical_delay_ps = kNegInf;
+  r.critical_endpoint = PathPoint{};
+  for (NodeId po : nl_->outputs()) {
+    for (Edge e : {Edge::Rise, Edge::Fall}) {
+      if (r.arrival(po, e) > r.critical_delay_ps) {
+        r.critical_delay_ps = r.arrival(po, e);
+        r.critical_endpoint = {po, e};
+      }
+    }
+  }
+  if (r.critical_delay_ps == kNegInf)
+    throw std::logic_error("Sta: no PO reachable from any PI");
+}
+
 StaResult Sta::run() const {
   const Netlist& nl = *nl_;
   const std::size_t n = nl.size();
@@ -40,47 +86,11 @@ StaResult Sta::run() const {
   }
 
   for (NodeId id : nl.topo_order()) {
-    const netlist::Node& node = nl.node(id);
-    if (node.is_input) continue;
-    const liberty::Cell& cell = nl.cell_of(id);
-    const double cin = nl.cin_ff(id);
-    const double cload = nl.load_ff(id) + nl.cpar_ff(id);
-
-    for (Edge out : {Edge::Rise, Edge::Fall}) {
-      // Slew is a property of the stage alone (eq. 2).
-      r.slew_ps[static_cast<std::size_t>(id)][StaResult::idx(out)] =
-          dm_->transition_ps(cell, out, cin, cload);
-
-      double best = kNegInf;
-      PathPoint best_prev;
-      for (NodeId f : node.fanins) {
-        for (Edge ein : cause_edges(cell, out)) {
-          const double at_f = r.arrival(f, ein);
-          if (at_f == kNegInf) continue;
-          const double d =
-              dm_->delay_ps(cell, out, r.slew(f, ein), cin, cload);
-          if (at_f + d > best) {
-            best = at_f + d;
-            best_prev = {f, ein};
-          }
-        }
-      }
-      r.arrival_ps[static_cast<std::size_t>(id)][StaResult::idx(out)] = best;
-      r.prev[static_cast<std::size_t>(id)][StaResult::idx(out)] = best_prev;
-    }
+    if (nl.node(id).is_input) continue;
+    compute_node(id, r);
   }
 
-  r.critical_delay_ps = kNegInf;
-  for (NodeId po : nl.outputs()) {
-    for (Edge e : {Edge::Rise, Edge::Fall}) {
-      if (r.arrival(po, e) > r.critical_delay_ps) {
-        r.critical_delay_ps = r.arrival(po, e);
-        r.critical_endpoint = {po, e};
-      }
-    }
-  }
-  if (r.critical_delay_ps == kNegInf)
-    throw std::logic_error("Sta: no PO reachable from any PI");
+  finalize_critical(r);
   return r;
 }
 
@@ -97,8 +107,54 @@ TimedPath Sta::critical_path(const StaResult& result) const {
   return path;
 }
 
+double Sta::compute_down(NodeId id, Edge e, const StaResult& result,
+                         const std::vector<double>& down) const {
+  const Netlist& nl = *nl_;
+  auto vid = [](NodeId node, Edge edge) {
+    return 2 * static_cast<std::size_t>(node) + StaResult::idx(edge);
+  };
+  double best = nl.node(id).is_output ? 0.0 : kNegInf;
+  for (NodeId g : nl.fanouts(id)) {
+    const liberty::Cell& cell = nl.cell_of(g);
+    const double cin = nl.cin_ff(g);
+    const double cload = nl.load_ff(g) + nl.cpar_ff(g);
+    for (Edge eout : {Edge::Rise, Edge::Fall}) {
+      const auto causes = cause_edges(cell, eout);
+      if (std::find(causes.begin(), causes.end(), e) == causes.end())
+        continue;
+      const double w = dm_->delay_ps(cell, eout, result.slew(id, e), cin, cload);
+      const double cand = w + down[vid(g, eout)];
+      best = std::max(best, cand);
+    }
+  }
+  return best;
+}
+
+std::vector<double> Sta::downstream_delays(const StaResult& result) const {
+  const Netlist& nl = *nl_;
+
+  // Longest remaining delay from each vertex to any PO (0 at a PO vertex
+  // itself, since paths terminate there; -inf if no PO is reachable).
+  std::vector<double> down(2 * nl.size(), kNegInf);
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    for (Edge e : {Edge::Rise, Edge::Fall}) {
+      down[2 * static_cast<std::size_t>(id) + StaResult::idx(e)] =
+          compute_down(id, e, result, down);
+    }
+  }
+  return down;
+}
+
 std::vector<TimedPath> Sta::k_critical_paths(const StaResult& result,
                                              std::size_t k) const {
+  return k_critical_paths(result, k, downstream_delays(result));
+}
+
+std::vector<TimedPath> Sta::k_critical_paths(
+    const StaResult& result, std::size_t k,
+    const std::vector<double>& down) const {
   const Netlist& nl = *nl_;
   const std::size_t n = nl.size();
 
@@ -107,32 +163,6 @@ std::vector<TimedPath> Sta::k_critical_paths(const StaResult& result,
   auto vid = [](NodeId node, Edge e) {
     return 2 * static_cast<std::size_t>(node) + StaResult::idx(e);
   };
-
-  // Longest remaining delay from each vertex to any PO (0 at a PO vertex
-  // itself, since paths terminate there; -inf if no PO is reachable).
-  std::vector<double> down(2 * n, kNegInf);
-  const auto& topo = nl.topo_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const NodeId id = *it;
-    const netlist::Node& node = nl.node(id);
-    for (Edge e : {Edge::Rise, Edge::Fall}) {
-      double best = node.is_output ? 0.0 : kNegInf;
-      for (NodeId g : nl.fanouts(id)) {
-        const liberty::Cell& cell = nl.cell_of(g);
-        const double cin = nl.cin_ff(g);
-        const double cload = nl.load_ff(g) + nl.cpar_ff(g);
-        for (Edge eout : {Edge::Rise, Edge::Fall}) {
-          const auto causes = cause_edges(cell, eout);
-          if (std::find(causes.begin(), causes.end(), e) == causes.end())
-            continue;
-          const double w = dm_->delay_ps(cell, eout, result.slew(id, e), cin, cload);
-          const double cand = w + down[vid(g, eout)];
-          best = std::max(best, cand);
-        }
-      }
-      down[vid(id, e)] = best;
-    }
-  }
 
   // Best-first (A*-style) enumeration: items are popped in non-increasing
   // bound order; a *terminal* item's bound equals its exact path delay, so

@@ -61,6 +61,8 @@ struct StaResult {
   }
 };
 
+class IncrementalSta;
+
 class Sta {
  public:
   Sta(const netlist::Netlist& nl, const DelayModel& dm, StaOptions opt = {});
@@ -77,14 +79,45 @@ class Sta {
   std::vector<TimedPath> k_critical_paths(const StaResult& result,
                                           std::size_t k) const;
 
+  /// Longest remaining delay (ps) from each timing-graph vertex
+  /// (vertex = 2*node + StaResult::idx(edge)) to any PO, at the slews of
+  /// `result`: 0 at a PO vertex itself, -inf where no PO is reachable.
+  /// This is the bound function of the K-paths enumeration; IncrementalSta
+  /// maintains these values across netlist edits instead of recomputing
+  /// the whole vector per round.
+  std::vector<double> downstream_delays(const StaResult& result) const;
+
+  /// K-paths enumeration with a precomputed bound vector (must equal
+  /// downstream_delays(result) — bit-identical results are only guaranteed
+  /// then). The two-argument overload computes `down` and forwards here.
+  std::vector<TimedPath> k_critical_paths(const StaResult& result,
+                                          std::size_t k,
+                                          const std::vector<double>& down) const;
+
   /// Per-node slack against a required time `tc_ps` at every PO, for the
   /// worse edge: slack(n) = min over edges of (required - arrival).
   std::vector<double> slacks(const StaResult& result, double tc_ps) const;
 
  private:
+  friend class IncrementalSta;  // reuses the per-node kernels below
+
   /// Input edges of `cell` that can cause output edge `out`:
   /// returns one edge for phase-definite cells, both for XOR/XNOR.
   static std::vector<Edge> cause_edges(const liberty::Cell& cell, Edge out);
+
+  /// Recompute slew/arrival/prev of gate `id` (both edges) from the fanin
+  /// values in `r` — the per-node kernel of run(). Deterministic in its
+  /// inputs, so replaying it on an unchanged neighbourhood is bit-identical.
+  void compute_node(netlist::NodeId id, StaResult& r) const;
+
+  /// Downstream longest delay of one vertex from its fanouts' `down`
+  /// values — the per-vertex kernel of downstream_delays().
+  double compute_down(netlist::NodeId id, Edge e, const StaResult& result,
+                      const std::vector<double>& down) const;
+
+  /// Scan POs for the critical delay/endpoint; throws when no PO is
+  /// reachable (same contract as run()).
+  void finalize_critical(StaResult& r) const;
 
   const netlist::Netlist* nl_;
   const DelayModel* dm_;

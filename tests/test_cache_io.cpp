@@ -111,6 +111,8 @@ TEST(CacheIo, ReportRoundTripIsExact) {
   const core::CircuitResult* orig = report.protocol();
   const core::CircuitResult* back = restored.protocol();
   ASSERT_NE(back, nullptr);
+  EXPECT_EQ(orig->rounds, back->rounds);
+  EXPECT_EQ(orig->paths_optimized, back->paths_optimized);
   ASSERT_EQ(orig->per_path.size(), back->per_path.size());
   for (std::size_t i = 0; i < orig->per_path.size(); ++i) {
     const core::ProtocolResult& a = orig->per_path[i];

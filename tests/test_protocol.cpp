@@ -181,7 +181,75 @@ TEST_F(ProtocolTest, AlreadyMetConstraintIsNoOp) {
   const CircuitResult r = optimize_circuit(nl, dm, t, 2.0 * initial, {});
   EXPECT_TRUE(r.met);
   EXPECT_EQ(r.paths_optimized, 0u);
+  EXPECT_EQ(r.rounds, 0u);
   EXPECT_NEAR(nl.total_width_um(), area_before, 1e-9);
+}
+
+// Regression for the no-op round spin: when a round's write-back moves no
+// drive, the loop must stop instead of burning the whole round budget on
+// full STA re-runs that replay bit-identical rounds. A depth-1 netlist is
+// the canonical can't-improve case: every PI->PO path has exactly one
+// gate, which is the path's stage 0 — fixed by the latch constraint — so
+// sizing can never move a drive.
+TEST_F(ProtocolTest, NoProgressStopsRoundLoopEarly) {
+  using namespace pops::netlist;
+  Netlist nl(lib, "flat");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(CellKind::Nand2, "g1", {a, b});
+  const NodeId g2 = nl.add_gate(CellKind::Nor2, "g2", {a, b});
+  nl.mark_output(g1, 40.0);
+  nl.mark_output(g2, 40.0);
+
+  const Sta sta(nl, dm);
+  const double initial = sta.run().critical_delay_ps;
+  const double area_before = nl.total_width_um();
+
+  CircuitOptions opt;
+  opt.max_rounds = 12;
+  FlimitTable t;
+  const CircuitResult r = optimize_circuit(nl, dm, t, 0.3 * initial, opt);
+  EXPECT_FALSE(r.met);
+  EXPECT_GE(r.paths_optimized, 1u) << "the violating paths were evaluated";
+  // Round 1 may re-normalize drives through the cin->wn round trip (last
+  // bits only); by round 2 at the latest the write-back is an exact no-op
+  // and the loop must stop instead of burning all 12 rounds.
+  EXPECT_LE(r.rounds, 2u)
+      << "loop must stop when no drive moves, not burn max_rounds";
+  EXPECT_NEAR(nl.total_width_um(), area_before, 1e-9);
+}
+
+// Regression for the inconsistent met tolerance: the round loop and the
+// reported `met` share one epsilon (kTcMetRelTol), so a point inside the
+// tolerance band must neither iterate nor report unmet.
+TEST_F(ProtocolTest, MetToleranceBoundaryIsConsistent) {
+  using namespace pops::netlist;
+  Netlist nl = make_benchmark(lib, "c432");
+  const Sta sta(nl, dm);
+  const double initial = sta.run().critical_delay_ps;
+
+  FlimitTable t;
+  // delay = tc * (1 + tol/2): inside the band — met, and zero rounds
+  // (before the fix this iterated as "violating" yet reported met=true).
+  {
+    Netlist copy = nl;
+    const double tc = initial / (1.0 + kTcMetRelTol / 2.0);
+    ASSERT_GT(initial, tc);  // strictly violating without the tolerance
+    const CircuitResult r = optimize_circuit(copy, dm, t, tc, {});
+    EXPECT_TRUE(r.met);
+    EXPECT_EQ(r.rounds, 0u);
+    EXPECT_EQ(r.paths_optimized, 0u);
+  }
+  // delay = tc * (1 + 2 tol): outside the band — the loop must iterate.
+  {
+    Netlist copy = nl;
+    const double tc = initial / (1.0 + 2.0 * kTcMetRelTol);
+    const CircuitResult r = optimize_circuit(copy, dm, t, tc, {});
+    EXPECT_GE(r.rounds, 1u);
+  }
+  EXPECT_TRUE(tc_met(100.0, 100.0));
+  EXPECT_TRUE(tc_met(100.0 * (1.0 + kTcMetRelTol / 2.0), 100.0));
+  EXPECT_FALSE(tc_met(100.0 * (1.0 + 2.0 * kTcMetRelTol), 100.0));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -282,12 +283,85 @@ TEST(ResultCache, RepeatedRelativeRunMemoizesInitialSta) {
   const api::ResultCacheKey key = cache->make_key(
       ctx, netlist::make_benchmark(ctx.lib(), "c17"), opt.config(),
       opt.pipeline(), 0.0);
-  EXPECT_DOUBLE_EQ(cache->initial_delay_ps(key), r1.initial_delay_ps);
+  ASSERT_TRUE(cache->initial_delay_ps(key).has_value());
+  EXPECT_DOUBLE_EQ(*cache->initial_delay_ps(key), r1.initial_delay_ps);
 
   Netlist nl2 = netlist::make_benchmark(ctx.lib(), "c17");
   const PipelineReport r2 = opt.run_relative(nl2, 0.9);
   EXPECT_TRUE(r2.from_cache);
   EXPECT_DOUBLE_EQ(r1.tc_ps, r2.tc_ps);
+}
+
+TEST(ResultCache, InitialDelayMemoStoresZero) {
+  // The memo is sentinel-free: a legitimately measured 0.0 is stored and
+  // distinguishable from "never stored" (nullopt).
+  ResultCache cache;
+  api::ResultCacheKey key{1, 2, 0, 3};
+  EXPECT_FALSE(cache.initial_delay_ps(key).has_value());
+  cache.store_initial_delay(key, 0.0);
+  ASSERT_TRUE(cache.initial_delay_ps(key).has_value());
+  EXPECT_EQ(*cache.initial_delay_ps(key), 0.0);
+}
+
+namespace {
+// Delegating hook that counts memo traffic — the observable for the
+// zero-delay miss regression below.
+struct CountingCache final : api::ResultCacheHook {
+  ResultCache inner;
+  mutable int memo_queries = 0;
+  mutable int memo_known = 0;
+  int memo_stores = 0;
+
+  api::ResultCacheKey make_key(const api::OptContext& ctx, const Netlist& nl,
+                               const OptimizerConfig& cfg,
+                               const api::PassPipeline& pipeline,
+                               double tc_ps) const override {
+    return inner.make_key(ctx, nl, cfg, pipeline, tc_ps);
+  }
+  bool lookup(const api::ResultCacheKey& key, Netlist& nl,
+              PipelineReport& report) override {
+    return inner.lookup(key, nl, report);
+  }
+  void store(const api::ResultCacheKey& key, const Netlist& nl,
+             const PipelineReport& report) override {
+    inner.store(key, nl, report);
+  }
+  std::optional<double> initial_delay_ps(
+      const api::ResultCacheKey& key) const override {
+    ++memo_queries;
+    const std::optional<double> v = inner.initial_delay_ps(key);
+    if (v) ++memo_known;
+    return v;
+  }
+  void store_initial_delay(const api::ResultCacheKey& key,
+                           double delay_ps) override {
+    ++memo_stores;
+    inner.store_initial_delay(key, delay_ps);
+  }
+};
+}  // namespace
+
+TEST(ResultCache, ZeroInitialDelayIsMemoizedOnce) {
+  // Regression: a degenerate netlist whose critical delay is exactly 0.0
+  // used to never memoize (the store was gated on initial > 0.0), so
+  // every replay re-ran full STA. Both runs still throw — a zero-derived
+  // Tc is invalid — but the second must be served from the memo.
+  OptContext ctx;
+  auto cache = std::make_shared<CountingCache>();
+  ctx.set_result_cache(cache);
+  Optimizer opt(ctx);
+
+  Netlist nl(ctx.lib(), "wire");
+  const netlist::NodeId a = nl.add_input("a");
+  nl.mark_output(a, 10.0);  // PI fed straight to a PO: zero critical delay
+
+  EXPECT_THROW(opt.run_relative(nl, 0.9), std::invalid_argument);
+  EXPECT_EQ(cache->memo_stores, 1) << "0.0 must be stored, not skipped";
+  EXPECT_EQ(cache->memo_known, 0);
+
+  EXPECT_THROW(opt.run_relative(nl, 0.9), std::invalid_argument);
+  EXPECT_EQ(cache->memo_stores, 1) << "replay must not re-measure";
+  EXPECT_EQ(cache->memo_known, 1) << "replay must hit the memo";
 }
 
 TEST(ResultCache, KeyDependsOnInputSizing) {
@@ -608,11 +682,13 @@ TEST(Serialize, PipelineReportRoundTripsFields) {
   EXPECT_EQ(j.find("paths_optimized")->dump(),
             util::Json(r.total_paths_optimized()).dump());
 
-  // The protocol pass entry carries the per-path circuit result.
+  // The protocol pass entry carries the per-path circuit result,
+  // including the round counter of the no-op-spin fix.
   const std::string text = j.dump(0);
   EXPECT_NE(text.find("\"protocol\""), std::string::npos);
   EXPECT_NE(text.find("\"per_path\""), std::string::npos);
   EXPECT_NE(text.find("\"domain\""), std::string::npos);
+  EXPECT_NE(text.find("\"rounds\""), std::string::npos);
 }
 
 TEST(Serialize, SerializationIsDeterministic) {

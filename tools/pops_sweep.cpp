@@ -314,7 +314,10 @@ int run(int argc, char** argv) {
 
   // A point that misses its constraint fails the run (exit 2, distinct
   // from usage/IO errors) unless --allow-unmet: CI scripts assert on the
-  // exit code instead of parsing the report.
+  // exit code instead of parsing the report. "Missed" is the reports'
+  // `met` flag, i.e. the one shared tolerance (core::kTcMetRelTol) the
+  // protocol round loop also stops on — a point cannot iterate as
+  // violating yet count as met here.
   int exit_code = 0;
   if (unmet_points > 0 && !opt.allow_unmet) {
     std::fprintf(stderr,
