@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point: strict build + tests, then an ASan/UBSan job.
-# Usage: scripts/ci.sh [build-dir-prefix]
+# CI entry point: strict build + tests, the determinism lint, then
+# ASan/UBSan and TSan jobs. Usage: scripts/ci.sh [build-dir-prefix]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +21,11 @@ scripts/smoke_serve.sh "${PREFIX}"
 echo "=== job 1d: bench_incremental_sta smoke (valid JSON, incremental <= cold) ==="
 scripts/smoke_bench_incremental.sh "${PREFIX}"
 
+echo "=== job 1e: pops_lint determinism lint over the compiled tree ==="
+# Job 1 exported compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS),
+# so the lint scans exactly the TUs the build compiles.
+tools/pops_lint --compile-commands "${PREFIX}/compile_commands.json"
+
 echo "=== job 2: ASan/UBSan, Debug, full ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DPOPS_WERROR=ON -DPOPS_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=Debug
@@ -33,5 +38,18 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-asan" -N | grep "IncrementalSta\." > /dev/null \
   || { echo "ASan job does not cover the IncrementalSta fuzz tests"; exit 1; }
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}"
+
+echo "=== job 3: TSan, full ctest + concurrency stress suites ==="
+cmake -B "${PREFIX}-tsan" -S . -DPOPS_WERROR=ON -DPOPS_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${PREFIX}-tsan" -j "${JOBS}"
+# The stress suites are the reason this job exists: they provoke the
+# interleavings (shared cache, registry stampede, run_many contention,
+# concurrent sweeps + checkpointing) that TSan needs to observe. Same
+# drain-grep pattern as the ASan coverage assert above.
+ctest --test-dir "${PREFIX}-tsan" -N | grep "ConcurrencyTest\." > /dev/null \
+  || { echo "TSan job does not cover the ConcurrencyTest stress suites"; exit 1; }
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

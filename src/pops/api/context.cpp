@@ -15,6 +15,12 @@ OptContext::OptContext(process::Technology tech,
       rng_seed_(rng_seed) {}
 
 void OptContext::set_delay_model(std::unique_ptr<timing::DelayModel> backend) {
+  util::MutexLock lock(install_mu_);
+  set_delay_model_locked(std::move(backend));
+}
+
+void OptContext::set_delay_model_locked(
+    std::unique_ptr<timing::DelayModel> backend) {
   if (!backend)
     throw std::invalid_argument("OptContext::set_delay_model: null backend");
   if (&backend->lib() != &lib_)
@@ -26,6 +32,18 @@ void OptContext::set_delay_model(std::unique_ptr<timing::DelayModel> backend) {
   // Flimit values are delays of the installed backend; a stale warm cache
   // would silently mix backends.
   flimits_.clear();
+}
+
+bool OptContext::ensure_delay_model(
+    const std::string& selector,
+    const std::function<std::unique_ptr<timing::DelayModel>()>& make) {
+  util::MutexLock lock(install_mu_);
+  if (dm_->selector() == selector) return false;
+  // Building under the lock is deliberate: installs are the cold path,
+  // and releasing the lock between check and install would reopen the
+  // construct-vs-construct race this method exists to close.
+  set_delay_model_locked(make());
+  return true;
 }
 
 void OptContext::warm_flimits() {

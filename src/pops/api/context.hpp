@@ -19,14 +19,17 @@
 // foreign (possibly shorter-lived) library throws instead of dangling.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "pops/core/buffer.hpp"
 #include "pops/liberty/library.hpp"
 #include "pops/process/technology.hpp"
 #include "pops/timing/delay_model.hpp"
 #include "pops/util/rng.hpp"
+#include "pops/util/thread_annotations.hpp"
 
 namespace pops::netlist {
 class Netlist;
@@ -133,9 +136,33 @@ class OptContext {
   /// keep a non-owning library pointer, so a foreign library would leave
   /// it dangling; such installs (and nullptr) throw std::invalid_argument.
   /// Installing a backend clears the Flimit cache (its entries are
-  /// backend-dependent). Not safe while optimizations are in flight on
-  /// this context: workers read dm() without synchronization.
-  void set_delay_model(std::unique_ptr<timing::DelayModel> backend);
+  /// backend-dependent).
+  ///
+  /// The stale-backend contract, in two halves: concurrent *installs*
+  /// (two threads constructing Optimizers on one shared context) are
+  /// serialized by install_mu_ here, so the swap itself is never a data
+  /// race between installers. Install-vs-*run* cannot be a lock — dm()
+  /// readers are the unsynchronized hot path of every STA worker — so
+  /// that half is enforced by (a) Optimizer::ensure_backend_current's
+  /// runtime std::logic_error on every run entry point, and (b) the
+  /// owner of the sharing topology holding its execution lock around
+  /// anything that may install: net::SweepServer's exec_mu_ annotations
+  /// (POPS_REQUIRES) make that discipline a compile-time obligation.
+  void set_delay_model(std::unique_ptr<timing::DelayModel> backend)
+      POPS_EXCLUDES(install_mu_);
+
+  /// Atomic check-and-install: when the installed backend's selector
+  /// already equals `selector`, do nothing; otherwise build a backend
+  /// with `make` and install it — check, build, and swap all under
+  /// install_mu_, so two threads constructing Optimizers with different
+  /// selections on one shared context serialize instead of racing
+  /// between the selector read and the install (the losing selection is
+  /// then caught at run time by Optimizer::ensure_backend_current).
+  /// Returns true when a new backend was installed.
+  bool ensure_delay_model(
+      const std::string& selector,
+      const std::function<std::unique_ptr<timing::DelayModel>()>& make)
+      POPS_EXCLUDES(install_mu_);
 
   core::FlimitTable& flimits() noexcept { return flimits_; }
   const core::FlimitTable& flimits() const noexcept { return flimits_; }
@@ -176,7 +203,14 @@ class OptContext {
   static constexpr std::uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ull;
 
  private:
+  void set_delay_model_locked(std::unique_ptr<timing::DelayModel> backend)
+      POPS_REQUIRES(install_mu_);
+
   liberty::Library lib_;
+  /// Serializes backend installs (set_delay_model). Deliberately NOT a
+  /// GUARDED_BY on dm_: reads are the lock-free hot path, protected by
+  /// the execution discipline documented on set_delay_model instead.
+  mutable util::Mutex install_mu_;
   std::unique_ptr<timing::DelayModel> dm_;
   core::FlimitTable flimits_;
   std::uint64_t rng_seed_;

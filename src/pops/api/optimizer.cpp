@@ -5,13 +5,13 @@
 #include <bit>
 #include <cmath>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
 #include "pops/timing/incremental_sta.hpp"
+#include "pops/util/thread_annotations.hpp"
 
 namespace pops::api {
 
@@ -21,11 +21,13 @@ Optimizer::Optimizer(OptContext& ctx, OptimizerConfig cfg)
   // The config selects the delay-model backend; install it when the
   // context's current backend does not already satisfy the selection
   // (the default config + default context agree on "closed-form", so the
-  // common path never rebuilds or resets anything). Construction-time
-  // only: switching backends while runs are in flight on the context
-  // would race (see OptContext::set_delay_model).
-  if (ctx.dm().selector() != cfg_.delay_model_selector())
-    ctx.set_delay_model(cfg_.make_delay_model(ctx.lib()));
+  // common path never rebuilds or resets anything). The check and the
+  // install are one atomic step under the context's install lock, so
+  // concurrent Optimizer constructions on a shared context serialize.
+  // Construction-time only: switching backends while runs are in flight
+  // on the context would race (see OptContext::set_delay_model).
+  ctx.ensure_delay_model(cfg_.delay_model_selector(),
+                         [&] { return cfg_.make_delay_model(ctx.lib()); });
   pipeline_ = PassPipeline::standard(cfg_);
 }
 
@@ -166,8 +168,13 @@ std::vector<PipelineReport> Optimizer::run_many_impl(
   // Dynamic work queue: circuit sizes vary wildly (c17 .. c7552), so
   // static striping would leave workers idle behind the biggest circuit.
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  // First-error slot shared by the pool, annotated so the worker-side
+  // lock discipline is compiler-checked like every other surface (a
+  // bare local capture could be read unlocked without a diagnostic).
+  struct ErrorSlot {
+    util::Mutex mu;
+    std::exception_ptr first POPS_GUARDED_BY(mu);
+  } error;
 
   auto worker = [&]() {
     for (;;) {
@@ -180,8 +187,8 @@ std::vector<PipelineReport> Optimizer::run_many_impl(
           reports[i] = run_point(nls[i], tc, -1.0);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        util::MutexLock lock(error.mu);
+        if (!error.first) error.first = std::current_exception();
         return;
       }
     }
@@ -194,6 +201,11 @@ std::vector<PipelineReport> Optimizer::run_many_impl(
     pool.reserve(n_threads);
     for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+  std::exception_ptr first_error;
+  {
+    util::MutexLock lock(error.mu);
+    first_error = error.first;
   }
   if (first_error) std::rethrow_exception(first_error);
   return reports;

@@ -27,7 +27,7 @@ void PassRegistry::register_pass(std::string name, Factory factory) {
   if (!factory)
     throw std::invalid_argument("PassRegistry: null factory for '" + name +
                                 "'");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [existing, _] : factories_)
     if (existing == name)
       throw std::invalid_argument("PassRegistry: '" + name +
@@ -36,7 +36,7 @@ void PassRegistry::register_pass(std::string name, Factory factory) {
 }
 
 bool PassRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [existing, _] : factories_)
     if (existing == name) return true;
   return false;
@@ -45,7 +45,7 @@ bool PassRegistry::contains(const std::string& name) const {
 std::vector<std::string> PassRegistry::names() const {
   std::vector<std::string> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     out.reserve(factories_.size());
     for (const auto& [name, _] : factories_) out.push_back(name);
   }
@@ -56,7 +56,7 @@ std::vector<std::string> PassRegistry::names() const {
 std::unique_ptr<Pass> PassRegistry::create(const std::string& name) const {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [existing, f] : factories_)
       if (existing == name) {
         factory = f;

@@ -15,11 +15,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "pops/api/pipeline.hpp"
+#include "pops/util/thread_annotations.hpp"
 
 namespace pops::api {
 
@@ -36,24 +36,29 @@ class PassRegistry {
   /// Register a factory under `name`. The factory must produce passes
   /// whose name() equals `name`. Throws std::invalid_argument on an empty
   /// name or a name already registered. Thread-safe.
-  void register_pass(std::string name, Factory factory);
+  void register_pass(std::string name, Factory factory) POPS_EXCLUDES(mu_);
 
-  bool contains(const std::string& name) const;
+  bool contains(const std::string& name) const POPS_EXCLUDES(mu_);
 
   /// All registered names, sorted (stable across insertion order).
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const POPS_EXCLUDES(mu_);
 
   /// Instantiate the pass registered under `name`. Throws
-  /// std::invalid_argument listing the known names when absent.
-  std::unique_ptr<Pass> create(const std::string& name) const;
+  /// std::invalid_argument listing the known names when absent. The
+  /// factory itself runs outside the lock (it may be arbitrarily slow
+  /// or re-enter the registry).
+  std::unique_ptr<Pass> create(const std::string& name) const
+      POPS_EXCLUDES(mu_);
 
   /// Build a pipeline from an ordered name list. Duplicate names are
   /// rejected by PassPipeline::add; unknown names throw as in create().
   PassPipeline make_pipeline(const std::vector<std::string>& names) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, Factory>> factories_;
+  mutable util::Mutex mu_;
+  /// Registration order (names() sorts a copy); concurrent plugin
+  /// registration and create() calls are serialized by mu_.
+  std::vector<std::pair<std::string, Factory>> factories_ POPS_GUARDED_BY(mu_);
 };
 
 }  // namespace pops::api

@@ -52,19 +52,25 @@ service::CacheLoadReport SweepServer::start() {
 }
 
 void SweepServer::wait() {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
-  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  util::MutexLock lock(shutdown_mu_);
+  while (!shutdown_requested_) shutdown_cv_.wait(shutdown_mu_);
 }
 
 bool SweepServer::wait_for_ms(long ms) {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
-  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(ms),
-                               [this] { return shutdown_requested_; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  util::MutexLock lock(shutdown_mu_);
+  while (!shutdown_requested_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    shutdown_cv_.wait_for(shutdown_mu_, deadline - now);
+  }
+  return true;
 }
 
 void SweepServer::request_shutdown() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    util::MutexLock lock(shutdown_mu_);
     shutdown_requested_ = true;
   }
   shutdown_cv_.notify_all();
@@ -78,16 +84,16 @@ void SweepServer::stop() {
   if (acceptor_.joinable()) acceptor_.join();
 
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Joining under conns_mu_ is deadlock-free: connection threads never
+    // take it (they only flip their own atomic `done` flag), and the
+    // acceptor — the other taker — is already joined above.
+    util::MutexLock lock(conns_mu_);
     for (Connection& conn : conns_)
       if (conn.stream) conn.stream->shutdown_both();
+    for (Connection& conn : conns_)
+      if (conn.thread.joinable()) conn.thread.join();
+    conns_.clear();
   }
-  // Join outside the registry lock: a finishing connection thread takes
-  // conns_mu_ is not needed — threads never erase themselves, so the list
-  // is stable here and joining cannot deadlock.
-  for (Connection& conn : conns_)
-    if (conn.thread.joinable()) conn.thread.join();
-  conns_.clear();
 
   if (!opt_.cache_file.empty()) save_cache();
 }
@@ -100,18 +106,33 @@ std::size_t SweepServer::save_cache() {
   // that backend — set_delay_model is documented unsafe against
   // unsynchronized dm() readers. Serializing saves against sweep
   // execution removes the race and orders concurrent save requests.
-  std::lock_guard<std::mutex> lock(exec_mu_);
+  util::MutexLock lock(exec_mu_);
+  return save_cache_locked();
+}
+
+std::size_t SweepServer::save_cache_locked() {
+  if (opt_.cache_file.empty()) return 0;
   service::save_result_cache_file(*cache_, ctx_, opt_.cache_file);
   return cache_->size();
 }
 
 SweepServerStats SweepServer::stats() const {
   SweepServerStats s;
-  s.connections = n_connections_.load();
-  s.requests = n_requests_.load();
-  s.sweeps = n_sweeps_.load();
-  s.points = n_points_.load();
-  s.errors = n_errors_.load();
+  // Independent counters: relaxed is sufficient — each tracks its own
+  // event stream and nothing downstream infers cross-counter ordering
+  // from them (the composite sweeps/points/cache triple below is the
+  // part with an invariant, published under stats_mu_).
+  s.connections = n_connections_.load(std::memory_order_relaxed);
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.errors = n_errors_.load(std::memory_order_relaxed);
+  util::MutexLock lock(stats_mu_);
+  s.sweeps = n_sweeps_;
+  s.points = n_points_;
+  // Sampled under the same lock that publishes sweeps/points, so the
+  // triple is one instant: a reply never pairs sweep k's count with
+  // sweep k-1's points, and hits+misses only ever run AHEAD of points
+  // (in-flight points touch the cache before they are counted).
+  s.cache = cache_->stats();
   return s;
 }
 
@@ -120,8 +141,8 @@ void SweepServer::accept_loop() {
     Socket peer = listener_.accept();
     if (!peer.valid()) return;  // listener closed (stop())
     if (stopping_.load()) return;
-    n_connections_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    n_connections_.fetch_add(1, std::memory_order_relaxed);
+    util::MutexLock lock(conns_mu_);
     reap_finished_locked();
     conns_.emplace_back();
     Connection& conn = conns_.back();
@@ -132,7 +153,9 @@ void SweepServer::accept_loop() {
 
 void SweepServer::reap_finished_locked() {
   for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->done.load()) {
+    // acquire pairs with the thread's release store: everything the
+    // connection thread did happens-before the join + erase.
+    if (it->done.load(std::memory_order_acquire)) {
       if (it->thread.joinable()) it->thread.join();
       it = conns_.erase(it);
     } else {
@@ -148,12 +171,12 @@ void SweepServer::serve_connection(Connection& conn) {
     while (!stopping_.load() &&
            stream.read_line(line, opt_.max_request_bytes)) {
       if (line.empty()) continue;  // tolerate blank keep-alive lines
-      n_requests_.fetch_add(1);
+      n_requests_.fetch_add(1, std::memory_order_relaxed);
       Request req;
       try {
         req = parse_request(Json::parse(line));
       } catch (const std::exception& e) {
-        n_errors_.fetch_add(1);
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
         stream.write_line(make_error(e.what()).dump(0));
         continue;
       }
@@ -164,7 +187,7 @@ void SweepServer::serve_connection(Connection& conn) {
     // Peer vanished mid-request (broken pipe / oversized line): the
     // connection is over; the sweep state it caused remains valid.
   }
-  conn.done.store(true);
+  conn.done.store(true, std::memory_order_release);
 }
 
 void SweepServer::handle_request(TcpStream& stream, const Request& req) {
@@ -174,15 +197,17 @@ void SweepServer::handle_request(TcpStream& stream, const Request& req) {
   }
   if (req.op == "stats") {
     Json j = make_event("stats");
-    const service::ResultCache::Stats cs = cache_->stats();
-    Json cache = Json::object();
-    cache["hits"] = cs.hits;
-    cache["misses"] = cs.misses;
-    cache["entries"] = cs.entries;
-    cache["evictions"] = cs.evictions;
-    cache["capacity"] = cs.capacity;
-    j["cache"] = std::move(cache);
+    // One coherent snapshot: stats() samples the cache counters under
+    // the same lock that publishes sweeps/points, so a reply taken
+    // mid-sweep is internally consistent.
     const SweepServerStats s = stats();
+    Json cache = Json::object();
+    cache["hits"] = s.cache.hits;
+    cache["misses"] = s.cache.misses;
+    cache["entries"] = s.cache.entries;
+    cache["evictions"] = s.cache.evictions;
+    cache["capacity"] = s.cache.capacity;
+    j["cache"] = std::move(cache);
     j["connections"] = s.connections;
     j["requests"] = s.requests;
     j["sweeps"] = s.sweeps;
@@ -200,7 +225,7 @@ void SweepServer::handle_request(TcpStream& stream, const Request& req) {
       j["path"] = opt_.cache_file;
       stream.write_line(j.dump(0));
     } catch (const std::exception& e) {
-      n_errors_.fetch_add(1);
+      n_errors_.fetch_add(1, std::memory_order_relaxed);
       stream.write_line(make_error(e.what()).dump(0));
     }
     return;
@@ -246,16 +271,23 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
     // One sweep at a time on the shared context: Optimizer construction
     // swaps the context's delay-model backend, which must not happen
     // while another sweep is in flight (see the class comment).
-    std::lock_guard<std::mutex> lock(exec_mu_);
-    report = sweeps_.run(spec, load, sink);
+    util::MutexLock lock(exec_mu_);
+    report = run_sweep_locked(spec, load, sink);
   } catch (const std::exception& e) {
-    n_errors_.fetch_add(1);
-    n_points_.fetch_add(streamed);
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    {
+      util::MutexLock lock(stats_mu_);
+      n_points_ += streamed;
+    }
     stream.write_line(make_error(e.what()).dump(0));
     return;
   }
-  n_sweeps_.fetch_add(1);
-  n_points_.fetch_add(streamed);
+  {
+    // Publish the sweep and its points together (see stats()).
+    util::MutexLock lock(stats_mu_);
+    n_sweeps_ += 1;
+    n_points_ += streamed;
+  }
 
   Json done = make_event("done");
   done["points"] = report.points.size();
@@ -272,7 +304,7 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
   if (!opt_.cache_file.empty() && opt_.checkpoint_every > 0) {
     bool flush = false;
     {
-      std::lock_guard<std::mutex> lock(exec_mu_);
+      util::MutexLock lock(exec_mu_);
       if (++sweeps_since_checkpoint_ >= opt_.checkpoint_every) {
         sweeps_since_checkpoint_ = 0;
         flush = true;
@@ -284,13 +316,20 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
       } catch (const std::exception& e) {
         // Checkpoint failure must not kill the connection: results were
         // already streamed; the next checkpoint retries.
-        n_errors_.fetch_add(1);
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
         stream.write_line(make_error(std::string("checkpoint failed: ") +
                                      e.what())
                               .dump(0));
       }
     }
   }
+}
+
+service::SweepReport SweepServer::run_sweep_locked(
+    const service::SweepSpec& spec,
+    const service::SweepService::CircuitLoader& load,
+    const service::SweepService::RecordSink& sink) {
+  return sweeps_.run(spec, load, sink);
 }
 
 }  // namespace pops::net

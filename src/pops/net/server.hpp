@@ -24,11 +24,9 @@
 // proven bit-identical across thread counts.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -38,6 +36,7 @@
 #include "pops/service/cache_io.hpp"
 #include "pops/service/result_cache.hpp"
 #include "pops/service/sweep.hpp"
+#include "pops/util/thread_annotations.hpp"
 
 namespace pops::net {
 
@@ -59,12 +58,20 @@ struct SweepServerOptions {
 };
 
 /// Aggregate serving counters, snapshot via SweepServer::stats().
+///
+/// The snapshot is internally consistent even when taken mid-sweep:
+/// `sweeps`/`points` are published together with the cache counters
+/// under one lock, so a reply never pairs a completed sweep with the
+/// point or cache totals of the sweep before it (cache hits + misses
+/// can only run *ahead* of `points`, never behind — in-flight points
+/// touch the cache before they are counted).
 struct SweepServerStats {
   std::size_t connections = 0;  ///< accepted so far
   std::size_t requests = 0;     ///< request lines parsed
   std::size_t sweeps = 0;       ///< sweep ops completed
   std::size_t points = 0;       ///< point records streamed
   std::size_t errors = 0;       ///< error events sent
+  service::ResultCache::Stats cache;  ///< same-instant cache counters
 };
 
 class SweepServer {
@@ -81,25 +88,25 @@ class SweepServer {
 
   /// Block until a client's "shutdown" op (or stop() from another
   /// thread).
-  void wait();
+  void wait() POPS_EXCLUDES(shutdown_mu_);
 
   /// wait() with a timeout: returns true when shutdown was requested,
   /// false after `ms` milliseconds — the polling primitive that lets a
   /// tool interleave signal-flag checks (Ctrl-C) with protocol shutdown.
-  bool wait_for_ms(long ms);
+  bool wait_for_ms(long ms) POPS_EXCLUDES(shutdown_mu_);
 
   /// Stop accepting, wake every connection, join all threads, flush the
   /// cache file. Idempotent; called by the destructor.
-  void stop();
+  void stop() POPS_EXCLUDES(conns_mu_, exec_mu_);
 
   /// The actual listening port (after start(); resolves port 0).
   std::uint16_t port() const noexcept { return port_; }
 
   /// Flush the cache to the configured file now. Returns the number of
   /// entries written; 0 with no cache file configured.
-  std::size_t save_cache();
+  std::size_t save_cache() POPS_EXCLUDES(exec_mu_);
 
-  SweepServerStats stats() const;
+  SweepServerStats stats() const POPS_EXCLUDES(stats_mu_);
 
   api::OptContext& context() noexcept { return ctx_; }
   service::ResultCache* cache() const noexcept { return cache_.get(); }
@@ -108,15 +115,33 @@ class SweepServer {
   struct Connection {
     std::unique_ptr<TcpStream> stream;
     std::thread thread;
+    /// Set (release) by the connection thread as its last action; read
+    /// (acquire) by reap_finished_locked before joining, so everything
+    /// the thread wrote happens-before the reap.
     std::atomic<bool> done{false};
   };
 
-  void accept_loop();
+  void accept_loop() POPS_EXCLUDES(conns_mu_);
   void serve_connection(Connection& conn);
   void handle_request(TcpStream& stream, const Request& req);
-  void run_sweep(TcpStream& stream, const Request& req);
-  void request_shutdown();
-  void reap_finished_locked();
+  void run_sweep(TcpStream& stream, const Request& req)
+      POPS_EXCLUDES(exec_mu_, stats_mu_);
+  /// The sweep itself. exec_mu_ is required because SweepService::run
+  /// constructs Optimizers, and Optimizer construction may install the
+  /// spec's delay-model backend on the shared ctx_
+  /// (OptContext::set_delay_model) — which must never overlap another
+  /// sweep's dm() readers or a cache save archiving the backend selector.
+  service::SweepReport run_sweep_locked(
+      const service::SweepSpec& spec,
+      const service::SweepService::CircuitLoader& load,
+      const service::SweepService::RecordSink& sink) POPS_REQUIRES(exec_mu_);
+  /// Archives the cache file. Same capability as run_sweep_locked:
+  /// archiving reads ctx_.dm() (the file header's selector), which a
+  /// concurrent sweep's Optimizer construction may swap — the
+  /// checkpoint-vs-backend-swap interplay.
+  std::size_t save_cache_locked() POPS_REQUIRES(exec_mu_);
+  void request_shutdown() POPS_EXCLUDES(shutdown_mu_);
+  void reap_finished_locked() POPS_REQUIRES(conns_mu_);
 
   SweepServerOptions opt_;
   api::OptContext ctx_;
@@ -128,23 +153,37 @@ class SweepServer {
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex conns_mu_;
-  std::list<Connection> conns_;
+  /// Guards the connection registry: accept_loop appends, stop() tears
+  /// down, reap_finished_locked erases. Connection threads never take
+  /// it (they only flip their own `done` flag), so joining them while
+  /// holding it cannot deadlock.
+  util::Mutex conns_mu_;
+  std::list<Connection> conns_ POPS_GUARDED_BY(conns_mu_);
 
   /// Serializes sweep execution on the shared context (see file header)
   /// AND cache-file saves: archiving reads ctx_.dm(), which a sweep's
   /// Optimizer construction may swap.
-  std::mutex exec_mu_;
-  std::size_t sweeps_since_checkpoint_ = 0;  ///< guarded by exec_mu_
+  util::Mutex exec_mu_;
+  std::size_t sweeps_since_checkpoint_ POPS_GUARDED_BY(exec_mu_) = 0;
 
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
+  util::Mutex shutdown_mu_;
+  util::CondVar shutdown_cv_;
+  bool shutdown_requested_ POPS_GUARDED_BY(shutdown_mu_) = false;
 
+  /// Publishes the per-sweep composite (sweeps + their streamed points)
+  /// atomically with respect to stats(), which also samples the cache
+  /// counters under this lock — the coherence contract documented on
+  /// SweepServerStats. Never held while computing (taken after a sweep
+  /// completes), so stats replies stay wait-free in practice mid-sweep.
+  mutable util::Mutex stats_mu_;
+  std::size_t n_sweeps_ POPS_GUARDED_BY(stats_mu_) = 0;
+  std::size_t n_points_ POPS_GUARDED_BY(stats_mu_) = 0;
+
+  // Independent monotonic counters: each is bumped by exactly one event
+  // with no invariant tying it to the others, so relaxed atomics suffice
+  // (stats() documents the ordering it does and does not promise).
   std::atomic<std::size_t> n_connections_{0};
   std::atomic<std::size_t> n_requests_{0};
-  std::atomic<std::size_t> n_sweeps_{0};
-  std::atomic<std::size_t> n_points_{0};
   std::atomic<std::size_t> n_errors_{0};
 };
 

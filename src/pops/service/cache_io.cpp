@@ -511,6 +511,9 @@ CacheLoadReport load_result_cache(ResultCache& cache, api::OptContext& ctx,
   }
 
   CacheLoadReport out;
+  // Re-binding persisted entries to the loading context's live identity
+  // (mirrors ResultCache::make_key).
+  // pops-lint: allow(address-identity)
   const std::uint64_t ctx_bits = reinterpret_cast<std::uintptr_t>(&ctx);
   const std::vector<Json>& entries = array(doc, "entries");
   for (std::size_t i = 0; i < entries.size(); ++i) {

@@ -151,6 +151,8 @@ api::ResultCacheKey ResultCache::make_key(const api::OptContext& ctx,
   // member deterministically derived from it, and the caller holds a
   // live context at this address — so an address-reusing hit
   // dereferences a live, bit-identical library.
+  // Deliberately process-local; persistence strips and re-binds it.
+  // pops-lint: allow(address-identity)
   key.ctx_bits = reinterpret_cast<std::uintptr_t>(&ctx);
   return key;
 }
@@ -159,7 +161,7 @@ bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
                          api::PipelineReport& report) {
   std::shared_ptr<const Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
@@ -180,7 +182,7 @@ void ResultCache::store(const api::ResultCacheKey& key,
                         const netlist::Netlist& nl,
                         const api::PipelineReport& report) {
   auto entry = std::make_shared<const Entry>(Entry{report, nl});
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   store_locked(key, std::move(entry));
 }
 
@@ -211,7 +213,7 @@ std::optional<double> ResultCache::initial_delay_ps(
     const api::ResultCacheKey& key) const {
   api::ResultCacheKey memo_key = key;
   memo_key.tc_bits = 0;  // the initial delay precedes any constraint
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = initial_delays_.find(memo_key);
   if (it == initial_delays_.end()) return std::nullopt;
   return it->second;
@@ -221,30 +223,30 @@ void ResultCache::store_initial_delay(const api::ResultCacheKey& key,
                                       double delay_ps) {
   api::ResultCacheKey memo_key = key;
   memo_key.tc_bits = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (!initial_delays_.try_emplace(memo_key, delay_ps).second) return;
   initial_delay_order_.push_back(memo_key);
   evict_over_capacity_locked();
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return Stats{hits_, misses_, map_.size(), evictions_, capacity_};
 }
 
 void ResultCache::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   capacity_ = capacity;
   evict_over_capacity_locked();
 }
 
 std::size_t ResultCache::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return capacity_;
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
   initial_delays_.clear();
@@ -266,7 +268,7 @@ void ResultCache::for_each_entry(
   std::vector<std::pair<api::ResultCacheKey, std::shared_ptr<const Entry>>>
       snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     snapshot.reserve(lru_.size());
     for (const api::ResultCacheKey& key : lru_)
       snapshot.emplace_back(key, map_.at(key).entry);
@@ -279,7 +281,7 @@ void ResultCache::for_each_initial_delay(
     const std::function<void(const api::ResultCacheKey&, double)>& fn) const {
   std::vector<std::pair<api::ResultCacheKey, double>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     snapshot.reserve(initial_delay_order_.size());
     for (const api::ResultCacheKey& key : initial_delay_order_)
       snapshot.emplace_back(key, initial_delays_.at(key));

@@ -26,13 +26,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "pops/api/context.hpp"
 #include "pops/api/pipeline.hpp"
 #include "pops/netlist/netlist.hpp"
+#include "pops/util/thread_annotations.hpp"
 
 namespace pops::service {
 
@@ -66,35 +66,35 @@ class ResultCache final : public api::ResultCacheHook {
                                double tc_ps) const override;
 
   bool lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
-              api::PipelineReport& report) override;
+              api::PipelineReport& report) override POPS_EXCLUDES(mu_);
 
   void store(const api::ResultCacheKey& key, const netlist::Netlist& nl,
-             const api::PipelineReport& report) override;
+             const api::PipelineReport& report) override POPS_EXCLUDES(mu_);
 
   /// Initial-delay memo keyed by (circuit_hash, config_hash) — tc_bits is
   /// ignored, the initial delay precedes any constraint. Any stored value
   /// (including 0.0) is returned; nullopt means "never stored". Not
   /// counted in hits/misses (those track full result replays).
   std::optional<double> initial_delay_ps(
-      const api::ResultCacheKey& key) const override;
+      const api::ResultCacheKey& key) const override POPS_EXCLUDES(mu_);
   void store_initial_delay(const api::ResultCacheKey& key,
-                           double delay_ps) override;
+                           double delay_ps) override POPS_EXCLUDES(mu_);
 
   // ----- introspection --------------------------------------------------------
 
-  Stats stats() const;
+  Stats stats() const POPS_EXCLUDES(mu_);
   std::size_t hits() const { return stats().hits; }
   std::size_t misses() const { return stats().misses; }
   std::size_t size() const { return stats().entries; }
 
   /// Change the LRU bound; 0 = unbounded. Shrinking below the resident
   /// count evicts the excess least-recently-used entries immediately.
-  void set_capacity(std::size_t capacity);
-  std::size_t capacity() const;
+  void set_capacity(std::size_t capacity) POPS_EXCLUDES(mu_);
+  std::size_t capacity() const POPS_EXCLUDES(mu_);
 
   /// Drop all entries and reset the counters. Safe for concurrent calls
   /// (in-flight lookups hold shared ownership of their entry).
-  void clear();
+  void clear() POPS_EXCLUDES(mu_);
 
   // ----- persistence support (service/cache_io.hpp) ---------------------------
 
@@ -106,9 +106,11 @@ class ResultCache final : public api::ResultCacheHook {
   void for_each_entry(
       const std::function<void(const api::ResultCacheKey&,
                                const netlist::Netlist&,
-                               const api::PipelineReport&)>& fn) const;
+                               const api::PipelineReport&)>& fn) const
+      POPS_EXCLUDES(mu_);
   void for_each_initial_delay(
-      const std::function<void(const api::ResultCacheKey&, double)>& fn) const;
+      const std::function<void(const api::ResultCacheKey&, double)>& fn) const
+      POPS_EXCLUDES(mu_);
 
   // ----- hashing building blocks (exposed for tests) --------------------------
 
@@ -155,18 +157,26 @@ class ResultCache final : public api::ResultCacheHook {
   };
 
   void store_locked(const api::ResultCacheKey& key,
-                    std::shared_ptr<const Entry> entry);
-  void evict_over_capacity_locked();
+                    std::shared_ptr<const Entry> entry) POPS_REQUIRES(mu_);
+  void evict_over_capacity_locked() POPS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<api::ResultCacheKey, Slot, KeyHash> map_;
-  std::list<api::ResultCacheKey> lru_;  ///< front = most recently used
-  std::unordered_map<api::ResultCacheKey, double, KeyHash> initial_delays_;
-  std::list<api::ResultCacheKey> initial_delay_order_;  ///< FIFO, front = oldest
-  std::size_t capacity_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
+  // mu_ guards the whole mutable state: the entry map + its LRU order,
+  // the initial-delay memo + its FIFO order, the capacity bound, and the
+  // hit/miss/eviction counters. Compiler-checked (POPS_GUARDED_BY): an
+  // access outside the lock is a -Wthread-safety error under Clang.
+  mutable util::Mutex mu_;
+  std::unordered_map<api::ResultCacheKey, Slot, KeyHash> map_
+      POPS_GUARDED_BY(mu_);
+  /// front = most recently used
+  std::list<api::ResultCacheKey> lru_ POPS_GUARDED_BY(mu_);
+  std::unordered_map<api::ResultCacheKey, double, KeyHash> initial_delays_
+      POPS_GUARDED_BY(mu_);
+  /// FIFO, front = oldest
+  std::list<api::ResultCacheKey> initial_delay_order_ POPS_GUARDED_BY(mu_);
+  std::size_t capacity_ POPS_GUARDED_BY(mu_) = 0;
+  std::size_t hits_ POPS_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ POPS_GUARDED_BY(mu_) = 0;
+  std::size_t evictions_ POPS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pops::service

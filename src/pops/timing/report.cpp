@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "pops/util/fmt.hpp"
 #include "pops/util/table.hpp"
 
 namespace pops::timing {
@@ -107,10 +108,8 @@ std::string report_slack_histogram(const Netlist& nl, const Sta& sta,
   out << "Endpoint slack histogram (" << values.size() << " endpoints):\n";
   for (int b = 0; b < buckets; ++b) {
     const double from = lo + b * width;
-    char label[64];
-    std::snprintf(label, sizeof label, "%9.1f .. %9.1f ps |", from,
-                  from + width);
-    out << label;
+    out << util::fixed(from, 1, 9) << " .. " << util::fixed(from + width, 1, 9)
+        << " ps |";
     const int bar =
         peak > 0 ? count[static_cast<std::size_t>(b)] * 40 / peak : 0;
     for (int i = 0; i < bar; ++i) out << '#';

@@ -1,7 +1,8 @@
 #include "pops/util/csv.hpp"
 
-#include <cstdio>
 #include <stdexcept>
+
+#include "pops/util/fmt.hpp"
 
 namespace pops::util {
 
@@ -31,11 +32,7 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
 void CsvWriter::row(const std::vector<double>& cells, int digits) {
   std::vector<std::string> text;
   text.reserve(cells.size());
-  char buf[64];
-  for (double v : cells) {
-    std::snprintf(buf, sizeof buf, "%.*g", digits, v);
-    text.emplace_back(buf);
-  }
+  for (double v : cells) text.emplace_back(general(v, digits));
   row(text);
 }
 

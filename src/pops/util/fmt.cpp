@@ -1,0 +1,43 @@
+#include "pops/util/fmt.hpp"
+
+#include <charconv>
+#include <system_error>
+
+namespace pops::util {
+
+namespace {
+
+std::string to_chars_str(double v, std::chars_format fmt, int precision) {
+  // 64 covers fixed notation of any double with sane precisions; the
+  // ec check catches the pathological ones (huge precision + huge
+  // magnitude) instead of returning truncated digits.
+  char buf[64];
+  const std::to_chars_result r =
+      std::to_chars(buf, buf + sizeof buf, v, fmt, precision);
+  if (r.ec != std::errc{}) {
+    char big[1088];  // 1024-char max fixed double + precision + slack
+    const std::to_chars_result r2 =
+        std::to_chars(big, big + sizeof big, v, fmt, precision);
+    return std::string(big, r2.ptr);
+  }
+  return std::string(buf, r.ptr);
+}
+
+}  // namespace
+
+std::string fixed(double v, int precision) {
+  return to_chars_str(v, std::chars_format::fixed, precision);
+}
+
+std::string fixed(double v, int precision, int width) {
+  std::string s = fixed(v, precision);
+  if (s.size() < static_cast<std::size_t>(width))
+    s.insert(0, static_cast<std::size_t>(width) - s.size(), ' ');
+  return s;
+}
+
+std::string general(double v, int precision) {
+  return to_chars_str(v, std::chars_format::general, precision);
+}
+
+}  // namespace pops::util

@@ -1,0 +1,33 @@
+#pragma once
+// Locale-independent numeric formatting.
+//
+// The printf family ("%f", "%g") and std::to_string(double) spell the
+// decimal separator per the process locale: a host running under de_DE
+// prints "3,14", silently corrupting anything machine-parsed (liberty
+// tables, CSV) and making byte-level goldens locale-dependent. Every
+// float that leaves the library as text goes through these helpers
+// instead — they are built on std::to_chars, which is specified to
+// format as printf would under the "C" locale, always. util::Json has
+// its own shortest-round-trip variant (Json::number_to_string); this
+// header covers the fixed/general-precision styles reports and writers
+// need. The determinism lint (tools/pops_lint) rejects printf float
+// conversions anywhere else in src/.
+
+#include <string>
+
+namespace pops::util {
+
+/// `v` in fixed notation with exactly `precision` digits after the
+/// decimal point — what "%.<precision>f" prints under the "C" locale.
+std::string fixed(double v, int precision);
+
+/// fixed(), right-aligned with spaces to at least `width` characters
+/// ("%<width>.<precision>f").
+std::string fixed(double v, int precision, int width);
+
+/// `v` in general notation with `precision` significant digits,
+/// trailing zeros trimmed — what "%.<precision>g" prints under the "C"
+/// locale.
+std::string general(double v, int precision);
+
+}  // namespace pops::util

@@ -1,9 +1,10 @@
 #include "pops/util/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
+
+#include "pops/util/fmt.hpp"
 
 namespace pops::util {
 
@@ -68,15 +69,11 @@ std::string Table::str() const {
 }
 
 std::string fmt(double value, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
-  return buf;
+  return fixed(value, digits);
 }
 
 std::string fmt_percent(double fraction, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
-  return buf;
+  return fixed(fraction * 100.0, digits) + "%";
 }
 
 }  // namespace pops::util

@@ -1,0 +1,162 @@
+#pragma once
+// Clang Thread Safety Analysis support for the concurrent sweep stack.
+//
+// Every locking invariant in this codebase used to live in comments
+// ("guarded by mu_", "requires exec_mu_"). These macros turn those
+// comments into declarations the compiler checks: under Clang with
+// -Wthread-safety (the CI clang job builds with it promoted to an
+// error), reading a POPS_GUARDED_BY(mu_) member without holding mu_,
+// or calling a POPS_REQUIRES(mu_) function outside the lock, fails the
+// build. Under GCC (which has no such analysis) every macro expands to
+// nothing, so the annotated tree builds identically.
+//
+// libstdc++'s std::mutex carries no capability attribute, so it cannot
+// appear in these annotations directly. util::Mutex wraps it as an
+// annotated capability (same layout, same cost — the wrapper is just
+// attribute carrier plus forwarding), util::MutexLock is the annotated
+// scoped guard, and util::CondVar is a condition variable that waits on
+// a util::Mutex (std::condition_variable_any over the BasicLockable
+// surface). Use them wherever a mutex guards data the analysis should
+// check; the annotation vocabulary:
+//
+//   util::Mutex mu_;
+//   int counter_ POPS_GUARDED_BY(mu_);        // access requires mu_
+//   void bump_locked() POPS_REQUIRES(mu_);    // caller must hold mu_
+//   void bump() POPS_EXCLUDES(mu_);           // caller must NOT hold mu_
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// (the macro set below is the documented mutex.h vocabulary with a
+// POPS_ prefix).
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define POPS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef POPS_THREAD_ANNOTATION
+#define POPS_THREAD_ANNOTATION(x)  // no-op: GCC / MSVC / old Clang
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+#define POPS_CAPABILITY(x) POPS_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII type that acquires a capability in its
+/// constructor and releases it in its destructor.
+#define POPS_SCOPED_CAPABILITY POPS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member: access requires holding the named capability.
+#define POPS_GUARDED_BY(x) POPS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: dereferencing requires holding the named capability
+/// (the pointer itself may be read freely).
+#define POPS_PT_GUARDED_BY(x) POPS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function: the caller must hold the capability (exclusively).
+#define POPS_REQUIRES(...) \
+  POPS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function: the caller must hold the capability at least shared.
+#define POPS_REQUIRES_SHARED(...) \
+  POPS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function: acquires the capability (caller must not already hold it).
+#define POPS_ACQUIRE(...) \
+  POPS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function: releases the capability (caller must hold it).
+#define POPS_RELEASE(...) \
+  POPS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function: acquires the capability when returning the given value.
+#define POPS_TRY_ACQUIRE(...) \
+  POPS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function: the caller must NOT hold the capability (the function
+/// acquires it itself; holding it would deadlock or double-lock).
+#define POPS_EXCLUDES(...) POPS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function: returns a reference to the named capability.
+#define POPS_RETURN_CAPABILITY(x) POPS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Lock-ordering declaration between capabilities (deadlock detection).
+#define POPS_ACQUIRED_BEFORE(...) \
+  POPS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define POPS_ACQUIRED_AFTER(...) \
+  POPS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: disable the analysis for one function. Use only with a
+/// comment explaining why the invariant holds anyway.
+#define POPS_NO_THREAD_SAFETY_ANALYSIS \
+  POPS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pops::util {
+
+/// std::mutex as an annotated capability. Drop-in for members that guard
+/// POPS_GUARDED_BY data; lock()/unlock() carry the acquire/release
+/// attributes so both manual locking and MutexLock are analyzed.
+class POPS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() POPS_ACQUIRE() { mu_.lock(); }
+  void unlock() POPS_RELEASE() { mu_.unlock(); }
+  bool try_lock() POPS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a util::Mutex, annotated so the analysis knows
+/// the capability is held for the guard's scope.
+class POPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) POPS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() POPS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. The wait overloads take
+/// the Mutex the caller already holds (enforced by POPS_REQUIRES), park
+/// on it, and return with it re-held — so guarded predicate reads in the
+/// caller stay inside the analyzed critical section:
+///
+///   util::MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(mu_);   // ready_ POPS_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) POPS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // still locked: ownership returns to the caller
+  }
+
+  /// Returns std::cv_status::timeout when `dur` elapsed first.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      POPS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, dur);
+    lock.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pops::util
