@@ -17,7 +17,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <vector>
 
 #include "common.hpp"
@@ -115,13 +114,5 @@ int main(int argc, char** argv) {
   doc["bench"] = "backend_parity";
   backend_parity(doc);
 
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_backend_parity.json";
-  std::ofstream out(json_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  out << doc.dump(2) << "\n";
-  std::printf("\nJSON timings written to %s\n", json_path);
-  return 0;
+  return bench_common::write_bench_json(argc, argv, "backend_parity", doc);
 }

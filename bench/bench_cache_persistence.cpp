@@ -14,7 +14,6 @@
 // Emits BENCH_cache_persistence.json for cross-PR perf tracking.
 
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <vector>
 
@@ -107,12 +106,9 @@ void run(util::Json& doc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::Json doc = util::Json::object();
   doc["bench"] = "cache_persistence";
   run(doc);
-  std::ofstream out("BENCH_cache_persistence.json");
-  out << doc.dump(2) << "\n";
-  std::printf("\nwrote BENCH_cache_persistence.json\n");
-  return 0;
+  return bench_common::write_bench_json(argc, argv, "cache_persistence", doc);
 }

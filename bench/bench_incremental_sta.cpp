@@ -15,7 +15,6 @@
 // for the smallest dirty set.
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -133,13 +132,5 @@ int main(int argc, char** argv) {
   doc["bench"] = "incremental_sta";
   incremental_sta(doc);
 
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_incremental_sta.json";
-  std::ofstream out(json_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  out << doc.dump(2) << "\n";
-  std::printf("\nJSON timings written to %s\n", json_path);
-  return 0;
+  return bench_common::write_bench_json(argc, argv, "incremental_sta", doc);
 }

@@ -13,7 +13,6 @@
 //     multi-worker batch faster on multi-core hosts.
 
 #include <cstdio>
-#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -146,13 +145,5 @@ int main(int argc, char** argv) {
   technology_scaling(doc);
   batch_scaling(doc);
 
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_scaling_nodes.json";
-  std::ofstream out(json_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  out << doc.dump(2) << "\n";
-  std::printf("\nJSON timings written to %s\n", json_path);
-  return 0;
+  return bench_common::write_bench_json(argc, argv, "scaling_nodes", doc);
 }

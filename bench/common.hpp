@@ -4,15 +4,17 @@
 // POPS does it (STA -> most critical PI->PO path -> bounded path with
 // frozen off-path loads).
 
-#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "pops/api/api.hpp"
 #include "pops/core/protocol.hpp"
 #include "pops/netlist/benchmarks.hpp"
+#include "pops/obs/clock.hpp"
 #include "pops/timing/sta.hpp"
+#include "pops/util/json.hpp"
 #include "pops/util/table.hpp"
 
 namespace bench_common {
@@ -60,12 +62,30 @@ inline const std::vector<std::string>& paper_circuit_names() {
 
 /// Milliseconds spent in `fn` (single shot; the workloads here are large
 /// enough that one run is representative, mirroring the paper's Table 1).
+/// Clocked through obs — the one blessed clock reader — like every other
+/// measurement in the tree.
 template <typename Fn>
 double time_ms(Fn&& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const pops::obs::StopWatch watch;
   fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return watch.elapsed_ms();
+}
+
+/// Write a bench's BENCH_<name>.json artifact (cross-PR perf tracking):
+/// argv[1] overrides the default path. Returns the process exit code so
+/// mains can `return write_bench_json(...)`.
+inline int write_bench_json(int argc, char** argv, const char* name,
+                            const pops::util::Json& doc) {
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("BENCH_") + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("\nJSON timings written to %s\n", path.c_str());
+  return 0;
 }
 
 /// Print a standard bench header.

@@ -26,6 +26,9 @@ echo "=== job 1e: pops_lint determinism lint over the compiled tree ==="
 # so the lint scans exactly the TUs the build compiles.
 tools/pops_lint --compile-commands "${PREFIX}/compile_commands.json"
 
+echo "=== job 1f: trace smoke (pops_sweep --trace -> Chrome JSON -> pops_profile) ==="
+scripts/smoke_trace.sh "${PREFIX}"
+
 echo "=== job 2: ASan/UBSan, Debug, full ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DPOPS_WERROR=ON -DPOPS_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=Debug

@@ -4,8 +4,9 @@
 # valid JSONL whose records carry the expected schema, (b) a resubmission
 # over a NEW connection is served from the shared cache, (c) after a full
 # daemon restart the same spec is served entirely from the PERSISTED
-# cache, bit-identical modulo the from_cache flag, and (d) the control
-# ops (ping/stats/shutdown) answer and shut the daemon down cleanly.
+# cache — with --no-runtimes the streams compare byte-for-byte, no
+# scrubbing — and (d) the control ops (ping/stats/metrics/shutdown)
+# answer and shut the daemon down cleanly.
 # Shared by scripts/ci.sh and the GitHub workflow so the fixture and the
 # assertions cannot drift.
 # Usage: scripts/smoke_serve.sh <build-dir>
@@ -78,10 +79,20 @@ assert len(run1) == 2 and len(run2) == 2, (len(run1), len(run2))
 for p in run1 + run2:
     assert p["circuit"] == "c17"
     assert "final_delay_ps" in p["report"]
-assert not any(p["report"]["from_cache"] for p in run1), "cold run must compute"
-assert all(p["report"]["from_cache"] for p in run2), "resubmission must hit"
+cold = [p["report"]["measured"]["from_cache"] for p in run1]
+warm = [p["report"]["measured"]["from_cache"] for p in run2]
+assert not any(cold), "cold run must compute"
+assert all(warm), "resubmission must hit"
 print("serve smoke OK: cold run computed, resubmission served from cache")
 PY
+
+# A --no-runtimes stream drops the run-dependent 'measured' section, so
+# later replays can be compared byte-for-byte with cmp — no scrubbing.
+"${BUILD_DIR}/pops_serve" client --port "${PORT}" --tc 0.9,1.0 --allow-unmet \
+    --no-runtimes "${SMOKE_DIR}/c17.bench" > "${SMOKE_DIR}/run_exact1.jsonl"
+grep -q '"measured"' "${SMOKE_DIR}/run_exact1.jsonl" && {
+  echo "--no-runtimes stream must not carry a measured section"; exit 1
+}
 stop_daemon
 test -s "${CACHE}" || { echo "cache file was not written"; exit 1; }
 
@@ -92,29 +103,28 @@ grep -q "2 entries" "${SMOKE_DIR}/serve.err" || {
   exit 1
 }
 "${BUILD_DIR}/pops_serve" client --port "${PORT}" --tc 0.9,1.0 --allow-unmet \
-    "${SMOKE_DIR}/c17.bench" > "${SMOKE_DIR}/run3.jsonl" \
+    --no-runtimes "${SMOKE_DIR}/c17.bench" > "${SMOKE_DIR}/run_exact3.jsonl" \
     2> "${SMOKE_DIR}/run3.err"
 grep -q "cache 2 hits / 0 misses" "${SMOKE_DIR}/run3.err" || {
   echo "warm restart was not served from the persisted cache"
   cat "${SMOKE_DIR}/run3.err"; exit 1
 }
 
-python3 - "${SMOKE_DIR}/run1.jsonl" "${SMOKE_DIR}/run3.jsonl" <<'PY'
-import json, sys
-def scrub(path):
-    out = []
-    for line in open(path):
-        p = json.loads(line)
-        p["report"]["from_cache"] = False
-        out.append(json.dumps(p, sort_keys=True))
-    return out
-run1, run3 = scrub(sys.argv[1]), scrub(sys.argv[2])
-assert run1 == run3, "restart replay must be identical modulo from_cache"
-print("serve smoke OK: warm restart replayed the persisted cache verbatim")
-PY
+cmp "${SMOKE_DIR}/run_exact1.jsonl" "${SMOKE_DIR}/run_exact3.jsonl" || {
+  echo "restart replay must be byte-identical to the pre-restart stream"
+  exit 1
+}
+echo "serve smoke OK: warm restart replayed the persisted cache byte-exact"
 
 "${BUILD_DIR}/pops_serve" client --port "${PORT}" --stats \
     | python3 -c 'import json,sys; s=json.load(sys.stdin); \
 assert s["event"]=="stats" and s["cache"]["entries"]==2, s; print("stats OK:", s["cache"])'
+
+"${BUILD_DIR}/pops_serve" client --port "${PORT}" --metrics \
+    | python3 -c 'import json,sys; m=json.load(sys.stdin); \
+assert m["event"]=="metrics", m; \
+assert m["counters"]["net.requests"] > 0, m["counters"]; \
+assert m["counters"]["cache.hits"] >= 2, m["counters"]; \
+print("metrics OK:", {k: m["counters"][k] for k in ("net.requests", "cache.hits")})'
 stop_daemon
 echo "pops_serve smoke OK"

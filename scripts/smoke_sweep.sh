@@ -63,7 +63,7 @@ assert all(len(s["points"]) == 3 for s in report["sweeps"])
 assert report["sweeps"][1]["cache"]["hits"] > 0, "repeat run must hit the cache"
 first, second = (s["points"] for s in report["sweeps"])
 for a, b in zip(first, second):
-    assert b["report"]["from_cache"]
+    assert b["report"]["measured"]["from_cache"]
     assert a["report"]["final_delay_ps"] == b["report"]["final_delay_ps"]
     assert a["report"]["final_area_um"] == b["report"]["final_area_um"]
 print("pops_sweep smoke OK:", len(first), "points, cache hits on repeat")

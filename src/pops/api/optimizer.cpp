@@ -10,6 +10,8 @@
 #include <string>
 #include <thread>
 
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/timing/incremental_sta.hpp"
 #include "pops/util/thread_annotations.hpp"
 
@@ -54,6 +56,11 @@ void Optimizer::ensure_backend_current() const {
 PipelineReport Optimizer::run_point(netlist::Netlist& nl, double tc_ps,
                                     double initial_delay) const {
   ensure_backend_current();
+  static const obs::Registry::Counter points =
+      obs::Registry::global().counter("optimizer.points");
+  points.add();
+  obs::Span span("optimizer/point");
+  span.arg("tc_ps", tc_ps);
   ResultCacheHook* cache = ctx_->result_cache();
   // Invalid Tc must throw (from pipeline.run) without polluting the
   // cache's miss counter.
@@ -91,6 +98,11 @@ double Optimizer::initial_delay_ps(const netlist::Netlist& nl) const {
 PipelineReport Optimizer::run_relative_point(netlist::Netlist& nl,
                                              double tc_ratio) const {
   ensure_backend_current();
+  static const obs::Registry::Counter points =
+      obs::Registry::global().counter("optimizer.points");
+  points.add();
+  obs::Span span("optimizer/point");
+  span.arg("tc_ratio", tc_ratio);
   ResultCacheHook* cache = ctx_->result_cache();
   if (!cache) {
     // One STA both derives Tc and seeds the report's initial delay.
@@ -163,6 +175,10 @@ std::vector<PipelineReport> Optimizer::run_many_impl(
   }
   n_threads = std::min(n_threads, nls.size());
 
+  obs::Span batch("run_many/batch");
+  batch.arg("circuits", static_cast<double>(nls.size()));
+  batch.arg("threads", static_cast<double>(n_threads));
+
   std::vector<PipelineReport> reports(nls.size());
 
   // Dynamic work queue: circuit sizes vary wildly (c17 .. c7552), so
@@ -180,6 +196,8 @@ std::vector<PipelineReport> Optimizer::run_many_impl(
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= nls.size()) return;
+      obs::Span task("run_many/task");
+      task.arg("circuit", static_cast<double>(i));
       try {
         if (relative) {
           reports[i] = run_relative_point(nls[i], tc);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "pops/core/netopt.hpp"
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/timing/incremental_sta.hpp"
 #include "pops/timing/path.hpp"
 #include "pops/timing/sta.hpp"
@@ -70,11 +72,22 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
   const double input_slew =
       opt.pi_slew_ps > 0.0 ? opt.pi_slew_ps : dm.default_input_slew_ps();
 
+  static const obs::Registry::Counter rounds_total =
+      obs::Registry::global().counter("protocol.rounds");
+
   const timing::StaResult* result = &sta.run_full();
   for (int round = 0; round < opt.max_rounds; ++round) {
     // Same predicate as `met` below (kTcMetRelTol): a point at the
     // boundary must not iterate as "violating" yet report met=true.
     if (core::tc_met(result->critical_delay_ps, tc_ps)) break;
+
+    obs::Span round_span("protocol/round");
+    if (round_span.active()) {
+      // Entry-side Tc gap and power proxy (total width tracks the
+      // paper's dynamic-power objective); computed only when tracing.
+      round_span.arg("slack_ps", tc_ps - result->critical_delay_ps);
+      round_span.arg("area_um", nl.total_width_um());
+    }
 
     // Tighten per-path targets round by round: resizing one path loads its
     // neighbours, so a straight Tc target leaves residual violations.
@@ -107,6 +120,8 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
       ++out.paths_optimized;
     }
     ++out.rounds;
+    rounds_total.add();
+    round_span.arg("resized", static_cast<double>(resized.size()));
     if (!any_change) {
       // No drive moved. If every enumerated path was already processed
       // (none skipped as fast-enough), further rounds would replay the

@@ -1,10 +1,11 @@
 #include "pops/api/pipeline.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
 #include "pops/api/passes.hpp"
 #include "pops/core/protocol.hpp"
+#include "pops/obs/clock.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/timing/sta.hpp"
 
 namespace pops::api {
@@ -110,15 +111,16 @@ PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
     rep.delay_before_ps = delay;
     rep.area_before_um = nl.total_width_um();
 
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span("pass/", pass->name());
+    const obs::StopWatch watch;
     pass->run(nl, ctx, cfg, tc_ps, rep);
-    const auto t1 = std::chrono::steady_clock::now();
+    rep.runtime_ms = watch.elapsed_ms();
 
-    rep.runtime_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
     delay = critical_delay_ps(nl, ctx, cfg);
     rep.delay_after_ps = delay;
     rep.area_after_um = nl.total_width_um();
+    span.arg("delay_after_ps", rep.delay_after_ps);
+    span.arg("area_after_um", rep.area_after_um);
     out.passes.push_back(std::move(rep));
   }
 

@@ -33,8 +33,9 @@ Json SweepClient::control(const std::string& op) {
 SweepSummary SweepClient::submit(const service::SweepSpec& spec,
                                  const PointSink& on_point,
                                  const std::map<std::string, std::string>& bench,
-                                 double po_load_ff) {
-  stream_.write_line(make_sweep_request(spec, bench, po_load_ff).dump(0));
+                                 double po_load_ff, bool record_runtimes) {
+  stream_.write_line(
+      make_sweep_request(spec, bench, po_load_ff, record_runtimes).dump(0));
 
   for (;;) {
     std::string line;

@@ -47,15 +47,20 @@ class SweepClient {
   /// as server-side built-ins). Blocks until the server's "done" event.
   /// Throws std::runtime_error carrying the server's message when the
   /// sweep fails server-side ("error" event) or the connection drops.
+  /// With record_runtimes=false the streamed records (and the summary)
+  /// carry no measured fields — same spec, same bytes, run to run.
   SweepSummary submit(const service::SweepSpec& spec,
                       const PointSink& on_point = {},
                       const std::map<std::string, std::string>& bench = {},
-                      double po_load_ff = 12.0);
+                      double po_load_ff = 12.0, bool record_runtimes = true);
 
   /// Round-trip a control op; returns the event record. Throws on an
   /// "error" reply or a dropped connection.
   util::Json ping() { return control("ping"); }
   util::Json server_stats() { return control("stats"); }
+  /// The daemon's obs::Registry snapshot ({"event":"metrics", counters,
+  /// gauges, histograms}).
+  util::Json metrics() { return control("metrics"); }
   util::Json save() { return control("save"); }
   /// Ask the daemon to shut down (it answers "bye" first).
   util::Json shutdown_server() { return control("shutdown"); }

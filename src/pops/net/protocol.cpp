@@ -11,7 +11,7 @@ using util::Json;
 
 Json make_sweep_request(const service::SweepSpec& spec,
                         const std::map<std::string, std::string>& bench,
-                        double po_load_ff) {
+                        double po_load_ff, bool record_runtimes) {
   Json j = Json::object();
   j["op"] = "sweep";
   j["spec"] = service::to_json(spec);
@@ -21,6 +21,9 @@ Json make_sweep_request(const service::SweepSpec& spec,
     j["bench"] = std::move(files);
     j["po_load_ff"] = po_load_ff;
   }
+  // Only the non-default spelling goes on the wire: default requests stay
+  // byte-identical to pre-option clients.
+  if (!record_runtimes) j["record_runtimes"] = false;
   return j;
 }
 
@@ -33,13 +36,13 @@ Request parse_request(const Json& j) {
 
   Request req;
   req.op = op->as_string();
-  if (req.op == "ping" || req.op == "stats" || req.op == "save" ||
-      req.op == "shutdown")
+  if (req.op == "ping" || req.op == "stats" || req.op == "metrics" ||
+      req.op == "save" || req.op == "shutdown")
     return req;
   if (req.op != "sweep")
     throw std::invalid_argument(
         "unknown op '" + req.op +
-        "' (known: ping save shutdown stats sweep)");
+        "' (known: metrics ping save shutdown stats sweep)");
 
   const Json* spec = j.find("spec");
   if (!spec) throw std::invalid_argument("'sweep' request needs a 'spec'");
@@ -59,6 +62,11 @@ Request parse_request(const Json& j) {
     if (!po->is_number())
       throw std::invalid_argument("'po_load_ff' must be a number");
     req.po_load_ff = po->as_number();
+  }
+  if (const Json* rr = j.find("record_runtimes")) {
+    if (!rr->is_bool())
+      throw std::invalid_argument("'record_runtimes' must be a boolean");
+    req.record_runtimes = rr->as_bool();
   }
   return req;
 }

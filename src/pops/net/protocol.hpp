@@ -11,15 +11,21 @@
 //
 //   {"op": "sweep", "spec": {SweepSpec JSON},
 //    "bench": {"label": "<.bench source>", ...},   // optional inline files
-//    "po_load_ff": 12.0}                           // optional, for "bench"
+//    "po_load_ff": 12.0,                           // optional, for "bench"
+//    "record_runtimes": true}                      // optional, default true
 //       Runs the spec on the server's shared SweepService. Spec circuit
 //       names resolve against "bench" first, then as built-in benchmarks.
 //       Response: one line per completed point — the *bare*
 //       service::to_json(SweepPoint) record, byte-identical to what an
 //       in-process run (or pops_sweep --jsonl) emits — followed by one
-//       "done" event line.
+//       "done" event line. With "record_runtimes": false, point records
+//       drop their measured section (SerializeOptions{.measured=false}):
+//       same request, same bytes, run to run.
 //   {"op": "ping"}      -> {"event": "pong"}
 //   {"op": "stats"}     -> {"event": "stats", cache: {...}, sweeps, points}
+//   {"op": "metrics"}   -> {"event": "metrics", counters: {...},
+//                          gauges: {...}, histograms: {...}} — the
+//                          process-wide obs::Registry snapshot
 //   {"op": "save"}      -> {"event": "saved", entries, path} (checkpoint
 //                          the result cache to the server's --cache-file)
 //   {"op": "shutdown"}  -> {"event": "bye"}; the server then stops
@@ -46,12 +52,14 @@ struct Request {
   service::SweepSpec spec;                   ///< for op == "sweep"
   std::map<std::string, std::string> bench;  ///< label -> .bench source
   double po_load_ff = 12.0;  ///< PO load applied to inline .bench circuits
+  bool record_runtimes = true;  ///< emit the measured section per point
 };
 
 /// Build the wire form of a sweep request.
 util::Json make_sweep_request(const service::SweepSpec& spec,
                               const std::map<std::string, std::string>& bench,
-                              double po_load_ff);
+                              double po_load_ff,
+                              bool record_runtimes = true);
 
 /// Parse one request line. Throws std::invalid_argument on an unknown op
 /// or malformed body (the server answers with an "error" event).

@@ -8,6 +8,9 @@
 
 #include "pops/netlist/bench_io.hpp"
 #include "pops/netlist/benchmarks.hpp"
+#include "pops/obs/clock.hpp"
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/service/serialize.hpp"
 
 namespace pops::net {
@@ -57,11 +60,10 @@ void SweepServer::wait() {
 }
 
 bool SweepServer::wait_for_ms(long ms) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  const auto deadline = obs::steady_now() + std::chrono::milliseconds(ms);
   util::MutexLock lock(shutdown_mu_);
   while (!shutdown_requested_) {
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = obs::steady_now();
     if (now >= deadline) return false;
     shutdown_cv_.wait_for(shutdown_mu_, deadline - now);
   }
@@ -141,6 +143,9 @@ void SweepServer::accept_loop() {
     Socket peer = listener_.accept();
     if (!peer.valid()) return;  // listener closed (stop())
     if (stopping_.load()) return;
+    static const obs::Registry::Counter connections =
+        obs::Registry::global().counter("net.connections");
+    connections.add();
     n_connections_.fetch_add(1, std::memory_order_relaxed);
     util::MutexLock lock(conns_mu_);
     reap_finished_locked();
@@ -165,21 +170,28 @@ void SweepServer::reap_finished_locked() {
 }
 
 void SweepServer::serve_connection(Connection& conn) {
+  static const obs::Registry::Counter requests =
+      obs::Registry::global().counter("net.requests");
+  static const obs::Registry::Counter bytes_in =
+      obs::Registry::global().counter("net.bytes_in");
   TcpStream& stream = *conn.stream;
   std::string line;
   try {
     while (!stopping_.load() &&
            stream.read_line(line, opt_.max_request_bytes)) {
+      bytes_in.add(static_cast<double>(line.size() + 1));  // +1: framing '\n'
       if (line.empty()) continue;  // tolerate blank keep-alive lines
+      requests.add();
       n_requests_.fetch_add(1, std::memory_order_relaxed);
       Request req;
       try {
         req = parse_request(Json::parse(line));
       } catch (const std::exception& e) {
-        n_errors_.fetch_add(1, std::memory_order_relaxed);
-        stream.write_line(make_error(e.what()).dump(0));
+        count_error();
+        write_record(stream, make_error(e.what()).dump(0));
         continue;
       }
+      obs::Span span("net/", req.op);
       handle_request(stream, req);
       if (req.op == "shutdown") break;
     }
@@ -190,9 +202,33 @@ void SweepServer::serve_connection(Connection& conn) {
   conn.done.store(true, std::memory_order_release);
 }
 
+void SweepServer::write_record(TcpStream& stream, const std::string& line) {
+  static const obs::Registry::Counter bytes_out =
+      obs::Registry::global().counter("net.bytes_out");
+  bytes_out.add(static_cast<double>(line.size() + 1));  // +1: framing '\n'
+  stream.write_line(line);
+}
+
+void SweepServer::count_error() {
+  static const obs::Registry::Counter errors =
+      obs::Registry::global().counter("net.errors");
+  errors.add();
+  n_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void SweepServer::handle_request(TcpStream& stream, const Request& req) {
   if (req.op == "ping") {
-    stream.write_line(make_event("pong").dump(0));
+    write_record(stream, make_event("pong").dump(0));
+    return;
+  }
+  if (req.op == "metrics") {
+    // The process-wide registry, not a per-server window: a daemon is the
+    // process, and the snapshot's counters (sta.*, cache.*, net.*) are
+    // exactly what its sweeps produced.
+    Json j = make_event("metrics");
+    const Json snapshot = obs::Registry::global().snapshot_json();
+    for (const auto& [key, value] : snapshot.members()) j[key] = value;
+    write_record(stream, j.dump(0));
     return;
   }
   if (req.op == "stats") {
@@ -214,7 +250,7 @@ void SweepServer::handle_request(TcpStream& stream, const Request& req) {
     j["points"] = s.points;
     j["errors"] = s.errors;
     j["cache_file"] = opt_.cache_file;
-    stream.write_line(j.dump(0));
+    write_record(stream, j.dump(0));
     return;
   }
   if (req.op == "save") {
@@ -223,15 +259,15 @@ void SweepServer::handle_request(TcpStream& stream, const Request& req) {
       Json j = make_event("saved");
       j["entries"] = entries;
       j["path"] = opt_.cache_file;
-      stream.write_line(j.dump(0));
+      write_record(stream, j.dump(0));
     } catch (const std::exception& e) {
-      n_errors_.fetch_add(1, std::memory_order_relaxed);
-      stream.write_line(make_error(e.what()).dump(0));
+      count_error();
+      write_record(stream, make_error(e.what()).dump(0));
     }
     return;
   }
   if (req.op == "shutdown") {
-    stream.write_line(make_event("bye").dump(0));
+    write_record(stream, make_event("bye").dump(0));
     request_shutdown();
     return;
   }
@@ -256,12 +292,13 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
   std::size_t unmet = 0;
   // Streaming sink: runs on this thread (SweepService invokes it from the
   // scheduling thread, in job order), so socket writes need no locking.
-  // The record bytes are exactly service::to_json(SweepPoint).dump(0) —
-  // the contract that makes daemon output diffable against in-process
-  // runs and pops_sweep --jsonl.
+  // The record bytes are exactly service::to_json(SweepPoint, ser).dump(0)
+  // — the contract that makes daemon output diffable against in-process
+  // runs and pops_sweep --jsonl (exact bytes under record_runtimes=false).
+  const service::SerializeOptions ser{.measured = req.record_runtimes};
   const service::SweepService::RecordSink sink =
       [&](const service::SweepPoint& point) {
-        stream.write_line(service::to_json(point).dump(0));
+        write_record(stream, service::to_json(point, ser).dump(0));
         ++streamed;
         if (!point.report.met) ++unmet;
       };
@@ -274,12 +311,12 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
     util::MutexLock lock(exec_mu_);
     report = run_sweep_locked(spec, load, sink);
   } catch (const std::exception& e) {
-    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    count_error();
     {
       util::MutexLock lock(stats_mu_);
       n_points_ += streamed;
     }
-    stream.write_line(make_error(e.what()).dump(0));
+    write_record(stream, make_error(e.what()).dump(0));
     return;
   }
   {
@@ -298,8 +335,8 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
   cache["entries"] = report.cache_entries;
   cache["evictions"] = cache_->stats().evictions;
   done["cache"] = std::move(cache);
-  done["wall_ms"] = report.wall_ms;
-  stream.write_line(done.dump(0));
+  if (req.record_runtimes) done["wall_ms"] = report.wall_ms;
+  write_record(stream, done.dump(0));
 
   if (!opt_.cache_file.empty() && opt_.checkpoint_every > 0) {
     bool flush = false;
@@ -316,10 +353,10 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
       } catch (const std::exception& e) {
         // Checkpoint failure must not kill the connection: results were
         // already streamed; the next checkpoint retries.
-        n_errors_.fetch_add(1, std::memory_order_relaxed);
-        stream.write_line(make_error(std::string("checkpoint failed: ") +
-                                     e.what())
-                              .dump(0));
+        count_error();
+        write_record(stream, make_error(std::string("checkpoint failed: ") +
+                                        e.what())
+                                 .dump(0));
       }
     }
   }

@@ -124,6 +124,12 @@ class SweepServer {
   void accept_loop() POPS_EXCLUDES(conns_mu_);
   void serve_connection(Connection& conn);
   void handle_request(TcpStream& stream, const Request& req);
+  /// All response lines leave through here: one write site keeps the
+  /// net.bytes_out metric exact (every record, every event, +1 framing
+  /// newline each).
+  void write_record(TcpStream& stream, const std::string& line);
+  /// Bumps n_errors_ and the net.errors metric together.
+  void count_error();
   void run_sweep(TcpStream& stream, const Request& req)
       POPS_EXCLUDES(exec_mu_, stats_mu_);
   /// The sweep itself. exec_mu_ is required because SweepService::run

@@ -1,0 +1,52 @@
+#pragma once
+// The one blessed clock home.
+//
+// The determinism lint (tools/pops_lint, rule "raw-clock") rejects
+// steady_clock/system_clock/high_resolution_clock everywhere under src/
+// except this directory: optimization results must derive only from
+// inputs, and the few places that legitimately measure time (report
+// runtimes, server wait deadlines, trace spans) must be auditable in one
+// spot. Everything here is a thin veneer over std::chrono::steady_clock —
+// monotonic, unaffected by wall-clock adjustments — and none of it feeds
+// back into any optimization decision.
+
+#include <chrono>
+#include <cstdint>
+
+namespace pops::obs {
+
+/// Monotonic nanoseconds since an arbitrary (per-process) origin.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The raw monotonic time point, for callers that need to build deadlines
+/// (`obs::steady_now() + std::chrono::milliseconds(ms)`) rather than
+/// measure durations.
+inline std::chrono::steady_clock::time_point steady_now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+
+/// Scoped duration measurement for *product* timing fields (PassReport
+/// runtime_ms, SweepReport wall_ms, bench tables). These are report data,
+/// deliberately always-on — the bit-identical replay contract excludes
+/// them by serializing measured fields into their own non-compared
+/// section (service/serialize.hpp, SerializeOptions).
+class StopWatch {
+ public:
+  StopWatch() noexcept : t0_ns_(now_ns()) {}
+
+  void reset() noexcept { t0_ns_ = now_ns(); }
+
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(now_ns() - t0_ns_) * 1e-6;
+  }
+
+ private:
+  std::uint64_t t0_ns_;
+};
+
+}  // namespace pops::obs

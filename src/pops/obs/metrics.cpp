@@ -1,0 +1,97 @@
+#include "pops/obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pops::obs {
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::Counter::add(double delta) const {
+  util::MutexLock lock(reg_->mu_);
+  *cell_ += delta;
+}
+
+void Registry::Gauge::set(double value) const {
+  util::MutexLock lock(reg_->mu_);
+  *cell_ = value;
+}
+
+void Registry::Gauge::add(double delta) const {
+  util::MutexLock lock(reg_->mu_);
+  *cell_ += delta;
+}
+
+void Registry::Histogram::observe(double value) const {
+  util::MutexLock lock(reg_->mu_);
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(cell_->bounds.begin(), cell_->bounds.end(), value) -
+      cell_->bounds.begin());
+  ++cell_->counts[bucket];
+  ++cell_->count;
+  cell_->sum += value;
+}
+
+Registry::Counter Registry::counter(const std::string& name) {
+  util::MutexLock lock(mu_);
+  return Counter(this, &counters_.try_emplace(name, 0.0).first->second);
+}
+
+Registry::Gauge Registry::gauge(const std::string& name) {
+  util::MutexLock lock(mu_);
+  return Gauge(this, &gauges_.try_emplace(name, 0.0).first->second);
+}
+
+Registry::Histogram Registry::histogram(const std::string& name,
+                                        std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  HistogramCell cell;
+  cell.counts.assign(bounds.size() + 1, 0);
+  cell.bounds = std::move(bounds);
+  util::MutexLock lock(mu_);
+  return Histogram(
+      this, &histograms_.try_emplace(name, std::move(cell)).first->second);
+}
+
+util::Json Registry::snapshot_json() const {
+  util::MutexLock lock(mu_);
+  util::Json doc = util::Json::object();
+  util::Json counters = util::Json::object();
+  for (const auto& [name, value] : counters_) counters[name] = value;
+  doc["counters"] = std::move(counters);
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, value] : gauges_) gauges[name] = value;
+  doc["gauges"] = std::move(gauges);
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, cell] : histograms_) {
+    util::Json h = util::Json::object();
+    util::Json bounds = util::Json::array();
+    for (const double b : cell.bounds) bounds.push_back(b);
+    h["bounds"] = std::move(bounds);
+    util::Json counts = util::Json::array();
+    for (const std::uint64_t c : cell.counts)
+      counts.push_back(static_cast<double>(c));
+    h["counts"] = std::move(counts);
+    h["count"] = static_cast<double>(cell.count);
+    h["sum"] = cell.sum;
+    histograms[name] = std::move(h);
+  }
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+void Registry::reset() {
+  util::MutexLock lock(mu_);
+  for (auto& [name, value] : counters_) value = 0.0;
+  for (auto& [name, value] : gauges_) value = 0.0;
+  for (auto& [name, cell] : histograms_) {
+    std::fill(cell.counts.begin(), cell.counts.end(), 0);
+    cell.count = 0;
+    cell.sum = 0.0;
+  }
+}
+
+}  // namespace pops::obs

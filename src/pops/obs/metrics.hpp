@@ -1,0 +1,120 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with coherent point-in-time snapshots.
+//
+// Instruments count *events* (cache hits, protocol rounds, STA dirty-cone
+// sizes); they never read clocks and never feed back into optimization,
+// so they are always on and cannot perturb the bit-identical replay
+// contract. The intended call-site pattern binds the handle once:
+//
+//   static obs::Registry::Counter hits =
+//       obs::Registry::global().counter("cache.hits");
+//   hits.add();
+//
+// One registry-wide mutex guards all cells. That makes snapshot_json() a
+// single coherent instant (no counter pair can be observed mid-update,
+// e.g. hits sampled after a lookup but misses before it) and keeps the
+// maps std::map — sorted, so snapshots serialize to deterministic bytes.
+// Contention is a non-issue at the instrumented granularity (per round /
+// per point / per request, never per node). Compiler-checked under
+// Clang's -Wthread-safety like every other concurrent surface; the TSan
+// CI job exercises concurrent writers + snapshotters (test_obs.cpp).
+//
+// Snapshots travel as the daemon's "metrics" wire op
+// (net/protocol.hpp) and serialize as:
+//
+//   {"counters": {name: value, ...},
+//    "gauges": {name: value, ...},
+//    "histograms": {name: {"bounds": [...], "counts": [...],
+//                          "count": n, "sum": s}, ...}}
+//
+// Histogram counts have bounds.size() + 1 entries; counts[i] tallies
+// observations <= bounds[i], the last entry everything above the largest
+// bound.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pops/util/json.hpp"
+#include "pops/util/thread_annotations.hpp"
+
+namespace pops::obs {
+
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Monotonically increasing event count.
+  class Counter {
+   public:
+    void add(double delta = 1.0) const;
+
+   private:
+    friend class Registry;
+    Counter(Registry* reg, double* cell) : reg_(reg), cell_(cell) {}
+    Registry* reg_;
+    double* cell_;  ///< stable std::map slot, guarded by reg_->mu_
+  };
+
+  /// Last-written value (queue depths, resident entries).
+  class Gauge {
+   public:
+    void set(double value) const;
+    void add(double delta) const;
+
+   private:
+    friend class Registry;
+    Gauge(Registry* reg, double* cell) : reg_(reg), cell_(cell) {}
+    Registry* reg_;
+    double* cell_;
+  };
+
+  struct HistogramCell {
+    std::vector<double> bounds;        ///< ascending upper bucket bounds
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  /// Fixed-bucket distribution; bucket bounds are set at first creation.
+  class Histogram {
+   public:
+    void observe(double value) const;
+
+   private:
+    friend class Registry;
+    Histogram(Registry* reg, HistogramCell* cell) : reg_(reg), cell_(cell) {}
+    Registry* reg_;
+    HistogramCell* cell_;
+  };
+
+  /// Get-or-create by name. Handles are cheap value types bound to the
+  /// cell's stable address; re-requesting a name returns a handle to the
+  /// same cell (a histogram's bounds are fixed by its first creation —
+  /// later `bounds` arguments for the same name are ignored).
+  Counter counter(const std::string& name) POPS_EXCLUDES(mu_);
+  Gauge gauge(const std::string& name) POPS_EXCLUDES(mu_);
+  Histogram histogram(const std::string& name, std::vector<double> bounds)
+      POPS_EXCLUDES(mu_);
+
+  /// One coherent instant of every metric, deterministic bytes (sorted
+  /// names, fixed schema — see the file header).
+  util::Json snapshot_json() const POPS_EXCLUDES(mu_);
+
+  /// Zero every value while keeping all registered cells alive (handles
+  /// bound before the reset stay valid) — for tests that need absolute
+  /// counts from a process-wide registry.
+  void reset() POPS_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  // std::map: stable mapped addresses across inserts (handles keep raw
+  // pointers) and sorted iteration (deterministic snapshots).
+  std::map<std::string, double> counters_ POPS_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ POPS_GUARDED_BY(mu_);
+  std::map<std::string, HistogramCell> histograms_ POPS_GUARDED_BY(mu_);
+};
+
+}  // namespace pops::obs

@@ -1,0 +1,180 @@
+#include "pops/obs/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace pops::obs {
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::ThreadBuffer::append(TraceEvent ev) {
+  const std::uint64_t n = count.load(std::memory_order_relaxed);
+  const std::size_t slot = static_cast<std::size_t>(n % Chunk::kSize);
+  if (slot == 0) {
+    // New chunk: the only append step that takes the lock (once per
+    // kSize events), and only against a concurrent drain's chunk-list
+    // snapshot — never against another writer (the buffer is
+    // thread-local).
+    auto chunk = std::make_unique<Chunk>();
+    Chunk* fresh = chunk.get();
+    util::MutexLock lock(mu);
+    chunks.push_back(std::move(chunk));
+    tail = fresh;
+  }
+  tail->events[slot] = std::move(ev);
+  // Publish: pairs with the drainer's acquire load of `count`, so the
+  // event write above happens-before any read of the slot.
+  count.store(n + 1, std::memory_order_release);
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf;
+  if (!buf) {
+    buf = std::make_shared<ThreadBuffer>();
+    util::MutexLock lock(mu_);
+    buf->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(buf);
+    baseline_.push_back(0);
+  }
+  return *buf;
+}
+
+void TraceRecorder::start() {
+  {
+    util::MutexLock lock(mu_);
+    // Previous sessions' events stay in the buffers (a writer may still
+    // be appending; only it may touch `count`) — the baseline simply
+    // excludes them from every drain of this session.
+    for (std::size_t b = 0; b < buffers_.size(); ++b)
+      baseline_[b] = buffers_[b]->count.load(std::memory_order_acquire);
+    origin_ns_ = now_ns();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+  std::vector<std::uint64_t> base;
+  {
+    util::MutexLock lock(mu_);
+    bufs = buffers_;
+    base = baseline_;
+  }
+  std::vector<TraceEvent> out;
+  for (std::size_t b = 0; b < bufs.size(); ++b) {
+    ThreadBuffer& tb = *bufs[b];
+    const std::uint64_t n = tb.count.load(std::memory_order_acquire);
+    std::vector<Chunk*> chunks;
+    {
+      util::MutexLock lock(tb.mu);
+      chunks.reserve(tb.chunks.size());
+      for (const std::unique_ptr<Chunk>& c : tb.chunks)
+        chunks.push_back(c.get());
+    }
+    for (std::uint64_t i = base[b]; i < n; ++i)
+      out.push_back(chunks[static_cast<std::size_t>(i / Chunk::kSize)]
+                        ->events[static_cast<std::size_t>(i % Chunk::kSize)]);
+  }
+  return out;
+}
+
+namespace {
+
+util::Json args_json(const TraceEvent& ev) {
+  util::Json args = util::Json::object();
+  for (std::uint32_t a = 0; a < ev.n_args; ++a)
+    args[ev.arg_names[a]] = ev.arg_values[a];
+  return args;
+}
+
+}  // namespace
+
+util::Json TraceRecorder::chrome_json() const {
+  std::uint64_t origin = 0;
+  {
+    util::MutexLock lock(mu_);
+    origin = origin_ns_;
+  }
+  std::vector<TraceEvent> events = collect();
+  // Stable file layout: the viewer does not care, but diffing two trace
+  // files of the same single-threaded run should work.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.t0_ns, a.tid, a.seq) <
+                     std::tie(b.t0_ns, b.tid, b.seq);
+            });
+
+  util::Json trace = util::Json::array();
+  for (const TraceEvent& ev : events) {
+    util::Json e = util::Json::object();
+    e["name"] = ev.name;
+    e["ph"] = "X";  // complete event: ts + dur in one record
+    e["ts"] = static_cast<double>(ev.t0_ns - origin) * 1e-3;  // microseconds
+    e["dur"] = static_cast<double>(ev.t1_ns - ev.t0_ns) * 1e-3;
+    e["pid"] = 1;
+    e["tid"] = ev.tid;
+    if (ev.n_args > 0) e["args"] = args_json(ev);
+    trace.push_back(std::move(e));
+  }
+  util::Json doc = util::Json::object();
+  doc["traceEvents"] = std::move(trace);
+  return doc;
+}
+
+std::vector<util::Json> TraceRecorder::jsonl_records() const {
+  std::vector<TraceEvent> events = collect();
+  // No timestamps: (tid, seq) is the deterministic completion order a
+  // repeated run reproduces exactly.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.tid, a.seq) < std::tie(b.tid, b.seq);
+            });
+  std::vector<util::Json> out;
+  out.reserve(events.size());
+  for (const TraceEvent& ev : events) {
+    util::Json e = util::Json::object();
+    e["name"] = ev.name;
+    e["tid"] = ev.tid;
+    e["seq"] = ev.seq;
+    e["depth"] = ev.depth;
+    if (ev.n_args > 0) e["args"] = args_json(ev);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string TraceRecorder::jsonl() const {
+  std::string out;
+  for (const util::Json& record : jsonl_records()) {
+    out += record.dump(0);
+    out += '\n';
+  }
+  return out;
+}
+
+void Span::begin(std::string_view name, std::string_view suffix) {
+  active_ = true;
+  ev_.name.reserve(name.size() + suffix.size());
+  ev_.name.assign(name);
+  ev_.name.append(suffix);
+  TraceRecorder::ThreadBuffer& buf = TraceRecorder::global().local_buffer();
+  ev_.depth = ++buf.depth;
+  ev_.t0_ns = now_ns();
+}
+
+void Span::end() {
+  ev_.t1_ns = now_ns();
+  TraceRecorder::ThreadBuffer& buf = TraceRecorder::global().local_buffer();
+  ev_.tid = buf.tid;
+  ev_.seq = buf.next_seq++;
+  if (buf.depth > 0) --buf.depth;
+  buf.append(std::move(ev_));
+}
+
+}  // namespace pops::obs

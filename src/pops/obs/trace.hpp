@@ -1,0 +1,175 @@
+#pragma once
+// Structured tracing: RAII spans drained into Chrome trace-event JSON.
+//
+// A Span marks one timed region ("pass/protocol", "cache/lookup").
+// Completed spans land in a per-thread buffer; TraceRecorder::global()
+// drains every thread's buffer into either
+//
+//   chrome_json()  — the Chrome trace-event format ({"traceEvents":
+//                    [{"name", "ph": "X", "ts", "dur", "pid", "tid",
+//                    "args"}]}), loadable in chrome://tracing and
+//                    Perfetto, timestamps in microseconds relative to
+//                    start(); or
+//   jsonl()        — a deterministic one-record-per-line form with NO
+//                    timestamps (name, tid, per-thread completion seq,
+//                    nesting depth, args), ordered by (tid, seq) — what
+//                    tests assert on, byte-stable across runs.
+//
+// Zero cost when off: tracing is a single relaxed atomic flag; a Span
+// constructed while it is clear reads no clock, allocates nothing, and
+// stores one bool. Results are therefore bit-identical with tracing on or
+// off — spans observe, they never feed back (tests/test_obs.cpp proves
+// the replay equivalence end to end).
+//
+// Concurrency: each thread appends to its own chunked buffer. Appends are
+// lock-free with respect to the drainer — the writer publishes each event
+// with a release store of the count, the drainer reads with an acquire
+// load and only consumes published events; only chunk-list growth and the
+// drain itself take the buffer's mutex. Buffers are registered with the
+// recorder as shared_ptr, so spans recorded by short-lived worker threads
+// (Optimizer::run_many) survive thread exit and still appear in the
+// drain.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pops/obs/clock.hpp"
+#include "pops/util/json.hpp"
+#include "pops/util/thread_annotations.hpp"
+
+namespace pops::obs {
+
+/// One completed span. `arg_names` must point at string literals (static
+/// storage) — Span::arg takes const char* and stores it unowned.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;
+  std::uint64_t seq = 0;    ///< per-thread completion sequence
+  std::uint32_t tid = 0;    ///< buffer registration index, not an OS id
+  std::uint32_t depth = 0;  ///< nesting depth at entry (outermost = 1)
+  std::array<const char*, 3> arg_names{};
+  std::array<double, 3> arg_values{};
+  std::uint32_t n_args = 0;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  /// Discard any previously recorded spans and enable tracing. Records
+  /// the trace origin (chrome_json timestamps are relative to it).
+  void start() POPS_EXCLUDES(mu_);
+
+  /// Disable tracing. Recorded spans stay drainable until the next
+  /// start().
+  void stop() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// The global tracing flag — the only thing a disabled Span touches.
+  static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Everything recorded since start(), as a Chrome trace-event document.
+  /// Non-destructive: calling twice returns the same events (plus any
+  /// recorded in between).
+  util::Json chrome_json() const POPS_EXCLUDES(mu_);
+
+  /// The deterministic form: one compact JSON record per line, ordered by
+  /// (tid, seq), no timestamps.
+  std::string jsonl() const POPS_EXCLUDES(mu_);
+
+  /// Parsed records of jsonl(), for programmatic assertions.
+  std::vector<util::Json> jsonl_records() const POPS_EXCLUDES(mu_);
+
+ private:
+  friend class Span;
+
+  /// Fixed-size chunks give events stable addresses: the writer may
+  /// append to a fresh chunk while the drainer copies earlier ones.
+  struct Chunk {
+    static constexpr std::size_t kSize = 256;
+    std::array<TraceEvent, kSize> events;
+  };
+
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    /// Writer-only fields (no lock): the appending thread owns them.
+    std::uint64_t next_seq = 0;
+    std::uint32_t depth = 0;
+    /// Events [0, count_) are published; the writer stores with release
+    /// after filling the slot, the drainer loads with acquire.
+    std::atomic<std::uint64_t> count{0};
+    /// Writer-only cache of chunks.back() (avoids locking per append).
+    Chunk* tail = nullptr;
+    util::Mutex mu;  ///< guards chunk-list growth vs. drain
+    std::vector<std::unique_ptr<Chunk>> chunks POPS_GUARDED_BY(mu);
+
+    void append(TraceEvent ev) POPS_EXCLUDES(mu);
+  };
+
+  ThreadBuffer& local_buffer() POPS_EXCLUDES(mu_);
+  std::vector<TraceEvent> collect() const POPS_EXCLUDES(mu_);
+
+  static std::atomic<bool> enabled_;
+
+  mutable util::Mutex mu_;
+  /// All registered buffers (one per thread that ever emitted a span);
+  /// shared_ptr keeps a buffer alive past its thread's exit.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ POPS_GUARDED_BY(mu_);
+  /// Per-buffer count at the last start(): events below it belong to a
+  /// previous trace session and are excluded from drains.
+  std::vector<std::uint64_t> baseline_ POPS_GUARDED_BY(mu_);
+  std::uint64_t origin_ns_ POPS_GUARDED_BY(mu_) = 0;
+};
+
+/// RAII timed region. Construct with static name parts; the optional
+/// suffix covers dynamic names ("pass/" + pass->name()) without paying
+/// a concatenation when tracing is off:
+///
+///   obs::Span span("cache/lookup");
+///   obs::Span span("pass/", pass->name());
+///   span.arg("round", round);           // up to 3 numeric args
+///
+/// Not movable/copyable: a span is a lexical scope.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view suffix = {}) {
+    if (!TraceRecorder::enabled()) return;
+    begin(name, suffix);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (active_) end();
+  }
+
+  /// True when this span is recording — guard any *extra* computation
+  /// done only to feed arg() (e.g. a netlist-wide area sum).
+  bool active() const noexcept { return active_; }
+
+  /// Attach a numeric argument (shown in the trace viewer / jsonl).
+  /// `name` must be a string literal; at most 3 args, extras dropped.
+  void arg(const char* name, double value) noexcept {
+    if (!active_ || ev_.n_args >= ev_.arg_names.size()) return;
+    ev_.arg_names[ev_.n_args] = name;
+    ev_.arg_values[ev_.n_args] = value;
+    ++ev_.n_args;
+  }
+
+ private:
+  void begin(std::string_view name, std::string_view suffix);
+  void end();
+
+  TraceEvent ev_;
+  bool active_ = false;
+};
+
+}  // namespace pops::obs

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/timing/path.hpp"
 #include "pops/util/hash.hpp"
 
@@ -402,6 +404,7 @@ netlist::Netlist restore_netlist(const Json& j, const liberty::Library& lib) {
 }
 
 Json save_result_cache(const ResultCache& cache, const api::OptContext& ctx) {
+  obs::Span span("cache/save");
   Json doc = Json::object();
   doc["format"] = kFormat;
   doc["version"] = kVersion;
@@ -475,6 +478,7 @@ Json save_result_cache(const ResultCache& cache, const api::OptContext& ctx) {
 
 CacheLoadReport load_result_cache(ResultCache& cache, api::OptContext& ctx,
                                   const Json& doc) {
+  obs::Span span("cache/load");
   if (!doc.is_object() || !doc.find("format") ||
       !member(doc, "format").is_string() ||
       member(doc, "format").as_string() != kFormat)
@@ -564,6 +568,10 @@ CacheLoadReport load_result_cache(ResultCache& cache, api::OptContext& ctx,
 void save_result_cache_file(const ResultCache& cache,
                             const api::OptContext& ctx,
                             const std::string& path) {
+  static const obs::Registry::Counter checkpoints =
+      obs::Registry::global().counter("cache.checkpoints");
+  checkpoints.add();
+  obs::Span span("cache/checkpoint");
   const std::string text = save_result_cache(cache, ctx).dump(2) + "\n";
   const std::string tmp = path + ".tmp";
   {

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/util/hash.hpp"
 
 namespace pops::service {
@@ -159,18 +161,27 @@ api::ResultCacheKey ResultCache::make_key(const api::OptContext& ctx,
 
 bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
                          api::PipelineReport& report) {
+  static const obs::Registry::Counter hit_count =
+      obs::Registry::global().counter("cache.hits");
+  static const obs::Registry::Counter miss_count =
+      obs::Registry::global().counter("cache.misses");
+  obs::Span span("cache/lookup");
   std::shared_ptr<const Entry> entry;
   {
     util::MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
+      miss_count.add();
+      span.arg("hit", 0.0);
       return false;
     }
     ++hits_;
+    hit_count.add();
     entry = it->second.entry;  // shared: survives a concurrent eviction
     lru_.splice(lru_.begin(), lru_, it->second.lru);  // mark most recent
   }
+  span.arg("hit", 1.0);
   // Entries are immutable after insertion, so the copies may proceed
   // outside the lock while holding shared ownership.
   nl = entry->result;
@@ -181,6 +192,7 @@ bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
 void ResultCache::store(const api::ResultCacheKey& key,
                         const netlist::Netlist& nl,
                         const api::PipelineReport& report) {
+  obs::Span span("cache/store");
   auto entry = std::make_shared<const Entry>(Entry{report, nl});
   util::MutexLock lock(mu_);
   store_locked(key, std::move(entry));
@@ -198,10 +210,13 @@ void ResultCache::store_locked(const api::ResultCacheKey& key,
 
 void ResultCache::evict_over_capacity_locked() {
   if (capacity_ == 0) return;
+  static const obs::Registry::Counter evict_count =
+      obs::Registry::global().counter("cache.evictions");
   while (map_.size() > capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
     ++evictions_;
+    evict_count.add();
   }
   while (initial_delays_.size() > capacity_) {
     initial_delays_.erase(initial_delay_order_.front());

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "pops/obs/trace.hpp"
+
 namespace pops::service {
 
 using util::Json;
@@ -83,7 +85,6 @@ Json to_json(const api::PassReport& report) {
   j["delay_after_ps"] = report.delay_after_ps;
   j["area_before_um"] = report.area_before_um;
   j["area_after_um"] = report.area_after_um;
-  j["runtime_ms"] = report.runtime_ms;
   j["buffers_inserted"] = report.buffers_inserted;
   j["sinks_rewired"] = report.sinks_rewired;
   j["gates_removed"] = report.gates_removed;
@@ -92,11 +93,10 @@ Json to_json(const api::PassReport& report) {
   return j;
 }
 
-Json to_json(const api::PipelineReport& report) {
+Json to_json(const api::PipelineReport& report, const SerializeOptions& opt) {
   Json j = Json::object();
   j["tc_ps"] = report.tc_ps;
   j["met"] = report.met;
-  j["from_cache"] = report.from_cache;
   j["delay_model"] = report.delay_model;
   j["initial_delay_ps"] = report.initial_delay_ps;
   j["final_delay_ps"] = report.final_delay_ps;
@@ -106,10 +106,22 @@ Json to_json(const api::PipelineReport& report) {
   j["sinks_rewired"] = report.total_sinks_rewired();
   j["gates_removed"] = report.total_gates_removed();
   j["paths_optimized"] = report.total_paths_optimized();
-  j["runtime_ms"] = report.total_runtime_ms();
   Json passes = Json::array();
   for (const api::PassReport& p : report.passes) passes.push_back(to_json(p));
   j["passes"] = std::move(passes);
+  // The run-dependent tail: everything above is a pure function of the
+  // inputs; these fields vary run to run and are droppable for exact-byte
+  // stream diffs (see SerializeOptions).
+  if (opt.measured) {
+    Json m = Json::object();
+    m["from_cache"] = report.from_cache;
+    m["runtime_ms"] = report.total_runtime_ms();
+    Json pass_ms = Json::array();
+    for (const api::PassReport& p : report.passes)
+      pass_ms.push_back(p.runtime_ms);
+    m["pass_runtimes_ms"] = std::move(pass_ms);
+    j["measured"] = std::move(m);
+  }
   return j;
 }
 
@@ -145,13 +157,14 @@ Json to_json(const SweepSpec& spec) {
   return j;
 }
 
-Json to_json(const SweepPoint& point) {
+Json to_json(const SweepPoint& point, const SerializeOptions& opt) {
+  obs::Span span("serialize/point");
   Json j = Json::object();
   j["circuit"] = point.circuit;
   j["tc_ratio"] = point.tc_ratio;
   j["shield_margin"] = point.shield_margin;
   j["policy"] = point.policy;
-  j["report"] = to_json(point.report);
+  j["report"] = to_json(point.report, opt);
   return j;
 }
 
@@ -366,17 +379,21 @@ SweepSpec sweep_spec_from_json(const util::Json& j) {
   return spec;
 }
 
-Json to_json(const SweepReport& report) {
+Json to_json(const SweepReport& report, const SerializeOptions& opt) {
   Json j = Json::object();
   Json points = Json::array();
-  for (const SweepPoint& p : report.points) points.push_back(to_json(p));
+  for (const SweepPoint& p : report.points) points.push_back(to_json(p, opt));
   j["points"] = std::move(points);
+  // Hit/miss split depends on cache residency (run-dependent), but entry
+  // count after a deterministic sweep is reproducible — keep the whole
+  // block: consumers diff point streams, not summaries. wall_ms is pure
+  // measurement and drops with the measured section.
   Json cache = Json::object();
   cache["hits"] = report.cache_hits;
   cache["misses"] = report.cache_misses;
   cache["entries"] = report.cache_entries;
   j["cache"] = std::move(cache);
-  j["wall_ms"] = report.wall_ms;
+  if (opt.measured) j["wall_ms"] = report.wall_ms;
   return j;
 }
 

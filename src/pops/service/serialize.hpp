@@ -13,20 +13,29 @@
 //                        delay_model, table_model: {slew_grid_ps,
 //                        load_grid}}
 //   PassReport       -> {pass, changed, delay_before_ps, delay_after_ps,
-//                        area_before_um, area_after_um, runtime_ms,
-//                        buffers_inserted, sinks_rewired, gates_removed,
-//                        paths_optimized, protocol?}
+//                        area_before_um, area_after_um, buffers_inserted,
+//                        sinks_rewired, gates_removed, paths_optimized,
+//                        protocol?}
 //   CircuitResult    -> {tc_ps, achieved_delay_ps, area_um, met,
 //                        paths_optimized, per_path: [{domain, method,
 //                        tmin_ps, tmax_ps, delay_ps, area_um,
 //                        buffers_inserted, gates_restructured}]}
-//   PipelineReport   -> {tc_ps, met, from_cache, delay_model,
+//   PipelineReport   -> {tc_ps, met, delay_model,
 //                        initial/final delay+area, totals...,
-//                        passes: [PassReport]}
+//                        passes: [PassReport],
+//                        measured?: {from_cache, runtime_ms,
+//                        pass_runtimes_ms: [per pass]}}
 //   SweepPoint       -> {circuit, tc_ratio, shield_margin, policy,
 //                        report: PipelineReport}
 //   SweepReport      -> {points: [SweepPoint], cache: {hits, misses,
-//                        entries}, wall_ms}
+//                        entries}, wall_ms?}
+//
+// Every field OUTSIDE the trailing "measured" section (and the report's
+// wall_ms) is a pure function of the inputs: same spec, same bytes, run
+// to run. The measured fields — runtimes and cache provenance — are the
+// only run-dependent ones, quarantined so consumers can diff record
+// streams byte-exactly by serializing with SerializeOptions{.measured =
+// false} (pops_sweep/pops_serve --no-runtimes) instead of scrubbing.
 //
 // The inverse direction exists for the *input* types only (sweep specs
 // enter as files through pops_sweep --spec): config_from_json /
@@ -41,15 +50,22 @@
 
 namespace pops::service {
 
+/// Controls whether run-dependent fields (the "measured" section, the
+/// sweep report's wall_ms) are emitted. Everything else is deterministic.
+struct SerializeOptions {
+  bool measured = true;
+};
+
 util::Json to_json(const api::OptimizerConfig& cfg);
 util::Json to_json(const api::PassReport& report);
 util::Json to_json(const core::ProtocolResult& result);
 util::Json to_json(const core::CircuitResult& result);
-util::Json to_json(const api::PipelineReport& report);
+util::Json to_json(const api::PipelineReport& report,
+                   const SerializeOptions& opt = {});
 util::Json to_json(const BufferPolicy& policy);
 util::Json to_json(const SweepSpec& spec);
-util::Json to_json(const SweepPoint& point);
-util::Json to_json(const SweepReport& report);
+util::Json to_json(const SweepPoint& point, const SerializeOptions& opt = {});
+util::Json to_json(const SweepReport& report, const SerializeOptions& opt = {});
 
 /// Overlay the members of `j` onto a default-constructed OptimizerConfig.
 /// Accepts the to_json(OptimizerConfig) schema; unknown keys or

@@ -1,10 +1,13 @@
 #include "pops/service/sweep.hpp"
 
-#include <chrono>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#include "pops/obs/clock.hpp"
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
 
 namespace pops::service {
 
@@ -100,7 +103,14 @@ SweepReport SweepService::run(const SweepSpec& spec, const CircuitLoader& load,
   spec.ensure_valid();
   if (!load) throw std::invalid_argument("SweepService::run: null loader");
 
-  const auto t0 = std::chrono::steady_clock::now();
+  static const obs::Registry::Counter runs =
+      obs::Registry::global().counter("sweep.runs");
+  static const obs::Registry::Counter points_total =
+      obs::Registry::global().counter("sweep.points");
+  runs.add();
+  obs::Span span("sweep/run");
+  span.arg("jobs", static_cast<double>(spec.n_jobs()));
+  const obs::StopWatch watch;
 
   std::vector<netlist::Netlist> prototypes;
   prototypes.reserve(spec.circuits.size());
@@ -139,6 +149,7 @@ SweepReport SweepService::run(const SweepSpec& spec, const CircuitLoader& load,
           point.shield_margin = margin;
           point.policy = policy.name;
           point.report = std::move(reports[i]);
+          points_total.add();
           if (sink) sink(point);
           out.points.push_back(std::move(point));
         }
@@ -152,9 +163,7 @@ SweepReport SweepService::run(const SweepSpec& spec, const CircuitLoader& load,
     out.cache_misses = after.misses - before.misses;
     out.cache_entries = after.entries;
   }
-  out.wall_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+  out.wall_ms = watch.elapsed_ms();
   return out;
 }
 

@@ -9,6 +9,9 @@
 #include <string>
 #include <utility>
 
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
+
 namespace pops::timing {
 
 using netlist::Netlist;
@@ -79,6 +82,10 @@ void IncrementalSta::grow_arrays(std::size_t n) {
 }
 
 const StaResult& IncrementalSta::run_full() {
+  static const obs::Registry::Counter full_runs =
+      obs::Registry::global().counter("sta.full_runs");
+  full_runs.add();
+  obs::Span span("sta/full");
   // Exactly a cold Sta::run(): the bound vector and the worklist
   // bookkeeping (positions, scratch flags) are materialized on first use,
   // so one-shot consumers (initial-delay measurements) pay nothing extra.
@@ -92,6 +99,19 @@ const StaResult& IncrementalSta::run_full() {
 const StaResult& IncrementalSta::update(std::span<const NodeId> dirty,
                                         bool structure_changed) {
   if (!valid_) return run_full();
+
+  // Cold-vs-incremental visibility: every update is counted and its
+  // dirty-cone size binned, so a daemon's metrics snapshot shows how
+  // much of the hot loop the incremental engine actually absorbs.
+  static const obs::Registry::Counter updates =
+      obs::Registry::global().counter("sta.updates");
+  static const obs::Registry::Histogram cone = obs::Registry::global()
+      .histogram("sta.dirty_cone",
+                 {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  updates.add();
+  cone.observe(static_cast<double>(dirty.size()));
+  obs::Span span("sta/update");
+  span.arg("dirty", static_cast<double>(dirty.size()));
 
   const std::size_t n = nl_->size();
   const bool grew = res_.arrival_ps.size() != n;

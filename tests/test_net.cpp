@@ -1,9 +1,12 @@
 // The pops::net daemon: loopback integration. A spec submitted through
-// SweepServer must stream point records byte-identical to an in-process
-// SweepService run of the same spec, under concurrent clients; a
-// cache-file restart must serve the resubmitted spec entirely from the
-// persisted cache. Plus protocol plumbing: control ops, inline .bench
-// shipping, error events, and line framing.
+// SweepServer with record_runtimes=false must stream point records
+// byte-identical — exact bytes, no scrubbing — to an in-process
+// SweepService run serialized with SerializeOptions{.measured=false},
+// under concurrent clients; a cache-file restart must serve the
+// resubmitted spec entirely from the persisted cache, again byte-exact.
+// Cache provenance (hits/misses) is asserted via the done-event summary
+// instead of per-record flags. Plus protocol plumbing: control ops,
+// inline .bench shipping, error events, and line framing.
 
 #include <gtest/gtest.h>
 
@@ -39,31 +42,9 @@ SweepSpec small_spec() {
   return spec;
 }
 
-/// Parse a streamed record and neutralize report.from_cache — the one
-/// field allowed to differ between a fresh run and a *replay of that
-/// run* (replays restore the stored report verbatim, runtimes included).
-std::string scrub_from_cache(const std::string& raw) {
-  Json record = Json::parse(raw);
-  (*record.find("report")->find("from_cache")) = false;
-  return record.dump(0);
-}
-
-/// Additionally zero the measured runtimes: two *independent fresh
-/// executions* (in-process reference vs daemon) compute bit-identical
-/// results but cannot measure bit-identical wall clocks.
-std::string scrub_timing(const std::string& raw) {
-  Json record = Json::parse(raw);
-  Json& report = *record.find("report");
-  (*report.find("from_cache")) = false;
-  (*report.find("runtime_ms")) = 0.0;
-  Json& passes = *report.find("passes");
-  for (std::size_t i = 0; i < passes.size(); ++i)
-    (*passes.at(i).find("runtime_ms")) = 0.0;
-  return record.dump(0);
-}
-
-/// The reference: the same spec run in-process, records dumped exactly
-/// like the daemon streams them.
+/// The reference: the same spec run in-process, records dumped without
+/// the measured section — exactly like the daemon streams them for a
+/// record_runtimes=false submission.
 std::vector<std::string> in_process_records(const SweepSpec& spec) {
   api::OptContext ctx;
   service::SweepService sweeps(ctx);
@@ -74,9 +55,22 @@ std::vector<std::string> in_process_records(const SweepSpec& spec) {
         return netlist::make_benchmark(ctx.lib(), name);
       },
       [&records](const service::SweepPoint& point) {
-        records.push_back(service::to_json(point).dump(0));
+        records.push_back(
+            service::to_json(point, {.measured = false}).dump(0));
       });
   return records;
+}
+
+/// Submit with record_runtimes=false (no inline benches, default PO
+/// load) and collect the raw record lines.
+SweepSummary submit_exact(SweepClient& client, const SweepSpec& spec,
+                          std::vector<std::string>& records) {
+  return client.submit(
+      spec,
+      [&records](const Json&, const std::string& raw) {
+        records.push_back(raw);
+      },
+      /*bench=*/{}, /*po_load_ff=*/12.0, /*record_runtimes=*/false);
 }
 
 TEST(SweepServer, StreamsRecordsBitIdenticalToInProcessRun) {
@@ -89,37 +83,60 @@ TEST(SweepServer, StreamsRecordsBitIdenticalToInProcessRun) {
   SweepClient client("127.0.0.1", server.port());
 
   std::vector<std::string> streamed;
-  const SweepSummary summary = client.submit(
-      spec, [&streamed](const Json&, const std::string& raw) {
-        streamed.push_back(raw);
-      });
+  const SweepSummary summary = submit_exact(client, spec, streamed);
   EXPECT_EQ(summary.points, 4u);
   EXPECT_EQ(summary.cache_misses, 4u);
-  // Byte-identical record for record, modulo measured wall clocks (two
-  // independent executions cannot time identically).
+  // Exact bytes, record for record: without the measured section the
+  // stream is a pure function of the spec.
   ASSERT_EQ(streamed.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i)
-    EXPECT_EQ(scrub_timing(streamed[i]), scrub_timing(expected[i])) << i;
+    EXPECT_EQ(streamed[i], expected[i]) << i;
 
-  // Resubmission over the same connection replays from the shared cache,
-  // bit-identically modulo the from_cache flag.
+  // Resubmission over the same connection replays from the shared
+  // cache — byte-exact; provenance shows up in the summary counters.
   std::vector<std::string> replayed;
-  const SweepSummary again = client.submit(
-      spec, [&replayed](const Json& point, const std::string& raw) {
-        const Json* report = point.find("report");
-        ASSERT_NE(report, nullptr);
-        EXPECT_TRUE(report->find("from_cache")->as_bool());
-        replayed.push_back(raw);
-      });
+  const SweepSummary again = submit_exact(client, spec, replayed);
   EXPECT_EQ(again.points, 4u);
   EXPECT_EQ(again.cache_hits, 4u);
   EXPECT_EQ(again.cache_misses, 0u);
-  // Replays restore the stored reports verbatim — runtimes included —
-  // so only the from_cache flag may differ from the daemon's first run.
   ASSERT_EQ(replayed.size(), streamed.size());
   for (std::size_t i = 0; i < streamed.size(); ++i)
-    EXPECT_EQ(scrub_from_cache(replayed[i]), scrub_from_cache(streamed[i]))
-        << i;
+    EXPECT_EQ(replayed[i], streamed[i]) << i;
+  server.stop();
+}
+
+TEST(SweepServer, DefaultSubmissionQuarantinesMeasurementsInReport) {
+  // The default (record_runtimes=true) stream carries its measurements
+  // in the report's trailing "measured" object — from_cache plus the
+  // wall-clock fields — keeping the deterministic body untouched.
+  SweepServer server;
+  server.start();
+  SweepClient client("127.0.0.1", server.port());
+
+  SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.9};
+  std::vector<Json> points;
+  client.submit(spec, [&points](const Json& point, const std::string&) {
+    points.push_back(point);
+  });
+  ASSERT_EQ(points.size(), 1u);
+  const Json* measured = points[0].find("report")->find("measured");
+  ASSERT_NE(measured, nullptr);
+  EXPECT_FALSE(measured->find("from_cache")->as_bool());
+  EXPECT_TRUE(measured->find("runtime_ms")->is_number());
+
+  // The replay restores the cached report but re-stamps provenance.
+  points.clear();
+  client.submit(spec, [&points](const Json& point, const std::string&) {
+    points.push_back(point);
+  });
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0]
+                  .find("report")
+                  ->find("measured")
+                  ->find("from_cache")
+                  ->as_bool());
   server.stop();
 }
 
@@ -140,10 +157,7 @@ TEST(SweepServer, ConcurrentClientsGetTheirOwnStreams) {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       SweepClient client("127.0.0.1", server.port());
-      summaries[c] = client.submit(
-          spec, [&streams, c](const Json&, const std::string& raw) {
-            streams[c].push_back(raw);
-          });
+      summaries[c] = submit_exact(client, spec, streams[c]);
     });
   }
   for (std::thread& t : clients) t.join();
@@ -153,17 +167,12 @@ TEST(SweepServer, ConcurrentClientsGetTheirOwnStreams) {
   for (int c = 0; c < kClients; ++c) {
     EXPECT_EQ(summaries[c].points, expected.size()) << "client " << c;
     ASSERT_EQ(streams[c].size(), expected.size()) << "client " << c;
-    for (std::size_t i = 0; i < expected.size(); ++i) {
-      // Same results as the in-process reference (modulo wall clocks) —
-      // and byte-identical across clients modulo from_cache, because
-      // whichever client executed first populated the cache the others
-      // replay verbatim.
-      EXPECT_EQ(scrub_timing(streams[c][i]), scrub_timing(expected[i]))
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      // Exact bytes against the in-process reference — which also makes
+      // every client's stream identical to every other's, whether it
+      // executed fresh or replayed the cache.
+      EXPECT_EQ(streams[c][i], expected[i])
           << "client " << c << " record " << i;
-      EXPECT_EQ(scrub_from_cache(streams[c][i]),
-                scrub_from_cache(streams[0][i]))
-          << "client " << c << " record " << i;
-    }
     total_hits += summaries[c].cache_hits;
     total_misses += summaries[c].cache_misses;
   }
@@ -187,10 +196,7 @@ TEST(SweepServer, CacheFileRestartServesEverythingFromCache) {
     const service::CacheLoadReport loaded = server.start();
     EXPECT_EQ(loaded.entries_loaded, 0u);  // cold start
     SweepClient client("127.0.0.1", server.port());
-    const SweepSummary summary = client.submit(
-        spec, [&first_run](const Json&, const std::string& raw) {
-          first_run.push_back(raw);
-        });
+    const SweepSummary summary = submit_exact(client, spec, first_run);
     EXPECT_EQ(summary.cache_misses, 4u);
     client.shutdown_server();
     server.wait();
@@ -206,22 +212,15 @@ TEST(SweepServer, CacheFileRestartServesEverythingFromCache) {
     EXPECT_TRUE(loaded.problems.empty());
     SweepClient client("127.0.0.1", server.port());
     std::vector<std::string> warm_run;
-    const SweepSummary summary = client.submit(
-        spec, [&warm_run](const Json& point, const std::string& raw) {
-          EXPECT_TRUE(
-              point.find("report")->find("from_cache")->as_bool());
-          warm_run.push_back(raw);
-        });
-    // ALL points served from the persisted cache, bit-identically
-    // (modulo the from_cache flag itself).
+    const SweepSummary summary = submit_exact(client, spec, warm_run);
+    // ALL points served from the persisted cache — the summary counters
+    // carry the provenance — and the stream is byte-exact against the
+    // pre-restart run.
     EXPECT_EQ(summary.cache_hits, 4u);
     EXPECT_EQ(summary.cache_misses, 0u);
-    // Persisted replays restore the stored bytes verbatim (runtimes
-    // included); only from_cache differs.
     ASSERT_EQ(warm_run.size(), first_run.size());
     for (std::size_t i = 0; i < warm_run.size(); ++i)
-      EXPECT_EQ(scrub_from_cache(warm_run[i]), scrub_from_cache(first_run[i]))
-          << i;
+      EXPECT_EQ(warm_run[i], first_run[i]) << i;
     server.stop();
   }
   std::remove(path.c_str());

@@ -1,0 +1,368 @@
+// pops::obs — tracing and metrics. Spans nest and drain deterministically
+// (jsonl form), the Chrome trace-event document is schema-valid, the
+// registry's histograms bucket deterministically and its snapshots stay
+// coherent under concurrent writers (the ConcurrencyTest suites below run
+// under the TSan CI job), the daemon answers the "metrics" wire op — and,
+// the acceptance bar: enabling tracing changes no optimization result
+// bits while recording spans from every layer of the stack.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pops/api/api.hpp"
+#include "pops/net/client.hpp"
+#include "pops/net/protocol.hpp"
+#include "pops/net/server.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
+#include "pops/service/serialize.hpp"
+#include "pops/service/sweep.hpp"
+
+namespace {
+
+using namespace pops;
+using obs::Registry;
+using obs::Span;
+using obs::TraceRecorder;
+using util::Json;
+
+// ---------------------------------------------------------------------------
+// Spans: nesting, ordering, args, zero-cost when off
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, SpansNestAndDrainInCompletionOrder) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.start();
+  {
+    Span outer("test/outer");
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner("test/", "inner");
+      inner.arg("k", 3.0);
+    }
+    { Span inner2("test/inner2"); }
+  }
+  {
+    Span solo("test/solo");
+    solo.arg("a", 1.0);
+    solo.arg("b", 2.0);
+    solo.arg("c", 3.0);
+    solo.arg("d", 4.0);  // beyond the 3-arg capacity: dropped, not UB
+  }
+  rec.stop();
+
+  const std::vector<Json> records = rec.jsonl_records();
+  ASSERT_EQ(records.size(), 4u);
+  // Completion order: inner spans land before the span that encloses
+  // them; depth counts nesting at entry (outermost = 1).
+  EXPECT_EQ(records[0].find("name")->as_string(), "test/inner");
+  EXPECT_EQ(records[0].find("depth")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(records[0].find("args")->find("k")->as_number(), 3.0);
+  EXPECT_EQ(records[1].find("name")->as_string(), "test/inner2");
+  EXPECT_EQ(records[1].find("depth")->as_number(), 2.0);
+  EXPECT_EQ(records[2].find("name")->as_string(), "test/outer");
+  EXPECT_EQ(records[2].find("depth")->as_number(), 1.0);
+  EXPECT_EQ(records[3].find("name")->as_string(), "test/solo");
+  EXPECT_EQ(records[3].find("args")->size(), 3u);
+  // One thread: seq increases by exactly one per completed span.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].find("tid")->as_number(),
+              records[0].find("tid")->as_number());
+    EXPECT_EQ(records[i].find("seq")->as_number(),
+              records[i - 1].find("seq")->as_number() + 1.0);
+  }
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.stop();
+  {
+    Span span("test/ghost");
+    EXPECT_FALSE(span.active());
+    span.arg("ignored", 1.0);  // no-op, must not crash
+  }
+  // A fresh session sees neither the ghost span nor earlier sessions'.
+  rec.start();
+  rec.stop();
+  EXPECT_TRUE(rec.jsonl_records().empty());
+  EXPECT_TRUE(rec.jsonl().empty());
+}
+
+TEST(ObsTrace, ChromeJsonIsSchemaValid) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.start();
+  {
+    Span outer("test/chrome_outer");
+    Span inner("test/chrome_inner");
+  }
+  rec.stop();
+
+  const Json doc = rec.chrome_json();
+  ASSERT_TRUE(doc.is_object());
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 2u);
+  double outer_ts = 0.0, outer_end = 0.0;
+  double inner_ts = 0.0, inner_end = 0.0;
+  for (const Json& e : events->items()) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_TRUE(e.find("name")->is_string());
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    EXPECT_TRUE(e.find("ts")->is_number());
+    EXPECT_TRUE(e.find("dur")->is_number());
+    EXPECT_EQ(e.find("pid")->dump(), "1");
+    EXPECT_TRUE(e.find("tid")->is_number());
+    EXPECT_GE(e.find("ts")->as_number(), 0.0);  // relative to start()
+    EXPECT_GE(e.find("dur")->as_number(), 0.0);
+    const double ts = e.find("ts")->as_number();
+    const double end = ts + e.find("dur")->as_number();
+    if (e.find("name")->as_string() == "test/chrome_outer") {
+      outer_ts = ts;
+      outer_end = end;
+    } else {
+      inner_ts = ts;
+      inner_end = end;
+    }
+  }
+  // The nested interval is contained in the enclosing one.
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_LE(inner_end, outer_end);
+
+  // Non-destructive drain: a second call returns the same events.
+  EXPECT_EQ(rec.chrome_json().dump(0), doc.dump(0));
+}
+
+// ---------------------------------------------------------------------------
+// Registry: bucket determinism, snapshots, reset
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, HistogramBucketsAreDeterministic) {
+  Registry reg;  // a private registry: no cross-test state
+  const Registry::Histogram h = reg.histogram("h", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 100.0}) h.observe(v);
+
+  const Json snap = reg.snapshot_json();
+  const Json* cell = snap.find("histograms")->find("h");
+  ASSERT_NE(cell, nullptr);
+  // counts[i] tallies observations <= bounds[i]; the last bucket is the
+  // overflow. 0.5,1 | 1.5,2 | 3 | 100.
+  EXPECT_EQ(cell->find("counts")->dump(0), "[2,2,1,1]");
+  EXPECT_EQ(cell->find("bounds")->dump(0), "[1,2,4]");
+  EXPECT_EQ(cell->find("count")->as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(cell->find("sum")->as_number(), 108.0);
+  // Identical state serializes to identical bytes (sorted names, fixed
+  // schema) — the wire op and tests can diff snapshots directly.
+  EXPECT_EQ(reg.snapshot_json().dump(0), snap.dump(0));
+}
+
+TEST(ObsMetrics, CountersGaugesAndResetKeepCellsAlive) {
+  Registry reg;
+  const Registry::Counter c = reg.counter("c");
+  const Registry::Gauge g = reg.gauge("g");
+  c.add();
+  c.add(2.5);
+  g.set(7.0);
+  g.add(-3.0);
+  Json snap = reg.snapshot_json();
+  EXPECT_DOUBLE_EQ(snap.find("counters")->find("c")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(snap.find("gauges")->find("g")->as_number(), 4.0);
+
+  reg.reset();
+  snap = reg.snapshot_json();
+  EXPECT_DOUBLE_EQ(snap.find("counters")->find("c")->as_number(), 0.0);
+  // Handles bound before the reset still hit the same (zeroed) cell.
+  c.add();
+  snap = reg.snapshot_json();
+  EXPECT_DOUBLE_EQ(snap.find("counters")->find("c")->as_number(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (the TSan CI job keys on the ConcurrencyTest suites)
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ObsRegistrySnapshotsStayCoherentUnderWriters) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg] {
+      const Registry::Counter c = reg.counter("stress.adds");
+      const Registry::Histogram h =
+          reg.histogram("stress.values", {2.0, 4.0, 8.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        h.observe(static_cast<double>(i % 16));
+      }
+    });
+  }
+  std::thread snapshotter([&reg, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const Json snap = reg.snapshot_json();
+      const Json* h = snap.find("histograms")->find("stress.values");
+      if (!h) continue;
+      // Coherence: observe() updates counts, count, and sum under one
+      // lock, so every snapshot balances exactly.
+      double bucket_total = 0.0;
+      for (const Json& c : h->find("counts")->items())
+        bucket_total += c.as_number();
+      ASSERT_EQ(bucket_total, h->find("count")->as_number());
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const Json snap = reg.snapshot_json();
+  EXPECT_DOUBLE_EQ(snap.find("counters")->find("stress.adds")->as_number(),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(
+      snap.find("histograms")->find("stress.values")->find("count")->as_number(),
+      static_cast<double>(kThreads) * kIters);
+}
+
+TEST(ConcurrencyTest, ObsTraceDrainsWhileWritersAppend) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.start();
+
+  // > Chunk::kSize spans per thread so chunk growth races the drain.
+  constexpr int kThreads = 4;
+  constexpr int kPairs = 300;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kPairs; ++i) {
+        Span outer("stress/outer");
+        Span inner("stress/inner");
+        inner.arg("i", static_cast<double>(i));
+      }
+    });
+  }
+  std::thread drainer([&rec, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)rec.chrome_json();
+      (void)rec.jsonl_records();
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  drainer.join();
+  rec.stop();
+
+  const std::vector<Json> records = rec.jsonl_records();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(kThreads) * kPairs * 2);
+  // Per thread: inner (depth 2) completes before its outer (depth 1),
+  // seq strictly increasing.
+  std::map<double, std::vector<const Json*>> by_tid;
+  for (const Json& r : records)
+    by_tid[r.find("tid")->as_number()].push_back(&r);
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, list] : by_tid) {
+    ASSERT_EQ(list.size(), static_cast<std::size_t>(kPairs) * 2);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const bool is_inner = i % 2 == 0;
+      EXPECT_EQ(list[i]->find("name")->as_string(),
+                is_inner ? "stress/inner" : "stress/outer");
+      EXPECT_EQ(list[i]->find("depth")->as_number(), is_inner ? 2.0 : 1.0);
+      if (i > 0)
+        EXPECT_EQ(list[i]->find("seq")->as_number(),
+                  list[i - 1]->find("seq")->as_number() + 1.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The daemon's metrics wire op
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, MetricsWireOpRoundTrips) {
+  net::SweepServer server;
+  server.start();
+  net::SweepClient client("127.0.0.1", server.port());
+
+  service::SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.9};
+  client.submit(spec);
+
+  const Json reply = client.metrics();
+  EXPECT_EQ(net::event_name(reply), "metrics");
+  const Json* counters = reply.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  // The submit above flowed through the server and the sweep service.
+  EXPECT_GE(counters->find("net.requests")->as_number(), 1.0);
+  EXPECT_GE(counters->find("sweep.points")->as_number(), 1.0);
+  ASSERT_NE(reply.find("gauges"), nullptr);
+  ASSERT_NE(reply.find("histograms"), nullptr);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: tracing observes, it never feeds back
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> sweep_stream() {
+  api::OptContext ctx;
+  service::SweepService sweeps(ctx);
+  service::SweepSpec spec;
+  spec.circuits = {"c17", "c432"};
+  spec.tc_ratios = {0.85, 0.95};
+  spec.n_threads = 2;
+  std::vector<std::string> records;
+  sweeps.run(
+      spec,
+      [&ctx](const std::string& name) {
+        return netlist::make_benchmark(ctx.lib(), name);
+      },
+      [&records](const service::SweepPoint& point) {
+        records.push_back(
+            service::to_json(point, {.measured = false}).dump(0));
+      });
+  return records;
+}
+
+TEST(ObsTrace, TracingChangesNoResultBitsAndSpansEveryLayer) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.stop();
+  const std::vector<std::string> untraced = sweep_stream();
+
+  rec.start();
+  const std::vector<std::string> traced = sweep_stream();
+  rec.stop();
+
+  // Bit-identical replay: spans observe the run, they never feed back.
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (std::size_t i = 0; i < traced.size(); ++i)
+    EXPECT_EQ(traced[i], untraced[i]) << i;
+
+  // And the trace saw every layer of the stack: pipeline pass, sweep
+  // point, STA update, cache lookup, serialization.
+  std::set<std::string> names;
+  bool pass_span = false, sta_span = false;
+  for (const Json& r : rec.jsonl_records()) {
+    const std::string name = r.find("name")->as_string();
+    names.insert(name);
+    pass_span = pass_span || name.rfind("pass/", 0) == 0;
+    sta_span = sta_span || name.rfind("sta/", 0) == 0;
+  }
+  EXPECT_TRUE(pass_span) << "no pipeline pass span";
+  EXPECT_TRUE(sta_span) << "no STA span";
+  EXPECT_TRUE(names.count("optimizer/point")) << "no sweep-point span";
+  EXPECT_TRUE(names.count("cache/lookup")) << "no cache span";
+  EXPECT_TRUE(names.count("serialize/point")) << "no serialization span";
+  EXPECT_TRUE(names.count("sweep/run")) << "no sweep-service span";
+}
+
+}  // namespace

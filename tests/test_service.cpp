@@ -676,11 +676,22 @@ TEST(Serialize, PipelineReportRoundTripsFields) {
 
   EXPECT_EQ(j.find("tc_ps")->dump(), util::Json(r.tc_ps).dump());
   EXPECT_EQ(j.find("met")->dump(), r.met ? "true" : "false");
-  EXPECT_EQ(j.find("from_cache")->dump(), "false");
   ASSERT_NE(j.find("passes"), nullptr);
   EXPECT_EQ(j.find("passes")->size(), r.passes.size());
   EXPECT_EQ(j.find("paths_optimized")->dump(),
             util::Json(r.total_paths_optimized()).dump());
+
+  // Run-dependent fields live only in the trailing "measured" object —
+  // and vanish entirely when serialized with measured=false.
+  const util::Json* measured = j.find("measured");
+  ASSERT_NE(measured, nullptr);
+  EXPECT_EQ(measured->find("from_cache")->dump(), "false");
+  EXPECT_DOUBLE_EQ(measured->find("runtime_ms")->as_number(),
+                   r.total_runtime_ms());
+  EXPECT_EQ(measured->find("pass_runtimes_ms")->size(), r.passes.size());
+  const util::Json bare = service::to_json(r, {.measured = false});
+  EXPECT_EQ(bare.find("measured"), nullptr);
+  EXPECT_EQ(bare.dump(0).find("runtime_ms"), std::string::npos);
 
   // The protocol pass entry carries the per-path circuit result,
   // including the round counter of the no-op-spin fix.
@@ -696,12 +707,15 @@ TEST(Serialize, SerializationIsDeterministic) {
   Netlist nl1 = netlist::make_benchmark(ctx.lib(), "c17");
   Netlist nl2 = netlist::make_benchmark(ctx.lib(), "c17");
   Optimizer opt(ctx);
-  const std::string a = service::to_json(opt.run_relative(nl1, 0.9)).dump(0);
-  const std::string b = service::to_json(opt.run_relative(nl2, 0.9)).dump(0);
-  // runtime_ms differs between runs; mask it out by comparing the cheap
-  // structural prefix before the first runtime field.
-  EXPECT_EQ(a.substr(0, a.find("runtime_ms")),
-            b.substr(0, b.find("runtime_ms")));
+  // With measurements off the serialization is a pure function of the
+  // inputs: exact bytes, no masking.
+  const std::string a =
+      service::to_json(opt.run_relative(nl1, 0.9), {.measured = false})
+          .dump(0);
+  const std::string b =
+      service::to_json(opt.run_relative(nl2, 0.9), {.measured = false})
+          .dump(0);
+  EXPECT_EQ(a, b);
 }
 
 TEST(Serialize, SweepReportSchema) {
@@ -718,6 +732,11 @@ TEST(Serialize, SweepReportSchema) {
   ASSERT_NE(j.find("cache"), nullptr);
   EXPECT_EQ(j.find("cache")->find("misses")->dump(), "1");
   EXPECT_NE(j.find("wall_ms"), nullptr);
+
+  // measured=false keeps the cache summary but drops the wall clock.
+  const util::Json bare = service::to_json(sweep, {.measured = false});
+  EXPECT_NE(bare.find("cache"), nullptr);
+  EXPECT_EQ(bare.find("wall_ms"), nullptr);
 
   const util::Json spec_json = service::to_json(spec);
   EXPECT_EQ(spec_json.find("circuits")->size(), 1u);

@@ -35,6 +35,7 @@
 #include "cli_util.hpp"
 #include "pops/net/client.hpp"
 #include "pops/net/server.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/service/serialize.hpp"
 
 namespace {
@@ -70,6 +71,9 @@ void usage(std::FILE* out) {
       "  --checkpoint-every N flush the cache file every N sweeps; 0 = "
       "only on\n"
       "                       save/shutdown (default 1)\n"
+      "  --trace-out FILE     record a Chrome trace-event JSON of the "
+      "daemon's\n"
+      "                       lifetime to FILE at shutdown\n"
       "\n"
       "Client options:\n"
       "  --host ADDR --port N daemon address (port is required)\n"
@@ -80,10 +84,16 @@ void usage(std::FILE* out) {
       "  --po-load FF         PO load for shipped .bench files (default "
       "12.0)\n"
       "  --out FILE           also write a JSON report of the run\n"
+      "  --no-runtimes        ask the server to drop the run-dependent "
+      "'measured'\n"
+      "                       fields (byte-identical records, run to "
+      "run)\n"
       "  --allow-unmet        exit 0 even when points miss their "
       "constraint\n"
-      "  --ping|--stats|--save|--shutdown\n"
-      "                       control ops instead of a sweep\n"
+      "  --ping|--stats|--metrics|--save|--shutdown\n"
+      "                       control ops instead of a sweep (--metrics "
+      "dumps the\n"
+      "                       daemon's counters/histograms snapshot)\n"
       "  -h, --help           this text\n");
 }
 
@@ -91,6 +101,7 @@ void usage(std::FILE* out) {
 
 int run_server(int argc, char** argv) {
   net::SweepServerOptions opt;
+  std::string trace_path;
   auto value = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc)
       throw std::invalid_argument(std::string(flag) + " needs a value");
@@ -124,12 +135,15 @@ int run_server(int argc, char** argv) {
           parse_long(value(i, "--checkpoint-every"), "--checkpoint-every");
       if (n < 0) throw std::invalid_argument("--checkpoint-every must be >= 0");
       opt.checkpoint_every = static_cast<std::size_t>(n);
+    } else if (arg == "--trace-out") {
+      trace_path = value(i, "--trace-out");
     } else {
       throw std::invalid_argument("unknown server option '" + arg + "'");
     }
   }
 
   net::SweepServer server(opt);
+  if (!trace_path.empty()) obs::TraceRecorder::global().start();
   const service::CacheLoadReport loaded = server.start();
   if (!opt.cache_file.empty()) {
     std::fprintf(stderr,
@@ -156,6 +170,15 @@ int run_server(int argc, char** argv) {
   const service::ResultCache::Stats stats =
       server.cache() ? server.cache()->stats() : service::ResultCache::Stats{};
   server.stop();
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::global().stop();
+    std::ofstream trace_out(trace_path);
+    if (!trace_out)
+      throw std::runtime_error("cannot write '" + trace_path + "'");
+    trace_out << obs::TraceRecorder::global().chrome_json().dump(0) << "\n";
+    std::fprintf(stderr, "pops_serve: trace written to %s\n",
+                 trace_path.c_str());
+  }
   std::fprintf(stderr,
                "pops_serve: shut down (%zu sweeps, %zu points, cache %zu "
                "hits / %zu misses / %zu entries)\n",
@@ -171,11 +194,12 @@ struct ClientOptions {
   long port = -1;
   std::string spec_path;
   std::string out_path;
-  std::string control;  // ping | stats | save | shutdown
+  std::string control;  // ping | stats | metrics | save | shutdown
   service::SweepSpec spec;
   std::map<std::string, std::string> bench;
   double po_load_ff = 12.0;
   bool allow_unmet = false;
+  bool record_runtimes = true;
   bool have_axis_flags = false;
 };
 
@@ -227,8 +251,10 @@ int run_client(int argc, char** argv) {
       opt.po_load_ff = parse_double(value(i, "--po-load"), "--po-load");
     } else if (arg == "--allow-unmet") {
       opt.allow_unmet = true;
-    } else if (arg == "--ping" || arg == "--stats" || arg == "--save" ||
-               arg == "--shutdown") {
+    } else if (arg == "--no-runtimes") {
+      opt.record_runtimes = false;
+    } else if (arg == "--ping" || arg == "--stats" || arg == "--metrics" ||
+               arg == "--save" || arg == "--shutdown") {
       opt.control = arg.substr(2);
     } else if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown client option '" + arg + "'");
@@ -250,6 +276,7 @@ int run_client(int argc, char** argv) {
     util::Json reply;
     if (opt.control == "ping") reply = client.ping();
     else if (opt.control == "stats") reply = client.server_stats();
+    else if (opt.control == "metrics") reply = client.metrics();
     else if (opt.control == "save") reply = client.save();
     else reply = client.shutdown_server();
     std::printf("%s\n", reply.dump(0).c_str());
@@ -288,8 +315,8 @@ int run_client(int argc, char** argv) {
         std::fflush(stdout);
         if (collect) points.push_back(point);
       };
-  const net::SweepSummary summary =
-      client.submit(opt.spec, sink, opt.bench, opt.po_load_ff);
+  const net::SweepSummary summary = client.submit(
+      opt.spec, sink, opt.bench, opt.po_load_ff, opt.record_runtimes);
 
   std::fprintf(stderr,
                "pops_serve client: %zu points (%zu unmet), cache %zu hits / "

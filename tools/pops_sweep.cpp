@@ -34,6 +34,7 @@
 #include "cli_util.hpp"
 #include "pops/netlist/bench_io.hpp"
 #include "pops/netlist/benchmarks.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/service/serialize.hpp"
 #include "pops/service/sweep.hpp"
 
@@ -92,6 +93,14 @@ void usage(std::FILE* out) {
                "point to stdout (the\n"
                "                     final report then goes only to "
                "--out, never to stdout)\n"
+               "  --no-runtimes      drop the run-dependent 'measured' "
+               "fields from records\n"
+               "                     (same spec => byte-identical "
+               "output, diffable with no scrubbing)\n"
+               "  --trace FILE       record a Chrome trace-event JSON of "
+               "the run to FILE\n"
+               "                     (load in chrome://tracing or "
+               "Perfetto; summarize with pops_profile)\n"
                "  --list-passes      print the registered pass names and "
                "exit\n"
                "  -h, --help         this text\n");
@@ -113,7 +122,9 @@ struct Options {
   bool use_cache = true;
   bool jsonl = false;
   bool allow_unmet = false;
+  bool record_runtimes = true;
   std::string out_path;
+  std::string trace_path;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -206,6 +217,10 @@ Options parse_args(int argc, char** argv) {
       opt.out_path = value(i, "--out");
     } else if (arg == "--jsonl") {
       opt.jsonl = true;
+    } else if (arg == "--no-runtimes") {
+      opt.record_runtimes = false;
+    } else if (arg == "--trace") {
+      opt.trace_path = value(i, "--trace");
     } else if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
     } else {
@@ -254,11 +269,15 @@ int run(int argc, char** argv) {
   api::OptContext ctx;
   service::SweepService sweeps(ctx, opt.use_cache);
 
+  if (!opt.trace_path.empty()) obs::TraceRecorder::global().start();
+
+  const service::SerializeOptions ser{.measured = opt.record_runtimes};
   const service::SweepService::RecordSink sink =
       opt.jsonl ? service::SweepService::RecordSink(
-                      [](const service::SweepPoint& point) {
-                        std::printf("%s\n",
-                                    service::to_json(point).dump(0).c_str());
+                      [ser](const service::SweepPoint& point) {
+                        std::printf(
+                            "%s\n",
+                            service::to_json(point, ser).dump(0).c_str());
                         std::fflush(stdout);
                       })
                 : service::SweepService::RecordSink();
@@ -296,12 +315,23 @@ int run(int argc, char** argv) {
                    "%zu misses\n",
                    r + 1, opt.repeat, model.c_str(), sweep.points.size(),
                    sweep.wall_ms, sweep.cache_hits, sweep.cache_misses);
-      util::Json entry = service::to_json(sweep);
+      util::Json entry = service::to_json(sweep, ser);
       entry["delay_model"] = model;
       sweeps_json.push_back(std::move(entry));
     }
   }
   report["sweeps"] = std::move(sweeps_json);
+
+  if (!opt.trace_path.empty()) {
+    // Stop after report serialization so serialize/point spans are in the
+    // drain; the trace write itself is deliberately outside the trace.
+    obs::TraceRecorder::global().stop();
+    std::ofstream trace_out(opt.trace_path);
+    if (!trace_out)
+      throw std::runtime_error("cannot write '" + opt.trace_path + "'");
+    trace_out << obs::TraceRecorder::global().chrome_json().dump(0) << "\n";
+    std::fprintf(stderr, "trace written to %s\n", opt.trace_path.c_str());
+  }
 
   if (service::ResultCache* cache = sweeps.cache()) {
     const service::ResultCache::Stats stats = cache->stats();
