@@ -126,12 +126,15 @@ void batch_scaling(util::Json& doc) {
   util::Json batch = util::Json::object();
   batch["circuits"] = fleet1.size();
   batch["tc_ratio"] = kRatio;
+  // Per-thread-count timings are always recorded; the ratio only when the
+  // host genuinely has 4 hardware threads (add_guarded_speedup nulls it
+  // with a note otherwise — an oversubscribed "speedup" is noise and has
+  // polluted cross-PR tracking before).
   batch["ms_1_thread"] = ms1;
   batch["ms_4_threads"] = ms4;
-  batch["speedup"] = ms1 / ms4;
+  add_guarded_speedup(batch, ms1, ms4, 4);
   batch["identical"] = identical;
   batch["met"] = met;
-  batch["hardware_threads"] = std::thread::hardware_concurrency();
   doc["batch_throughput"] = std::move(batch);
 }
 

@@ -4,9 +4,11 @@
 // POPS does it (STA -> most critical PI->PO path -> bounded path with
 // frozen off-path loads).
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pops/api/api.hpp"
@@ -69,6 +71,28 @@ double time_ms(Fn&& fn) {
   const pops::obs::StopWatch watch;
   fn();
   return watch.elapsed_ms();
+}
+
+/// Record ms_base/ms_parallel as row["speedup"] — but only when the host
+/// can actually run `threads` workers concurrently. On an oversubscribed
+/// host (hardware_threads < threads) the parallel timing measures
+/// scheduler churn, not scaling, so the row gets "speedup": null plus a
+/// "note" naming the limit instead of a misleading number. Per-thread-
+/// count timings should always be emitted alongside; only the ratio is
+/// suppressed.
+inline void add_guarded_speedup(pops::util::Json& row, double ms_base,
+                                double ms_parallel, std::size_t threads) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  row["hardware_threads"] = hw;
+  if (hw >= threads && ms_parallel > 0.0) {
+    row["speedup"] = ms_base / ms_parallel;
+  } else {
+    row["speedup"] = pops::util::Json();  // null
+    row["note"] = "host has " + std::to_string(hw) +
+                  " hardware thread(s); a " + std::to_string(threads) +
+                  "-worker speedup would measure oversubscription, not "
+                  "scaling";
+  }
 }
 
 /// Write a bench's BENCH_<name>.json artifact (cross-PR perf tracking):

@@ -23,11 +23,16 @@ scripts/smoke_bench_incremental.sh "${PREFIX}"
 
 echo "=== job 1e: pops_lint determinism lint over the compiled tree ==="
 # Job 1 exported compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS),
-# so the lint scans exactly the TUs the build compiles.
+# so the lint scans exactly the TUs the build compiles. The self-test
+# first proves every rule still fires on a synthetic violation.
+tools/pops_lint --self-test
 tools/pops_lint --compile-commands "${PREFIX}/compile_commands.json"
 
 echo "=== job 1f: trace smoke (pops_sweep --trace -> Chrome JSON -> pops_profile) ==="
 scripts/smoke_trace.sh "${PREFIX}"
+
+echo "=== job 1g: intra-circuit timing smoke (slack engine, gating, level-parallel) ==="
+scripts/smoke_intra_circuit.sh "${PREFIX}"
 
 echo "=== job 2: ASan/UBSan, Debug, full ctest ==="
 cmake -B "${PREFIX}-asan" -S . -DPOPS_WERROR=ON -DPOPS_SANITIZE=ON \
@@ -40,6 +45,10 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}"
 # SIGPIPE ctest once the test listing outgrows the pipe buffer.
 ctest --test-dir "${PREFIX}-asan" -N | grep "IncrementalSta\." > /dev/null \
   || { echo "ASan job does not cover the IncrementalSta fuzz tests"; exit 1; }
+ctest --test-dir "${PREFIX}-asan" -N | grep "ShieldMatchesHistoricalFullSweepBitwise" > /dev/null \
+  || { echo "ASan job does not cover the shield parity regression"; exit 1; }
+ctest --test-dir "${PREFIX}-asan" -N | grep "EngineSharing\." > /dev/null \
+  || { echo "ASan job does not cover the engine-sharing obs tests"; exit 1; }
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}"
 
 echo "=== job 3: TSan, full ctest + concurrency stress suites ==="
@@ -52,6 +61,9 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 # drain-grep pattern as the ASan coverage assert above.
 ctest --test-dir "${PREFIX}-tsan" -N | grep "ConcurrencyTest\." > /dev/null \
   || { echo "TSan job does not cover the ConcurrencyTest stress suites"; exit 1; }
+# The level-parallel sweep kernels must race-check under TSan too.
+ctest --test-dir "${PREFIX}-tsan" -N | grep "LevelParallelSweepsDeterministicUnderMutation" > /dev/null \
+  || { echo "TSan job does not cover the level-parallel sweep fuzz"; exit 1; }
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}"
 

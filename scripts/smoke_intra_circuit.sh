@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Intra-circuit timing smoke: the PR-8 engine work end to end.
+#
+#  1. bench_intra_circuit must run and emit valid JSON showing: the
+#     incremental slack update no slower than a cold sweep at dirty=1
+#     (bit-identical values), at least one gated K-path re-enumeration
+#     skip on the zero-progress protocol run with NO spurious skips on
+#     the progress run, and level-parallel sweeps bitwise-equal to
+#     sequential at every tested worker count.
+#  2. A pops_gen netlist (past the level-parallel size threshold) is
+#     swept with --sta-workers 1 and 4; the --jsonl --no-runtimes
+#     streams must be byte-identical (cmp, no scrubbing).
+#
+# Shared by scripts/ci.sh and the GitHub workflow.
+# Usage: scripts/smoke_intra_circuit.sh <build-dir>
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:?usage: smoke_intra_circuit.sh <build-dir>}"
+
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+
+"${BUILD_DIR}/bench_intra_circuit" "${SMOKE_DIR}/bench.json" > /dev/null
+
+python3 - "${SMOKE_DIR}/bench.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # must be valid JSON
+assert doc["experiment"] == "intra_circuit"
+
+slack = doc["slack_incremental"]
+assert slack["identical"] is True, "incremental slacks diverged from cold"
+# Timing smoke, so the bound is conservative: a dirty=1 slack update must
+# never cost more than a full cold backward sweep.
+assert slack["ms_incremental"] <= slack["ms_cold"], (
+    f"incremental slack update slower than cold "
+    f"({slack['ms_incremental']:.3f} vs {slack['ms_cold']:.3f} ms)")
+
+gating = doc["kpath_gating"]
+assert gating["cached_skips"] >= 1, "no gated re-enumeration skip"
+assert gating["spurious_skips"] == 0, (
+    f"{gating['spurious_skips']} skip(s) on a run that made progress")
+
+lp = doc["level_parallel"]
+assert lp["identical"] is True, "level-parallel diverged from sequential"
+assert len(lp["runs"]) >= 3  # workers 1/2/4
+
+print("bench_intra_circuit smoke OK: "
+      f"slack {slack['speedup']:.1f}x@dirty=1, "
+      f"{gating['cached_skips']} gated skip(s), "
+      f"level-parallel identical at {len(lp['runs'])} worker counts")
+PY
+
+# Generated-netlist sweep: sequential vs level-parallel streams must be
+# byte-identical. 60k gates clears the 50k default parallel threshold;
+# --no-cache makes the second run recompute instead of replaying.
+"${BUILD_DIR}/pops_gen" --gates 60000 --seed 7 \
+    --out "${SMOKE_DIR}/gen.bench" 2> /dev/null
+SWEEP_FLAGS=(--tc 0.98 --no-cache --jsonl --no-runtimes --allow-unmet)
+"${BUILD_DIR}/pops_sweep" "${SWEEP_FLAGS[@]}" --sta-workers 1 \
+    "${SMOKE_DIR}/gen.bench" --out "${SMOKE_DIR}/seq.json" \
+    > "${SMOKE_DIR}/seq.jsonl" 2> /dev/null
+"${BUILD_DIR}/pops_sweep" "${SWEEP_FLAGS[@]}" --sta-workers 4 \
+    "${SMOKE_DIR}/gen.bench" --out "${SMOKE_DIR}/par.json" \
+    > "${SMOKE_DIR}/par.jsonl" 2> /dev/null
+cmp "${SMOKE_DIR}/seq.jsonl" "${SMOKE_DIR}/par.jsonl" || {
+    echo "level-parallel sweep stream differs from sequential"; exit 1; }
+echo "pops_gen sweep smoke OK: 1-worker and 4-worker streams identical"

@@ -92,6 +92,8 @@ core::CircuitOptions OptimizerConfig::circuit_options() const {
   c.max_rounds = max_rounds;
   c.tc_margin = tc_margin;
   c.pi_slew_ps = pi_slew_ps;
+  c.sta_workers = sta_workers;
+  c.sta_parallel_min_nodes = sta_parallel_min_nodes;
   c.protocol = protocol_options();
   return c;
 }
@@ -110,6 +112,8 @@ OptimizerConfig OptimizerConfig::from_legacy(const core::CircuitOptions& opt) {
   cfg.max_rounds = opt.max_rounds;
   cfg.tc_margin = opt.tc_margin;
   cfg.pi_slew_ps = opt.pi_slew_ps;
+  cfg.sta_workers = opt.sta_workers;
+  cfg.sta_parallel_min_nodes = opt.sta_parallel_min_nodes;
   cfg.hard_ratio = opt.protocol.hard_ratio;
   cfg.weak_ratio = opt.protocol.weak_ratio;
   cfg.allow_restructuring = opt.protocol.allow_restructuring;

@@ -55,6 +55,13 @@ struct OptimizerConfig {
   double tc_margin = 0.97;     ///< per-path tightening, in (0, 1]
   double pi_slew_ps = -1.0;    ///< forwarded to STA; <= 0 = model default
 
+  // --- STA execution knobs (performance only; results are bitwise
+  // --- identical at any worker count, so result caches ignore them) ----------
+  std::size_t sta_workers = 1;  ///< level-parallel STA sweep workers
+  /// Netlists below this node count keep sequential sweeps even when
+  /// sta_workers > 1 (per-level fan-out overhead dominates there).
+  std::size_t sta_parallel_min_nodes = 50000;
+
   // --- circuit-wide shielding pass -------------------------------------------
   double shield_margin = 1.0;          ///< flag nets with F > margin*Flimit
   std::size_t max_shield_buffers = 64; ///< insertion budget
@@ -102,6 +109,14 @@ struct OptimizerConfig {
   }
   OptimizerConfig& with_pi_slew_ps(double slew) {
     pi_slew_ps = slew;
+    return *this;
+  }
+  OptimizerConfig& with_sta_workers(std::size_t workers) {
+    sta_workers = workers;
+    return *this;
+  }
+  OptimizerConfig& with_sta_threshold(std::size_t min_nodes) {
+    sta_parallel_min_nodes = min_nodes;
     return *this;
   }
   OptimizerConfig& with_shielding(bool on) {

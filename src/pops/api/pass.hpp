@@ -22,6 +22,10 @@
 #include "pops/core/protocol.hpp"
 #include "pops/netlist/netlist.hpp"
 
+namespace pops::timing {
+class IncrementalSta;
+}
+
 namespace pops::api {
 
 /// Structured diagnostics of one pass execution. The area/delay/runtime
@@ -68,6 +72,22 @@ class Pass {
   virtual void run(netlist::Netlist& nl, OptContext& ctx,
                    const OptimizerConfig& cfg, double tc_ps,
                    PassReport& report) const = 0;
+
+  /// Shared-timing-engine variant: `sta` is the pipeline's per-run
+  /// incremental analyzer over `nl`, current whenever it has a result. A
+  /// pass that edits the netlist should report the edits through
+  /// sta.update() (or sta.invalidate() for edits outside the dirty-set
+  /// contract) so later passes and the pipeline's envelope measurements
+  /// reuse the maintained state instead of re-running STA cold. The
+  /// default forwards to the 5-argument run() and touches the engine not
+  /// at all — the pipeline detects the untouched revision and invalidates,
+  /// so custom passes stay correct (just unshared) without opting in.
+  virtual void run(netlist::Netlist& nl, OptContext& ctx,
+                   const OptimizerConfig& cfg, double tc_ps,
+                   PassReport& report, timing::IncrementalSta& sta) const {
+    (void)sta;
+    run(nl, ctx, cfg, tc_ps, report);
+  }
 };
 
 }  // namespace pops::api

@@ -1,6 +1,7 @@
 #include "pops/api/passes.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "pops/core/netopt.hpp"
@@ -24,11 +25,33 @@ void ShieldPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
   report.changed = r.buffers_inserted > 0;
 }
 
+void ShieldPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+                     double /*tc_ps*/, PassReport& report,
+                     timing::IncrementalSta& sta) const {
+  const core::ShieldReport r = core::shield_high_fanout_nets(
+      nl, ctx.dm(), ctx.flimits(), cfg.shield_options(), &sta);
+  report.buffers_inserted = r.buffers_inserted;
+  report.changed = r.buffers_inserted > 0;
+}
+
 void CancelInvertersPass::run(Netlist& nl, OptContext& /*ctx*/,
                               const OptimizerConfig& /*cfg*/, double /*tc_ps*/,
                               PassReport& report) const {
   report.sinks_rewired = core::cancel_inverter_pairs(nl);
   report.changed = report.sinks_rewired > 0;
+}
+
+void CancelInvertersPass::run(Netlist& nl, OptContext& /*ctx*/,
+                              const OptimizerConfig& /*cfg*/, double /*tc_ps*/,
+                              PassReport& report,
+                              timing::IncrementalSta& sta) const {
+  std::vector<netlist::NodeId> dirty;
+  report.sinks_rewired = core::cancel_inverter_pairs(nl, &dirty);
+  report.changed = report.sinks_rewired > 0;
+  // Rewires change connectivity -> structure_changed. No rewires = no
+  // update, and the engine revision not moving is then correct (the
+  // pipeline only expects a moved revision when `changed` is set).
+  if (!dirty.empty()) sta.update(dirty, /*structure_changed=*/true);
 }
 
 void SweepDeadPass::run(Netlist& nl, OptContext& /*ctx*/,
@@ -41,6 +64,17 @@ void SweepDeadPass::run(Netlist& nl, OptContext& /*ctx*/,
   report.changed = report.gates_removed > 0;
 }
 
+void SweepDeadPass::run(Netlist& nl, OptContext& ctx,
+                        const OptimizerConfig& cfg, double tc_ps,
+                        PassReport& report,
+                        timing::IncrementalSta& sta) const {
+  run(nl, ctx, cfg, tc_ps, report);
+  // The rebuild renumbers node ids even when nothing was removed (gates
+  // are re-appended in topo order) — always outside the dirty-set
+  // contract, so the engine must restart cold either way.
+  sta.invalidate();
+}
+
 void ProtocolPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
                        double tc_ps, PassReport& report) const {
   core::CircuitResult r =
@@ -50,11 +84,22 @@ void ProtocolPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
   report.circuit = std::move(r);
 }
 
+void ProtocolPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+                       double tc_ps, PassReport& report,
+                       timing::IncrementalSta& sta) const {
+  core::CircuitResult r = run_protocol(nl, ctx.dm(), ctx.flimits(), tc_ps,
+                                       cfg.circuit_options(), &sta);
+  report.paths_optimized = r.paths_optimized;
+  report.changed = r.paths_optimized > 0;
+  report.circuit = std::move(r);
+}
+
 core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
                                                const DelayModel& dm,
                                                core::FlimitTable& table,
                                                double tc_ps,
-                                               const core::CircuitOptions& opt) {
+                                               const core::CircuitOptions& opt,
+                                               timing::IncrementalSta* shared) {
   opt.validate();
   if (!(tc_ps > 0.0))
     throw std::invalid_argument("optimize_circuit: Tc must be > 0");
@@ -64,18 +109,25 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
 
   timing::StaOptions sta_opt;
   sta_opt.pi_slew_ps = opt.pi_slew_ps;
+  sta_opt.level_parallel_workers = opt.sta_workers;
+  sta_opt.level_parallel_min_nodes = opt.sta_parallel_min_nodes;
   // The protocol's hot loop: one STA verification per sizing round. The
   // incremental analyzer keeps arrivals/slews AND the K-paths downstream
   // bounds alive between rounds, so a round costs O(resized fanout cone)
-  // instead of O(E) — bit-identical to re-running Sta from cold.
-  timing::IncrementalSta sta(nl, dm, sta_opt);
+  // instead of O(E) — bit-identical to re-running Sta from cold. A
+  // pipeline-shared engine (already warm from the passes before this one)
+  // is reused in place of a private one.
+  std::optional<timing::IncrementalSta> local;
+  if (shared == nullptr) local.emplace(nl, dm, sta_opt);
+  timing::IncrementalSta& sta = shared != nullptr ? *shared : *local;
   const double input_slew =
       opt.pi_slew_ps > 0.0 ? opt.pi_slew_ps : dm.default_input_slew_ps();
 
   static const obs::Registry::Counter rounds_total =
       obs::Registry::global().counter("protocol.rounds");
 
-  const timing::StaResult* result = &sta.run_full();
+  const timing::StaResult* result =
+      &(sta.has_result() ? sta.result() : sta.run_full());
   for (int round = 0; round < opt.max_rounds; ++round) {
     // Same predicate as `met` below (kTcMetRelTol): a point at the
     // boundary must not iterate as "violating" yet report met=true.
@@ -95,7 +147,10 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
         std::pow(opt.tc_margin, static_cast<double>(round + 1));
     const double path_tc = tc_ps * margin;
 
-    const std::vector<timing::TimedPath> paths =
+    // Reference, not copy: the zero-progress `continue` below re-enters
+    // this query with the engine untouched, and the enumeration gate then
+    // replays the cached list instead of re-running the K-paths search.
+    const std::vector<timing::TimedPath>& paths =
         sta.k_critical_paths(opt.max_paths);
     bool any_change = false;
     std::size_t below_target = 0;  // skipped now, admitted by tighter targets

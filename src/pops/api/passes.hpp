@@ -22,6 +22,9 @@ class ShieldPass final : public Pass {
   std::string_view name() const noexcept override { return "shield"; }
   void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
            double tc_ps, PassReport& report) const override;
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report,
+           timing::IncrementalSta& sta) const override;
 };
 
 /// INV(INV(x)) cancellation (wraps core::cancel_inverter_pairs).
@@ -30,6 +33,9 @@ class CancelInvertersPass final : public Pass {
   std::string_view name() const noexcept override { return "cancel-inverters"; }
   void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
            double tc_ps, PassReport& report) const override;
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report,
+           timing::IncrementalSta& sta) const override;
 };
 
 /// Dead-logic sweep (wraps core::sweep_dead).
@@ -38,6 +44,12 @@ class SweepDeadPass final : public Pass {
   std::string_view name() const noexcept override { return "sweep-dead"; }
   void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
            double tc_ps, PassReport& report) const override;
+  /// The sweep rebuilds (and renumbers) the netlist — outside the
+  /// dirty-set contract, so this invalidates the shared engine instead of
+  /// reporting an update.
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report,
+           timing::IncrementalSta& sta) const override;
 };
 
 /// The Fig. 7 protocol applied circuit-wide: repeatedly extract the K most
@@ -48,15 +60,23 @@ class ProtocolPass final : public Pass {
   std::string_view name() const noexcept override { return "protocol"; }
   void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
            double tc_ps, PassReport& report) const override;
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report,
+           timing::IncrementalSta& sta) const override;
 
   /// The driver loop itself, in terms of the legacy types. This is the
   /// single implementation behind both the pass and the legacy
   /// core::optimize_circuit free function (now a forwarding shim).
-  static core::CircuitResult run_protocol(netlist::Netlist& nl,
-                                          const timing::DelayModel& dm,
-                                          core::FlimitTable& table,
-                                          double tc_ps,
-                                          const core::CircuitOptions& opt);
+  /// `shared` (optional) is a caller-owned engine over `nl` reused in
+  /// place of a private one, same contract as
+  /// core::shield_high_fanout_nets: an existing result is trusted, all
+  /// sizing rounds are reported through update(), and its StaOptions are
+  /// the caller's responsibility (the private engine derives them from
+  /// `opt`).
+  static core::CircuitResult run_protocol(
+      netlist::Netlist& nl, const timing::DelayModel& dm,
+      core::FlimitTable& table, double tc_ps, const core::CircuitOptions& opt,
+      timing::IncrementalSta* shared = nullptr);
 };
 
 }  // namespace pops::api

@@ -1,11 +1,14 @@
 #include "pops/api/pipeline.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "pops/api/passes.hpp"
 #include "pops/core/protocol.hpp"
 #include "pops/obs/clock.hpp"
+#include "pops/obs/metrics.hpp"
 #include "pops/obs/trace.hpp"
+#include "pops/timing/incremental_sta.hpp"
 #include "pops/timing/sta.hpp"
 
 namespace pops::api {
@@ -78,17 +81,6 @@ std::vector<std::string> PassPipeline::pass_names() const {
   return names;
 }
 
-namespace {
-
-double critical_delay_ps(const netlist::Netlist& nl, const OptContext& ctx,
-                         const OptimizerConfig& cfg) {
-  timing::StaOptions opt;
-  opt.pi_slew_ps = cfg.pi_slew_ps;
-  return timing::Sta(nl, ctx.dm(), opt).run().critical_delay_ps;
-}
-
-}  // namespace
-
 PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
                                  const OptimizerConfig& cfg, double tc_ps,
                                  double initial_delay_ps) const {
@@ -96,12 +88,28 @@ PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
     throw std::invalid_argument("PassPipeline::run: Tc must be > 0");
   cfg.ensure_valid();
 
+  // One timing engine for the whole run, threaded through every pass: the
+  // passes report their edits (or invalidate), so the per-pass delay
+  // envelope below reads the maintained result instead of re-running a
+  // cold O(E) analysis after every pass. Local by design — run() is
+  // called concurrently on distinct netlists by Optimizer::run_many.
+  timing::StaOptions sta_opt;
+  sta_opt.pi_slew_ps = cfg.pi_slew_ps;
+  sta_opt.level_parallel_workers = cfg.sta_workers;
+  sta_opt.level_parallel_min_nodes = cfg.sta_parallel_min_nodes;
+  timing::IncrementalSta engine(nl, ctx.dm(), sta_opt);
+  const auto measured_delay = [&engine]() {
+    return (engine.has_result() ? engine.result() : engine.run_full())
+        .critical_delay_ps;
+  };
+  static const obs::Registry::Counter stale_invalidations =
+      obs::Registry::global().counter("pipeline.engine_invalidated");
+
   PipelineReport out;
   out.tc_ps = tc_ps;
   out.delay_model = std::string(ctx.dm().name());
-  out.initial_delay_ps = initial_delay_ps > 0.0
-                             ? initial_delay_ps
-                             : critical_delay_ps(nl, ctx, cfg);
+  out.initial_delay_ps =
+      initial_delay_ps > 0.0 ? initial_delay_ps : measured_delay();
   out.initial_area_um = nl.total_width_um();
 
   double delay = out.initial_delay_ps;
@@ -113,10 +121,20 @@ PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
 
     obs::Span span("pass/", pass->name());
     const obs::StopWatch watch;
-    pass->run(nl, ctx, cfg, tc_ps, rep);
+    const std::uint64_t revision = engine.revision();
+    pass->run(nl, ctx, cfg, tc_ps, rep, engine);
+    // A pass that changed the netlist without moving the engine (a custom
+    // pass using the forwarding default, or a built-in whose edits never
+    // produced an update) left the maintained state stale — restart cold.
+    // The revision also moves on timing-neutral reports, so this never
+    // misfires on a pass that did its bookkeeping.
+    if (rep.changed && engine.revision() == revision) {
+      engine.invalidate();
+      stale_invalidations.add();
+    }
     rep.runtime_ms = watch.elapsed_ms();
 
-    delay = critical_delay_ps(nl, ctx, cfg);
+    delay = measured_delay();
     rep.delay_after_ps = delay;
     rep.area_after_um = nl.total_width_um();
     span.arg("delay_after_ps", rep.delay_after_ps);

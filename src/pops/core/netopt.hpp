@@ -20,17 +20,28 @@
 //    counterpart of the path shield in buffer.hpp).
 
 #include <cstddef>
+#include <vector>
 
 #include "pops/core/buffer.hpp"
 #include "pops/netlist/netlist.hpp"
 #include "pops/timing/delay_model.hpp"
+
+namespace pops::timing {
+class IncrementalSta;
+}
 
 namespace pops::core {
 
 /// Rewire sinks of INV(INV(x)) to x. Does not delete the bypassed
 /// inverters (run sweep_dead afterwards); never bypasses a primary
 /// output's defining gate. Returns the number of sink rewires performed.
-std::size_t cancel_inverter_pairs(netlist::Netlist& nl);
+/// When `dirty` is non-null, every node touched by a rewire (the repointed
+/// sink, the bypassed inverter, the new driver) is appended to it —
+/// exactly the IncrementalSta dirty-set contract, so a caller sharing a
+/// timing engine can `update(dirty, true)` instead of re-running cold.
+std::size_t cancel_inverter_pairs(netlist::Netlist& nl,
+                                  std::vector<netlist::NodeId>* dirty =
+                                      nullptr);
 
 /// Rebuild the netlist without gates that cannot reach any primary
 /// output. Primary inputs are always preserved (they are the interface).
@@ -56,9 +67,28 @@ struct ShieldReport {
 /// Insert shield buffers on overloaded nets, keeping the most
 /// timing-critical sink directly driven. Non-inverting buffers only, so
 /// the function is untouched. Nets are processed worst-overload-first.
+///
+/// `shared` (optional) is a caller-owned timing engine over `nl` to reuse
+/// instead of building a private one: an existing result is taken as-is
+/// (no cold re-run — the caller vouches it is current), every buffer
+/// insertion is reported through update(), and the maintained state stays
+/// valid for the caller's subsequent passes. Its StaOptions are the
+/// caller's choice; the private engine uses defaults.
+///
+/// The timing-critical sink of each net is chosen by slack against the
+/// circuit's *current* critical delay — the pass's historical definition,
+/// preserved bit for bit (pinning one tc for the whole pass would be
+/// equivalent in exact arithmetic, since shifting tc moves every required
+/// time uniformly, but floating-point required-time propagation does not
+/// shift exactly and near-tied sinks flip). The cost win comes from the
+/// engine instead: its slack cache is keyed on the tc bit pattern and
+/// maintained over dirty cones by update(), so the historical full
+/// backward sweep per candidate happens only when a preceding insertion
+/// actually moved the critical delay.
 ShieldReport shield_high_fanout_nets(netlist::Netlist& nl,
                                      const timing::DelayModel& dm,
                                      FlimitTable& table,
-                                     const ShieldOptions& opt = {});
+                                     const ShieldOptions& opt = {},
+                                     timing::IncrementalSta* shared = nullptr);
 
 }  // namespace pops::core

@@ -50,6 +50,8 @@ service::CacheLoadReport SweepServer::start() {
   listener_ = TcpListener::bind(opt_.host, opt_.port);
   port_ = listener_.port();
   stopping_.store(false);
+  // The accept loop is I/O plumbing, not deterministic product work.
+  // pops-lint: allow(raw-thread) — never feeds results it could reorder
   acceptor_ = std::thread([this] { accept_loop(); });
   return loaded;
 }
@@ -152,6 +154,9 @@ void SweepServer::accept_loop() {
     conns_.emplace_back();
     Connection& conn = conns_.back();
     conn.stream = std::make_unique<TcpStream>(std::move(peer));
+    // One thread per accepted connection: connection plumbing only; the
+    // per-sweep compute below it still goes through the pool/fan-out.
+    // pops-lint: allow(raw-thread) — I/O thread, not product work
     conn.thread = std::thread([this, &conn] { serve_connection(conn); });
   }
 }

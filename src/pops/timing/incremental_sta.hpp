@@ -36,7 +36,9 @@
 // that renumber or remove nodes (sweep_dead rebuilds) need a fresh
 // run_full().
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -65,6 +67,17 @@ class IncrementalSta {
   const StaResult& update(std::span<const netlist::NodeId> dirty,
                           bool structure_changed = false);
 
+  /// Drop all maintained state: the next update()/result-producing query
+  /// falls back to a cold run_full(). For edits outside the dirty-set
+  /// contract (sweep_dead renumbers ids) and for rebinding the engine to
+  /// a rebuilt netlist at the same address.
+  void invalidate() noexcept;
+
+  /// Monotone counter bumped by run_full()/update()/invalidate(). Lets an
+  /// owner sharing this engine across passes detect whether a pass
+  /// reported its edits (revision moved) or left the engine stale.
+  std::uint64_t revision() const noexcept { return revision_; }
+
   /// The maintained result. Throws std::logic_error before the first run.
   const StaResult& result() const;
   bool has_result() const noexcept { return valid_; }
@@ -81,15 +94,29 @@ class IncrementalSta {
   TimedPath critical_path() const { return sta_.critical_path(result()); }
 
   /// K-critical-paths enumeration reusing the maintained downstream
-  /// values — per round this skips the O(E) bound recomputation that
-  /// dominates Sta::k_critical_paths on an unchanged netlist.
-  std::vector<TimedPath> k_critical_paths(std::size_t k) const {
-    return sta_.k_critical_paths(result(), k, downstream());
-  }
+  /// values, gated against re-enumeration: the previous path list is
+  /// replayed verbatim when no update()/run_full() intervened and the
+  /// same k is requested. The gate is exact, not heuristic — between
+  /// reports the netlist is untouched by the dirty-set contract, and any
+  /// reported edit can move an enumeration edge weight (through a sink's
+  /// cin/cload) even when every maintained arrival/slew/bound stayed
+  /// bit-identical, so "a report happened" is the precise invalidation
+  /// condition. The returned reference stays valid (and untouched)
+  /// across update() calls; the next actual enumeration overwrites it.
+  const std::vector<TimedPath>& k_critical_paths(std::size_t k) const;
 
-  std::vector<double> slacks(double tc_ps) const {
-    return sta_.slacks(result(), tc_ps);
-  }
+  /// Per-node slacks against `tc_ps`, == Sta::slacks(result(), tc_ps)
+  /// bitwise. The first query (or a query at a different tc) materializes
+  /// required times + slacks with one full backward sweep; afterwards
+  /// update() maintains both over dirty cones only, so per-candidate
+  /// queries in the shield pass cost O(dirty cone) instead of O(E).
+  const std::vector<double>& slacks(double tc_ps) const;
+
+  /// The maintained required-time vector backing slacks(tc_ps), ==
+  /// Sta::required_times(result(), tc_ps) bitwise (same materialization
+  /// and maintenance as slacks()).
+  const std::vector<std::array<double, 2>>& required_times(
+      double tc_ps) const;
 
   /// The underlying (stateless) analyzer, for queries not wrapped above.
   const Sta& sta() const noexcept { return sta_; }
@@ -105,6 +132,7 @@ class IncrementalSta {
  private:
   void rebuild_positions();
   void grow_arrays(std::size_t n);
+  void materialize_slacks(double tc_ps) const;
 
   const netlist::Netlist* nl_;
   const DelayModel* dm_;
@@ -117,6 +145,21 @@ class IncrementalSta {
   // lazy caches.
   mutable std::vector<double> down_;
   mutable bool down_valid_ = false;
+
+  // Required times + slacks, lazily materialized by the first
+  // slacks()/required_times() query and keyed on the tc bit pattern (a
+  // different tc re-materializes); maintained by update() while valid.
+  mutable std::vector<std::array<double, 2>> req_;
+  mutable std::vector<double> slack_;
+  mutable bool slack_valid_ = false;
+  mutable double slack_tc_ps_ = 0.0;
+
+  // Last enumeration, replayed while no update()/run_full() intervenes
+  // (see k_critical_paths).
+  mutable std::vector<TimedPath> paths_;
+  mutable std::size_t paths_k_ = 0;
+  mutable bool paths_valid_ = false;
+
   std::vector<std::size_t> topo_pos_;  ///< node -> position in topo order
   bool positions_valid_ = false;       ///< rebuilt by the first update()
 
@@ -126,6 +169,7 @@ class IncrementalSta {
   std::vector<char> seed_mark_;
 
   bool valid_ = false;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace pops::timing

@@ -5,6 +5,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "pops/obs/trace.hpp"
+#include "pops/util/parallel.hpp"
+
 namespace pops::timing {
 
 using netlist::Netlist;
@@ -72,6 +75,26 @@ void Sta::finalize_critical(StaResult& r) const {
     throw std::logic_error("Sta: no PO reachable from any PI");
 }
 
+bool Sta::level_parallel() const noexcept {
+  return opt_.level_parallel_workers > 1 &&
+         nl_->size() >= opt_.level_parallel_min_nodes;
+}
+
+std::vector<std::vector<NodeId>> Sta::depth_levels() const {
+  const Netlist& nl = *nl_;
+  const std::vector<int> depth = nl.depths();
+  int max_depth = 0;
+  for (int d : depth) max_depth = std::max(max_depth, d);
+  std::vector<std::vector<NodeId>> levels(
+      static_cast<std::size_t>(max_depth) + 1);
+  // Bucket in topo order: level construction (and therefore chunking) is
+  // a pure function of the netlist, independent of worker scheduling.
+  for (NodeId id : nl.topo_order())
+    levels[static_cast<std::size_t>(depth[static_cast<std::size_t>(id)])]
+        .push_back(id);
+  return levels;
+}
+
 StaResult Sta::run() const {
   const Netlist& nl = *nl_;
   const std::size_t n = nl.size();
@@ -85,9 +108,35 @@ StaResult Sta::run() const {
     r.arrival_ps[static_cast<std::size_t>(pi)] = {0.0, 0.0};
   }
 
-  for (NodeId id : nl.topo_order()) {
-    if (nl.node(id).is_input) continue;
-    compute_node(id, r);
+  if (!level_parallel()) {
+    for (NodeId id : nl.topo_order()) {
+      if (nl.node(id).is_input) continue;
+      compute_node(id, r);
+    }
+  } else {
+    // Nodes of one level have disjoint outputs and read only arrivals /
+    // slews of strictly shallower levels (a gate's depth exceeds every
+    // fanin's), all finalized by the preceding level barriers — so the
+    // fan-out is bitwise-equal to the sequential loop at any worker
+    // count. depth_levels() walked topo_order() above, which also
+    // materialized the netlist's lazy fanout/topo caches before any
+    // worker can race to build them.
+    const std::vector<std::vector<NodeId>> levels = depth_levels();
+    obs::Span span("sta/level_sweep");
+    span.arg("nodes", static_cast<double>(n));
+    span.arg("levels", static_cast<double>(levels.size()));
+    span.arg("workers", static_cast<double>(opt_.level_parallel_workers));
+    util::ThreadPool& pool = util::ThreadPool::global();
+    for (const std::vector<NodeId>& level : levels) {
+      pool.for_chunks(level.size(), opt_.level_parallel_workers,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          const NodeId id = level[i];
+                          if (nl.node(id).is_input) continue;
+                          compute_node(id, r);
+                        }
+                      });
+    }
   }
 
   finalize_critical(r);
@@ -136,12 +185,38 @@ std::vector<double> Sta::downstream_delays(const StaResult& result) const {
   // Longest remaining delay from each vertex to any PO (0 at a PO vertex
   // itself, since paths terminate there; -inf if no PO is reachable).
   std::vector<double> down(2 * nl.size(), kNegInf);
-  const auto& topo = nl.topo_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const NodeId id = *it;
-    for (Edge e : {Edge::Rise, Edge::Fall}) {
-      down[2 * static_cast<std::size_t>(id) + StaResult::idx(e)] =
-          compute_down(id, e, result, down);
+  if (!level_parallel()) {
+    const auto& topo = nl.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId id = *it;
+      for (Edge e : {Edge::Rise, Edge::Fall}) {
+        down[2 * static_cast<std::size_t>(id) + StaResult::idx(e)] =
+            compute_down(id, e, result, down);
+      }
+    }
+  } else {
+    // Backward mirror of run()'s level fan-out: a vertex reads only its
+    // fanouts' `down` values, all at strictly deeper levels, finalized
+    // by the preceding (descending) level barriers.
+    const std::vector<std::vector<NodeId>> levels = depth_levels();
+    obs::Span span("sta/level_sweep");
+    span.arg("nodes", static_cast<double>(nl.size()));
+    span.arg("levels", static_cast<double>(levels.size()));
+    span.arg("workers", static_cast<double>(opt_.level_parallel_workers));
+    util::ThreadPool& pool = util::ThreadPool::global();
+    for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
+      const std::vector<NodeId>& level = *lit;
+      pool.for_chunks(level.size(), opt_.level_parallel_workers,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          const NodeId id = level[i];
+                          for (Edge e : {Edge::Rise, Edge::Fall}) {
+                            down[2 * static_cast<std::size_t>(id) +
+                                 StaResult::idx(e)] =
+                                compute_down(id, e, result, down);
+                          }
+                        }
+                      });
     }
   }
   return down;
@@ -248,43 +323,86 @@ std::vector<TimedPath> Sta::k_critical_paths(
   return out;
 }
 
-std::vector<double> Sta::slacks(const StaResult& result, double tc_ps) const {
-  const Netlist& nl = *nl_;
-  const std::size_t n = nl.size();
+void Sta::compute_required(NodeId id, const StaResult& result, double tc_ps,
+                           std::vector<std::array<double, 2>>& required)
+    const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  const Netlist& nl = *nl_;
 
-  // Required times, backward.
-  std::vector<std::array<double, 2>> required(n, {kInf, kInf});
-  for (NodeId po : nl.outputs())
-    required[static_cast<std::size_t>(po)] = {tc_ps, tc_ps};
-
-  const auto& topo = nl.topo_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const NodeId id = *it;
-    for (NodeId g : nl.fanouts(id)) {
-      const liberty::Cell& cell = nl.cell_of(g);
-      const double cin = nl.cin_ff(g);
-      const double cload = nl.load_ff(g) + nl.cpar_ff(g);
-      for (Edge eout : {Edge::Rise, Edge::Fall}) {
-        for (Edge ein : cause_edges(cell, eout)) {
-          const double w =
-              dm_->delay_ps(cell, eout, result.slew(id, ein), cin, cload);
-          auto& req = required[static_cast<std::size_t>(id)][StaResult::idx(ein)];
-          req = std::min(req,
-                         required[static_cast<std::size_t>(g)][StaResult::idx(eout)] - w);
-        }
+  // Init, then min-accumulate over the fanouts' finalized values — the
+  // exact operation order (fanouts, then eout, then causing ein, one
+  // chained std::min per term) of the historical monolithic backward
+  // sweep, so IncrementalSta can replay this kernel bit-identically.
+  auto& req = required[static_cast<std::size_t>(id)];
+  req = nl.node(id).is_output ? std::array<double, 2>{tc_ps, tc_ps}
+                              : std::array<double, 2>{kInf, kInf};
+  for (NodeId g : nl.fanouts(id)) {
+    const liberty::Cell& cell = nl.cell_of(g);
+    const double cin = nl.cin_ff(g);
+    const double cload = nl.load_ff(g) + nl.cpar_ff(g);
+    for (Edge eout : {Edge::Rise, Edge::Fall}) {
+      for (Edge ein : cause_edges(cell, eout)) {
+        const double w =
+            dm_->delay_ps(cell, eout, result.slew(id, ein), cin, cload);
+        double& cell_req = req[StaResult::idx(ein)];
+        cell_req = std::min(
+            cell_req,
+            required[static_cast<std::size_t>(g)][StaResult::idx(eout)] - w);
       }
     }
   }
+}
 
-  std::vector<double> slack(n, kInf);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (Edge e : {Edge::Rise, Edge::Fall}) {
-      const double at = result.arrival_ps[i][StaResult::idx(e)];
-      if (at == kNegInf) continue;
-      slack[i] = std::min(slack[i], required[i][StaResult::idx(e)] - at);
+double Sta::compute_slack(
+    NodeId id, const StaResult& result,
+    const std::vector<std::array<double, 2>>& required) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto i = static_cast<std::size_t>(id);
+  double slack = kInf;
+  for (Edge e : {Edge::Rise, Edge::Fall}) {
+    const double at = result.arrival_ps[i][StaResult::idx(e)];
+    if (at == kNegInf) continue;
+    slack = std::min(slack, required[i][StaResult::idx(e)] - at);
+  }
+  return slack;
+}
+
+std::vector<std::array<double, 2>> Sta::required_times(const StaResult& result,
+                                                       double tc_ps) const {
+  const Netlist& nl = *nl_;
+  std::vector<std::array<double, 2>> required(nl.size());
+  if (!level_parallel()) {
+    const auto& topo = nl.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it)
+      compute_required(*it, result, tc_ps, required);
+  } else {
+    // Same descending-level fan-out as downstream_delays(): a node reads
+    // only its fanouts' required times, all strictly deeper.
+    const std::vector<std::vector<NodeId>> levels = depth_levels();
+    obs::Span span("sta/level_sweep");
+    span.arg("nodes", static_cast<double>(nl.size()));
+    span.arg("levels", static_cast<double>(levels.size()));
+    span.arg("workers", static_cast<double>(opt_.level_parallel_workers));
+    util::ThreadPool& pool = util::ThreadPool::global();
+    for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
+      const std::vector<NodeId>& level = *lit;
+      pool.for_chunks(level.size(), opt_.level_parallel_workers,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                          compute_required(level[i], result, tc_ps, required);
+                      });
     }
   }
+  return required;
+}
+
+std::vector<double> Sta::slacks(const StaResult& result, double tc_ps) const {
+  const std::size_t n = nl_->size();
+  const std::vector<std::array<double, 2>> required =
+      required_times(result, tc_ps);
+  std::vector<double> slack(n);
+  for (std::size_t i = 0; i < n; ++i)
+    slack[i] = compute_slack(static_cast<NodeId>(i), result, required);
   return slack;
 }
 

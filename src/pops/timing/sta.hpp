@@ -10,6 +10,7 @@
 // specified limited number of paths" POPS optimises.
 
 #include <array>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,19 @@ struct StaOptions {
   /// Transition time assumed at every primary input; <= 0 selects the
   /// model's default (FO1 reference inverter).
   double pi_slew_ps = -1.0;
+
+  /// Level-parallel sweeps: > 1 partitions forward/backward propagation
+  /// by topological level and fans each level out across
+  /// util::ThreadPool workers. Per-node writes are disjoint and a level
+  /// reads only finished earlier (forward) / deeper (backward) levels,
+  /// so results are bitwise-identical to the sequential path at any
+  /// worker count (test-enforced).
+  std::size_t level_parallel_workers = 1;
+
+  /// Netlists below this node count keep the sequential path even when
+  /// workers > 1: per-level fan-out overhead dominates on small circuits
+  /// (all ISCAS benchmarks stay sequential at the default).
+  std::size_t level_parallel_min_nodes = 50000;
 };
 
 /// Full analysis result.
@@ -94,6 +108,13 @@ class Sta {
                                           std::size_t k,
                                           const std::vector<double>& down) const;
 
+  /// Required time per node per edge against a required arrival `tc_ps`
+  /// at every PO: the backward min-propagation of slacks(), exposed so
+  /// consumers (and IncrementalSta's maintained vectors) share one
+  /// bit-exact definition. +inf where no PO constrains the vertex.
+  std::vector<std::array<double, 2>> required_times(const StaResult& result,
+                                                    double tc_ps) const;
+
   /// Per-node slack against a required time `tc_ps` at every PO, for the
   /// worse edge: slack(n) = min over edges of (required - arrival).
   std::vector<double> slacks(const StaResult& result, double tc_ps) const;
@@ -115,9 +136,31 @@ class Sta {
   double compute_down(netlist::NodeId id, Edge e, const StaResult& result,
                       const std::vector<double>& down) const;
 
+  /// Recompute required[id] (both edges) from the fanouts' finalized
+  /// `required` values — the per-node kernel of required_times(). Same
+  /// operation order as the historical monolithic sweep, so replaying it
+  /// on an unchanged neighbourhood is bit-identical.
+  void compute_required(netlist::NodeId id, const StaResult& result,
+                        double tc_ps,
+                        std::vector<std::array<double, 2>>& required) const;
+
+  /// slack(id) from finalized arrivals and required times — the per-node
+  /// kernel of slacks().
+  double compute_slack(netlist::NodeId id, const StaResult& result,
+                       const std::vector<std::array<double, 2>>& required)
+      const;
+
   /// Scan POs for the critical delay/endpoint; throws when no PO is
   /// reachable (same contract as run()).
   void finalize_critical(StaResult& r) const;
+
+  /// True when this netlist/options pair takes the level-parallel path.
+  bool level_parallel() const noexcept;
+
+  /// All nodes bucketed by gate depth (depth 0 = PIs), each bucket in
+  /// topo order. Forward sweeps walk buckets ascending, backward sweeps
+  /// descending; within a bucket nodes are independent.
+  std::vector<std::vector<netlist::NodeId>> depth_levels() const;
 
   const netlist::Netlist* nl_;
   const DelayModel* dm_;

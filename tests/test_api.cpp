@@ -11,8 +11,10 @@
 
 #include "pops/api/api.hpp"
 #include "pops/netlist/benchmarks.hpp"
+#include "pops/obs/metrics.hpp"
 #include "pops/timing/sta.hpp"
 #include "pops/timing/table_model.hpp"
+#include "pops/util/json.hpp"
 
 namespace {
 
@@ -413,6 +415,75 @@ TEST(DelayModelBackend, BackendSwitchResetsFlimitCache) {
   ASSERT_GT(ctx.flimits().size(), 0u);
   Optimizer opt(ctx, OptimizerConfig{}.with_delay_model("table"));
   EXPECT_EQ(ctx.flimits().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-pass timing-engine sharing + enumeration gating (obs counters)
+// ---------------------------------------------------------------------------
+
+double counter_value(const char* name) {
+  const util::Json snap = obs::Registry::global().snapshot_json();
+  const util::Json* counters = snap.find("counters");
+  if (counters == nullptr) return 0.0;
+  const util::Json* cell = counters->find(name);
+  return cell == nullptr ? 0.0 : cell->as_number();
+}
+
+TEST(EngineSharing, PipelineColdRunsBoundedPerPoint) {
+  // One optimization point = one shared IncrementalSta: cold O(E) runs
+  // are bounded by structure, not by pass count — one to measure the
+  // relative target, one to start the shared engine, one after the sweep
+  // pass rebuilds the netlist (id renumbering is outside the dirty-set
+  // contract). Everything else — shield candidates, protocol sizing
+  // rounds, per-pass delay envelopes — must flow through update().
+  OptContext ctx;
+  ctx.warm_flimits();  // characterization runs its own engines; exclude
+  Netlist nl = netlist::make_benchmark(ctx.lib(), "c880");
+
+  const double full_before = counter_value("sta.full_runs");
+  const double updates_before = counter_value("sta.updates");
+  const PipelineReport report = Optimizer(ctx).run_relative(nl, 0.85);
+  const double full_runs = counter_value("sta.full_runs") - full_before;
+  const double updates = counter_value("sta.updates") - updates_before;
+
+  EXPECT_EQ(report.passes.size(), 4u);  // shield, cancel, sweep, protocol
+  EXPECT_LE(full_runs, 3.0);  // target measure + engine start + post-sweep
+  EXPECT_GE(updates, 1.0);    // the passes really report edits
+}
+
+TEST(EngineSharing, ProtocolGatingReplaysCachedEnumerations) {
+  // A circuit the protocol cannot improve: the critical path's only gate
+  // is the first gate of its path, whose input capacitance is pinned by
+  // the primary input's load, while a fast side path keeps the round
+  // loop re-checking instead of breaking. Every round after the first
+  // must replay the cached path list instead of re-enumerating.
+  OptContext ctx;
+  Netlist nl(ctx.lib(), "input_pinned");
+  const netlist::NodeId a = nl.add_input("a");
+  const netlist::NodeId h1 =
+      nl.add_gate(liberty::CellKind::Inv, "h1", {a});
+  nl.mark_output(h1, 1e4);  // heavy PO keeps the pinned path critical
+  const netlist::NodeId b = nl.add_input("b");
+  const netlist::NodeId s1 =
+      nl.add_gate(liberty::CellKind::Inv, "s1", {b});
+  nl.mark_output(s1, 1.0);
+
+  const timing::Sta sta(nl, ctx.dm());
+  const double initial = sta.run().critical_delay_ps;
+
+  core::CircuitOptions opt;
+  opt.max_rounds = 8;
+  const double enum_before = counter_value("sta.kpaths_enumerated");
+  const double cached_before = counter_value("sta.kpaths_cached");
+  const core::CircuitResult res = api::ProtocolPass::run_protocol(
+      nl, ctx.dm(), ctx.flimits(), 0.3 * initial, opt);
+  const double enumerations =
+      counter_value("sta.kpaths_enumerated") - enum_before;
+  const double cached = counter_value("sta.kpaths_cached") - cached_before;
+
+  EXPECT_FALSE(res.met);                // infeasible by construction
+  EXPECT_EQ(enumerations, 1.0);         // round 1 only
+  EXPECT_GE(cached, 1.0);               // later rounds replayed the cache
 }
 
 TEST(DelayModelBackend, ClosedFormRunsBitIdenticalAcrossBackendSwitches) {

@@ -84,6 +84,24 @@ void expect_bit_identical(const Netlist& nl, const DelayModel& dm,
         << when << ": path " << p;
   }
 
+  // The maintained required/slack vectors must match the monolithic
+  // backward sweep bit for bit, at the current critical delay as tc.
+  const double tc = cold.critical_delay_ps;
+  const std::vector<std::array<double, 2>> cold_req =
+      sta.required_times(cold, tc);
+  const std::vector<std::array<double, 2>>& warm_req = inc.required_times(tc);
+  ASSERT_EQ(warm_req.size(), cold_req.size()) << when;
+  for (std::size_t i = 0; i < cold_req.size(); ++i)
+    for (std::size_t e = 0; e < 2; ++e)
+      EXPECT_TRUE(same_bits(warm_req[i][e], cold_req[i][e]))
+          << when << ": required of node " << i << " edge " << e;
+  const std::vector<double> cold_slack = sta.slacks(cold, tc);
+  const std::vector<double>& warm_slack = inc.slacks(tc);
+  ASSERT_EQ(warm_slack.size(), cold_slack.size()) << when;
+  for (std::size_t i = 0; i < cold_slack.size(); ++i)
+    EXPECT_TRUE(same_bits(warm_slack[i], cold_slack[i]))
+        << when << ": slack of node " << i;
+
   // The built-in checker must agree (it throws on divergence).
   EXPECT_NO_THROW(inc.check_against_full()) << when;
 }
@@ -307,6 +325,48 @@ TEST(IncrementalSta, CriticalPathMatchesColdAfterUpdates) {
     const TimedPath b = sta.critical_path(cold);
     EXPECT_TRUE(same_bits(a.delay_ps, b.delay_ps));
     EXPECT_EQ(a.points, b.points);
+  }
+}
+
+// ----- maintained slacks across tc changes ------------------------------------
+
+// The slack/required caches are keyed on the tc bit pattern: queries at a
+// new tc re-materialize, queries at the cached tc are maintained
+// incrementally. Interleave resizes with queries at several targets and
+// demand bitwise identity with the monolithic sweep for every one.
+TEST(IncrementalSta, SlacksAtVaryingTcBitIdentical) {
+  const liberty::Library lib = test_lib();
+  const Backends backends(lib);
+  for (const char* name : {"c17", "c432"}) {
+    for (const BackendCase& bc : backends.cases()) {
+      SCOPED_TRACE(std::string(name) + " / " + bc.label);
+      Netlist nl = netlist::make_benchmark(lib, name);
+      const std::vector<NodeId> gates = nl.gates();
+      IncrementalSta inc(nl, bc.dm);
+      inc.run_full();
+
+      util::Rng rng(0x51ACu);
+      for (int step = 0; step < 10; ++step) {
+        const NodeId g = gates[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(gates.size()) - 1))];
+        nl.set_drive(g, random_drive(nl, rng));
+        const std::vector<NodeId> dirty{g};
+        inc.update(dirty);
+
+        const Sta sta(nl, bc.dm);
+        const StaResult cold = sta.run();
+        for (const double ratio : {0.8, 1.0, 1.25}) {
+          const double tc = ratio * cold.critical_delay_ps;
+          const std::vector<double> want = sta.slacks(cold, tc);
+          const std::vector<double>& got = inc.slacks(tc);
+          ASSERT_EQ(got.size(), want.size());
+          for (std::size_t i = 0; i < want.size(); ++i)
+            EXPECT_TRUE(same_bits(got[i], want[i]))
+                << "step " << step << " tc-ratio " << ratio << " node " << i;
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
   }
 }
 

@@ -4,13 +4,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "pops/core/netopt.hpp"
 #include "pops/core/restructure.hpp"
 #include "pops/liberty/library.hpp"
 #include "pops/netlist/benchmarks.hpp"
 #include "pops/netlist/logic_sim.hpp"
+#include "pops/obs/trace.hpp"
 #include "pops/process/technology.hpp"
 #include "pops/timing/sta.hpp"
+#include "pops/timing/table_model.hpp"
 #include "pops/util/rng.hpp"
 
 namespace {
@@ -172,6 +180,186 @@ TEST_F(NetoptTest, ShieldingPreservesFunctionOnBenchmarks) {
     Rng rng(6);
     EXPECT_TRUE(equivalent(original, nl, rng, 128)) << name;
   }
+}
+
+// ----- regression: incremental shield == historical full-sweep shield ---------
+
+// The historical shield (pre incremental-STA sharing) re-ran a cold
+// Sta::run() for every candidate net and read slacks against the
+// *current* critical delay. The rewritten pass keeps one IncrementalSta
+// and queries slacks against the fixed pre-shield delay. The two must
+// pick identical sinks on every net — slacks at different tc differ by a
+// uniform additive constant, which an argmin ignores — so the edited
+// netlists and reports must agree bit for bit.
+core::ShieldReport reference_shield(Netlist& nl, const timing::DelayModel& dm,
+                                    core::FlimitTable& table,
+                                    const core::ShieldOptions& opt) {
+  core::ShieldReport report;
+  {
+    const timing::Sta sta(nl, dm);
+    report.delay_before_ps = sta.run().critical_delay_ps;
+  }
+
+  struct Candidate {
+    NodeId net;
+    double overload;
+  };
+  std::vector<Candidate> candidates;
+  for (NodeId g : nl.gates()) {
+    if (nl.node(g).kind == CellKind::Buf) continue;
+    const auto& sinks = nl.fanouts(g);
+    if (sinks.size() < 2) continue;
+    double limit = std::numeric_limits<double>::infinity();
+    for (NodeId s : sinks)
+      limit = std::min(limit, table.get(dm, nl.node(g).kind, nl.node(s).kind));
+    const double f = nl.load_ff(g) / nl.cin_ff(g);
+    if (f > opt.margin * limit) candidates.push_back({g, f / limit});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.overload > b.overload;
+            });
+
+  const double area_before = nl.total_width_um();
+  for (const Candidate& cand : candidates) {
+    if (report.buffers_inserted >= opt.max_buffers) break;
+    const NodeId g = cand.net;
+
+    // The historical full sweep: cold run per candidate, slacks at the
+    // current critical delay.
+    const timing::Sta cold(nl, dm);
+    const timing::StaResult res = cold.run();
+    const std::vector<double> slack = cold.slacks(res, res.critical_delay_ps);
+
+    const std::vector<NodeId> sinks = nl.fanouts(g);
+    if (sinks.size() < 2) continue;
+    NodeId keep = sinks.front();
+    for (NodeId s : sinks)
+      if (slack[static_cast<std::size_t>(s)] <
+          slack[static_cast<std::size_t>(keep)])
+        keep = s;
+
+    std::vector<NodeId> moved;
+    for (NodeId s : sinks)
+      if (s != keep) moved.push_back(s);
+    if (moved.empty()) continue;
+
+    const NodeId buf = nl.insert_buffer(g, CellKind::Buf,
+                                        nl.fresh_name(nl.node(g).name + "_sh"),
+                                        moved);
+    const liberty::Cell& bufc = nl.lib().cell(CellKind::Buf);
+    const double load = nl.load_ff(buf);
+    nl.set_drive(buf, bufc.wn_for_cin(nl.lib().tech(),
+                                      load / opt.shield_fanout));
+    ++report.buffers_inserted;
+  }
+
+  {
+    const timing::Sta sta(nl, dm);
+    report.delay_after_ps = sta.run().critical_delay_ps;
+  }
+  report.area_added_um = nl.total_width_um() - area_before;
+  return report;
+}
+
+void expect_netlists_identical(const Netlist& a, const Netlist& b,
+                               const char* when) {
+  ASSERT_EQ(a.size(), b.size()) << when;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Node& na = a.node(static_cast<NodeId>(i));
+    const Node& nb = b.node(static_cast<NodeId>(i));
+    EXPECT_EQ(na.name, nb.name) << when << ": node " << i;
+    EXPECT_EQ(na.kind, nb.kind) << when << ": node " << i;
+    EXPECT_EQ(na.is_input, nb.is_input) << when << ": node " << i;
+    EXPECT_EQ(na.is_output, nb.is_output) << when << ": node " << i;
+    EXPECT_EQ(na.fanins, nb.fanins) << when << ": node " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(na.wn_um),
+              std::bit_cast<std::uint64_t>(nb.wn_um))
+        << when << ": node " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(na.po_load_ff),
+              std::bit_cast<std::uint64_t>(nb.po_load_ff))
+        << when << ": node " << i;
+  }
+}
+
+TEST_F(NetoptTest, ShieldMatchesHistoricalFullSweepBitwise) {
+  const timing::TableModel tm = timing::TableModel::characterize(dm);
+  const timing::DelayModel* backends[] = {&dm, &tm};
+  const char* backend_names[] = {"closed-form", "table"};
+  for (const char* name : {"c17", "c432", "c880", "c1355"}) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      SCOPED_TRACE(std::string(name) + " / " + backend_names[b]);
+      const core::ShieldOptions opt;
+      Netlist incr_nl = make_benchmark(lib, name);
+      core::FlimitTable incr_table;
+      const core::ShieldReport incr =
+          core::shield_high_fanout_nets(incr_nl, *backends[b], incr_table, opt);
+
+      Netlist ref_nl = make_benchmark(lib, name);
+      core::FlimitTable ref_table;
+      const core::ShieldReport ref =
+          reference_shield(ref_nl, *backends[b], ref_table, opt);
+
+      EXPECT_EQ(incr.buffers_inserted, ref.buffers_inserted);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(incr.delay_before_ps),
+                std::bit_cast<std::uint64_t>(ref.delay_before_ps));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(incr.delay_after_ps),
+                std::bit_cast<std::uint64_t>(ref.delay_after_ps));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(incr.area_added_um),
+                std::bit_cast<std::uint64_t>(ref.area_added_um));
+      expect_netlists_identical(incr_nl, ref_nl, name);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// The acceptance condition for the incremental-slack rewrite: processing
+// several buffer candidates must NOT pay one full backward slack sweep
+// per candidate. Two overloaded hubs sit off the critical path (a long
+// chain dominates), so no insertion moves the critical delay and the
+// engine's tc-keyed slack cache stays valid: exactly one sta/slack_full
+// materialization for the whole pass, with later candidates served by
+// incremental sta/slack_update maintenance.
+TEST_F(NetoptTest, ShieldMaterializesSlacksOncePerUnmovedDelay) {
+  Netlist nl(lib);
+  const NodeId a = nl.add_input("a");
+  NodeId prev = a;
+  for (int i = 0; i < 16; ++i)
+    prev = nl.add_gate(CellKind::Inv, "chain" + std::to_string(i), {prev});
+  nl.mark_output(prev, 120.0);  // the chain owns the critical path
+  for (int h = 0; h < 2; ++h) {
+    const NodeId hi = nl.add_input("h" + std::to_string(h));
+    const NodeId hub =
+        nl.add_gate(CellKind::Inv, "hub" + std::to_string(h), {hi});
+    for (int i = 0; i < 14; ++i) {
+      const NodeId leaf = nl.add_gate(
+          CellKind::Inv, "leaf" + std::to_string(h) + "_" + std::to_string(i),
+          {hub});
+      nl.mark_output(leaf, 1.0);
+    }
+  }
+  nl.validate();
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.start();
+  core::FlimitTable table;
+  const core::ShieldReport report =
+      core::shield_high_fanout_nets(nl, dm, table);
+  rec.stop();
+
+  ASSERT_EQ(report.buffers_inserted, 2u);
+  // Both hubs are off-critical: unloading them leaves the chain's delay
+  // bit-identical, so the slack cache never re-materializes.
+  EXPECT_EQ(report.delay_after_ps, report.delay_before_ps);
+
+  std::size_t slack_full = 0, slack_update = 0;
+  for (const util::Json& r : rec.jsonl_records()) {
+    const std::string& name = r.find("name")->as_string();
+    if (name == "sta/slack_full") ++slack_full;
+    if (name == "sta/slack_update") ++slack_update;
+  }
+  EXPECT_EQ(slack_full, 1u);     // one sweep, not one per candidate
+  EXPECT_GE(slack_update, 1u);   // the second candidate was maintained
 }
 
 TEST_F(NetoptTest, QuietCircuitUnchanged) {

@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include "pops/liberty/library.hpp"
 #include "pops/netlist/benchmarks.hpp"
 #include "pops/netlist/netlist.hpp"
@@ -161,6 +167,125 @@ TEST_F(StaTest, LargerDriveSpeedsUpCircuit) {
   for (NodeId g : nl.gates()) nl.set_drive(g, 3.0 * lib.wmin_um());
   const double after = sta.run().critical_delay_ps;
   EXPECT_LT(after, before);
+}
+
+TEST_F(StaTest, RequiredTimeAtPoIsTcForConstrainedEdges) {
+  const Netlist nl = make_benchmark(lib, "c17");
+  const Sta sta(nl, dm);
+  const StaResult r = sta.run();
+  const double tc = r.critical_delay_ps * 1.1;
+  const auto required = sta.required_times(r, tc);
+  for (NodeId po : nl.outputs()) {
+    const auto i = static_cast<std::size_t>(po);
+    for (std::size_t e = 0; e < 2; ++e) {
+      // A PO's own requirement is tc; fanout-free POs get exactly that,
+      // POs that also feed other gates can only be required earlier.
+      EXPECT_LE(required[i][e], tc);
+      if (nl.fanouts(po).empty()) {
+        EXPECT_EQ(required[i][e], tc);
+      }
+    }
+  }
+}
+
+TEST_F(StaTest, RequiredTimesShiftWithTc) {
+  const Netlist nl = make_benchmark(lib, "c432");
+  const Sta sta(nl, dm);
+  const StaResult r = sta.run();
+  const double tc = r.critical_delay_ps;
+  const double shift = 37.5;
+  const auto base = sta.required_times(r, tc);
+  const auto moved = sta.required_times(r, tc + shift);
+  // Required times are a min-propagation of (tc - downstream delay), so a
+  // tc shift moves every finite entry by the same amount.
+  ASSERT_EQ(moved.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    for (std::size_t e = 0; e < 2; ++e) {
+      if (!std::isfinite(base[i][e])) continue;
+      EXPECT_NEAR(moved[i][e] - base[i][e], shift, 1e-9)
+          << "node " << i << " edge " << e;
+    }
+}
+
+TEST_F(StaTest, SlacksAreRequiredMinusArrivalWorstEdge) {
+  const Netlist nl = make_benchmark(lib, "c432");
+  const Sta sta(nl, dm);
+  const StaResult r = sta.run();
+  const double tc = r.critical_delay_ps * 0.9;
+  const auto required = sta.required_times(r, tc);
+  const auto slack = sta.slacks(r, tc);
+  ASSERT_EQ(slack.size(), required.size());
+  for (std::size_t i = 0; i < slack.size(); ++i) {
+    double worst = std::numeric_limits<double>::infinity();
+    for (std::size_t e = 0; e < 2; ++e)
+      if (std::isfinite(r.arrival_ps[i][e]))
+        worst = std::min(worst, required[i][e] - r.arrival_ps[i][e]);
+    if (std::isfinite(worst)) {
+      EXPECT_EQ(slack[i], worst) << "node " << i;
+    }
+  }
+}
+
+// ----- level-parallel sweeps ---------------------------------------------------
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// With level_parallel_min_nodes forced to 0 even the ISCAS circuits take
+// the fanned-out sweep; every derived quantity must be bitwise-equal to
+// the sequential engine at any worker count.
+TEST_F(StaTest, LevelParallelSweepsBitIdenticalToSequential) {
+  for (const char* name : {"c432", "c880"}) {
+    SCOPED_TRACE(name);
+    const Netlist nl = make_benchmark(lib, name);
+    const Sta seq(nl, dm);
+    const StaResult want = seq.run();
+    const auto want_down = seq.downstream_delays(want);
+    const double tc = want.critical_delay_ps;
+    const auto want_req = seq.required_times(want, tc);
+    const auto want_slack = seq.slacks(want, tc);
+    const auto want_paths = seq.k_critical_paths(want, 8);
+
+    for (const std::size_t workers : {2u, 4u}) {
+      SCOPED_TRACE(workers);
+      StaOptions opt;
+      opt.level_parallel_workers = workers;
+      opt.level_parallel_min_nodes = 0;  // force the parallel path
+      const Sta par(nl, dm, opt);
+      const StaResult got = par.run();
+
+      ASSERT_EQ(got.arrival_ps.size(), want.arrival_ps.size());
+      for (std::size_t i = 0; i < want.arrival_ps.size(); ++i)
+        for (std::size_t e = 0; e < 2; ++e) {
+          EXPECT_TRUE(same_bits(got.arrival_ps[i][e], want.arrival_ps[i][e]));
+          EXPECT_TRUE(same_bits(got.slew_ps[i][e], want.slew_ps[i][e]));
+          EXPECT_EQ(got.prev[i][e], want.prev[i][e]);
+        }
+      EXPECT_TRUE(same_bits(got.critical_delay_ps, want.critical_delay_ps));
+      EXPECT_EQ(got.critical_endpoint, want.critical_endpoint);
+
+      const auto got_down = par.downstream_delays(got);
+      ASSERT_EQ(got_down.size(), want_down.size());
+      for (std::size_t v = 0; v < want_down.size(); ++v)
+        EXPECT_TRUE(same_bits(got_down[v], want_down[v])) << "vertex " << v;
+
+      const auto got_req = par.required_times(got, tc);
+      const auto got_slack = par.slacks(got, tc);
+      for (std::size_t i = 0; i < want_req.size(); ++i)
+        for (std::size_t e = 0; e < 2; ++e)
+          EXPECT_TRUE(same_bits(got_req[i][e], want_req[i][e]));
+      for (std::size_t i = 0; i < want_slack.size(); ++i)
+        EXPECT_TRUE(same_bits(got_slack[i], want_slack[i]));
+
+      const auto got_paths = par.k_critical_paths(got, 8);
+      ASSERT_EQ(got_paths.size(), want_paths.size());
+      for (std::size_t p = 0; p < want_paths.size(); ++p) {
+        EXPECT_TRUE(same_bits(got_paths[p].delay_ps, want_paths[p].delay_ps));
+        EXPECT_EQ(got_paths[p].points, want_paths[p].points);
+      }
+    }
+  }
 }
 
 TEST_F(StaTest, ThrowsWithoutReachablePo) {
