@@ -1,0 +1,36 @@
+#include "pops/fabric/context_pool.hpp"
+
+#include <utility>
+
+namespace pops::fabric {
+
+ContextPool::ContextPool(std::shared_ptr<service::ResultCache> cache,
+                         OnCreate on_create)
+    : cache_(std::move(cache)), on_create_(std::move(on_create)) {}
+
+ContextPool::Entry& ContextPool::get(const std::string& selector) {
+  util::MutexLock lock(mu_);
+  auto it = entries_.find(selector);
+  if (it == entries_.end()) {
+    auto entry = std::make_unique<Entry>();
+    if (cache_) entry->ctx.set_result_cache(cache_);
+    // use_cache mirrors whether the pool has one: with no shared cache
+    // the service must strip any hook rather than install a private one.
+    entry->sweeps = std::make_unique<service::SweepService>(
+        entry->ctx, /*use_cache=*/cache_ != nullptr);
+    if (on_create_) on_create_(selector, entry->ctx);
+    it = entries_.emplace(selector, std::move(entry)).first;
+  }
+  return *it->second;
+}
+
+ContextPool::Entry& ContextPool::default_entry() {
+  return get(api::OptimizerConfig{}.delay_model_selector());
+}
+
+std::size_t ContextPool::size() const {
+  util::MutexLock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace pops::fabric

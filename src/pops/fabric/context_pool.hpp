@@ -1,0 +1,86 @@
+#pragma once
+// OptContext pool keyed by delay-model selector.
+//
+// A worker daemon used to run every sweep through ONE shared OptContext
+// behind one big execution lock: two sweeps that only differed in their
+// delay-model backend ("closed-form" vs a "table:..." selector) still
+// serialized, because swapping the context's installed backend mid-run
+// is what the lock exists to prevent. The pool dissolves that bottleneck
+// structurally: one lazily-created OptContext (plus its SweepService and
+// per-entry execution mutex) *per selector*, so differently-backed
+// sweeps run concurrently and no context ever needs its backend swapped.
+//
+// All members share one ResultCache. That is correct — not just
+// convenient — because ResultCache::hash_config folds the delay-model
+// backend identity (name + content hash) into every key: a key computed
+// under selector A can never collide with one computed under selector B,
+// so which pool member stored an entry is unobservable. It is also what
+// lets one journal (service/cache_journal.hpp) persist the whole pool;
+// the on_create callback is the hook that binds each new member to the
+// journal (CacheJournal::bind_context) before it runs any sweep.
+//
+// All pool members are built over the same technology/Flimit/seed
+// characterization (equal ResultCache::hash_context), so any member can
+// serve as the reference context for journal header validation.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pops/api/api.hpp"
+#include "pops/service/result_cache.hpp"
+#include "pops/service/sweep.hpp"
+#include "pops/util/thread_annotations.hpp"
+
+namespace pops::fabric {
+
+class ContextPool {
+ public:
+  /// One pool member: the context, the service bound to it, and the lock
+  /// that serializes sweep execution *on this member only*.
+  struct Entry {
+    api::OptContext ctx;
+    /// Serializes SweepService::run on this context (run_many's workers
+    /// still parallelize inside one sweep). Public by design: callers
+    /// lock it around entry-level execution, the pool itself never does.
+    util::Mutex exec_mu;
+    std::unique_ptr<service::SweepService> sweeps;
+  };
+
+  /// Called once per member, directly after construction (under the pool
+  /// lock, before get() returns the member to anyone) — the journal
+  /// binding hook.
+  using OnCreate =
+      std::function<void(const std::string& selector, api::OptContext& ctx)>;
+
+  /// Every member installs `cache` (shared across the pool) before its
+  /// SweepService is built.
+  explicit ContextPool(std::shared_ptr<service::ResultCache> cache,
+                       OnCreate on_create = {});
+
+  /// The member owning `selector`, created on first use. Entries are
+  /// never destroyed before the pool (cached netlists/reports point into
+  /// their binding context), so the reference stays valid.
+  Entry& get(const std::string& selector) POPS_EXCLUDES(mu_);
+
+  /// The member for the default OptimizerConfig's selector — the
+  /// reference context for journal validation and benchmark loading.
+  Entry& default_entry() POPS_EXCLUDES(mu_);
+
+  std::size_t size() const POPS_EXCLUDES(mu_);
+  const std::shared_ptr<service::ResultCache>& cache() const noexcept {
+    return cache_;
+  }
+
+ private:
+  const std::shared_ptr<service::ResultCache> cache_;
+  const OnCreate on_create_;
+  mutable util::Mutex mu_;
+  /// selector -> member; unique_ptr so Entry addresses are stable across
+  /// map rehashing (ResultCacheKey::ctx_bits is the context's address).
+  std::map<std::string, std::unique_ptr<Entry>> entries_ POPS_GUARDED_BY(mu_);
+};
+
+}  // namespace pops::fabric

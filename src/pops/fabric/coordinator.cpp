@@ -1,0 +1,395 @@
+#include "pops/fabric/coordinator.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "pops/netlist/bench_io.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/obs/metrics.hpp"
+#include "pops/obs/trace.hpp"
+#include "pops/util/hash.hpp"
+#include "pops/util/thread_annotations.hpp"
+
+namespace pops::fabric {
+
+using util::Json;
+
+FabricCoordinator::FabricCoordinator(std::vector<WorkerAddress> workers,
+                                     FabricOptions opt)
+    : workers_(std::move(workers)), opt_(opt) {
+  if (workers_.empty())
+    throw std::invalid_argument("FabricCoordinator: no workers");
+  if (opt_.max_attempts < 1)
+    throw std::invalid_argument("FabricCoordinator: max_attempts must be >= 1");
+  std::unordered_set<std::string> seen;
+  for (const WorkerAddress& w : workers_)
+    if (!seen.insert(w.label()).second)
+      throw std::invalid_argument("FabricCoordinator: duplicate worker " +
+                                  w.label());
+}
+
+net::ClientConfig FabricCoordinator::client_config() const {
+  net::ClientConfig cfg;
+  cfg.connect_timeout_ms = opt_.connect_timeout_ms;
+  cfg.read_timeout_ms = opt_.read_timeout_ms;
+  return cfg;
+}
+
+namespace {
+
+/// Shared state of one fleet run. One dispatcher thread per worker
+/// drains its queue; the caller's thread is the in-order emitter.
+struct RunState {
+  util::Mutex mu;
+  util::CondVar cv;  ///< signaled on: new work, point done, worker died
+  std::size_t total = 0;
+  std::vector<std::string> results POPS_GUARDED_BY(mu);  ///< raw, by index
+  std::vector<char> done POPS_GUARDED_BY(mu);
+  std::size_t n_done POPS_GUARDED_BY(mu) = 0;
+  std::size_t unmet POPS_GUARDED_BY(mu) = 0;
+  std::vector<std::deque<std::size_t>> queues POPS_GUARDED_BY(mu);
+  std::vector<char> dead POPS_GUARDED_BY(mu);
+  std::vector<std::size_t> completed_by POPS_GUARDED_BY(mu);  ///< per worker
+  std::size_t failovers POPS_GUARDED_BY(mu) = 0;
+  bool aborted POPS_GUARDED_BY(mu) = false;
+  std::string abort_message POPS_GUARDED_BY(mu);
+};
+
+}  // namespace
+
+FabricReport FabricCoordinator::run(
+    const service::SweepSpec& spec,
+    const std::map<std::string, std::string>& bench, const RecordSink& sink) {
+  obs::Span run_span("fabric/run");
+
+  const std::vector<PointSpec> points = expand_points(spec);
+  const auto load = [this, &bench](const std::string& label) {
+    const auto it = bench.find(label);
+    if (it == bench.end()) return netlist::make_benchmark(ctx_.lib(), label);
+    netlist::BenchReadOptions opt;
+    opt.po_load_ff = opt_.po_load_ff;
+    opt.name = label;
+    return netlist::read_bench_string(it->second, ctx_.lib(), opt);
+  };
+  const ShardKeyer keyer(ctx_, spec, load);
+  std::vector<std::uint64_t> hashes(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    hashes[i] = keyer.key_hash(points[i]);
+  run_span.arg("points", static_cast<double>(points.size()));
+  run_span.arg("workers", static_cast<double>(workers_.size()));
+
+  std::vector<std::string> labels;
+  labels.reserve(workers_.size());
+  for (const WorkerAddress& w : workers_) labels.push_back(w.label());
+
+  RunState st;
+  st.total = points.size();
+  {
+    util::MutexLock lock(st.mu);
+    st.results.resize(points.size());
+    st.done.assign(points.size(), 0);
+    st.queues.resize(workers_.size());
+    st.dead.assign(workers_.size(), 0);
+    st.completed_by.assign(workers_.size(), 0);
+    const HashRing ring(labels, opt_.vnodes);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      st.queues[ring.owner(hashes[i])].push_back(i);
+  }
+
+  // One dispatcher per worker: owns that worker's connection, drains its
+  // queue, and keeps waiting after draining — a failover may re-shard
+  // orphaned points onto it until the whole grid is done.
+  const auto dispatcher = [&](std::size_t w) {
+    std::unique_ptr<net::SweepClient> client;
+    for (;;) {
+      std::size_t idx = 0;
+      {
+        util::MutexLock lock(st.mu);
+        while (st.queues[w].empty() && !st.aborted && st.n_done < st.total)
+          st.cv.wait(st.mu);
+        if (st.aborted || st.n_done >= st.total) return;
+        idx = st.queues[w].front();
+        st.queues[w].pop_front();
+      }
+
+      const std::uint64_t trace_id = points[idx].index + 1;
+      bool ok = false;
+      std::size_t point_unmet = 0;
+      std::string raw;
+      std::string failure;
+      for (int attempt = 0; attempt < opt_.max_attempts && !ok; ++attempt) {
+        if (attempt > 0 && opt_.retry_backoff_ms > 0)
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opt_.retry_backoff_ms));
+        try {
+          obs::Span span("fabric/dispatch");
+          span.arg("trace_id", static_cast<double>(trace_id));
+          span.arg("point", static_cast<double>(idx));
+          span.arg("worker", static_cast<double>(w));
+          if (!client)
+            client = std::make_unique<net::SweepClient>(
+                workers_[w].host, workers_[w].port, client_config());
+          raw.clear();
+          const net::SweepClient::PointSink on_point =
+              [&raw](const Json&, const std::string& line) { raw = line; };
+          const net::SweepSummary summary = client->submit(
+              single_point_spec(spec, points[idx]), on_point, bench,
+              opt_.po_load_ff, opt_.record_runtimes, trace_id);
+          if (raw.empty())
+            throw std::runtime_error("worker " + workers_[w].label() +
+                                     " streamed no record for point " +
+                                     std::to_string(idx));
+          point_unmet = summary.unmet;
+          ok = true;
+        } catch (const net::ConnectionError& e) {
+          // Transport failure: the worker may be down. Reconnect and
+          // retry; give up on it after max_attempts.
+          failure = e.what();
+          client.reset();
+        } catch (const std::exception& e) {
+          // Server-side failure (bad spec, unknown circuit): every
+          // worker would answer the same, so abort the run.
+          util::MutexLock lock(st.mu);
+          if (!st.aborted) {
+            st.aborted = true;
+            st.abort_message = "worker " + workers_[w].label() + ": " +
+                               std::string(e.what());
+          }
+          st.cv.notify_all();
+          return;
+        }
+      }
+
+      if (ok) {
+        obs::Registry::global().counter("fabric.points").add();
+        obs::Registry::global()
+            .counter("fabric.shard." + workers_[w].label() + ".points")
+            .add();
+        util::MutexLock lock(st.mu);
+        if (!st.done[idx]) {
+          st.done[idx] = 1;
+          st.results[idx] = std::move(raw);
+          st.unmet += point_unmet;
+          ++st.n_done;
+          ++st.completed_by[w];
+        }
+        st.cv.notify_all();
+        continue;
+      }
+
+      // The worker is dead: re-shard its pending points (including the
+      // one in hand) onto the survivors' ring and retire this
+      // dispatcher. Routing stays content-pure — survivors keep their
+      // own arcs, only the dead worker's points move.
+      util::MutexLock lock(st.mu);
+      st.dead[w] = 1;
+      std::vector<std::size_t> orphans(st.queues[w].begin(),
+                                       st.queues[w].end());
+      st.queues[w].clear();
+      orphans.insert(orphans.begin(), idx);
+      std::vector<std::string> survivor_labels;
+      std::vector<std::size_t> survivor_ids;
+      for (std::size_t i = 0; i < workers_.size(); ++i)
+        if (!st.dead[i]) {
+          survivor_labels.push_back(labels[i]);
+          survivor_ids.push_back(i);
+        }
+      if (survivor_labels.empty()) {
+        if (!st.aborted) {
+          st.aborted = true;
+          st.abort_message =
+              "all workers dead; last transport failure: " + failure;
+        }
+        st.cv.notify_all();
+        return;
+      }
+      const HashRing survivors(survivor_labels, opt_.vnodes);
+      for (const std::size_t orphan : orphans) {
+        st.queues[survivor_ids[survivors.owner(hashes[orphan])]].push_back(
+            orphan);
+        ++st.failovers;
+      }
+      obs::Registry::global()
+          .counter("fabric.failovers")
+          .add(static_cast<double>(orphans.size()));
+      st.cv.notify_all();
+      return;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    // Dispatchers are wire plumbing: results are merged by index, so
+    // thread scheduling cannot reorder the output stream.
+    // pops-lint: allow(raw-thread) — I/O dispatcher, not product work
+    threads.emplace_back([&dispatcher, w] { dispatcher(w); });
+
+  // In-order emitter: stream each merged record the moment its prefix is
+  // complete — byte-faithful relay of the worker's line.
+  bool aborted = false;
+  std::string abort_message;
+  for (std::size_t next = 0; next < points.size() && !aborted; ++next) {
+    std::string line;
+    {
+      util::MutexLock lock(st.mu);
+      while (!st.done[next] && !st.aborted) st.cv.wait(st.mu);
+      if (st.aborted) {
+        aborted = true;
+        abort_message = st.abort_message;
+      } else {
+        line = st.results[next];
+      }
+    }
+    if (!aborted && sink) sink(line);
+  }
+  for (std::thread& t : threads) t.join();
+  if (aborted) throw std::runtime_error("fabric sweep failed: " +
+                                        abort_message);
+
+  FabricReport report;
+  report.points = points.size();
+  {
+    util::MutexLock lock(st.mu);
+    report.unmet = st.unmet;
+    report.failovers = st.failovers;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (st.dead[i]) report.dead_workers.push_back(labels[i]);
+      if (st.completed_by[i] > 0)
+        report.points_per_worker[labels[i]] = st.completed_by[i];
+    }
+  }
+  return report;
+}
+
+void FabricCoordinator::start_worker_traces() {
+  for (const WorkerAddress& w : workers_) {
+    try {
+      net::SweepClient client(w.host, w.port, client_config());
+      client.trace(/*start=*/true);
+    } catch (const net::ConnectionError&) {
+      // A dead worker cannot trace; run() will fail it over anyway.
+    }
+  }
+}
+
+util::Json FabricCoordinator::merged_trace() {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  Json merged = recorder.chrome_json();
+  const std::uint64_t origin = recorder.origin_ns();
+  Json* events = merged.find("traceEvents");
+  if (!events) return merged;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    Json reply;
+    try {
+      net::SweepClient client(workers_[w].host, workers_[w].port,
+                              client_config());
+      reply = client.trace();
+    } catch (const std::exception&) {
+      continue;  // unreachable worker: merge what the fleet can give
+    }
+    const Json* origin_hex = reply.find("origin_ns");
+    const Json* doc = reply.find("trace");
+    std::uint64_t worker_origin = 0;
+    if (!origin_hex || !origin_hex->is_string() || !doc ||
+        !util::parse_hex_u64(origin_hex->as_string(), worker_origin))
+      continue;
+    // Both processes read the same machine's monotonic clock, so the
+    // origin difference rebases worker-relative µs into our timeline.
+    const double shift_us =
+        static_cast<double>(
+            static_cast<std::int64_t>(worker_origin - origin)) /
+        1000.0;
+    const Json* worker_events = doc->find("traceEvents");
+    if (!worker_events || !worker_events->is_array()) continue;
+    for (const Json& ev : worker_events->items()) {
+      Json moved = ev;
+      if (Json* ts = moved.find("ts")) *ts = ts->as_number() + shift_us;
+      if (Json* pid = moved.find("pid"))
+        *pid = static_cast<double>(1000 + w);
+      events->push_back(std::move(moved));
+    }
+  }
+  return merged;
+}
+
+util::Json FabricCoordinator::fleet_metrics() {
+  Json out = Json::object();
+  Json workers = Json::object();
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Json> histograms;
+
+  for (const WorkerAddress& w : workers_) {
+    Json reply;
+    try {
+      net::SweepClient client(w.host, w.port, client_config());
+      reply = client.metrics();
+    } catch (const std::exception&) {
+      continue;
+    }
+    Json snapshot = Json::object();
+    for (const auto& [key, value] : reply.members()) {
+      if (key == "event") continue;
+      snapshot[key] = value;
+      if (key == "counters" || key == "gauges") {
+        auto& sums = key == "counters" ? counters : gauges;
+        for (const auto& [name, v] : value.members())
+          if (v.is_number()) sums[name] += v.as_number();
+      } else if (key == "histograms") {
+        for (const auto& [name, h] : value.members()) {
+          auto it = histograms.find(name);
+          if (it == histograms.end()) {
+            histograms.emplace(name, h);
+            continue;
+          }
+          // Merge bucket-wise only when the bounds agree; keep the
+          // first-seen histogram otherwise (mismatched bounds have no
+          // meaningful sum).
+          Json& merged = it->second;
+          const Json* b1 = merged.find("bounds");
+          const Json* b2 = h.find("bounds");
+          if (!b1 || !b2 || b1->dump(0) != b2->dump(0)) continue;
+          Json* c1 = merged.find("counts");
+          const Json* c2 = h.find("counts");
+          if (c1 && c2 && c1->size() == c2->size())
+            for (std::size_t i = 0; i < c1->size(); ++i)
+              c1->at(i) = c1->at(i).as_number() + c2->at(i).as_number();
+          if (Json* count = merged.find("count"))
+            if (const Json* other = h.find("count"))
+              *count = count->as_number() + other->as_number();
+          if (Json* sum = merged.find("sum"))
+            if (const Json* other = h.find("sum"))
+              *sum = sum->as_number() + other->as_number();
+        }
+      }
+    }
+    workers[w.label()] = std::move(snapshot);
+  }
+
+  Json aggregate = Json::object();
+  Json agg_counters = Json::object();
+  for (const auto& [name, v] : counters) agg_counters[name] = v;
+  aggregate["counters"] = std::move(agg_counters);
+  Json agg_gauges = Json::object();
+  for (const auto& [name, v] : gauges) agg_gauges[name] = v;
+  aggregate["gauges"] = std::move(agg_gauges);
+  Json agg_hists = Json::object();
+  for (const auto& [name, h] : histograms) agg_hists[name] = h;
+  aggregate["histograms"] = std::move(agg_hists);
+
+  out["workers"] = std::move(workers);
+  out["aggregate"] = std::move(aggregate);
+  // The coordinator's own registry rides along: fabric.points,
+  // fabric.failovers, and the per-shard dispatch counters live here.
+  out["coordinator"] = obs::Registry::global().snapshot_json();
+  return out;
+}
+
+}  // namespace pops::fabric

@@ -1,0 +1,138 @@
+#pragma once
+// The distributed sweep fabric: one coordinator, many worker daemons.
+//
+// FabricCoordinator takes the same SweepSpec a single daemon would run,
+// expands it into its point grid (fabric/shard.hpp), routes every point
+// to a worker by consistent hash of its content-pure key, dispatches the
+// points over the PR-4 wire protocol (one single-point sweep request per
+// point, net/client.hpp), and merges the per-worker record streams back
+// into the exact deterministic job order — so the merged JSONL stream is
+// BYTE-IDENTICAL to a single daemon (or in-process pops_sweep --jsonl)
+// run of the same spec. The byte-identity holds because a point's record
+// is a pure function of (circuit, config, Tc): batch composition, worker
+// count, and arrival order never leak into its bytes; the merge only has
+// to emit results by ascending point index.
+//
+// Why consistent hashing and not round-robin: each worker keeps a
+// persistent journaled ResultCache (service/cache_journal.hpp). Routing
+// by content hash means the same point always returns to the worker that
+// already holds its entry — a warm fleet replays a repeated spec with
+// zero recomputation — and growing the fleet from N to N+1 workers
+// remaps only ~1/(N+1) of the key space instead of all of it.
+//
+// Failure handling: transport failures (net::ConnectionError — refused,
+// timed out, dropped mid-stream) are retried with backoff against the
+// same worker; when attempts are exhausted the worker is marked dead and
+// its pending points are re-sharded onto the survivors' ring, so a
+// worker killed mid-sweep costs its in-flight point a retry but the
+// sweep still completes with the identical merged stream. Server-side
+// errors (an "error" event: bad spec, unknown circuit) abort the run —
+// every worker would fail the same way.
+//
+// Observability across the wire: every dispatch carries a deterministic
+// trace id (point index + 1) that the worker attaches to its "net/sweep"
+// span; merged_trace() fetches each worker's recorded trace over the
+// "trace" op and rebases it into the coordinator's timeline (distinct
+// pid per worker), and fleet_metrics() aggregates the workers'
+// obs::Registry snapshots into one fleet-wide document.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pops/fabric/shard.hpp"
+#include "pops/net/client.hpp"
+#include "pops/service/sweep.hpp"
+#include "pops/util/json.hpp"
+
+namespace pops::fabric {
+
+struct WorkerAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// "host:port" — the ring member label (what routing hashes), so a
+  /// worker's shard is stable across coordinator runs.
+  std::string label() const { return host + ":" + std::to_string(port); }
+};
+
+struct FabricOptions {
+  /// Transport bounds per worker connection (see net::ClientConfig).
+  long connect_timeout_ms = 5000;
+  long read_timeout_ms = 0;  ///< 0 = unbounded (sweep points can be slow)
+  /// Dispatch attempts per point against one worker before it is
+  /// declared dead (>= 1; each retry reconnects).
+  int max_attempts = 3;
+  long retry_backoff_ms = 100;  ///< fixed sleep between attempts
+  std::size_t vnodes = 64;      ///< virtual nodes per ring member
+  double po_load_ff = 12.0;     ///< PO load for inline .bench circuits
+  bool record_runtimes = true;  ///< false = byte-stable merged stream
+};
+
+/// Outcome of one fleet sweep.
+struct FabricReport {
+  std::size_t points = 0;
+  std::size_t unmet = 0;
+  /// Point dispatches re-sharded off dead workers onto survivors.
+  std::size_t failovers = 0;
+  std::vector<std::string> dead_workers;  ///< labels, in worker order
+  /// label -> points that worker completed.
+  std::map<std::string, std::size_t> points_per_worker;
+};
+
+class FabricCoordinator {
+ public:
+  /// Called once per merged record, in deterministic job order, with the
+  /// exact bytes the worker streamed (no re-serialization — byte
+  /// fidelity survives the relay).
+  using RecordSink = std::function<void(const std::string& raw_record)>;
+
+  /// Workers must be distinct addresses; at least one. Throws
+  /// std::invalid_argument otherwise. Construction does not connect.
+  explicit FabricCoordinator(std::vector<WorkerAddress> workers,
+                             FabricOptions opt = {});
+
+  /// Run `spec` across the fleet. Inline .bench sources (label -> text)
+  /// are shipped to workers with every dispatch, exactly like
+  /// SweepClient::submit. Blocks until every point is merged. Throws
+  /// std::runtime_error when a worker reports a server-side error or
+  /// every worker died.
+  FabricReport run(const service::SweepSpec& spec,
+                   const std::map<std::string, std::string>& bench = {},
+                   const RecordSink& sink = {});
+
+  /// Begin trace recording on every live worker (the "trace" op with
+  /// start=true). Call before run() to capture worker-side sweep spans.
+  void start_worker_traces();
+
+  /// One Chrome trace-event document: the coordinator's own recorded
+  /// spans plus every live worker's, rebased into the coordinator's
+  /// timeline (worker events keep their relative timing; each worker
+  /// renders as pid 1000 + worker index). Workers whose trace cannot be
+  /// fetched are skipped.
+  util::Json merged_trace();
+
+  /// {"workers": {label: {counters, gauges, histograms}}, "aggregate":
+  /// {...}} — each live worker's obs::Registry snapshot plus their sum
+  /// (counters and gauges added by name; histograms merged bucket-wise
+  /// when their bounds agree, first-seen otherwise).
+  util::Json fleet_metrics();
+
+  const std::vector<WorkerAddress>& workers() const noexcept {
+    return workers_;
+  }
+
+ private:
+  net::ClientConfig client_config() const;
+
+  std::vector<WorkerAddress> workers_;
+  FabricOptions opt_;
+  /// The coordinator's own context: loads circuits once to compute the
+  /// content hashes routing shards (never runs an optimization).
+  api::OptContext ctx_;
+};
+
+}  // namespace pops::fabric

@@ -1,25 +1,57 @@
 #include "pops/net/client.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace pops::net {
 
 using util::Json;
 
-SweepClient::SweepClient(const std::string& host, std::uint16_t port)
-    : stream_(TcpStream::connect(host, port)) {}
+namespace {
+
+// Classify every socket-layer failure as ConnectionError. The socket
+// layer throws plain runtime_error for both "refused" and "timed out";
+// at this layer they are the same thing: the transport failed, the
+// request may not have been processed, retrying is legitimate.
+TcpStream connect_stream(const std::string& host, std::uint16_t port,
+                         const ClientConfig& cfg) {
+  try {
+    TcpStream stream = TcpStream::connect(host, port, cfg.connect_timeout_ms);
+    if (cfg.read_timeout_ms > 0) stream.set_read_timeout_ms(cfg.read_timeout_ms);
+    return stream;
+  } catch (const std::exception& e) {
+    throw ConnectionError(e.what());
+  }
+}
+
+}  // namespace
+
+SweepClient::SweepClient(const std::string& host, std::uint16_t port,
+                         ClientConfig cfg)
+    : stream_(connect_stream(host, port, cfg)) {}
 
 Json SweepClient::read_record() {
   std::string line;
-  if (!stream_.read_line(line))
-    throw std::runtime_error("connection closed by server");
+  bool got = false;
+  try {
+    got = stream_.read_line(line);
+  } catch (const std::exception& e) {
+    throw ConnectionError(e.what());
+  }
+  if (!got) throw ConnectionError("connection closed by server");
   return Json::parse(line);
 }
 
-Json SweepClient::control(const std::string& op) {
-  Json req = Json::object();
-  req["op"] = op;
-  stream_.write_line(req.dump(0));
+void SweepClient::write_request(const Json& req) {
+  try {
+    stream_.write_line(req.dump(0));
+  } catch (const std::exception& e) {
+    throw ConnectionError(e.what());
+  }
+}
+
+Json SweepClient::roundtrip(const Json& req) {
+  write_request(req);
   const Json reply = read_record();
   if (event_name(reply) == "error") {
     const Json* msg = reply.find("message");
@@ -30,17 +62,36 @@ Json SweepClient::control(const std::string& op) {
   return reply;
 }
 
+Json SweepClient::control(const std::string& op) {
+  Json req = Json::object();
+  req["op"] = op;
+  return roundtrip(req);
+}
+
+Json SweepClient::trace(bool start) {
+  Json req = Json::object();
+  req["op"] = "trace";
+  if (start) req["start"] = true;
+  return roundtrip(req);
+}
+
 SweepSummary SweepClient::submit(const service::SweepSpec& spec,
                                  const PointSink& on_point,
                                  const std::map<std::string, std::string>& bench,
-                                 double po_load_ff, bool record_runtimes) {
-  stream_.write_line(
-      make_sweep_request(spec, bench, po_load_ff, record_runtimes).dump(0));
+                                 double po_load_ff, bool record_runtimes,
+                                 std::uint64_t trace_id) {
+  write_request(
+      make_sweep_request(spec, bench, po_load_ff, record_runtimes, trace_id));
 
   for (;;) {
     std::string line;
-    if (!stream_.read_line(line))
-      throw std::runtime_error("connection closed mid-sweep");
+    bool got = false;
+    try {
+      got = stream_.read_line(line);
+    } catch (const std::exception& e) {
+      throw ConnectionError(e.what());
+    }
+    if (!got) throw ConnectionError("connection closed mid-sweep");
     const Json record = Json::parse(line);
     if (!is_event(record)) {
       if (on_point) on_point(record, line);

@@ -5,12 +5,21 @@
 // sweep request and invokes a callback per streamed point record while
 // the sweep is still running server-side (the records are byte-identical
 // to service::to_json(SweepPoint).dump(0)); the control ops (ping, stats,
-// save, shutdown) are one-line request/response calls. One client may
-// issue any number of requests sequentially over its connection.
+// save, shutdown, trace) are one-line request/response calls. One client
+// may issue any number of requests sequentially over its connection.
+//
+// Failure taxonomy: TRANSPORT failures (connect refused/timed out, read
+// timed out, peer closed mid-stream, send failed) throw ConnectionError —
+// the worker may be dead or unreachable, and a fabric coordinator reacts
+// by retrying/re-sharding. SERVER failures (an "error" event: bad spec,
+// unknown circuit) throw plain std::runtime_error — the daemon is alive
+// and answered; retrying the same request elsewhere would fail the same
+// way, so the coordinator propagates instead of failing over.
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "pops/net/protocol.hpp"
@@ -19,6 +28,21 @@
 #include "pops/util/json.hpp"
 
 namespace pops::net {
+
+/// A transport-level failure: the peer is unreachable, slow past the
+/// configured timeout, or the connection dropped. Retryable (possibly
+/// against a different worker), unlike a server-reported error.
+class ConnectionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Transport bounds for one client connection. Zeros keep the unbounded
+/// blocking behaviour.
+struct ClientConfig {
+  long connect_timeout_ms = 0;  ///< bound on TCP connect; 0 = unbounded
+  long read_timeout_ms = 0;     ///< bound on each reply read; 0 = unbounded
+};
 
 /// Summary of one submitted sweep (the server's "done" event).
 struct SweepSummary {
@@ -32,9 +56,11 @@ struct SweepSummary {
 
 class SweepClient {
  public:
-  /// Connect to a running SweepServer. Throws std::runtime_error when the
-  /// daemon is unreachable.
-  SweepClient(const std::string& host, std::uint16_t port);
+  /// Connect to a running SweepServer. Throws ConnectionError when the
+  /// daemon is unreachable (or did not accept within
+  /// cfg.connect_timeout_ms).
+  SweepClient(const std::string& host, std::uint16_t port,
+              ClientConfig cfg = {});
 
   /// Called once per streamed point record, in job order, while the
   /// server is still sweeping. The Json is the parsed SweepPoint record;
@@ -46,28 +72,37 @@ class SweepClient {
   /// (label -> file text; spec circuits resolve against these first, then
   /// as server-side built-ins). Blocks until the server's "done" event.
   /// Throws std::runtime_error carrying the server's message when the
-  /// sweep fails server-side ("error" event) or the connection drops.
-  /// With record_runtimes=false the streamed records (and the summary)
-  /// carry no measured fields — same spec, same bytes, run to run.
+  /// sweep fails server-side ("error" event), ConnectionError when the
+  /// connection drops or times out. With record_runtimes=false the
+  /// streamed records (and the summary) carry no measured fields — same
+  /// spec, same bytes, run to run. A non-zero trace_id is attached to the
+  /// request for cross-wire span correlation (see protocol.hpp).
   SweepSummary submit(const service::SweepSpec& spec,
                       const PointSink& on_point = {},
                       const std::map<std::string, std::string>& bench = {},
-                      double po_load_ff = 12.0, bool record_runtimes = true);
+                      double po_load_ff = 12.0, bool record_runtimes = true,
+                      std::uint64_t trace_id = 0);
 
-  /// Round-trip a control op; returns the event record. Throws on an
-  /// "error" reply or a dropped connection.
+  /// Round-trip a control op; returns the event record. Throws a plain
+  /// std::runtime_error on an "error" reply, ConnectionError on a dropped
+  /// connection.
   util::Json ping() { return control("ping"); }
   util::Json server_stats() { return control("stats"); }
   /// The daemon's obs::Registry snapshot ({"event":"metrics", counters,
   /// gauges, histograms}).
   util::Json metrics() { return control("metrics"); }
   util::Json save() { return control("save"); }
+  /// Fetch the daemon's recorded trace ({"event":"trace", origin_ns,
+  /// trace}); with start=true, begin recording instead.
+  util::Json trace(bool start = false);
   /// Ask the daemon to shut down (it answers "bye" first).
   util::Json shutdown_server() { return control("shutdown"); }
 
  private:
   util::Json control(const std::string& op);
+  util::Json roundtrip(const util::Json& req);
   util::Json read_record();
+  void write_request(const util::Json& req);
 
   TcpStream stream_;
 };

@@ -11,7 +11,8 @@ using util::Json;
 
 Json make_sweep_request(const service::SweepSpec& spec,
                         const std::map<std::string, std::string>& bench,
-                        double po_load_ff, bool record_runtimes) {
+                        double po_load_ff, bool record_runtimes,
+                        std::uint64_t trace_id) {
   Json j = Json::object();
   j["op"] = "sweep";
   j["spec"] = service::to_json(spec);
@@ -24,6 +25,7 @@ Json make_sweep_request(const service::SweepSpec& spec,
   // Only the non-default spelling goes on the wire: default requests stay
   // byte-identical to pre-option clients.
   if (!record_runtimes) j["record_runtimes"] = false;
+  if (trace_id != 0) j["trace_id"] = static_cast<double>(trace_id);
   return j;
 }
 
@@ -39,10 +41,18 @@ Request parse_request(const Json& j) {
   if (req.op == "ping" || req.op == "stats" || req.op == "metrics" ||
       req.op == "save" || req.op == "shutdown")
     return req;
+  if (req.op == "trace") {
+    if (const Json* start = j.find("start")) {
+      if (!start->is_bool())
+        throw std::invalid_argument("'start' must be a boolean");
+      req.trace_start = start->as_bool();
+    }
+    return req;
+  }
   if (req.op != "sweep")
     throw std::invalid_argument(
         "unknown op '" + req.op +
-        "' (known: metrics ping save shutdown stats sweep)");
+        "' (known: metrics ping save shutdown stats sweep trace)");
 
   const Json* spec = j.find("spec");
   if (!spec) throw std::invalid_argument("'sweep' request needs a 'spec'");
@@ -67,6 +77,11 @@ Request parse_request(const Json& j) {
     if (!rr->is_bool())
       throw std::invalid_argument("'record_runtimes' must be a boolean");
     req.record_runtimes = rr->as_bool();
+  }
+  if (const Json* tid = j.find("trace_id")) {
+    if (!tid->is_number() || tid->as_number() < 0)
+      throw std::invalid_argument("'trace_id' must be a non-negative number");
+    req.trace_id = static_cast<std::uint64_t>(tid->as_number());
   }
   return req;
 }

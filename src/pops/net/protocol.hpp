@@ -12,7 +12,8 @@
 //   {"op": "sweep", "spec": {SweepSpec JSON},
 //    "bench": {"label": "<.bench source>", ...},   // optional inline files
 //    "po_load_ff": 12.0,                           // optional, for "bench"
-//    "record_runtimes": true}                      // optional, default true
+//    "record_runtimes": true,                      // optional, default true
+//    "trace_id": 7}                                // optional, default 0
 //       Runs the spec on the server's shared SweepService. Spec circuit
 //       names resolve against "bench" first, then as built-in benchmarks.
 //       Response: one line per completed point — the *bare*
@@ -20,24 +21,48 @@
 //       in-process run (or pops_sweep --jsonl) emits — followed by one
 //       "done" event line. With "record_runtimes": false, point records
 //       drop their measured section (SerializeOptions{.measured=false}):
-//       same request, same bytes, run to run.
+//       same request, same bytes, run to run. A non-zero "trace_id" is a
+//       caller-chosen correlation id (the fabric coordinator sends its
+//       dispatch-span id): the server attaches it as an arg on the
+//       request's "net/sweep" span, so a merged coordinator+worker trace
+//       links each worker-side sweep to the dispatch that caused it.
+//       The shard-dispatch form is just this op with a single-point spec
+//       (fabric::single_point_spec) — one record per request.
 //   {"op": "ping"}      -> {"event": "pong"}
 //   {"op": "stats"}     -> {"event": "stats", cache: {...}, sweeps, points}
 //   {"op": "metrics"}   -> {"event": "metrics", counters: {...},
 //                          gauges: {...}, histograms: {...}} — the
-//                          process-wide obs::Registry snapshot
-//   {"op": "save"}      -> {"event": "saved", entries, path} (checkpoint
-//                          the result cache to the server's --cache-file)
+//                          process-wide obs::Registry snapshot. The
+//                          fabric coordinator polls this op across the
+//                          fleet and aggregates the snapshots.
+//   {"op": "trace", "start": false}
+//                       -> {"event": "trace", "origin_ns": hex,
+//                           "trace": {chrome JSON doc}}. With "start":
+//                          true, begins recording on the process-wide
+//                          obs::TraceRecorder instead and returns only
+//                          {"event": "trace", "started": true,
+//                          "origin_ns": hex}. origin_ns (hex_u64 of the
+//                          recorder origin) lets a coordinator rebase the
+//                          worker's relative-µs timestamps into its own
+//                          timeline when merging fleet traces.
+//   {"op": "save"}      -> {"event": "saved", entries, path} (compact the
+//                          result-cache journal at the server's
+//                          --cache-file; see service/cache_journal.hpp
+//                          for the on-disk format)
 //   {"op": "shutdown"}  -> {"event": "bye"}; the server then stops
-//                          accepting, drains, flushes the cache, exits.
+//                          accepting, drains, compacts the journal,
+//                          exits.
 //
 // Response records: a line is either a sweep POINT record (no "event"
 // member — exactly the schema of service/serialize.hpp's SweepPoint) or a
 // control EVENT ({"event": "done" | "error" | "pong" | ...}). "done"
 // carries {points, unmet, cache: {hits, misses, entries, evictions},
 // wall_ms}. "error" carries {message} and ends the current request —
-// points already streamed for it remain valid.
+// points already streamed for it remain valid. A server past its
+// connection cap answers the connection's first byte-stream with a single
+// "error" event line and closes.
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -52,14 +77,17 @@ struct Request {
   service::SweepSpec spec;                   ///< for op == "sweep"
   std::map<std::string, std::string> bench;  ///< label -> .bench source
   double po_load_ff = 12.0;  ///< PO load applied to inline .bench circuits
-  bool record_runtimes = true;  ///< emit the measured section per point
+  bool record_runtimes = true;   ///< emit the measured section per point
+  std::uint64_t trace_id = 0;    ///< cross-wire correlation id; 0 = none
+  bool trace_start = false;      ///< for op == "trace": begin recording
 };
 
 /// Build the wire form of a sweep request.
 util::Json make_sweep_request(const service::SweepSpec& spec,
                               const std::map<std::string, std::string>& bench,
                               double po_load_ff,
-                              bool record_runtimes = true);
+                              bool record_runtimes = true,
+                              std::uint64_t trace_id = 0);
 
 /// Parse one request line. Throws std::invalid_argument on an unknown op
 /// or malformed body (the server answers with an "error" event).

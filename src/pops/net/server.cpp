@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <exception>
-#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +11,7 @@
 #include "pops/obs/metrics.hpp"
 #include "pops/obs/trace.hpp"
 #include "pops/service/serialize.hpp"
+#include "pops/util/hash.hpp"
 
 namespace pops::net {
 
@@ -20,17 +20,23 @@ using util::Json;
 SweepServer::SweepServer(SweepServerOptions opt)
     : opt_(std::move(opt)),
       cache_(std::make_shared<service::ResultCache>(opt_.cache_capacity)),
-      // Install the bounded cache before SweepService binds to the
-      // context (the service reuses an installed cache instead of
-      // creating its own unbounded one) — hence the comma expression.
-      sweeps_((ctx_.set_result_cache(cache_), ctx_)) {}
+      journal_(opt_.cache_file.empty()
+                   ? nullptr
+                   : std::make_unique<service::CacheJournal>(cache_,
+                                                             opt_.cache_file)),
+      // Every pool member installs the shared cache; new members are
+      // bound to the journal before they can run a sweep, so their
+      // stores are attributable to a selector from the first one.
+      pool_(cache_, [this](const std::string& selector, api::OptContext& ctx) {
+        if (journal_) journal_->bind_context(selector, ctx);
+      }) {}
 
 SweepServer::~SweepServer() {
   try {
     stop();
   } catch (...) {
-    // Destructors must not throw; a failed final checkpoint loses the
-    // delta since the last successful one, nothing else.
+    // Destructors must not throw; a failed final compaction leaves the
+    // append-only journal as-is — still fully replayable.
   }
 }
 
@@ -38,13 +44,17 @@ service::CacheLoadReport SweepServer::start() {
   if (listener_.valid()) throw std::logic_error("SweepServer already started");
 
   service::CacheLoadReport loaded;
-  if (!opt_.cache_file.empty()) {
-    // A missing file is a cold start; an existing-but-unreadable or
-    // foreign file is an error (load_result_cache_file's open-failure /
-    // stale-context diagnostics propagate) — starting cold would
-    // rename-replace the persisted cache at the next checkpoint.
-    if (std::filesystem::exists(opt_.cache_file))
-      loaded = service::load_result_cache_file(*cache_, ctx_, opt_.cache_file);
+  if (journal_) {
+    // Replay an existing journal (a missing file is a cold start) and
+    // attach it. A foreign/corrupt header propagates — starting cold
+    // would compact-replace the persisted cache later. The resolver
+    // creates pool members on demand: a journal written by a
+    // multi-selector pool replays each record into the member that will
+    // serve that selector's sweeps.
+    loaded = journal_->open(pool_.default_entry().ctx,
+                            [this](const std::string& selector) {
+                              return &pool_.get(selector).ctx;
+                            });
   }
 
   listener_ = TcpListener::bind(opt_.host, opt_.port);
@@ -99,24 +109,22 @@ void SweepServer::stop() {
     conns_.clear();
   }
 
-  if (!opt_.cache_file.empty()) save_cache();
+  if (journal_) {
+    // Final compaction bounds the on-disk size to the live entries and
+    // leaves a deterministic (key-sorted) file; close() detaches before
+    // the pool (and its contexts) go away.
+    journal_->compact();
+    journal_->close();
+  }
 }
 
 std::size_t SweepServer::save_cache() {
-  if (opt_.cache_file.empty()) return 0;
-  // exec_mu_, not a dedicated save mutex: archiving reads the context's
-  // installed delay-model backend (the file header's informational
-  // selector), and a concurrent sweep's Optimizer construction may swap
-  // that backend — set_delay_model is documented unsafe against
-  // unsynchronized dm() readers. Serializing saves against sweep
-  // execution removes the race and orders concurrent save requests.
-  util::MutexLock lock(exec_mu_);
-  return save_cache_locked();
-}
-
-std::size_t SweepServer::save_cache_locked() {
-  if (opt_.cache_file.empty()) return 0;
-  service::save_result_cache_file(*cache_, ctx_, opt_.cache_file);
+  if (!journal_) return 0;
+  // No execution lock needed: the journal header carries only the
+  // immutable context characterization (never the swappable delay-model
+  // backend), and each record's selector was captured at bind time — so
+  // compaction can run concurrently with sweeps on any pool member.
+  journal_->compact();
   return cache_->size();
 }
 
@@ -127,6 +135,7 @@ SweepServerStats SweepServer::stats() const {
   // from them (the composite sweeps/points/cache triple below is the
   // part with an invariant, published under stats_mu_).
   s.connections = n_connections_.load(std::memory_order_relaxed);
+  s.rejected = n_rejected_.load(std::memory_order_relaxed);
   s.requests = n_requests_.load(std::memory_order_relaxed);
   s.errors = n_errors_.load(std::memory_order_relaxed);
   util::MutexLock lock(stats_mu_);
@@ -145,12 +154,32 @@ void SweepServer::accept_loop() {
     Socket peer = listener_.accept();
     if (!peer.valid()) return;  // listener closed (stop())
     if (stopping_.load()) return;
+    util::MutexLock lock(conns_mu_);
+    reap_finished_locked();
+    if (opt_.max_connections > 0 && conns_.size() >= opt_.max_connections) {
+      // Over capacity: one error event line, then close. The write is a
+      // single small line into a fresh socket's send buffer — it cannot
+      // block the acceptor on a slow peer.
+      static const obs::Registry::Counter rejected =
+          obs::Registry::global().counter("net.rejected");
+      rejected.add();
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      count_error();
+      try {
+        TcpStream turn_away(std::move(peer));
+        turn_away.write_line(
+            make_error("server at connection capacity (" +
+                       std::to_string(opt_.max_connections) + ")")
+                .dump(0));
+      } catch (const std::exception&) {
+        // The peer hung up before reading the rejection; nothing owed.
+      }
+      continue;
+    }
     static const obs::Registry::Counter connections =
         obs::Registry::global().counter("net.connections");
     connections.add();
     n_connections_.fetch_add(1, std::memory_order_relaxed);
-    util::MutexLock lock(conns_mu_);
-    reap_finished_locked();
     conns_.emplace_back();
     Connection& conn = conns_.back();
     conn.stream = std::make_unique<TcpStream>(std::move(peer));
@@ -180,6 +209,11 @@ void SweepServer::serve_connection(Connection& conn) {
   static const obs::Registry::Counter bytes_in =
       obs::Registry::global().counter("net.bytes_in");
   TcpStream& stream = *conn.stream;
+  // Responses leave through one aggregating writer: a sweep streaming
+  // thousands of point records coalesces them into few send() calls
+  // instead of one syscall per line. Flushed after every request (the
+  // client is waiting) and by the destructor on error paths.
+  BufferedWriter out(stream);
   std::string line;
   try {
     while (!stopping_.load() &&
@@ -193,11 +227,19 @@ void SweepServer::serve_connection(Connection& conn) {
         req = parse_request(Json::parse(line));
       } catch (const std::exception& e) {
         count_error();
-        write_record(stream, make_error(e.what()).dump(0));
+        write_record(out, make_error(e.what()).dump(0));
+        out.flush();
         continue;
       }
-      obs::Span span("net/", req.op);
-      handle_request(stream, req);
+      {
+        obs::Span span("net/", req.op);
+        // The caller's correlation id (fabric dispatch): merged fleet
+        // traces join this span to the coordinator side's by the id.
+        if (req.trace_id != 0)
+          span.arg("trace_id", static_cast<double>(req.trace_id));
+        handle_request(out, req);
+      }
+      out.flush();
       if (req.op == "shutdown") break;
     }
   } catch (const std::exception&) {
@@ -207,11 +249,11 @@ void SweepServer::serve_connection(Connection& conn) {
   conn.done.store(true, std::memory_order_release);
 }
 
-void SweepServer::write_record(TcpStream& stream, const std::string& line) {
+void SweepServer::write_record(BufferedWriter& out, const std::string& line) {
   static const obs::Registry::Counter bytes_out =
       obs::Registry::global().counter("net.bytes_out");
   bytes_out.add(static_cast<double>(line.size() + 1));  // +1: framing '\n'
-  stream.write_line(line);
+  out.write_line(line);
 }
 
 void SweepServer::count_error() {
@@ -221,9 +263,9 @@ void SweepServer::count_error() {
   n_errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void SweepServer::handle_request(TcpStream& stream, const Request& req) {
+void SweepServer::handle_request(BufferedWriter& out, const Request& req) {
   if (req.op == "ping") {
-    write_record(stream, make_event("pong").dump(0));
+    write_record(out, make_event("pong").dump(0));
     return;
   }
   if (req.op == "metrics") {
@@ -233,7 +275,7 @@ void SweepServer::handle_request(TcpStream& stream, const Request& req) {
     Json j = make_event("metrics");
     const Json snapshot = obs::Registry::global().snapshot_json();
     for (const auto& [key, value] : snapshot.members()) j[key] = value;
-    write_record(stream, j.dump(0));
+    write_record(out, j.dump(0));
     return;
   }
   if (req.op == "stats") {
@@ -250,12 +292,31 @@ void SweepServer::handle_request(TcpStream& stream, const Request& req) {
     cache["capacity"] = s.cache.capacity;
     j["cache"] = std::move(cache);
     j["connections"] = s.connections;
+    j["rejected"] = s.rejected;
     j["requests"] = s.requests;
     j["sweeps"] = s.sweeps;
     j["points"] = s.points;
     j["errors"] = s.errors;
     j["cache_file"] = opt_.cache_file;
-    write_record(stream, j.dump(0));
+    write_record(out, j.dump(0));
+    return;
+  }
+  if (req.op == "trace") {
+    // Cross-wire tracing: the coordinator starts the worker recorder at
+    // fleet-sweep begin, fetches the chrome doc at the end, and rebases
+    // its timestamps by the origin difference (both processes read the
+    // same monotonic clock).
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    Json j = make_event("trace");
+    if (req.trace_start) {
+      recorder.start();
+      j["started"] = true;
+      j["origin_ns"] = util::hex_u64(recorder.origin_ns());
+    } else {
+      j["origin_ns"] = util::hex_u64(recorder.origin_ns());
+      j["trace"] = recorder.chrome_json();
+    }
+    write_record(out, j.dump(0));
     return;
   }
   if (req.op == "save") {
@@ -264,33 +325,48 @@ void SweepServer::handle_request(TcpStream& stream, const Request& req) {
       Json j = make_event("saved");
       j["entries"] = entries;
       j["path"] = opt_.cache_file;
-      write_record(stream, j.dump(0));
+      write_record(out, j.dump(0));
     } catch (const std::exception& e) {
       count_error();
-      write_record(stream, make_error(e.what()).dump(0));
+      write_record(out, make_error(e.what()).dump(0));
     }
     return;
   }
   if (req.op == "shutdown") {
-    write_record(stream, make_event("bye").dump(0));
+    write_record(out, make_event("bye").dump(0));
+    // The bye must reach the kernel before wait()ers wake: stop() closes
+    // this connection and would race a still-buffered reply away.
+    out.flush();
     request_shutdown();
     return;
   }
-  run_sweep(stream, req);
+  run_sweep(out, req);
 }
 
-void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
+void SweepServer::run_sweep(BufferedWriter& out, const Request& req) {
   service::SweepSpec spec = req.spec;
   if (spec.n_threads == 0) spec.n_threads = opt_.n_threads;
 
-  const auto load = [this, &req](const std::string& label) {
+  // Validate before touching the pool so a garbage delay-model selector
+  // cannot mint a pool member that could never run a sweep.
+  try {
+    spec.ensure_valid();
+  } catch (const std::exception& e) {
+    count_error();
+    write_record(out, make_error(e.what()).dump(0));
+    return;
+  }
+  fabric::ContextPool::Entry& entry =
+      pool_.get(spec.base.delay_model_selector());
+
+  const auto load = [&entry, &req](const std::string& label) {
     const auto it = req.bench.find(label);
     if (it == req.bench.end())
-      return netlist::make_benchmark(ctx_.lib(), label);
+      return netlist::make_benchmark(entry.ctx.lib(), label);
     netlist::BenchReadOptions opt;
     opt.po_load_ff = req.po_load_ff;
     opt.name = label;
-    return netlist::read_bench_string(it->second, ctx_.lib(), opt);
+    return netlist::read_bench_string(it->second, entry.ctx.lib(), opt);
   };
 
   std::size_t streamed = 0;
@@ -303,25 +379,27 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
   const service::SerializeOptions ser{.measured = req.record_runtimes};
   const service::SweepService::RecordSink sink =
       [&](const service::SweepPoint& point) {
-        write_record(stream, service::to_json(point, ser).dump(0));
+        write_record(out, service::to_json(point, ser).dump(0));
         ++streamed;
         if (!point.report.met) ++unmet;
       };
 
   service::SweepReport report;
   try {
-    // One sweep at a time on the shared context: Optimizer construction
-    // swaps the context's delay-model backend, which must not happen
-    // while another sweep is in flight (see the class comment).
-    util::MutexLock lock(exec_mu_);
-    report = run_sweep_locked(spec, load, sink);
+    // One sweep at a time per pool member: the member's backend is
+    // pinned to its selector, but run_many's cache stores and the
+    // context's Flimit warm-up are designed for one driving sweep.
+    // Different-selector sweeps hold different members' locks and
+    // proceed concurrently.
+    util::MutexLock lock(entry.exec_mu);
+    report = entry.sweeps->run(spec, load, sink);
   } catch (const std::exception& e) {
     count_error();
     {
       util::MutexLock lock(stats_mu_);
       n_points_ += streamed;
     }
-    write_record(stream, make_error(e.what()).dump(0));
+    write_record(out, make_error(e.what()).dump(0));
     return;
   }
   {
@@ -341,37 +419,34 @@ void SweepServer::run_sweep(TcpStream& stream, const Request& req) {
   cache["evictions"] = cache_->stats().evictions;
   done["cache"] = std::move(cache);
   if (req.record_runtimes) done["wall_ms"] = report.wall_ms;
-  write_record(stream, done.dump(0));
+  write_record(out, done.dump(0));
 
-  if (!opt_.cache_file.empty() && opt_.checkpoint_every > 0) {
-    bool flush = false;
+  if (journal_ && opt_.checkpoint_every > 0) {
+    bool offer = false;
     {
-      util::MutexLock lock(exec_mu_);
+      util::MutexLock lock(checkpoint_mu_);
       if (++sweeps_since_checkpoint_ >= opt_.checkpoint_every) {
         sweeps_since_checkpoint_ = 0;
-        flush = true;
+        offer = true;
       }
     }
-    if (flush) {
+    if (offer) {
       try {
-        save_cache();
+        // Unlike the old whole-archive rewrite, this is a no-op unless
+        // garbage crossed the policy threshold — every store is already
+        // durable in the journal.
+        journal_->compact_if_needed();
       } catch (const std::exception& e) {
-        // Checkpoint failure must not kill the connection: results were
-        // already streamed; the next checkpoint retries.
+        // Compaction failure must not kill the connection: results were
+        // already streamed and the journal is still replayable; the next
+        // checkpoint retries.
         count_error();
-        write_record(stream, make_error(std::string("checkpoint failed: ") +
-                                        e.what())
-                                 .dump(0));
+        write_record(out, make_error(std::string("checkpoint failed: ") +
+                                     e.what())
+                              .dump(0));
       }
     }
   }
-}
-
-service::SweepReport SweepServer::run_sweep_locked(
-    const service::SweepSpec& spec,
-    const service::SweepService::CircuitLoader& load,
-    const service::SweepService::RecordSink& sink) {
-  return sweeps_.run(spec, load, sink);
 }
 
 }  // namespace pops::net

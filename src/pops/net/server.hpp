@@ -3,25 +3,28 @@
 //
 // SweepServer completes the heavy-traffic picture of the ROADMAP: many
 // clients submit SweepSpec JSON over loopback/TCP (newline-delimited
-// framing, net/protocol.hpp), the server schedules each sweep onto one
-// shared OptContext + SweepService — whose run_many worker pool fans the
-// grid points out across threads — and streams per-point JSONL records
-// back as they complete, byte-identical to an in-process run. The shared
+// framing, net/protocol.hpp), the server routes each sweep onto a
+// fabric::ContextPool member and streams per-point JSONL records back as
+// they complete, byte-identical to an in-process run. The pool-shared
 // ResultCache memoizes across *all* clients and, with a cache file
-// configured, across *restarts*: the cache is loaded at start, flushed
-// after every sweep (checkpoint), on the "save" op, and at stop, so a
-// warm restart replays repeated specs without recomputing anything.
+// configured, across *restarts*: every store is appended to a
+// service::CacheJournal as it lands, so a warm restart replays repeated
+// specs without recomputing anything — and without the old
+// whole-archive-rewrite checkpoints (checkpoints are now journal
+// *compactions*, O(live entries) and only when garbage warrants it).
 //
 // Concurrency model (the shared-context audit): connections are handled
-// on one thread each, but sweep *execution* is serialized by a mutex.
-// This is a correctness requirement, not laziness — constructing an
-// Optimizer installs the spec's delay-model backend on the shared
-// OptContext (OptContext::set_delay_model), which is documented unsafe
-// while other optimizations are in flight on that context, and the
-// per-context ResultCache binds entries to that one context (sharding
-// across contexts would lose cross-client memoization). Parallelism
-// lives *inside* a sweep (Optimizer::run_many workers), where it is
-// proven bit-identical across thread counts.
+// on one thread each; sweep execution is serialized *per pool member*,
+// not globally. The old single-context design serialized every sweep
+// behind one mutex because constructing an Optimizer may install the
+// spec's delay-model backend on the shared OptContext — documented
+// unsafe while other optimizations are in flight on that context. The
+// pool removes the conflict instead of locking around it: one context
+// per delay-model selector, so a member's backend is installed once and
+// never swapped, and sweeps that differ in backend run concurrently.
+// Same-selector sweeps still queue on their member's exec_mu (the
+// per-context ResultCacheKey::ctx_bits binding and run_many's internal
+// parallelism are unchanged).
 
 #include <atomic>
 #include <cstdint>
@@ -31,9 +34,11 @@
 #include <thread>
 
 #include "pops/api/api.hpp"
+#include "pops/fabric/context_pool.hpp"
 #include "pops/net/protocol.hpp"
 #include "pops/net/socket.hpp"
 #include "pops/service/cache_io.hpp"
+#include "pops/service/cache_journal.hpp"
 #include "pops/service/result_cache.hpp"
 #include "pops/service/sweep.hpp"
 #include "pops/util/thread_annotations.hpp"
@@ -46,15 +51,20 @@ struct SweepServerOptions {
   /// Worker threads per sweep (run_many), applied when a spec leaves
   /// n_threads at 0; 0 = hardware concurrency.
   std::size_t n_threads = 0;
-  /// Persist the ResultCache here (empty = in-memory only). Loaded at
-  /// start when the file exists; flushed on checkpoint/save/stop.
+  /// Persist the ResultCache here as an append-only journal
+  /// (service/cache_journal.hpp; empty = in-memory only). Replayed at
+  /// start; appended per store; compacted on checkpoint/save/stop.
   std::string cache_file;
   /// LRU bound on the cache (entries); 0 = unbounded.
   std::size_t cache_capacity = 0;
-  /// Flush the cache file every N completed sweeps (0 = only on
-  /// save/stop). Checkpoints are atomic (tmp + rename).
+  /// Offer journal compaction every N completed sweeps (0 = only on
+  /// save/stop). Compaction is atomic (tmp + rename) and only rewrites
+  /// when the garbage policy says it is worth it.
   std::size_t checkpoint_every = 1;
   std::size_t max_request_bytes = TcpStream::kMaxLineBytes;
+  /// Serve at most this many concurrent connections; an accept past the
+  /// cap is answered with one "error" event line and closed. 0 = no cap.
+  std::size_t max_connections = 0;
 };
 
 /// Aggregate serving counters, snapshot via SweepServer::stats().
@@ -66,7 +76,8 @@ struct SweepServerOptions {
 /// can only run *ahead* of `points`, never behind — in-flight points
 /// touch the cache before they are counted).
 struct SweepServerStats {
-  std::size_t connections = 0;  ///< accepted so far
+  std::size_t connections = 0;  ///< accepted and served so far
+  std::size_t rejected = 0;     ///< turned away by max_connections
   std::size_t requests = 0;     ///< request lines parsed
   std::size_t sweeps = 0;       ///< sweep ops completed
   std::size_t points = 0;       ///< point records streamed
@@ -79,11 +90,11 @@ class SweepServer {
   explicit SweepServer(SweepServerOptions opt = {});
   ~SweepServer();
 
-  /// Bind + listen + start accepting. Returns what the cache file
-  /// contributed (zeros when none was configured or the file does not
-  /// exist yet). Throws when the port cannot be bound or the cache file
-  /// exists but is foreign/corrupt (stale-context rejection — refusing to
-  /// serve from a cache that would not replay bit-identically).
+  /// Bind + listen + start accepting. Returns what the cache journal
+  /// contributed (zeros when none was configured or the file did not
+  /// exist yet). Throws when the port cannot be bound or the journal
+  /// exists but is foreign/corrupt (stale-context rejection — refusing
+  /// to serve from a cache that would not replay bit-identically).
   service::CacheLoadReport start();
 
   /// Block until a client's "shutdown" op (or stop() from another
@@ -95,21 +106,27 @@ class SweepServer {
   /// tool interleave signal-flag checks (Ctrl-C) with protocol shutdown.
   bool wait_for_ms(long ms) POPS_EXCLUDES(shutdown_mu_);
 
-  /// Stop accepting, wake every connection, join all threads, flush the
-  /// cache file. Idempotent; called by the destructor.
-  void stop() POPS_EXCLUDES(conns_mu_, exec_mu_);
+  /// Stop accepting, wake every connection, join all threads, compact +
+  /// close the journal. Idempotent; called by the destructor.
+  void stop() POPS_EXCLUDES(conns_mu_);
 
   /// The actual listening port (after start(); resolves port 0).
   std::uint16_t port() const noexcept { return port_; }
 
-  /// Flush the cache to the configured file now. Returns the number of
-  /// entries written; 0 with no cache file configured.
-  std::size_t save_cache() POPS_EXCLUDES(exec_mu_);
+  /// Compact the journal now (the "save" op). Returns the number of live
+  /// entries it holds; 0 with no cache file configured.
+  std::size_t save_cache();
 
   SweepServerStats stats() const POPS_EXCLUDES(stats_mu_);
 
-  api::OptContext& context() noexcept { return ctx_; }
+  /// The pool member for the default delay-model selector (creates it on
+  /// first call) — the reference context tests and tools load circuits
+  /// against.
+  api::OptContext& context() { return pool_.default_entry().ctx; }
   service::ResultCache* cache() const noexcept { return cache_.get(); }
+  fabric::ContextPool& pool() noexcept { return pool_; }
+  /// The journal, or nullptr with no cache file configured.
+  service::CacheJournal* journal() const noexcept { return journal_.get(); }
 
  private:
   struct Connection {
@@ -123,36 +140,25 @@ class SweepServer {
 
   void accept_loop() POPS_EXCLUDES(conns_mu_);
   void serve_connection(Connection& conn);
-  void handle_request(TcpStream& stream, const Request& req);
+  void handle_request(BufferedWriter& out, const Request& req);
   /// All response lines leave through here: one write site keeps the
   /// net.bytes_out metric exact (every record, every event, +1 framing
-  /// newline each).
-  void write_record(TcpStream& stream, const std::string& line);
+  /// newline each — counted when buffered; the BufferedWriter flushes
+  /// them downstream in batches).
+  void write_record(BufferedWriter& out, const std::string& line);
   /// Bumps n_errors_ and the net.errors metric together.
   void count_error();
-  void run_sweep(TcpStream& stream, const Request& req)
-      POPS_EXCLUDES(exec_mu_, stats_mu_);
-  /// The sweep itself. exec_mu_ is required because SweepService::run
-  /// constructs Optimizers, and Optimizer construction may install the
-  /// spec's delay-model backend on the shared ctx_
-  /// (OptContext::set_delay_model) — which must never overlap another
-  /// sweep's dm() readers or a cache save archiving the backend selector.
-  service::SweepReport run_sweep_locked(
-      const service::SweepSpec& spec,
-      const service::SweepService::CircuitLoader& load,
-      const service::SweepService::RecordSink& sink) POPS_REQUIRES(exec_mu_);
-  /// Archives the cache file. Same capability as run_sweep_locked:
-  /// archiving reads ctx_.dm() (the file header's selector), which a
-  /// concurrent sweep's Optimizer construction may swap — the
-  /// checkpoint-vs-backend-swap interplay.
-  std::size_t save_cache_locked() POPS_REQUIRES(exec_mu_);
+  void run_sweep(BufferedWriter& out, const Request& req)
+      POPS_EXCLUDES(stats_mu_);
   void request_shutdown() POPS_EXCLUDES(shutdown_mu_);
   void reap_finished_locked() POPS_REQUIRES(conns_mu_);
 
   SweepServerOptions opt_;
-  api::OptContext ctx_;
   std::shared_ptr<service::ResultCache> cache_;
-  service::SweepService sweeps_;
+  /// Declared before pool_: the pool's on_create callback binds new
+  /// members to the journal.
+  std::unique_ptr<service::CacheJournal> journal_;
+  fabric::ContextPool pool_;
 
   TcpListener listener_;
   std::uint16_t port_ = 0;
@@ -166,11 +172,9 @@ class SweepServer {
   util::Mutex conns_mu_;
   std::list<Connection> conns_ POPS_GUARDED_BY(conns_mu_);
 
-  /// Serializes sweep execution on the shared context (see file header)
-  /// AND cache-file saves: archiving reads ctx_.dm(), which a sweep's
-  /// Optimizer construction may swap.
-  util::Mutex exec_mu_;
-  std::size_t sweeps_since_checkpoint_ POPS_GUARDED_BY(exec_mu_) = 0;
+  /// Counts sweeps toward the next checkpoint_every compaction offer.
+  util::Mutex checkpoint_mu_;
+  std::size_t sweeps_since_checkpoint_ POPS_GUARDED_BY(checkpoint_mu_) = 0;
 
   util::Mutex shutdown_mu_;
   util::CondVar shutdown_cv_;
@@ -189,6 +193,7 @@ class SweepServer {
   // with no invariant tying it to the others, so relaxed atomics suffice
   // (stats() documents the ordering it does and does not promise).
   std::atomic<std::size_t> n_connections_{0};
+  std::atomic<std::size_t> n_rejected_{0};
   std::atomic<std::size_t> n_requests_{0};
   std::atomic<std::size_t> n_errors_{0};
 };

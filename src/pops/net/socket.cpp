@@ -1,9 +1,12 @@
 #include "pops/net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -49,21 +52,68 @@ void Socket::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
-TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             long timeout_ms) {
   const sockaddr_in addr = make_addr(host, port);
   Socket s(::socket(AF_INET, SOCK_STREAM, 0));
   if (!s.valid()) throw_errno("socket");
   // The protocol is request/response lines; latency beats batching.
   const int one = 1;
   ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  for (;;) {
-    if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0)
-      break;
-    if (errno == EINTR) continue;
-    throw_errno("connect to " + host + ":" + std::to_string(port));
+
+  if (timeout_ms <= 0) {
+    for (;;) {
+      if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0)
+        break;
+      if (errno == EINTR) continue;
+      throw_errno("connect to " + host + ":" + std::to_string(port));
+    }
+    return TcpStream(std::move(s));
   }
+
+  // Bounded connect: non-blocking connect + poll(POLLOUT), then read the
+  // deferred error back via SO_ERROR. The descriptor is restored to
+  // blocking mode afterwards — the line framing above assumes it.
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK) != 0)
+    throw_errno("fcntl O_NONBLOCK");
+  const std::string where = host + ":" + std::to_string(port);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR)
+      throw_errno("connect to " + where);
+    pollfd pfd{};
+    pfd.fd = s.fd();
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) throw_errno("poll (connect to " + where + ")");
+    if (rc == 0)
+      throw std::runtime_error("connect to " + where + " timed out after " +
+                               std::to_string(timeout_ms) + " ms");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+      throw_errno("getsockopt SO_ERROR");
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect to " + where);
+    }
+  }
+  if (::fcntl(s.fd(), F_SETFL, flags) != 0) throw_errno("fcntl restore");
   return TcpStream(std::move(s));
+}
+
+void TcpStream::set_read_timeout_ms(long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(socket_.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+      0)
+    throw_errno("setsockopt SO_RCVTIMEO");
 }
 
 bool TcpStream::read_line(std::string& line, std::size_t max_bytes) {
@@ -82,7 +132,14 @@ bool TcpStream::read_line(std::string& line, std::size_t max_bytes) {
     do {
       n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
     } while (n < 0 && errno == EINTR);
-    if (n < 0) throw_errno("recv");
+    if (n < 0) {
+      // SO_RCVTIMEO (set_read_timeout_ms) surfaces as EAGAIN/EWOULDBLOCK;
+      // give it a distinct message so callers can tell a dead peer from a
+      // slow one.
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("recv timed out waiting for peer");
+      throw_errno("recv");
+    }
     if (n == 0) {
       if (buffer_.empty()) return false;  // clean EOF
       line = std::move(buffer_);          // final unterminated line
@@ -96,16 +153,18 @@ bool TcpStream::read_line(std::string& line, std::size_t max_bytes) {
 void TcpStream::write_line(const std::string& line) {
   std::string framed = line;
   framed += '\n';
-  const char* data = framed.data();
-  std::size_t left = framed.size();
-  while (left > 0) {
+  write_bytes(framed.data(), framed.size());
+}
+
+void TcpStream::write_bytes(const char* data, std::size_t len) {
+  while (len > 0) {
     ssize_t n;
     do {
-      n = ::send(socket_.fd(), data, left, MSG_NOSIGNAL);
+      n = ::send(socket_.fd(), data, len, MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
     if (n < 0) throw_errno("send");
     data += n;
-    left -= static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
   }
 }
 

@@ -52,8 +52,13 @@ class TcpStream {
   explicit TcpStream(Socket socket) : socket_(std::move(socket)) {}
 
   /// Connect to host:port (IPv4 dotted quad, e.g. "127.0.0.1"). Throws
-  /// std::runtime_error with the errno text on failure.
-  static TcpStream connect(const std::string& host, std::uint16_t port);
+  /// std::runtime_error with the errno text on failure. With
+  /// `timeout_ms > 0` the connect itself is bounded (non-blocking connect
+  /// + poll); 0 keeps the kernel's default blocking behaviour — the
+  /// fleet-coordination knob that turns an unreachable worker into a
+  /// prompt, catchable error instead of a minutes-long TCP stall.
+  static TcpStream connect(const std::string& host, std::uint16_t port,
+                           long timeout_ms = 0);
 
   /// Read one '\n'-terminated line (the terminator is stripped; a final
   /// unterminated chunk before EOF counts as a line). Returns false on
@@ -65,6 +70,16 @@ class TcpStream {
   /// SIGPIPE is suppressed (MSG_NOSIGNAL); a closed peer throws
   /// std::runtime_error instead of killing the process.
   void write_line(const std::string& line);
+
+  /// Write `n` raw bytes (no framing added), with the same partial-write
+  /// / EINTR / MSG_NOSIGNAL discipline as write_line — the primitive
+  /// BufferedWriter flushes through.
+  void write_bytes(const char* data, std::size_t n);
+
+  /// Bound every subsequent read (SO_RCVTIMEO): a recv that sits longer
+  /// than `ms` milliseconds throws std::runtime_error("recv timed out...")
+  /// instead of blocking forever on a hung peer. 0 removes the bound.
+  void set_read_timeout_ms(long ms);
 
   /// Half-close the sending side (signals end-of-requests to the peer).
   void shutdown_write() noexcept;
@@ -85,6 +100,71 @@ class TcpStream {
  private:
   Socket socket_;
   std::string buffer_;  ///< bytes received but not yet returned
+};
+
+/// Aggregating line writer over a TcpStream.
+///
+/// A sweep streams thousands of small point records; sending each as its
+/// own send(2) syscall (plus a TCP_NODELAY segment) makes the wire the
+/// bottleneck long before serialization is. BufferedWriter appends framed
+/// lines to one contiguous buffer and flushes on a size threshold — and
+/// always on *record boundaries*, never mid-line, so a reader observes
+/// only whole records. Callers flush explicitly before blocking on a read
+/// (request/response turnarounds) and at end of stream; the destructor
+/// does a best-effort flush for abandoned writers.
+///
+/// Single-writer by design (like TcpStream itself): the owning connection
+/// thread is the only sender on the stream.
+class BufferedWriter {
+ public:
+  /// Lines accumulate until the buffer reaches `flush_bytes` (then the
+  /// whole buffer goes out in one send). 64 KiB amortizes syscall cost
+  /// without holding records hostage for long.
+  explicit BufferedWriter(TcpStream& stream,
+                          std::size_t flush_bytes = kDefaultFlushBytes)
+      : stream_(&stream), flush_bytes_(flush_bytes) {
+    buffer_.reserve(flush_bytes_ + 1);
+  }
+
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  ~BufferedWriter() {
+    try {
+      flush();
+    } catch (...) {
+      // Destructor flush is best effort: the peer may already be gone.
+    }
+  }
+
+  /// Append `line` + '\n' to the buffer; flush when the threshold is
+  /// reached (after the append — records never split across flush
+  /// decisions, only across send(2) calls, which is invisible framing-
+  /// wise).
+  void write_line(const std::string& line) {
+    buffer_.append(line);
+    buffer_.push_back('\n');
+    if (buffer_.size() >= flush_bytes_) flush();
+  }
+
+  /// Send everything buffered. Throws like TcpStream::write_line on a
+  /// closed peer; the buffer is cleared first so a throwing flush is not
+  /// retried with stale bytes by a destructor.
+  void flush() {
+    if (buffer_.empty()) return;
+    std::string out;
+    out.swap(buffer_);
+    stream_->write_bytes(out.data(), out.size());
+  }
+
+  std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
+
+  static constexpr std::size_t kDefaultFlushBytes = 64u << 10;
+
+ private:
+  TcpStream* stream_;
+  std::size_t flush_bytes_;
+  std::string buffer_;
 };
 
 /// A listening TCP socket. Construction binds + listens; port() reports

@@ -95,6 +95,11 @@ util::Json args_json(const TraceEvent& ev) {
 
 }  // namespace
 
+std::uint64_t TraceRecorder::origin_ns() const {
+  util::MutexLock lock(mu_);
+  return origin_ns_;
+}
+
 util::Json TraceRecorder::chrome_json() const {
   std::uint64_t origin = 0;
   {

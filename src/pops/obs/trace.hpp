@@ -87,6 +87,13 @@ class TraceRecorder {
   /// Parsed records of jsonl(), for programmatic assertions.
   std::vector<util::Json> jsonl_records() const POPS_EXCLUDES(mu_);
 
+  /// The absolute (monotonic-clock) nanosecond origin recorded by the
+  /// last start(); 0 before any start(). chrome_json timestamps are
+  /// microseconds relative to this, so a fabric coordinator merging a
+  /// worker's trace over the wire rebases worker events by the origin
+  /// difference (both processes read the same machine's clock).
+  std::uint64_t origin_ns() const POPS_EXCLUDES(mu_);
+
  private:
   friend class Span;
 

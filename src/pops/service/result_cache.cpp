@@ -194,36 +194,63 @@ bool ResultCache::lookup(const api::ResultCacheKey& key, netlist::Netlist& nl,
   return true;
 }
 
+void ResultCache::set_store_listener(StoreListener* listener) {
+  util::MutexLock lock(mu_);
+  listener_ = listener;
+}
+
 void ResultCache::store(const api::ResultCacheKey& key,
                         const netlist::Netlist& nl,
                         const api::PipelineReport& report) {
   obs::Span span("cache/store");
   auto entry = std::make_shared<const Entry>(Entry{report, nl});
-  util::MutexLock lock(mu_);
-  store_locked(key, std::move(entry));
+  bool inserted = false;
+  StoreListener* listener = nullptr;
+  std::vector<api::ResultCacheKey> evicted;
+  std::vector<api::ResultCacheKey> evicted_delays;
+  {
+    util::MutexLock lock(mu_);
+    inserted = store_locked(key, std::move(entry), evicted, evicted_delays);
+    listener = listener_;
+  }
+  // Listener callbacks run outside mu_: the journal takes its own lock
+  // and writes to disk — neither may stall concurrent lookups, and the
+  // journal's compaction walks the cache (for_each_entry takes mu_).
+  if (listener == nullptr) return;
+  if (inserted) listener->on_store(key, nl, report);
+  for (const api::ResultCacheKey& k : evicted) listener->on_evict(k);
+  for (const api::ResultCacheKey& k : evicted_delays)
+    listener->on_evict_initial_delay(k);
 }
 
-void ResultCache::store_locked(const api::ResultCacheKey& key,
-                               std::shared_ptr<const Entry> entry) {
+bool ResultCache::store_locked(const api::ResultCacheKey& key,
+                               std::shared_ptr<const Entry> entry,
+                               std::vector<api::ResultCacheKey>& evicted,
+                               std::vector<api::ResultCacheKey>& evicted_delays) {
   const auto [it, inserted] = map_.try_emplace(key);
-  if (!inserted) return;  // first writer wins; racing run_many workers
-                          // computed bit-identical results anyway
+  if (!inserted) return false;  // first writer wins; racing run_many
+                                // workers computed bit-identical results
   lru_.push_front(key);
   it->second = Slot{std::move(entry), lru_.begin()};
-  evict_over_capacity_locked();
+  evict_over_capacity_locked(evicted, evicted_delays);
+  return true;
 }
 
-void ResultCache::evict_over_capacity_locked() {
+void ResultCache::evict_over_capacity_locked(
+    std::vector<api::ResultCacheKey>& evicted,
+    std::vector<api::ResultCacheKey>& evicted_delays) {
   if (capacity_ == 0) return;
   static const obs::Registry::Counter evict_count =
       obs::Registry::global().counter("cache.evictions");
   while (map_.size() > capacity_) {
+    evicted.push_back(lru_.back());
     map_.erase(lru_.back());
     lru_.pop_back();
     ++evictions_;
     evict_count.add();
   }
   while (initial_delays_.size() > capacity_) {
+    evicted_delays.push_back(initial_delay_order_.front());
     initial_delays_.erase(initial_delay_order_.front());
     initial_delay_order_.pop_front();
   }
@@ -243,10 +270,24 @@ void ResultCache::store_initial_delay(const api::ResultCacheKey& key,
                                       double delay_ps) {
   api::ResultCacheKey memo_key = key;
   memo_key.tc_bits = 0;
-  util::MutexLock lock(mu_);
-  if (!initial_delays_.try_emplace(memo_key, delay_ps).second) return;
-  initial_delay_order_.push_back(memo_key);
-  evict_over_capacity_locked();
+  StoreListener* listener = nullptr;
+  bool inserted = false;
+  std::vector<api::ResultCacheKey> evicted;
+  std::vector<api::ResultCacheKey> evicted_delays;
+  {
+    util::MutexLock lock(mu_);
+    inserted = initial_delays_.try_emplace(memo_key, delay_ps).second;
+    if (inserted) {
+      initial_delay_order_.push_back(memo_key);
+      evict_over_capacity_locked(evicted, evicted_delays);
+    }
+    listener = listener_;
+  }
+  if (listener == nullptr) return;
+  if (inserted) listener->on_store_initial_delay(memo_key, delay_ps);
+  for (const api::ResultCacheKey& k : evicted) listener->on_evict(k);
+  for (const api::ResultCacheKey& k : evicted_delays)
+    listener->on_evict_initial_delay(k);
 }
 
 ResultCache::Stats ResultCache::stats() const {
@@ -255,9 +296,19 @@ ResultCache::Stats ResultCache::stats() const {
 }
 
 void ResultCache::set_capacity(std::size_t capacity) {
-  util::MutexLock lock(mu_);
-  capacity_ = capacity;
-  evict_over_capacity_locked();
+  StoreListener* listener = nullptr;
+  std::vector<api::ResultCacheKey> evicted;
+  std::vector<api::ResultCacheKey> evicted_delays;
+  {
+    util::MutexLock lock(mu_);
+    capacity_ = capacity;
+    evict_over_capacity_locked(evicted, evicted_delays);
+    listener = listener_;
+  }
+  if (listener == nullptr) return;
+  for (const api::ResultCacheKey& k : evicted) listener->on_evict(k);
+  for (const api::ResultCacheKey& k : evicted_delays)
+    listener->on_evict_initial_delay(k);
 }
 
 std::size_t ResultCache::capacity() const {

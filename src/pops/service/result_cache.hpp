@@ -28,6 +28,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "pops/api/context.hpp"
 #include "pops/api/pipeline.hpp"
@@ -52,6 +53,32 @@ class ResultCache final : public api::ResultCacheHook {
   /// batch runs stay bit-identical to the uncapped behaviour. The
   /// initial-delay memo is bounded by the same capacity (FIFO).
   explicit ResultCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Observer of cache mutations — the append-only journal's hook
+  /// (service/cache_journal.hpp). Callbacks fire on the mutating thread
+  /// *after* the cache released its lock (a listener may take its own
+  /// locks, do IO, or call back into cache accessors without deadlock),
+  /// and only for mutations that actually happened: on_store only for a
+  /// first insertion (first-writer-wins duplicates are silent), on_evict
+  /// only for entries the LRU bound dropped.
+  class StoreListener {
+   public:
+    virtual ~StoreListener() = default;
+    virtual void on_store(const api::ResultCacheKey& key,
+                          const netlist::Netlist& nl,
+                          const api::PipelineReport& report) = 0;
+    virtual void on_store_initial_delay(const api::ResultCacheKey& key,
+                                        double delay_ps) = 0;
+    virtual void on_evict(const api::ResultCacheKey& key) { (void)key; }
+    virtual void on_evict_initial_delay(const api::ResultCacheKey& key) {
+      (void)key;
+    }
+  };
+
+  /// Attach (or detach, with nullptr) the single mutation listener. Not
+  /// owned. Attach before traffic: stores racing the attachment may or
+  /// may not be observed.
+  void set_store_listener(StoreListener* listener) POPS_EXCLUDES(mu_);
 
   // ----- api::ResultCacheHook -------------------------------------------------
 
@@ -156,9 +183,17 @@ class ResultCache final : public api::ResultCacheHook {
     std::list<api::ResultCacheKey>::iterator lru;  ///< position in lru_
   };
 
-  void store_locked(const api::ResultCacheKey& key,
-                    std::shared_ptr<const Entry> entry) POPS_REQUIRES(mu_);
-  void evict_over_capacity_locked() POPS_REQUIRES(mu_);
+  /// Returns true when the key was actually inserted (first writer).
+  /// Keys evicted to make room are appended to the out-vectors so the
+  /// caller can report them to the listener outside the lock.
+  bool store_locked(const api::ResultCacheKey& key,
+                    std::shared_ptr<const Entry> entry,
+                    std::vector<api::ResultCacheKey>& evicted,
+                    std::vector<api::ResultCacheKey>& evicted_delays)
+      POPS_REQUIRES(mu_);
+  void evict_over_capacity_locked(
+      std::vector<api::ResultCacheKey>& evicted,
+      std::vector<api::ResultCacheKey>& evicted_delays) POPS_REQUIRES(mu_);
 
   // mu_ guards the whole mutable state: the entry map + its LRU order,
   // the initial-delay memo + its FIFO order, the capacity bound, and the
@@ -174,6 +209,7 @@ class ResultCache final : public api::ResultCacheHook {
   /// FIFO, front = oldest
   std::list<api::ResultCacheKey> initial_delay_order_ POPS_GUARDED_BY(mu_);
   std::size_t capacity_ POPS_GUARDED_BY(mu_) = 0;
+  StoreListener* listener_ POPS_GUARDED_BY(mu_) = nullptr;
   std::size_t hits_ POPS_GUARDED_BY(mu_) = 0;
   std::size_t misses_ POPS_GUARDED_BY(mu_) = 0;
   std::size_t evictions_ POPS_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,300 @@
+// CacheJournal: append-only ResultCache persistence. The contract under
+// test is crash recovery — a journal torn at ANY byte offset loses at
+// most the final partial record: a truncated tail and a stale
+// mid-compaction temp file must both replay every durable entry, with a
+// per-record diagnostic for the skipped garbage, and the replayed cache
+// must serve the original sweep bit-identically (all hits, exact record
+// bytes). Plus the compaction bound: after compact(), the file holds the
+// live entries and one header line, nothing else.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pops/api/api.hpp"
+#include "pops/netlist/benchmarks.hpp"
+#include "pops/service/cache_journal.hpp"
+#include "pops/service/result_cache.hpp"
+#include "pops/service/serialize.hpp"
+#include "pops/service/sweep.hpp"
+
+namespace {
+
+using namespace pops;
+using service::CacheJournal;
+using service::CacheLoadReport;
+using service::ResultCache;
+using service::SweepSpec;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.circuits = {"c17"};
+  spec.tc_ratios = {0.8, 0.9};
+  spec.n_threads = 1;
+  return spec;
+}
+
+/// One single-context "worker": cache + journal attached to a fresh
+/// OptContext. Runs the spec and returns the deterministic record bytes.
+struct Worker {
+  explicit Worker(const std::string& path,
+                  CacheJournal::Options opt = CacheJournal::Options(),
+                  std::size_t capacity = 0)
+      : cache(std::make_shared<ResultCache>(capacity)),
+        journal(cache, path, opt) {
+    ctx.set_result_cache(cache);
+    journal.bind_context(api::OptimizerConfig{}.delay_model_selector(), ctx);
+    loaded = journal.open(ctx, [this](const std::string&) { return &ctx; });
+  }
+
+  std::vector<std::string> run(const SweepSpec& spec) {
+    service::SweepService sweeps(ctx);
+    std::vector<std::string> records;
+    sweeps.run(
+        spec,
+        [this](const std::string& name) {
+          return netlist::make_benchmark(ctx.lib(), name);
+        },
+        [&records](const service::SweepPoint& point) {
+          records.push_back(
+              service::to_json(point, {.measured = false}).dump(0));
+        });
+    return records;
+  }
+
+  api::OptContext ctx;
+  std::shared_ptr<ResultCache> cache;
+  CacheJournal journal;
+  CacheLoadReport loaded;
+};
+
+std::string temp_journal(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  std::remove((path + ".compact.tmp").c_str());
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text)
+    if (c == '\n') ++n;
+  return n;
+}
+
+TEST(CacheJournal, ReplayRoundTripIsBitIdenticalAndAllHits) {
+  const std::string path = temp_journal("journal_roundtrip.jnl");
+  const SweepSpec spec = small_spec();
+
+  std::vector<std::string> cold;
+  {
+    Worker w(path);
+    EXPECT_EQ(w.loaded.entries_loaded, 0u);
+    cold = w.run(spec);
+    EXPECT_EQ(w.cache->misses(), 2u);
+    EXPECT_GE(w.journal.stats().appends, 2u);
+    w.journal.close();
+  }
+
+  Worker warm(path);
+  EXPECT_EQ(warm.loaded.entries_loaded, 2u);
+  EXPECT_TRUE(warm.loaded.problems.empty());
+  const std::vector<std::string> replayed = warm.run(spec);
+  // Every point replays from the journaled cache, and the record bytes —
+  // a pure function of the spec — are exactly the cold run's.
+  EXPECT_EQ(warm.cache->hits(), 2u);
+  EXPECT_EQ(warm.cache->misses(), 0u);
+  ASSERT_EQ(replayed.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_EQ(replayed[i], cold[i]) << i;
+  std::remove(path.c_str());
+}
+
+TEST(CacheJournal, TruncatedTailLosesOnlyTheTornRecord) {
+  const std::string path = temp_journal("journal_truncated.jnl");
+  const SweepSpec spec = small_spec();
+  std::vector<std::string> cold;
+  {
+    Worker w(path);
+    cold = w.run(spec);
+    w.journal.close();
+  }
+
+  // Tear the file mid-way through its final record — a crash between
+  // write() and the flush boundary.
+  const std::string full = slurp(path);
+  const std::size_t durable_lines = count_lines(full);
+  ASSERT_GE(durable_lines, 3u);  // header + >= 2 records
+  const std::size_t last_start = full.rfind('\n', full.size() - 2) + 1;
+  const std::size_t cut = last_start + (full.size() - last_start) / 2;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(cut));
+  }
+
+  Worker recovered(path);
+  // Every record before the tear is recovered; the torn one is skipped
+  // with a line-numbered diagnostic, not a fatal error.
+  EXPECT_EQ(recovered.loaded.entries_loaded +
+                recovered.loaded.initial_delays_loaded,
+            durable_lines - 2);  // minus header, minus the torn record
+  ASSERT_EQ(recovered.loaded.problems.size(), 1u);
+  EXPECT_NE(recovered.loaded.problems[0].find(
+                "line " + std::to_string(durable_lines)),
+            std::string::npos);
+  EXPECT_NE(recovered.loaded.problems[0].find("skipped"), std::string::npos);
+
+  // The sweep completes bit-identically (the lost point recomputes) and
+  // re-journals; a THIRD generation then replays everything — proving the
+  // append stream did not glue new records onto the torn bytes.
+  const std::vector<std::string> rerun = recovered.run(spec);
+  ASSERT_EQ(rerun.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_EQ(rerun[i], cold[i]) << i;
+  recovered.journal.close();
+
+  Worker third(path);
+  EXPECT_EQ(third.loaded.entries_loaded, 2u);
+  EXPECT_TRUE(third.loaded.problems.empty());
+  const std::vector<std::string> warm = third.run(spec);
+  EXPECT_EQ(third.cache->hits(), 2u);
+  EXPECT_EQ(third.cache->misses(), 0u);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_EQ(warm[i], cold[i]) << i;
+  std::remove(path.c_str());
+}
+
+TEST(CacheJournal, StaleMidCompactionTempIsDiscarded) {
+  const std::string path = temp_journal("journal_midcompact.jnl");
+  const SweepSpec spec = small_spec();
+  {
+    Worker w(path);
+    w.run(spec);
+    w.journal.close();
+  }
+
+  // An interruption mid-compaction leaves the original journal intact
+  // plus a half-written temp that never got renamed over it.
+  const std::string tmp = path + ".compact.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out << "{\"format\":\"pops-cache-journal\",\"version\":1,\"context\"";
+  }
+
+  Worker recovered(path);
+  // The temp is garbage: removed at open, the real journal replays whole.
+  EXPECT_EQ(recovered.loaded.entries_loaded, 2u);
+  EXPECT_TRUE(recovered.loaded.problems.empty());
+  EXPECT_FALSE(std::ifstream(tmp).good());
+  const std::vector<std::string> warm = recovered.run(spec);
+  EXPECT_EQ(recovered.cache->hits(), 2u);
+  EXPECT_EQ(recovered.cache->misses(), 0u);
+  (void)warm;
+  std::remove(path.c_str());
+}
+
+TEST(CacheJournal, GarbageLineIsSkippedWithDiagnosticOthersSurvive) {
+  const std::string path = temp_journal("journal_bitrot.jnl");
+  {
+    Worker w(path);
+    w.run(small_spec());
+    w.journal.close();
+  }
+
+  // Corrupt one interior record (bit rot), keep the rest.
+  const std::string full = slurp(path);
+  const std::size_t first_nl = full.find('\n');
+  const std::size_t second_nl = full.find('\n', first_nl + 1);
+  std::string mangled = full.substr(0, first_nl + 1) + "!corrupt!\n" +
+                        full.substr(second_nl + 1);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << mangled;
+  }
+
+  Worker recovered(path);
+  ASSERT_EQ(recovered.loaded.problems.size(), 1u);
+  EXPECT_NE(recovered.loaded.problems[0].find("line 2"), std::string::npos);
+  // Every other record replays.
+  EXPECT_EQ(recovered.loaded.entries_loaded +
+                recovered.loaded.initial_delays_loaded,
+            count_lines(full) - 2);
+  std::remove(path.c_str());
+}
+
+TEST(CacheJournal, ForeignContextHeaderRejectsTheFile) {
+  const std::string path = temp_journal("journal_foreign.jnl");
+  {
+    Worker w(path);
+    w.run(small_spec());
+    w.journal.close();
+  }
+
+  // Flip the context signature in the header: the file is from some other
+  // characterization and must be rejected wholesale, not merged.
+  std::string full = slurp(path);
+  const std::size_t sig = full.find("\"signature\":\"");
+  ASSERT_NE(sig, std::string::npos);
+  const std::size_t digit = sig + std::string("\"signature\":\"").size();
+  full[digit] = full[digit] == '0' ? '1' : '0';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full;
+  }
+
+  auto cache = std::make_shared<ResultCache>();
+  api::OptContext ctx;
+  ctx.set_result_cache(cache);
+  CacheJournal journal(cache, path);
+  EXPECT_THROW(
+      journal.open(ctx, [&ctx](const std::string&) { return &ctx; }),
+      std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CacheJournal, CompactionBoundsFileToLiveEntries) {
+  const std::string path = temp_journal("journal_compact.jnl");
+  // Suppress auto-compaction so the garbage accumulation is observable.
+  CacheJournal::Options opt;
+  opt.max_garbage_ratio = 1.0;
+  opt.min_compact_bytes = ~std::size_t{0};
+
+  // Capacity 1: the second point evicts the first — its journal record
+  // becomes garbage that only compaction can reclaim.
+  Worker w(path, opt, /*capacity=*/1);
+  w.run(small_spec());
+  const CacheJournal::Stats before = w.journal.stats();
+  EXPECT_GT(before.garbage_bytes, 0u);
+  EXPECT_EQ(before.total_bytes, slurp(path).size());
+
+  w.journal.compact();
+  const CacheJournal::Stats after = w.journal.stats();
+  EXPECT_EQ(after.compactions, before.compactions + 1);
+  EXPECT_EQ(after.garbage_bytes, 0u);
+  // The bound: file size == live record bytes + one header line. Checked
+  // against the actual file, not just the journal's own accounting.
+  const std::string compacted = slurp(path);
+  EXPECT_EQ(after.total_bytes, compacted.size());
+  const std::size_t header_bytes = compacted.find('\n') + 1;
+  EXPECT_EQ(after.total_bytes, after.live_bytes + header_bytes);
+  EXPECT_LT(after.total_bytes, before.total_bytes);
+
+  // And the compacted journal still replays: the surviving entry hits.
+  w.journal.close();
+  Worker warm(path, opt, /*capacity=*/1);
+  EXPECT_EQ(warm.loaded.entries_loaded, 1u);
+  EXPECT_TRUE(warm.loaded.problems.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace

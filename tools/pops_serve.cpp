@@ -1,13 +1,16 @@
 // pops_serve — the sweep daemon and its command-line client.
 //
 // Server mode binds a loopback/TCP port, accepts newline-delimited
-// SweepSpec JSON requests (net/protocol.hpp), schedules them onto one
-// shared SweepService, and streams per-point JSONL records back as they
-// complete. With --cache-file the result cache survives restarts: loaded
-// at start, checkpointed after every sweep, flushed on shutdown — a warm
-// restart serves repeated specs without recomputing anything.
+// SweepSpec JSON requests (net/protocol.hpp), routes them onto a
+// delay-model-keyed context pool, and streams per-point JSONL records
+// back as they complete. With --cache-file the result cache survives
+// restarts as an append-only journal (service/cache_journal.hpp):
+// replayed at start, appended per store, compacted on checkpoint and
+// shutdown — a warm restart serves repeated specs without recomputing
+// anything. As a fleet member behind pops_fabric, --max-connections
+// bounds the damage a misbehaving client can do to a shared worker.
 //
-//   pops_serve --port 7425 --cache-file cache.json --cache-capacity 4096
+//   pops_serve --port 7425 --cache-file cache.jnl --cache-capacity 4096
 //   pops_serve --port 0               # ephemeral; the port is printed
 //
 // Client mode submits a spec (from --spec JSON, or built from the same
@@ -62,15 +65,19 @@ void usage(std::FILE* out) {
       "stdout (default 0)\n"
       "  --threads N          worker threads per sweep; 0 = hardware "
       "(default 0)\n"
-      "  --cache-file FILE    persist the result cache here (loaded at "
-      "start,\n"
-      "                       checkpointed after sweeps, flushed on "
+      "  --cache-file FILE    persist the result cache here as an "
+      "append-only\n"
+      "                       journal (replayed at start, compacted on "
       "shutdown)\n"
       "  --cache-capacity N   LRU bound on cached entries; 0 = unbounded "
       "(default 0)\n"
-      "  --checkpoint-every N flush the cache file every N sweeps; 0 = "
-      "only on\n"
+      "  --checkpoint-every N offer journal compaction every N sweeps; 0 "
+      "= only on\n"
       "                       save/shutdown (default 1)\n"
+      "  --max-connections N  serve at most N concurrent connections; "
+      "extras get\n"
+      "                       one error event and are closed (default 0 = "
+      "no cap)\n"
       "  --trace-out FILE     record a Chrome trace-event JSON of the "
       "daemon's\n"
       "                       lifetime to FILE at shutdown\n"
@@ -135,6 +142,11 @@ int run_server(int argc, char** argv) {
           parse_long(value(i, "--checkpoint-every"), "--checkpoint-every");
       if (n < 0) throw std::invalid_argument("--checkpoint-every must be >= 0");
       opt.checkpoint_every = static_cast<std::size_t>(n);
+    } else if (arg == "--max-connections") {
+      const long n =
+          parse_long(value(i, "--max-connections"), "--max-connections");
+      if (n < 0) throw std::invalid_argument("--max-connections must be >= 0");
+      opt.max_connections = static_cast<std::size_t>(n);
     } else if (arg == "--trace-out") {
       trace_path = value(i, "--trace-out");
     } else {
