@@ -24,6 +24,9 @@ scripts/smoke_bench_incremental.sh "${PREFIX}"
 echo "=== job 1d2: pops_fabric smoke (2-worker fleet, byte-identical merge, journal warm restart) ==="
 scripts/smoke_fabric.sh "${PREFIX}"
 
+echo "=== job 1d3: power smoke (state backend at 85C, multi-Vt recovery, byte determinism) ==="
+scripts/smoke_power.sh "${PREFIX}"
+
 echo "=== job 1e: pops_lint determinism lint over the compiled tree ==="
 # Job 1 exported compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS),
 # so the lint scans exactly the TUs the build compiles. The self-test

@@ -51,6 +51,23 @@ std::vector<std::string> OptimizerConfig::validate() const {
   } else if (delay_model == "table") {
     for (std::string& p : table_model.problems()) out.push_back(std::move(p));
   }
+
+  // Power-model backend selection.
+  if (power_model != "proxy" && power_model != "state") {
+    out.push_back("power_model must be 'proxy' or 'state' (got '" +
+                  power_model + "')");
+  }
+  // Silicon junction range, generously bounded.
+  require(temperature_c > -273.15 && temperature_c < 300.0,
+          "temperature_c must be a physical junction temperature "
+          "(-273.15, 300)");
+  require(!vt_library.empty(), "vt_library must name at least one Vt class");
+  for (std::size_t i = 0; i < vt_library.size(); ++i) {
+    require(!vt_library[i].empty(), "vt_library entries must be non-empty");
+    for (std::size_t j = 0; j < i; ++j)
+      require(vt_library[j] != vt_library[i],
+              "vt_library lists '" + vt_library[i] + "' more than once");
+  }
   return out;
 }
 
@@ -69,6 +86,19 @@ std::unique_ptr<timing::DelayModel> OptimizerConfig::make_delay_model(
 
 std::string OptimizerConfig::delay_model_selector() const {
   return delay_model == "table" ? table_model.selector() : delay_model;
+}
+
+std::unique_ptr<power::PowerModel> OptimizerConfig::make_power_model(
+    const liberty::Library& lib) const {
+  if (power_model != "proxy" && power_model != "state")
+    throw ConfigError(
+        {"power_model must be 'proxy' or 'state' (got '" + power_model +
+         "')"});
+  return power::make_power_model(power_model, lib);
+}
+
+std::string OptimizerConfig::power_model_selector() const {
+  return power_model;
 }
 
 void OptimizerConfig::ensure_valid() const {

@@ -19,6 +19,7 @@
 
 #include "pops/core/netopt.hpp"
 #include "pops/core/protocol.hpp"
+#include "pops/power/power_model.hpp"
 #include "pops/timing/table_model.hpp"
 
 namespace pops::api {
@@ -84,6 +85,20 @@ struct OptimizerConfig {
   std::string delay_model = "closed-form";
   /// Characterization grid used when delay_model == "table".
   timing::TableModelOptions table_model;
+
+  // --- power-model backend ----------------------------------------------------
+  /// Backend name: "proxy" (the paper's ΣW proxy + flat leakage) or
+  /// "state" (state-dependent sub-threshold + gate leakage per Vt class).
+  std::string power_model = "proxy";
+  /// Junction temperature power is evaluated at (degC). The default is
+  /// the reference every leakage calibration is stated at.
+  double temperature_c = power::kDefaultTemperatureC;
+  /// Vt classes (by Technology::vt_classes name) passes may assign.
+  /// The first entry is the default class every gate starts in; the
+  /// multi-vt pass moves slack-rich cells into the lowest-leakage other
+  /// enabled class.
+  std::vector<std::string> vt_library{"svt", "hvt"};
+  bool enable_multi_vt = false;  ///< slack-driven high-Vt assignment pass
 
   // --- builder-style setters ---------------------------------------------------
   OptimizerConfig& with_domain_ratios(double hard, double weak) {
@@ -151,6 +166,22 @@ struct OptimizerConfig {
     table_model = std::move(opt);
     return *this;
   }
+  OptimizerConfig& with_power_model(std::string name) {
+    power_model = std::move(name);
+    return *this;
+  }
+  OptimizerConfig& with_temperature(double celsius) {
+    temperature_c = celsius;
+    return *this;
+  }
+  OptimizerConfig& with_vt_library(std::vector<std::string> classes) {
+    vt_library = std::move(classes);
+    return *this;
+  }
+  OptimizerConfig& with_multi_vt(bool on) {
+    enable_multi_vt = on;
+    return *this;
+  }
 
   // --- validation --------------------------------------------------------------
 
@@ -178,6 +209,17 @@ struct OptimizerConfig {
   /// comparable against timing::DelayModel::selector() to decide whether
   /// an installed backend already satisfies this config.
   std::string delay_model_selector() const;
+
+  // --- power-model backend construction -----------------------------------------
+
+  /// Build a fresh instance of the power backend this config selects,
+  /// over `lib`. Throws ConfigError when the selection is invalid.
+  std::unique_ptr<power::PowerModel> make_power_model(
+      const liberty::Library& lib) const;
+
+  /// Identity of the selected power backend, comparable against
+  /// power::PowerModel::selector().
+  std::string power_model_selector() const;
 
   /// Lift a legacy circuit-level options struct into a protocol-only
   /// unified config. Note the legacy shim (core::optimize_circuit)

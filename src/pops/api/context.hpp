@@ -42,6 +42,13 @@ struct OptimizerConfig;
 class PassPipeline;
 struct PipelineReport;
 
+/// RNG stream reserved for power-activity simulation (OptContext::
+/// make_rng). Every power evaluation in the api layer — the pipeline's
+/// final report, the multi-vt pass's recovered-leakage accounting — draws
+/// from this stream, so the simulated vectors (hence the power bytes) are
+/// identical across processes and across the sweep fleet.
+inline constexpr std::uint64_t kPowerRngStream = 0x706f776572ull;  // "power"
+
 /// Key of one memoized optimization point: circuit content, effective
 /// configuration (config + pipeline + context characterization), and the
 /// exact constraint value. Two points with equal keys produce bit-identical

@@ -47,6 +47,8 @@ struct PassReport {
   std::size_t sinks_rewired = 0;       ///< inverter-pair cancellations
   std::size_t gates_removed = 0;       ///< dead gates swept
   std::size_t paths_optimized = 0;     ///< protocol path optimizations
+  std::size_t cells_high_vt = 0;       ///< multi-vt cells moved off class 0
+  double leakage_saved_uw = 0.0;       ///< multi-vt leakage recovered
   /// Per-path protocol outcome, present for the protocol pass only.
   std::optional<core::CircuitResult> circuit;
 };

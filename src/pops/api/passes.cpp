@@ -1,5 +1,6 @@
 #include "pops/api/passes.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include "pops/core/netopt.hpp"
 #include "pops/obs/metrics.hpp"
 #include "pops/obs/trace.hpp"
+#include "pops/power/power_model.hpp"
 #include "pops/timing/incremental_sta.hpp"
 #include "pops/timing/path.hpp"
 #include "pops/timing/sta.hpp"
@@ -196,6 +198,116 @@ core::CircuitResult ProtocolPass::run_protocol(Netlist& nl,
   out.area_um = nl.total_width_um();
   out.met = core::tc_met(result->critical_delay_ps, tc_ps);
   return out;
+}
+
+void MultiVtPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+                      double tc_ps, PassReport& report) const {
+  timing::StaOptions sta_opt;
+  sta_opt.pi_slew_ps = cfg.pi_slew_ps;
+  sta_opt.level_parallel_workers = cfg.sta_workers;
+  sta_opt.level_parallel_min_nodes = cfg.sta_parallel_min_nodes;
+  timing::IncrementalSta sta(nl, ctx.dm(), sta_opt);
+  run(nl, ctx, cfg, tc_ps, report, sta);
+}
+
+void MultiVtPass::run(Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+                      double tc_ps, PassReport& report,
+                      timing::IncrementalSta& sta) const {
+  if (!(tc_ps > 0.0))
+    throw std::invalid_argument("multi-vt: Tc must be > 0");
+
+  // Resolve the target class: the lowest-off-current non-default class the
+  // config enables. One enabled class (the default) = nothing to assign.
+  const process::Technology& tech = nl.lib().tech();
+  int target = -1;
+  for (const std::string& name : cfg.vt_library) {
+    const int cls = tech.find_vt_class(name);
+    if (cls < 0)
+      throw std::invalid_argument("multi-vt: vt class '" + name +
+                                  "' is not offered by the technology");
+    if (cls == 0) continue;
+    if (target < 0 ||
+        tech.vt_class(static_cast<std::size_t>(cls)).ioff_na_per_um <
+            tech.vt_class(static_cast<std::size_t>(target)).ioff_na_per_um)
+      target = cls;
+  }
+  if (target < 0) return;
+
+  const timing::StaResult* result =
+      &(sta.has_result() ? sta.result() : sta.run_full());
+  // Leakage can only be traded for slack that exists: an unmet point is
+  // left for the sizing passes, not slowed down further.
+  if (!core::tc_met(result->critical_delay_ps, tc_ps)) return;
+
+  // Candidates: default-class gates with positive slack, most slack
+  // first (ties by id so the greedy order — hence the result — is
+  // deterministic under any slack distribution).
+  struct Candidate {
+    netlist::NodeId id;
+    double slack_ps;
+  };
+  std::vector<Candidate> candidates;
+  {
+    const std::vector<double>& slack = sta.slacks(tc_ps);
+    for (std::size_t i = 0; i < nl.size(); ++i) {
+      const netlist::Node& n = nl.node(static_cast<netlist::NodeId>(i));
+      if (n.is_input || n.vt != 0) continue;
+      if (slack[i] > 0.0)
+        candidates.push_back({static_cast<netlist::NodeId>(i), slack[i]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.slack_ps != b.slack_ps) return a.slack_ps > b.slack_ps;
+              return a.id < b.id;
+            });
+  if (candidates.empty()) return;
+
+  // The recovered-leakage metric is inherently state-dependent (the flat
+  // proxy is Vt-blind), so it is always accounted with the state backend;
+  // the flip decisions themselves are pure timing and do not depend on
+  // any power number.
+  const power::StateDependentModel accounting(nl.lib());
+  const double freq = power::kDefaultFrequencyMhz;
+  double leak_before = 0.0;
+  {
+    util::Rng rng = ctx.make_rng(kPowerRngStream);
+    leak_before =
+        accounting.estimate(nl, rng, freq, 512, cfg.temperature_c).leakage_uw;
+  }
+
+  // Greedy assignment: flip, re-time the fanout cone incrementally, keep
+  // the flip only while the whole circuit still meets Tc. A rejected cone
+  // does not end the walk — an unrelated cone elsewhere may still absorb
+  // the derating.
+  std::size_t moved = 0;
+  for (const Candidate& c : candidates) {
+    nl.set_vt_class(c.id, target);
+    // A Vt flip changes the gate's own kernel inputs only (like a drive
+    // change; its cin is untouched) — squarely inside the dirty-set
+    // contract.
+    const netlist::NodeId dirty[] = {c.id};
+    result = &sta.update(dirty);
+    if (core::tc_met(result->critical_delay_ps, tc_ps)) {
+      ++moved;
+    } else {
+      nl.set_vt_class(c.id, 0);
+      result = &sta.update(dirty);
+    }
+  }
+
+  report.cells_high_vt = moved;
+  report.changed = moved > 0;
+  if (moved > 0) {
+    util::Rng rng = ctx.make_rng(kPowerRngStream);
+    const double leak_after =
+        accounting.estimate(nl, rng, freq, 512, cfg.temperature_c).leakage_uw;
+    report.leakage_saved_uw = leak_before - leak_after;
+  }
+
+  static const obs::Registry::Counter cells_total =
+      obs::Registry::global().counter("multi_vt.cells_high_vt");
+  if (moved > 0) cells_total.add(static_cast<double>(moved));
 }
 
 }  // namespace pops::api

@@ -79,4 +79,20 @@ class ProtocolPass final : public Pass {
       timing::IncrementalSta* shared = nullptr);
 };
 
+/// Slack-driven leakage recovery: greedily move the highest-slack gates
+/// into the lowest-leakage non-default Vt class of cfg.vt_library while
+/// the constraint stays met (every tentative flip is timed through the
+/// shared incremental engine and reverted if it breaks Tc). First
+/// consumer of the power::PowerModel backends: the report carries the
+/// number of cells moved and the leakage recovered.
+class MultiVtPass final : public Pass {
+ public:
+  std::string_view name() const noexcept override { return "multi-vt"; }
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report) const override;
+  void run(netlist::Netlist& nl, OptContext& ctx, const OptimizerConfig& cfg,
+           double tc_ps, PassReport& report,
+           timing::IncrementalSta& sta) const override;
+};
+
 }  // namespace pops::api

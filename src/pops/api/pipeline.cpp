@@ -8,8 +8,10 @@
 #include "pops/obs/clock.hpp"
 #include "pops/obs/metrics.hpp"
 #include "pops/obs/trace.hpp"
+#include "pops/power/power_model.hpp"
 #include "pops/timing/incremental_sta.hpp"
 #include "pops/timing/sta.hpp"
+#include "pops/util/rng.hpp"
 
 namespace pops::api {
 
@@ -35,6 +37,18 @@ std::size_t PipelineReport::total_paths_optimized() const noexcept {
   std::size_t n = 0;
   for (const PassReport& p : passes) n += p.paths_optimized;
   return n;
+}
+
+std::size_t PipelineReport::total_cells_high_vt() const noexcept {
+  std::size_t n = 0;
+  for (const PassReport& p : passes) n += p.cells_high_vt;
+  return n;
+}
+
+double PipelineReport::total_leakage_saved_uw() const noexcept {
+  double uw = 0.0;
+  for (const PassReport& p : passes) uw += p.leakage_saved_uw;
+  return uw;
 }
 
 double PipelineReport::total_runtime_ms() const noexcept {
@@ -71,6 +85,9 @@ PassPipeline PassPipeline::standard(const OptimizerConfig& cfg) {
     p.emplace<SweepDeadPass>();
   }
   if (cfg.enable_protocol) p.emplace<ProtocolPass>();
+  // After the sizing passes: multi-vt spends the slack the protocol left
+  // behind, and a later structural pass would invalidate its timing proof.
+  if (cfg.enable_multi_vt) p.emplace<MultiVtPass>();
   return p;
 }
 
@@ -144,6 +161,20 @@ PipelineReport PassPipeline::run(netlist::Netlist& nl, OptContext& ctx,
 
   out.final_delay_ps = delay;
   out.final_area_um = nl.total_width_um();
+  // Power of the final implementation, under the configured backend. The
+  // reserved activity stream keeps these bytes identical across processes
+  // (pops_sweep, pops_serve, a fabric fleet) for the same point.
+  {
+    const std::unique_ptr<power::PowerModel> pm = cfg.make_power_model(nl.lib());
+    util::Rng rng = ctx.make_rng(kPowerRngStream);
+    out.power = pm->estimate(nl, rng, power::kDefaultFrequencyMhz, 512,
+                             cfg.temperature_c);
+  }
+  out.vt_mix.assign(nl.lib().tech().n_vt_classes(), 0);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const netlist::Node& n = nl.node(static_cast<netlist::NodeId>(i));
+    if (!n.is_input) ++out.vt_mix[static_cast<std::size_t>(n.vt)];
+  }
   // Same tolerance the ProtocolPass round loop stops on (core::tc_met):
   // the two must agree or a boundary point could iterate as violating yet
   // report met (pops_sweep exits 2 off this flag).

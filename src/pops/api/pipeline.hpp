@@ -33,6 +33,16 @@ struct PipelineReport {
   /// "table"); cached replays carry the producing run's backend.
   std::string delay_model;
 
+  /// Power of the final implementation under the configured backend
+  /// (cfg.power_model at cfg.temperature_c, activities drawn from the
+  /// reserved kPowerRngStream so the bytes are fleet-deterministic);
+  /// cached replays carry the producing run's numbers.
+  power::PowerReport power;
+  /// Gate count per Vt class of the final implementation, indexed by
+  /// Technology::vt_classes position (single-class technologies report
+  /// one bucket).
+  std::vector<std::size_t> vt_mix;
+
   std::vector<PassReport> passes;  ///< one entry per executed pass
 
   // Aggregates over `passes` (tested to equal the per-pass sums).
@@ -40,6 +50,8 @@ struct PipelineReport {
   std::size_t total_sinks_rewired() const noexcept;
   std::size_t total_gates_removed() const noexcept;
   std::size_t total_paths_optimized() const noexcept;
+  std::size_t total_cells_high_vt() const noexcept;
+  double total_leakage_saved_uw() const noexcept;
   double total_runtime_ms() const noexcept;
 
   /// The protocol pass's circuit result (per-path domains/methods), or
@@ -65,7 +77,7 @@ class PassPipeline {
   }
 
   /// The canonical pipeline for `cfg` (shield -> cancel-inverters ->
-  /// sweep-dead -> protocol, gated by the enable_* flags).
+  /// sweep-dead -> protocol -> multi-vt, gated by the enable_* flags).
   static PassPipeline standard(const OptimizerConfig& cfg);
 
   std::size_t size() const noexcept { return passes_.size(); }

@@ -14,6 +14,7 @@ PassRegistry::PassRegistry() {
                 [] { return std::make_unique<CancelInvertersPass>(); });
   register_pass("sweep-dead", [] { return std::make_unique<SweepDeadPass>(); });
   register_pass("protocol", [] { return std::make_unique<ProtocolPass>(); });
+  register_pass("multi-vt", [] { return std::make_unique<MultiVtPass>(); });
 }
 
 PassRegistry& PassRegistry::global() {

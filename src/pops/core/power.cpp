@@ -2,37 +2,17 @@
 
 #include <stdexcept>
 
+#include "pops/power/power_model.hpp"
+
 namespace pops::core {
 
 PowerReport estimate_power(const netlist::Netlist& nl, util::Rng& rng,
-                           double frequency_mhz, int vectors) {
+                           double frequency_mhz, int vectors,
+                           double temperature_c) {
   if (!(frequency_mhz > 0.0))
     throw std::invalid_argument("estimate_power: frequency must be > 0");
-
-  const netlist::ActivityReport activity =
-      netlist::estimate_activity(nl, rng, vectors);
-
-  PowerReport report;
-  report.frequency_mhz = frequency_mhz;
-  report.area_um = nl.total_width_um();
-  // Switched capacitance per vector (nets toggle at their measured rate;
-  // each node's own drain parasitic switches with it).
-  double switched = 0.0;
-  for (std::size_t i = 0; i < nl.size(); ++i) {
-    const auto id = static_cast<netlist::NodeId>(i);
-    const double cap = nl.load_ff(id) + nl.cpar_ff(id);
-    switched += activity.toggle_rate[i] * cap;
-  }
-  report.switched_cap_ff = switched;
-
-  const double vdd = nl.lib().tech().vdd;
-  // fF * V^2 * MHz = 1e-15 F * V^2 * 1e6 1/s = 1e-9 W = nW; report µW.
-  const double dyn_nw = 0.5 * switched * vdd * vdd * frequency_mhz;
-  report.dynamic_uw = dyn_nw * 1e-3 * (1.0 + kShortCircuitFraction);
-  // nA * V = nW; per µm of width.
-  report.leakage_uw = kIoffNaPerUm * report.area_um * vdd * 1e-3;
-  report.total_uw = report.dynamic_uw + report.leakage_uw;
-  return report;
+  return power::ProxyModel(nl.lib())
+      .estimate(nl, rng, frequency_mhz, vectors, temperature_c);
 }
 
 double path_area_um(const timing::BoundedPath& path) { return path.area_um(); }

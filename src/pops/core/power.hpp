@@ -4,43 +4,34 @@
 // The paper uses the sum of transistor widths ΣW as its area *and* power
 // proxy ("minimum area/power cost"): at fixed supply and frequency the
 // switched capacitance — hence the dynamic power — scales with the widths.
-// This module makes the proxy explicit and additionally reports a
-// first-order dynamic/leakage power estimate from simulated switching
-// activities, so the "low power oriented" claim can be quantified:
-//
-//   P_dyn  = alpha_total * Cload * VDD^2 * f / 2   (per net, summed)
-//   P_leak = I_off_per_um * W_total * VDD
-//
-// (Short-circuit power is folded into P_dyn with a +10% allowance — the
-// standard first-order budget for edge rates in the fast-input range.)
+// This module keeps the historical convenience entry points; the math now
+// lives in the polymorphic power::PowerModel backends (estimate_power is
+// the power::ProxyModel, bit-identical to its pre-backend numbers at the
+// reference temperature).
 
-#include "pops/netlist/logic_sim.hpp"
 #include "pops/netlist/netlist.hpp"
+#include "pops/power/report.hpp"
 #include "pops/timing/path.hpp"
 #include "pops/util/rng.hpp"
 
 namespace pops::core {
 
-struct PowerReport {
-  double area_um = 0.0;          ///< ΣW, the paper's metric
-  double switched_cap_ff = 0.0;  ///< sum over nets of alpha * C
-  double dynamic_uw = 0.0;       ///< at the report frequency
-  double leakage_uw = 0.0;
-  double total_uw = 0.0;
-  double frequency_mhz = 0.0;
-};
+using PowerReport = power::PowerReport;
 
-/// Per-µm off current used for the leakage estimate (nA/µm); generic
+/// Per-µm off current used for the flat leakage estimate (nA/µm); generic
 /// 0.25µm magnitude.
-inline constexpr double kIoffNaPerUm = 0.03;
+inline constexpr double kIoffNaPerUm = power::kProxyIoffNaPerUm;
 
 /// Short-circuit allowance on top of the switched-capacitance power.
-inline constexpr double kShortCircuitFraction = 0.10;
+inline constexpr double kShortCircuitFraction = power::kShortCircuitFraction;
 
 /// Estimate circuit power at `frequency_mhz` with random-vector switching
-/// activities (deterministic in `rng`).
+/// activities (deterministic in `rng`), optionally at a junction
+/// temperature (the 25 degC default reproduces the historical,
+/// temperature-blind numbers bit-for-bit).
 PowerReport estimate_power(const netlist::Netlist& nl, util::Rng& rng,
-                           double frequency_mhz = 100.0, int vectors = 512);
+                           double frequency_mhz = 100.0, int vectors = 512,
+                           double temperature_c = power::kDefaultTemperatureC);
 
 /// ΣW of a bounded path (convenience; identical to path.area_um()).
 double path_area_um(const timing::BoundedPath& path);

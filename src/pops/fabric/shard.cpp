@@ -14,17 +14,21 @@ std::vector<PointSpec> expand_points(const service::SweepSpec& spec) {
   std::vector<PointSpec> out;
   out.reserve(spec.n_jobs());
   for (const service::BufferPolicy& policy : spec.policies)
-    for (const double margin : spec.shield_margins)
-      for (const double ratio : spec.tc_ratios)
-        for (const std::string& circuit : spec.circuits) {
-          PointSpec pt;
-          pt.index = out.size();
-          pt.circuit = circuit;
-          pt.tc_ratio = ratio;
-          pt.shield_margin = margin;
-          pt.policy = policy;
-          out.push_back(std::move(pt));
-        }
+    for (const std::string& vt_policy : spec.vt_policies)
+      for (const double temperature : spec.temperatures)
+        for (const double margin : spec.shield_margins)
+          for (const double ratio : spec.tc_ratios)
+            for (const std::string& circuit : spec.circuits) {
+              PointSpec pt;
+              pt.index = out.size();
+              pt.circuit = circuit;
+              pt.tc_ratio = ratio;
+              pt.shield_margin = margin;
+              pt.temperature_c = temperature;
+              pt.vt_policy = vt_policy;
+              pt.policy = policy;
+              out.push_back(std::move(pt));
+            }
   return out;
 }
 
@@ -34,6 +38,8 @@ service::SweepSpec single_point_spec(const service::SweepSpec& base,
   spec.circuits = {pt.circuit};
   spec.tc_ratios = {pt.tc_ratio};
   spec.shield_margins = {pt.shield_margin};
+  spec.temperatures = {pt.temperature_c};
+  spec.vt_policies = {pt.vt_policy};
   spec.policies = {pt.policy};
   return spec;
 }
@@ -45,27 +51,39 @@ ShardKeyer::ShardKeyer(api::OptContext& ctx, const service::SweepSpec& spec,
     if (circuit_hash_.count(name)) continue;
     circuit_hash_[name] = service::ResultCache::hash_netlist(load(name));
   }
-  // Mirror SweepService::run's per-(policy, margin) Optimizer set-up so
-  // the hashed (config, pipeline) tuple is the one the worker will key
-  // its cache entries by.
+  // Mirror SweepService::run's per-(policy, vt-policy, temperature,
+  // margin) Optimizer set-up so the hashed (config, pipeline) tuple is
+  // the one the worker will key its cache entries by.
   for (const service::BufferPolicy& policy : spec.policies)
-    for (const double margin : spec.shield_margins) {
-      api::OptimizerConfig cfg = spec.base;
-      cfg.enable_shielding = policy.shielding;
-      cfg.allow_restructuring = policy.restructuring;
-      cfg.shield_margin = margin;
-      api::Optimizer optimizer(ctx, cfg);
-      if (!spec.pipeline.empty())
-        optimizer.set_pipeline(
-            api::PassRegistry::global().make_pipeline(spec.pipeline));
-      config_hash_[{policy.name, margin}] =
-          service::ResultCache::hash_config(ctx, cfg, optimizer.pipeline());
-    }
+    for (const std::string& vt_policy : spec.vt_policies)
+      for (const double temperature : spec.temperatures)
+        for (const double margin : spec.shield_margins) {
+          api::OptimizerConfig cfg = spec.base;
+          cfg.enable_shielding = policy.shielding;
+          cfg.allow_restructuring = policy.restructuring;
+          cfg.shield_margin = margin;
+          cfg.temperature_c = temperature;
+          if (vt_policy == "multi-vt") cfg.enable_multi_vt = true;
+          api::Optimizer optimizer(ctx, cfg);
+          if (!spec.pipeline.empty()) {
+            std::vector<std::string> passes = spec.pipeline;
+            if (vt_policy == "multi-vt" &&
+                std::find(passes.begin(), passes.end(), "multi-vt") ==
+                    passes.end())
+              passes.push_back("multi-vt");
+            optimizer.set_pipeline(
+                api::PassRegistry::global().make_pipeline(passes));
+          }
+          config_hash_[{policy.name, vt_policy, temperature, margin}] =
+              service::ResultCache::hash_config(ctx, cfg,
+                                                optimizer.pipeline());
+        }
 }
 
 std::uint64_t ShardKeyer::key_hash(const PointSpec& pt) const {
   const auto ch = circuit_hash_.find(pt.circuit);
-  const auto cf = config_hash_.find({pt.policy.name, pt.shield_margin});
+  const auto cf = config_hash_.find(
+      {pt.policy.name, pt.vt_policy, pt.temperature_c, pt.shield_margin});
   if (ch == circuit_hash_.end() || cf == config_hash_.end())
     throw std::logic_error("ShardKeyer: point '" + pt.circuit +
                            "' is not from the keyed spec");

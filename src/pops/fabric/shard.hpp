@@ -11,9 +11,9 @@
 //
 //   - expand_points: a SweepSpec's grid as an indexed point list in the
 //     exact deterministic job order SweepService::run emits records
-//     (policy > margin > ratio > circuit, circuit fastest), so a merge
-//     that emits results by ascending index reproduces the single-daemon
-//     stream byte for byte.
+//     (policy > vt-policy > temperature > margin > ratio > circuit,
+//     circuit fastest), so a merge that emits results by ascending index
+//     reproduces the single-daemon stream byte for byte.
 //   - ShardKeyer: the content-pure hash a point routes by, built from the
 //     same ingredients as the ResultCacheKey the worker will compute
 //     (ResultCache::hash_netlist + hash_config); see key_hash for the one
@@ -26,10 +26,12 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "pops/api/api.hpp"
+#include "pops/power/report.hpp"
 #include "pops/service/sweep.hpp"
 
 namespace pops::fabric {
@@ -41,12 +43,14 @@ struct PointSpec {
   std::string circuit;
   double tc_ratio = 0.0;
   double shield_margin = 1.0;
+  double temperature_c = power::kDefaultTemperatureC;
+  std::string vt_policy = "none";
   service::BufferPolicy policy;
 };
 
 /// Expand `spec` (validated first) into its point grid, in the job order
-/// SweepService::run streams records: policies outermost, then margins,
-/// then ratios, circuits innermost.
+/// SweepService::run streams records: policies outermost, then vt
+/// policies, temperatures, margins, then ratios, circuits innermost.
 std::vector<PointSpec> expand_points(const service::SweepSpec& spec);
 
 /// A single-point sub-spec: `base` with every grid axis narrowed to
@@ -59,9 +63,9 @@ service::SweepSpec single_point_spec(const service::SweepSpec& base,
 
 /// Computes the content-pure routing hash of each point of one spec.
 /// Construction resolves every circuit through `load` once (hashing the
-/// netlist content) and builds one Optimizer per (policy, margin) —
-/// exactly as SweepService::run will — to hash the effective config +
-/// pass pipeline.
+/// netlist content) and builds one Optimizer per (policy, vt-policy,
+/// temperature, margin) — exactly as SweepService::run will — to hash
+/// the effective config + pass pipeline.
 class ShardKeyer {
  public:
   using CircuitLoader = service::SweepService::CircuitLoader;
@@ -79,8 +83,12 @@ class ShardKeyer {
   std::uint64_t key_hash(const PointSpec& pt) const;
 
  private:
+  /// (policy name, vt policy, temperature, margin) — every config axis of
+  /// the grid; ratio is per-point and enters key_hash directly.
+  using ConfigKey = std::tuple<std::string, std::string, double, double>;
+
   std::map<std::string, std::uint64_t> circuit_hash_;
-  std::map<std::pair<std::string, double>, std::uint64_t> config_hash_;
+  std::map<ConfigKey, std::uint64_t> config_hash_;
 };
 
 /// Consistent-hash ring over worker labels. Each member is projected to

@@ -44,13 +44,28 @@ Netlist read_bench(std::istream& in, const liberty::Library& lib,
 
   std::vector<std::string> output_names;
   std::vector<PendingGate> pending;
+  // "# pops-vt: <node>=<class>" pragmas (our multi-Vt extension of the
+  // format — plain comments to every other .bench consumer). Captured
+  // before comment stripping, applied after all gates exist.
+  std::vector<std::pair<std::string, std::string>> vt_pragmas;
   std::string line;
   int line_no = 0;
 
   while (std::getline(in, line)) {
     ++line_no;
     const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (hash != std::string::npos) {
+      const std::string comment = trim(line.substr(hash + 1));
+      if (comment.rfind("pops-vt:", 0) == 0) {
+        const std::string body = trim(comment.substr(8));
+        const std::size_t eq = body.find('=');
+        if (eq == std::string::npos)
+          fail(line_no, "pops-vt pragma needs <node>=<class>: " + body);
+        vt_pragmas.emplace_back(trim(body.substr(0, eq)),
+                                trim(body.substr(eq + 1)));
+      }
+      line = line.substr(0, hash);
+    }
     line = trim(line);
     if (line.empty()) continue;
 
@@ -199,6 +214,17 @@ Netlist read_bench(std::istream& in, const liberty::Library& lib,
       throw std::runtime_error("bench: OUTPUT(" + name + ") never defined");
     nl.mark_output(id, options.po_load_ff);
   }
+  for (const auto& [node_name, cls_name] : vt_pragmas) {
+    const NodeId id = nl.find(node_name);
+    if (id == kNoNode)
+      throw std::runtime_error("bench: pops-vt pragma names unknown node " +
+                               node_name);
+    const int cls = lib.tech().find_vt_class(cls_name);
+    if (cls < 0)
+      throw std::runtime_error("bench: pops-vt pragma names unknown vt class " +
+                               cls_name);
+    nl.set_vt_class(id, cls);
+  }
   return nl;
 }
 
@@ -258,6 +284,15 @@ void write_bench(std::ostream& out, const Netlist& nl) {
       out << nl.node(n.fanins[i]).name;
     }
     out << ")\n";
+  }
+  // Non-default Vt assignments, as pragmas other .bench consumers read as
+  // comments. Topo order keeps the writer deterministic.
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if (n.is_input || n.vt == 0) continue;
+    out << "# pops-vt: " << n.name << "="
+        << nl.lib().tech().vt_class(static_cast<std::size_t>(n.vt)).name
+        << "\n";
   }
 }
 

@@ -133,11 +133,14 @@ ActivityReport estimate_activity(const Netlist& nl, util::Rng& rng,
   const std::size_t n_pi = nl.inputs().size();
 
   std::vector<int> toggles(nl.size(), 0);
+  std::vector<int> ones(nl.size(), 0);
   std::vector<bool> prev;
   for (int v = 0; v < n_vectors; ++v) {
     std::vector<bool> pi(n_pi);
     for (std::size_t i = 0; i < n_pi; ++i) pi[i] = rng.bernoulli(0.5);
     std::vector<bool> cur = sim.eval_all(pi);
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      if (cur[i]) ++ones[i];
     if (v > 0)
       for (std::size_t i = 0; i < cur.size(); ++i)
         if (cur[i] != prev[i]) ++toggles[i];
@@ -146,9 +149,12 @@ ActivityReport estimate_activity(const Netlist& nl, util::Rng& rng,
 
   ActivityReport report;
   report.toggle_rate.resize(nl.size());
+  report.p_one.resize(nl.size());
   const double pairs = static_cast<double>(n_vectors - 1);
   for (std::size_t i = 0; i < nl.size(); ++i) {
     report.toggle_rate[i] = static_cast<double>(toggles[i]) / pairs;
+    report.p_one[i] =
+        static_cast<double>(ones[i]) / static_cast<double>(n_vectors);
     report.switched_cap_ff_per_vec +=
         report.toggle_rate[i] * nl.load_ff(static_cast<NodeId>(i));
   }

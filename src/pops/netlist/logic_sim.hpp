@@ -46,6 +46,11 @@ bool equivalent(const Netlist& a, const Netlist& b, util::Rng& rng,
 /// switched capacitance; feeds the dynamic power estimate.
 struct ActivityReport {
   std::vector<double> toggle_rate;      ///< toggles per input vector, per node
+  /// Fraction of vectors on which the node evaluates to 1 (static "ones
+  /// probability"); weights the state-dependent leakage model — a CMOS
+  /// gate's N network leaks while the output is high, the P network while
+  /// it is low.
+  std::vector<double> p_one;
   double switched_cap_ff_per_vec = 0.0; ///< sum(load_ff * toggle_rate)
 };
 

@@ -126,6 +126,24 @@ void Netlist::set_all_min_drive() {
     if (!n.is_input) n.wn_um = lib_->wmin_um();
 }
 
+int Netlist::vt_class(NodeId id) const {
+  const Node& n = node(id);
+  if (n.is_input) throw std::invalid_argument("vt_class: " + n.name + " is a PI");
+  return n.vt;
+}
+
+void Netlist::set_vt_class(NodeId id, int cls) {
+  Node& n = nodes_.at(static_cast<std::size_t>(id));
+  if (n.is_input)
+    throw std::invalid_argument("set_vt_class: " + n.name + " is a PI");
+  if (cls < 0 ||
+      static_cast<std::size_t>(cls) >= lib_->tech().n_vt_classes())
+    throw std::invalid_argument("set_vt_class: " + n.name +
+                                ": technology has no vt class " +
+                                std::to_string(cls));
+  n.vt = cls;
+}
+
 void Netlist::set_wire_cap(NodeId id, double cap_ff) {
   nodes_.at(static_cast<std::size_t>(id)).wire_cap_ff = cap_ff;
 }
@@ -261,6 +279,11 @@ void Netlist::validate() const {
         throw std::logic_error("validate: " + n.name + " bad fanin id");
     if (n.wn_um < lib_->wmin_um() - 1e-12 || n.wn_um > lib_->wmax_um() + 1e-12)
       throw std::logic_error("validate: " + n.name + " drive out of range");
+    if (n.vt < 0 ||
+        static_cast<std::size_t>(n.vt) >= lib_->tech().n_vt_classes())
+      throw std::logic_error("validate: " + n.name + " vt class " +
+                             std::to_string(n.vt) +
+                             " not offered by the technology");
   }
   // Acyclicity: topo must cover all nodes (rebuild_caches throws on cycle).
   if (topo_order().size() != nodes_.size())

@@ -35,6 +35,10 @@ struct Node {
   double wire_cap_ff = 0.0;         ///< fixed interconnect cap on output net
   bool is_output = false;           ///< drives a primary output
   double po_load_ff = 0.0;          ///< external load when is_output
+  /// Threshold-voltage implant class (index into Technology::vt_classes);
+  /// 0 = the standard-Vt base device. Meaningful iff gate. Assigned by
+  /// the multi-Vt pass; timing derates and leakage models read it.
+  int vt = 0;
 };
 
 /// Aggregate statistics (used by reports and the benchmark tables).
@@ -115,6 +119,17 @@ class Netlist {
 
   /// Set all gate drives to the library minimum (the paper's Tmax sizing).
   void set_all_min_drive();
+
+  // ----- threshold-voltage class ---------------------------------------------
+
+  /// Vt class of gate `id` (0 = standard Vt). Throws for inputs.
+  int vt_class(NodeId id) const;
+
+  /// Assign gate `id` to Vt class `cls` (index into the technology's
+  /// vt_classes). Throws for inputs and for classes the technology does
+  /// not offer. Logic function, drive, and capacitances are unchanged —
+  /// only timing derates and leakage read the class.
+  void set_vt_class(NodeId id, int cls);
 
   /// Add fixed wire capacitance (fF) on the output net of `id`.
   void set_wire_cap(NodeId id, double cap_ff);

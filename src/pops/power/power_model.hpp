@@ -1,0 +1,139 @@
+#pragma once
+// Polymorphic power-model backends, mirroring timing::DelayModel.
+//
+// A PowerModel evaluates a netlist's power from simulated switching
+// activities at a report frequency and a junction temperature. Two
+// backends implement the contract:
+//
+//   * ProxyModel — the paper's ΣW proxy plus the first-order flat
+//     estimate the repo always reported:
+//       P_dyn  = alpha_total * Cload * VDD^2 * f / 2  (+10% short-circuit)
+//       P_leak = I_off_per_um * ΣW * VDD
+//     Bit-identical to the historical core::estimate_power at the
+//     reference temperature; away from it the flat leakage scales with
+//     the technology's doubling rule.
+//
+//   * StateDependentModel — McPAT-style state-dependent leakage:
+//     sub-threshold current per Vt class (Technology::vt_classes),
+//     weighted by each gate's simulated output-state probability (the N
+//     network leaks while the output is high, the P network while it is
+//     low), suppressed by series stacking, doubled every
+//     ioff_doubling_c degC; plus temperature-insensitive gate
+//     (tunnelling) leakage. Dynamic power is evaluated exactly like the
+//     proxy — the backends differ only where the physics differ.
+//
+// Like a delay model, a backend carries a (name, content_hash, selector)
+// identity that result caches fold into their keys so backends never
+// alias, and keeps a non-owning pointer to the library it is built over.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "pops/liberty/library.hpp"
+#include "pops/netlist/logic_sim.hpp"
+#include "pops/netlist/netlist.hpp"
+#include "pops/power/report.hpp"
+#include "pops/util/rng.hpp"
+
+namespace pops::power {
+
+/// Sub-threshold temperature scaling: leakage doubles every
+/// `tech.ioff_doubling_c` degC above the 25 degC reference (exactly 1.0
+/// at the reference, so reference-temperature reports are bit-identical
+/// to temperature-blind ones).
+double temperature_factor(const process::Technology& tech,
+                          double temperature_c);
+
+class PowerModel {
+ public:
+  /// Backends keep a non-owning pointer; the library must outlive them.
+  explicit PowerModel(const liberty::Library& lib) : lib_(&lib) {}
+  virtual ~PowerModel() = default;
+
+  const liberty::Library& lib() const noexcept { return *lib_; }
+
+  // ----- backend identity -----------------------------------------------------
+
+  /// Stable backend family name ("proxy", "state"); reported in sweep
+  /// records and folded into result-cache keys.
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Hash of everything beyond the shared library/technology that
+  /// determines this backend's numbers (the technology itself — including
+  /// the Vt class table — is hashed separately by cache keys).
+  virtual std::uint64_t content_hash() const noexcept = 0;
+
+  /// Identity of the selection that produced this backend, comparable
+  /// against OptimizerConfig::power_model_selector().
+  virtual std::string selector() const { return std::string(name()); }
+
+  // ----- evaluation -----------------------------------------------------------
+
+  /// Evaluate `nl` under the given activities at `frequency_mhz` and
+  /// `temperature_c`. Validates the inputs (positive frequency, activity
+  /// sized to the netlist, netlist over this backend's library) and bumps
+  /// the `power.evals` counter; the physics live in the backend override.
+  PowerReport evaluate(const netlist::Netlist& nl,
+                       const netlist::ActivityReport& activity,
+                       double frequency_mhz = kDefaultFrequencyMhz,
+                       double temperature_c = kDefaultTemperatureC) const;
+
+  /// Convenience: simulate activities (deterministic in `rng`), then
+  /// evaluate.
+  PowerReport estimate(const netlist::Netlist& nl, util::Rng& rng,
+                       double frequency_mhz = kDefaultFrequencyMhz,
+                       int vectors = 512,
+                       double temperature_c = kDefaultTemperatureC) const;
+
+ private:
+  virtual PowerReport do_evaluate(const netlist::Netlist& nl,
+                                  const netlist::ActivityReport& activity,
+                                  double frequency_mhz,
+                                  double temperature_c) const = 0;
+
+  const liberty::Library* lib_;
+};
+
+/// The paper's ΣW proxy + flat leakage (see file comment). Stateless.
+class ProxyModel final : public PowerModel {
+ public:
+  explicit ProxyModel(const liberty::Library& lib) : PowerModel(lib) {}
+
+  std::string_view name() const noexcept override { return "proxy"; }
+  std::uint64_t content_hash() const noexcept override {
+    return 0x70726f78792d7077ull;  // "proxy-pw"
+  }
+
+ private:
+  PowerReport do_evaluate(const netlist::Netlist& nl,
+                          const netlist::ActivityReport& activity,
+                          double frequency_mhz,
+                          double temperature_c) const override;
+};
+
+/// State-dependent sub-threshold + gate leakage (see file comment).
+class StateDependentModel final : public PowerModel {
+ public:
+  explicit StateDependentModel(const liberty::Library& lib)
+      : PowerModel(lib) {}
+
+  std::string_view name() const noexcept override { return "state"; }
+  std::uint64_t content_hash() const noexcept override {
+    return 0x73746174652d7077ull;  // "state-pw"
+  }
+
+ private:
+  PowerReport do_evaluate(const netlist::Netlist& nl,
+                          const netlist::ActivityReport& activity,
+                          double frequency_mhz,
+                          double temperature_c) const override;
+};
+
+/// Build the backend named `name` ("proxy" or "state") over `lib`.
+/// Throws std::invalid_argument listing the known names when unknown.
+std::unique_ptr<PowerModel> make_power_model(const std::string& name,
+                                             const liberty::Library& lib);
+
+}  // namespace pops::power

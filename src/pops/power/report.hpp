@@ -1,0 +1,54 @@
+#pragma once
+// The power report record and the calibration constants of the power
+// subsystem.
+//
+// This header is the single home of the repo's raw leakage/temperature
+// magnitudes (tools/pops_lint fences such constants into src/pops/power/
+// and src/pops/process/): every other layer consumes them through the
+// named constants or through a power::PowerModel backend.
+
+#include <string>
+
+namespace pops::power {
+
+/// Reference temperature every leakage calibration is stated at (degC).
+inline constexpr double kDefaultTemperatureC = 25.0;
+
+/// Default report frequency for power estimates (MHz).
+inline constexpr double kDefaultFrequencyMhz = 100.0;
+
+/// Per-µm off current of the flat legacy leakage estimate (nA/µm) — the
+/// generic 0.25µm magnitude the proxy backend reproduces bit-identically.
+/// State-dependent leakage uses the per-Vt-class currents of
+/// process::Technology::vt_classes instead.
+inline constexpr double kProxyIoffNaPerUm = 0.03;
+
+/// Short-circuit allowance on top of the switched-capacitance power.
+inline constexpr double kShortCircuitFraction = 0.10;
+
+/// Sub-threshold leakage suppression per extra series (stacked) off
+/// device in the leaking network — the "stacking effect": each extra
+/// series transistor raises the intermediate node and cuts the stack's
+/// off current by roughly an order of magnitude.
+inline constexpr double kSeriesStackFactor = 0.1;
+
+/// Outcome of one power evaluation. `area_um`/`switched_cap_ff`/
+/// `dynamic_uw`/`leakage_uw`/`total_uw` are the historical fields every
+/// consumer reads; the split of `leakage_uw` into sub-threshold and gate
+/// components, the producing backend, and the evaluation temperature were
+/// added with the polymorphic backends (the proxy backend reports its
+/// whole leakage as sub-threshold and zero gate leakage).
+struct PowerReport {
+  double area_um = 0.0;          ///< ΣW, the paper's metric
+  double switched_cap_ff = 0.0;  ///< sum over nets of alpha * C
+  double dynamic_uw = 0.0;       ///< at the report frequency
+  double leakage_uw = 0.0;       ///< subthreshold_uw + gate_leak_uw
+  double total_uw = 0.0;
+  double frequency_mhz = 0.0;
+  double subthreshold_uw = 0.0;
+  double gate_leak_uw = 0.0;
+  double temperature_c = kDefaultTemperatureC;
+  std::string model;             ///< producing backend ("proxy", "state")
+};
+
+}  // namespace pops::power

@@ -34,6 +34,63 @@ void Technology::validate() const {
   if (r_ratio < 1.0)
     throw std::invalid_argument("Technology " + name +
                                 ": r_ratio is defined as N-over-P and must be >= 1");
+
+  // Multi-Vt implant options: every class must be a usable device under
+  // the same fast-input-range constraint as the base thresholds, and
+  // class 0 must BE the base device so default-class netlists stay
+  // bit-identical to a single-Vt description.
+  positive(ioff_doubling_c, "ioff_doubling_c");
+  if (igate_na_per_um < 0.0)
+    throw std::invalid_argument("Technology " + name +
+                                ": igate_na_per_um must be >= 0");
+  for (std::size_t i = 0; i < vt_classes.size(); ++i) {
+    const VtClass& c = vt_classes[i];
+    if (c.name.empty())
+      throw std::invalid_argument("Technology " + name +
+                                  ": vt class without a name");
+    for (std::size_t j = 0; j < i; ++j)
+      if (vt_classes[j].name == c.name)
+        throw std::invalid_argument("Technology " + name +
+                                    ": duplicate vt class '" + c.name + "'");
+    if (!(c.vtn > 0.0) || !(c.vtp > 0.0) || !(c.ioff_na_per_um > 0.0))
+      throw std::invalid_argument("Technology " + name + ": vt class '" +
+                                  c.name +
+                                  "' needs positive thresholds and ioff");
+    if (c.vtn >= vdd / 2.0 || c.vtp >= vdd / 2.0)
+      throw std::invalid_argument("Technology " + name + ": vt class '" +
+                                  c.name +
+                                  "' thresholds must be below VDD/2 for the "
+                                  "fast-input-range delay model to hold");
+  }
+  if (!vt_classes.empty() &&
+      (vt_classes[0].vtn != vtn || vt_classes[0].vtp != vtp))
+    throw std::invalid_argument(
+        "Technology " + name +
+        ": vt class 0 must match the base vtn/vtp exactly (it is the "
+        "default device every node starts on)");
+}
+
+VtClass Technology::vt_class(std::size_t idx) const {
+  if (vt_classes.empty()) {
+    if (idx != 0)
+      throw std::out_of_range("Technology " + name + ": no vt class " +
+                              std::to_string(idx));
+    // Legacy single-Vt description: synthesize the base device with the
+    // generic 0.25µm off-current magnitude (kIoffNaPerUm's historical
+    // value, kept here so power::ProxyModel stays bit-identical).
+    return VtClass{"svt", vtn, vtp, 0.03};
+  }
+  if (idx >= vt_classes.size())
+    throw std::out_of_range("Technology " + name + ": no vt class " +
+                            std::to_string(idx));
+  return vt_classes[idx];
+}
+
+int Technology::find_vt_class(const std::string& cls) const noexcept {
+  if (vt_classes.empty()) return cls == "svt" ? 0 : -1;
+  for (std::size_t i = 0; i < vt_classes.size(); ++i)
+    if (vt_classes[i].name == cls) return static_cast<int>(i);
+  return -1;
 }
 
 Technology Technology::cmos025() {
@@ -56,6 +113,14 @@ Technology Technology::cmos025() {
   t.alpha_p = 1.45;
   t.idsat_n_ma_um = 0.55;
   t.idsat_p_ma_um = 0.23;
+  // Implant menu: class 0 is the base device (0.03 nA/µm is the generic
+  // 0.25µm off current the flat leakage estimate always used); the hvt
+  // option trades ~10x lower leakage for a higher threshold, lvt the dual.
+  t.vt_classes = {{"svt", t.vtn, t.vtp, 0.03},
+                  {"hvt", 0.65, 0.70, 0.003},
+                  {"lvt", 0.38, 0.42, 0.30}};
+  t.ioff_doubling_c = 10.0;
+  t.igate_na_per_um = 0.0005;
   t.validate();
   return t;
 }
@@ -77,6 +142,11 @@ Technology Technology::cmos018() {
   t.alpha_p = 1.40;
   t.idsat_n_ma_um = 0.60;
   t.idsat_p_ma_um = 0.26;
+  t.vt_classes = {{"svt", t.vtn, t.vtp, 0.08},
+                  {"hvt", 0.55, 0.58, 0.008},
+                  {"lvt", 0.32, 0.34, 0.80}};
+  t.ioff_doubling_c = 10.0;
+  t.igate_na_per_um = 0.005;
   t.validate();
   return t;
 }
@@ -98,6 +168,11 @@ Technology Technology::cmos013() {
   t.alpha_p = 1.35;
   t.idsat_n_ma_um = 0.62;
   t.idsat_p_ma_um = 0.28;
+  t.vt_classes = {{"svt", t.vtn, t.vtp, 0.25},
+                  {"hvt", 0.44, 0.46, 0.025},
+                  {"lvt", 0.25, 0.27, 2.50}};
+  t.ioff_doubling_c = 10.0;
+  t.igate_na_per_um = 0.05;
   t.validate();
   return t;
 }

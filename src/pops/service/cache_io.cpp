@@ -24,7 +24,9 @@ namespace {
 constexpr const char* kFormat = "pops-result-cache";
 // v2: CircuitResult entries carry the `rounds` counter (the protocol's
 // no-op-round fix made round counts meaningful and reportable).
-constexpr int kVersion = 2;
+// v3: reports carry the power section + Vt mix, pass reports the multi-vt
+// counters, and netlist nodes an optional per-node "vt" class.
+constexpr int kVersion = 3;
 
 // ----- strict readers ---------------------------------------------------------
 // Archives are machine-written; any deviation is corruption, so readers
@@ -282,6 +284,8 @@ Json archive_pass_report(const api::PassReport& r) {
   j["sinks_rewired"] = r.sinks_rewired;
   j["gates_removed"] = r.gates_removed;
   j["paths_optimized"] = r.paths_optimized;
+  j["cells_high_vt"] = r.cells_high_vt;
+  j["leakage_saved_uw"] = archive_f64(r.leakage_saved_uw);
   if (r.circuit) j["protocol"] = archive_circuit_result(*r.circuit);
   return j;
 }
@@ -300,9 +304,41 @@ api::PassReport restore_pass_report(const Json& j,
   r.sinks_rewired = count(j, "sinks_rewired");
   r.gates_removed = count(j, "gates_removed");
   r.paths_optimized = count(j, "paths_optimized");
+  r.cells_high_vt = count(j, "cells_high_vt");
+  r.leakage_saved_uw = restore_f64(j, "leakage_saved_uw");
   if (const Json* protocol = j.find("protocol"))
     r.circuit = restore_circuit_result(*protocol, lib);
   return r;
+}
+
+Json archive_power_report(const power::PowerReport& p) {
+  Json j = Json::object();
+  j["model"] = p.model;
+  j["temperature_c"] = archive_f64(p.temperature_c);
+  j["frequency_mhz"] = archive_f64(p.frequency_mhz);
+  j["area_um"] = archive_f64(p.area_um);
+  j["switched_cap_ff"] = archive_f64(p.switched_cap_ff);
+  j["dynamic_uw"] = archive_f64(p.dynamic_uw);
+  j["subthreshold_uw"] = archive_f64(p.subthreshold_uw);
+  j["gate_leak_uw"] = archive_f64(p.gate_leak_uw);
+  j["leakage_uw"] = archive_f64(p.leakage_uw);
+  j["total_uw"] = archive_f64(p.total_uw);
+  return j;
+}
+
+power::PowerReport restore_power_report(const Json& j) {
+  power::PowerReport p;
+  p.model = str(j, "model");
+  p.temperature_c = restore_f64(j, "temperature_c");
+  p.frequency_mhz = restore_f64(j, "frequency_mhz");
+  p.area_um = restore_f64(j, "area_um");
+  p.switched_cap_ff = restore_f64(j, "switched_cap_ff");
+  p.dynamic_uw = restore_f64(j, "dynamic_uw");
+  p.subthreshold_uw = restore_f64(j, "subthreshold_uw");
+  p.gate_leak_uw = restore_f64(j, "gate_leak_uw");
+  p.leakage_uw = restore_f64(j, "leakage_uw");
+  p.total_uw = restore_f64(j, "total_uw");
+  return p;
 }
 
 }  // namespace
@@ -317,6 +353,11 @@ Json archive_report(const api::PipelineReport& report) {
   j["met"] = report.met;
   j["from_cache"] = report.from_cache;
   j["delay_model"] = report.delay_model;
+  j["power"] = archive_power_report(report.power);
+  Json vt_mix = Json::array();
+  for (const std::size_t n : report.vt_mix)
+    vt_mix.push_back(static_cast<double>(n));
+  j["vt_mix"] = std::move(vt_mix);
   Json passes = Json::array();
   for (const api::PassReport& p : report.passes)
     passes.push_back(archive_pass_report(p));
@@ -335,6 +376,12 @@ api::PipelineReport restore_report(const Json& j,
   r.met = boolean(j, "met");
   r.from_cache = boolean(j, "from_cache");
   r.delay_model = str(j, "delay_model");
+  r.power = restore_power_report(member(j, "power"));
+  for (const Json& v : array(j, "vt_mix")) {
+    if (!v.is_number())
+      throw std::invalid_argument("'vt_mix' must contain only numbers");
+    r.vt_mix.push_back(static_cast<std::size_t>(v.as_number()));
+  }
   for (const Json& p : array(j, "passes"))
     r.passes.push_back(restore_pass_report(p, lib));
   return r;
@@ -359,6 +406,9 @@ Json archive_netlist(const netlist::Netlist& nl) {
         fanins.push_back(static_cast<long long>(f));
       node["fanins"] = std::move(fanins);
       node["wn_um"] = n.wn_um;
+      // Default-class gates stay implicit so single-Vt archives keep
+      // their historical bytes.
+      if (n.vt != 0) node["vt"] = static_cast<long long>(n.vt);
     }
     node["wire_cap_ff"] = n.wire_cap_ff;
     if (n.is_output) node["po_load_ff"] = n.po_load_ff;
@@ -388,6 +438,13 @@ netlist::Netlist restore_netlist(const Json& j, const liberty::Library& lib) {
           throw std::invalid_argument("'fanins' id out of range");
       }
       n.wn_um = num(v, "wn_um");
+      if (const Json* vt = v.find("vt")) {
+        if (!vt->is_number())
+          throw std::invalid_argument("'vt' must be a number");
+        n.vt = static_cast<int>(vt->as_number());
+        if (static_cast<double>(n.vt) != vt->as_number() || n.vt < 0)
+          throw std::invalid_argument("'vt' must be a non-negative integer");
+      }
     }
     n.wire_cap_ff = num(v, "wire_cap_ff");
     if (const Json* po = v.find("po_load_ff")) {

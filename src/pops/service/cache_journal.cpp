@@ -18,7 +18,10 @@ using util::Json;
 namespace {
 
 constexpr const char* kJournalFormat = "pops-cache-journal";
-constexpr int kJournalVersion = 1;
+// v2: records embed the v3 archive schema (power section + Vt mix in
+// reports, per-node "vt" on netlists) — older journals lack fields fresh
+// replays carry.
+constexpr int kJournalVersion = 2;
 
 // Strict readers (journal-local twins of cache_io's file-local set):
 // records are machine-written, any deviation is corruption, and the

@@ -33,6 +33,7 @@ std::uint64_t ResultCache::hash_netlist(const netlist::Netlist& nl) {
     h.f64(n.wire_cap_ff);
     h.b(n.is_output);
     h.f64(n.po_load_ff);
+    h.i(n.vt);
   }
   return h.h;
 }
@@ -61,6 +62,17 @@ std::uint64_t ResultCache::hash_context(const api::OptContext& ctx) {
   h.f64(tech.alpha_p);
   h.f64(tech.idsat_n_ma_um);
   h.f64(tech.idsat_p_ma_um);
+  // Leakage characterization: the Vt-class table and the temperature/gate
+  // leakage calibration feed both power reports and Vt-derated timing.
+  h.f64(tech.ioff_doubling_c);
+  h.f64(tech.igate_na_per_um);
+  h.u64(tech.vt_classes.size());
+  for (const process::VtClass& cls : tech.vt_classes) {
+    h.str(cls.name);
+    h.f64(cls.vtn);
+    h.f64(cls.vtp);
+    h.f64(cls.ioff_na_per_um);
+  }
   const core::FlimitOptions& fo = ctx.flimits().options();
   h.f64(fo.driver_drive_x);
   h.f64(fo.gate_drive_x);
@@ -93,6 +105,7 @@ std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
   // realized pass list captures that already.
   bool has_shield = false;
   bool has_protocol = false;
+  bool has_multi_vt = false;
   bool has_custom = false;
   for (std::size_t i = 0; i < pipeline.size(); ++i) {
     const api::Pass& pass = pipeline.pass(i);
@@ -101,9 +114,17 @@ std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
     h.str(pass.cache_salt());
     if (name == "shield") has_shield = true;
     else if (name == "protocol") has_protocol = true;
+    else if (name == "multi-vt") has_multi_vt = true;
     else if (name != "cancel-inverters" && name != "sweep-dead")
       has_custom = true;
   }
+
+  // Power-model backend identity + evaluation temperature: every pipeline
+  // report carries a power section evaluated under these, so they key
+  // every entry (unlike the Vt library below, which only the multi-vt
+  // pass reads).
+  h.str(cfg.power_model);
+  h.f64(cfg.temperature_c);
 
   // Normalized constraint tuple: only knobs a pass of this pipeline can
   // read contribute, so e.g. a shield-margin sweep under a no-shield
@@ -134,6 +155,10 @@ std::uint64_t ResultCache::hash_config(const api::OptContext& ctx,
     h.f64(cfg.sensitivity.tol);
     h.i(cfg.sensitivity.max_bisect);
     h.f64(cfg.sensitivity.tc_rel_tol);
+  }
+  if (has_multi_vt || has_custom) {
+    h.u64(cfg.vt_library.size());
+    for (const std::string& cls : cfg.vt_library) h.str(cls);
   }
   return h.h;
 }

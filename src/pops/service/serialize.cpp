@@ -21,6 +21,21 @@ Json to_json_axis(const std::vector<double>& axis) {
   return arr;
 }
 
+Json to_json_power(const power::PowerReport& p) {
+  Json j = Json::object();
+  j["model"] = p.model;
+  j["temperature_c"] = p.temperature_c;
+  j["frequency_mhz"] = p.frequency_mhz;
+  j["area_um"] = p.area_um;
+  j["switched_cap_ff"] = p.switched_cap_ff;
+  j["dynamic_uw"] = p.dynamic_uw;
+  j["subthreshold_uw"] = p.subthreshold_uw;
+  j["gate_leak_uw"] = p.gate_leak_uw;
+  j["leakage_uw"] = p.leakage_uw;
+  j["total_uw"] = p.total_uw;
+  return j;
+}
+
 }  // namespace
 
 Json to_json(const api::OptimizerConfig& cfg) {
@@ -40,7 +55,13 @@ Json to_json(const api::OptimizerConfig& cfg) {
   j["enable_shielding"] = cfg.enable_shielding;
   j["enable_cleanup"] = cfg.enable_cleanup;
   j["enable_protocol"] = cfg.enable_protocol;
+  j["enable_multi_vt"] = cfg.enable_multi_vt;
   j["delay_model"] = cfg.delay_model;
+  j["power_model"] = cfg.power_model;
+  j["temperature_c"] = cfg.temperature_c;
+  Json vt = Json::array();
+  for (const std::string& cls : cfg.vt_library) vt.push_back(cls);
+  j["vt_library"] = std::move(vt);
   // Always archived, not gated on delay_model == "table": a closed-form
   // base can still carry a custom grid that a --delay-model table run
   // uses, and the dumped spec must reproduce those results.
@@ -91,6 +112,8 @@ Json to_json(const api::PassReport& report) {
   j["sinks_rewired"] = report.sinks_rewired;
   j["gates_removed"] = report.gates_removed;
   j["paths_optimized"] = report.paths_optimized;
+  j["cells_high_vt"] = report.cells_high_vt;
+  j["leakage_saved_uw"] = report.leakage_saved_uw;
   if (report.circuit) j["protocol"] = to_json(*report.circuit);
   return j;
 }
@@ -108,6 +131,12 @@ Json to_json(const api::PipelineReport& report, const SerializeOptions& opt) {
   j["sinks_rewired"] = report.total_sinks_rewired();
   j["gates_removed"] = report.total_gates_removed();
   j["paths_optimized"] = report.total_paths_optimized();
+  j["cells_high_vt"] = report.total_cells_high_vt();
+  j["leakage_saved_uw"] = report.total_leakage_saved_uw();
+  j["power"] = to_json_power(report.power);
+  Json vt_mix = Json::array();
+  for (const std::size_t n : report.vt_mix) vt_mix.push_back(n);
+  j["vt_mix"] = std::move(vt_mix);
   Json passes = Json::array();
   for (const api::PassReport& p : report.passes) passes.push_back(to_json(p));
   j["passes"] = std::move(passes);
@@ -146,6 +175,12 @@ Json to_json(const SweepSpec& spec) {
   Json margins = Json::array();
   for (const double m : spec.shield_margins) margins.push_back(m);
   j["shield_margins"] = std::move(margins);
+  Json temps = Json::array();
+  for (const double t : spec.temperatures) temps.push_back(t);
+  j["temperatures"] = std::move(temps);
+  Json vt_policies = Json::array();
+  for (const std::string& p : spec.vt_policies) vt_policies.push_back(p);
+  j["vt_policies"] = std::move(vt_policies);
   Json policies = Json::array();
   for (const BufferPolicy& p : spec.policies) policies.push_back(to_json(p));
   j["policies"] = std::move(policies);
@@ -165,7 +200,9 @@ Json to_json(const SweepPoint& point, const SerializeOptions& opt) {
   j["circuit"] = point.circuit;
   j["tc_ratio"] = point.tc_ratio;
   j["shield_margin"] = point.shield_margin;
+  j["temperature_c"] = point.temperature_c;
   j["policy"] = point.policy;
+  j["vt_policy"] = point.vt_policy;
   j["report"] = to_json(point.report, opt);
   return j;
 }
@@ -310,8 +347,14 @@ void read_config(ReadErrors& err, const util::Json& j,
       read_bool(err, v, key, cfg.enable_cleanup);
     else if (key == "enable_protocol")
       read_bool(err, v, key, cfg.enable_protocol);
+    else if (key == "enable_multi_vt")
+      read_bool(err, v, key, cfg.enable_multi_vt);
     else if (key == "delay_model") read_string(err, v, key, cfg.delay_model);
     else if (key == "table_model") read_table_model(err, v, cfg.table_model);
+    else if (key == "power_model") read_string(err, v, key, cfg.power_model);
+    else if (key == "temperature_c")
+      read_number(err, v, key, cfg.temperature_c);
+    else if (key == "vt_library") read_strings(err, v, key, cfg.vt_library);
     else err.problems.push_back("unknown config key '" + key + "'");
   }
 }
@@ -339,6 +382,10 @@ SweepSpec sweep_spec_from_json(const util::Json& j) {
       read_numbers(err, v, key, spec.tc_ratios);
     } else if (key == "shield_margins") {
       read_numbers(err, v, key, spec.shield_margins);
+    } else if (key == "temperatures") {
+      read_numbers(err, v, key, spec.temperatures);
+    } else if (key == "vt_policies") {
+      read_strings(err, v, key, spec.vt_policies);
     } else if (key == "policies") {
       if (!err.check(v.is_array(), "'policies' must be an array")) continue;
       std::vector<BufferPolicy> policies;

@@ -1,5 +1,6 @@
 #include "pops/service/sweep.hpp"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -42,6 +43,20 @@ std::vector<std::string> SweepSpec::validate() const {
   require(!shield_margins.empty(), "shield_margins is empty");
   for (const double m : shield_margins)
     require(m > 0.0, "shield_margin " + std::to_string(m) + " must be > 0");
+
+  require(!temperatures.empty(), "temperatures is empty");
+  for (const double t : temperatures)
+    require(t > -273.15 && t < 300.0,
+            "temperature " + std::to_string(t) +
+                " must be a physical junction temperature (-273.15, 300)");
+
+  require(!vt_policies.empty(), "vt_policies is empty");
+  std::set<std::string> seen_vt;
+  for (const std::string& v : vt_policies) {
+    require(v == "none" || v == "multi-vt",
+            "unknown vt policy '" + v + "' (known: multi-vt none)");
+    require(seen_vt.insert(v).second, "duplicate vt policy '" + v + "'");
+  }
 
   require(!policies.empty(), "policies is empty");
   std::set<std::string> seen_policies;
@@ -123,35 +138,54 @@ SweepReport SweepService::run(const SweepSpec& spec, const CircuitLoader& load,
   SweepReport out;
   out.points.reserve(spec.n_jobs());
 
-  // One constraint group per (policy, margin, ratio): all circuits of the
-  // group fan out across Optimizer::run_many's dynamic work queue.
+  // One constraint group per (policy, vt-policy, temperature, margin,
+  // ratio): all circuits of the group fan out across Optimizer::run_many's
+  // dynamic work queue. The nesting here IS the record order contract
+  // (mirrored exactly by fabric::expand_points — a fleet must shard the
+  // same stream a local sweep emits).
   for (const BufferPolicy& policy : spec.policies) {
-    for (const double margin : spec.shield_margins) {
-      api::OptimizerConfig cfg = spec.base;
-      cfg.enable_shielding = policy.shielding;
-      cfg.allow_restructuring = policy.restructuring;
-      cfg.shield_margin = margin;
+    for (const std::string& vt_policy : spec.vt_policies) {
+      for (const double temperature : spec.temperatures) {
+        for (const double margin : spec.shield_margins) {
+          api::OptimizerConfig cfg = spec.base;
+          cfg.enable_shielding = policy.shielding;
+          cfg.allow_restructuring = policy.restructuring;
+          cfg.shield_margin = margin;
+          cfg.temperature_c = temperature;
+          if (vt_policy == "multi-vt") cfg.enable_multi_vt = true;
 
-      api::Optimizer optimizer(*ctx_, cfg);
-      if (!spec.pipeline.empty())
-        optimizer.set_pipeline(
-            api::PassRegistry::global().make_pipeline(spec.pipeline));
+          api::Optimizer optimizer(*ctx_, cfg);
+          if (!spec.pipeline.empty()) {
+            // An explicit pipeline replaces standard()'s flag-driven pass
+            // selection, so the vt axis appends its pass by name instead.
+            std::vector<std::string> passes = spec.pipeline;
+            if (vt_policy == "multi-vt" &&
+                std::find(passes.begin(), passes.end(), "multi-vt") ==
+                    passes.end())
+              passes.push_back("multi-vt");
+            optimizer.set_pipeline(
+                api::PassRegistry::global().make_pipeline(passes));
+          }
 
-      for (const double ratio : spec.tc_ratios) {
-        std::vector<netlist::Netlist> batch = prototypes;  // deep copies
-        std::vector<api::PipelineReport> reports =
-            optimizer.run_many_relative(batch, ratio, spec.n_threads);
+          for (const double ratio : spec.tc_ratios) {
+            std::vector<netlist::Netlist> batch = prototypes;  // deep copies
+            std::vector<api::PipelineReport> reports =
+                optimizer.run_many_relative(batch, ratio, spec.n_threads);
 
-        for (std::size_t i = 0; i < reports.size(); ++i) {
-          SweepPoint point;
-          point.circuit = spec.circuits[i];
-          point.tc_ratio = ratio;
-          point.shield_margin = margin;
-          point.policy = policy.name;
-          point.report = std::move(reports[i]);
-          points_total.add();
-          if (sink) sink(point);
-          out.points.push_back(std::move(point));
+            for (std::size_t i = 0; i < reports.size(); ++i) {
+              SweepPoint point;
+              point.circuit = spec.circuits[i];
+              point.tc_ratio = ratio;
+              point.shield_margin = margin;
+              point.temperature_c = temperature;
+              point.policy = policy.name;
+              point.vt_policy = vt_policy;
+              point.report = std::move(reports[i]);
+              points_total.add();
+              if (sink) sink(point);
+              out.points.push_back(std::move(point));
+            }
+          }
         }
       }
     }

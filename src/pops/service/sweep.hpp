@@ -22,6 +22,7 @@
 
 #include "pops/api/api.hpp"
 #include "pops/netlist/netlist.hpp"
+#include "pops/power/report.hpp"
 #include "pops/service/result_cache.hpp"
 
 namespace pops::service {
@@ -40,13 +41,18 @@ struct BufferPolicy {
 BufferPolicy buffer_policy(const std::string& name);
 
 /// Declarative description of a sweep grid. The expansion is the full
-/// cross product circuits x tc_ratios x shield_margins x policies, in that
-/// nesting order (circuit fastest), so job order — and therefore record
-/// order — is deterministic.
+/// cross product policies x vt_policies x temperatures x shield_margins x
+/// tc_ratios x circuits, in that nesting order (circuit fastest), so job
+/// order — and therefore record order — is deterministic.
 struct SweepSpec {
   std::vector<std::string> circuits;  ///< names resolved by the loader
   std::vector<double> tc_ratios;      ///< Tc as a fraction of initial delay
   std::vector<double> shield_margins{1.0};  ///< Flimit bound sweep (Table 2)
+  /// Junction temperatures (degC) the power section is evaluated at.
+  std::vector<double> temperatures{power::kDefaultTemperatureC};
+  /// Vt assignment regimes: "none" (single-Vt) or "multi-vt" (append the
+  /// slack-driven high-Vt pass to each job's pipeline).
+  std::vector<std::string> vt_policies{"none"};
   std::vector<BufferPolicy> policies{BufferPolicy{}};
 
   /// Base configuration; each job overrides enable_shielding /
@@ -65,7 +71,7 @@ struct SweepSpec {
   /// Jobs the spec expands to.
   std::size_t n_jobs() const noexcept {
     return circuits.size() * tc_ratios.size() * shield_margins.size() *
-           policies.size();
+           temperatures.size() * vt_policies.size() * policies.size();
   }
 
   /// Every violated invariant (empty axes, non-positive ratios/margins,
@@ -82,7 +88,9 @@ struct SweepPoint {
   std::string circuit;
   double tc_ratio = 0.0;
   double shield_margin = 1.0;
+  double temperature_c = power::kDefaultTemperatureC;
   std::string policy;
+  std::string vt_policy = "none";
   api::PipelineReport report;
 };
 

@@ -1,6 +1,7 @@
 #include "pops/timing/delay_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace pops::timing {
@@ -39,6 +40,22 @@ double DelayModel::slope_sensitivity(Edge next_out_edge) const {
   return (delay_ps(inv, next_out_edge, tin + h, c, c) -
           delay_ps(inv, next_out_edge, lo, c, c)) /
          (2.0 * h);
+}
+
+double DelayModel::vt_derate(int vt_class, Edge out_edge) const {
+  // Class 0 is the base device the backend was calibrated/characterized
+  // for: return exactly 1.0 so default-class timing stays bit-identical.
+  if (vt_class == 0) return 1.0;
+  const process::Technology& t = lib().tech();
+  const process::VtClass cls =
+      t.vt_class(static_cast<std::size_t>(vt_class));
+  // Alpha-power law: the switching transistor array's drive current goes
+  // as (VDD - Vt)^alpha, so delay and output transition scale by the
+  // inverse ratio against the base threshold of the same network.
+  const double vt_base = out_edge == Edge::Fall ? t.vtn : t.vtp;
+  const double vt_cls = out_edge == Edge::Fall ? cls.vtn : cls.vtp;
+  const double alpha = out_edge == Edge::Fall ? t.alpha_n : t.alpha_p;
+  return std::pow((t.vdd - vt_base) / (t.vdd - vt_cls), alpha);
 }
 
 double DelayModel::stage_coefficient(const liberty::Cell& cell, Edge out_edge,

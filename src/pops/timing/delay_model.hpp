@@ -119,6 +119,18 @@ class DelayModel {
   StageTiming stage(const liberty::Cell& cell, Edge out_edge, double tin_ps,
                     double cin_ff, double cload_ff) const;
 
+  /// Multiplicative timing derate of a gate on Vt class `vt_class`
+  /// (Technology::vt_classes index) for the given output edge: the
+  /// alpha-power-law drive-current ratio
+  ///   ((VDD - Vt_base) / (VDD - Vt_class))^alpha
+  /// with the NMOS (vtn, alpha_n) pair for a falling output and the PMOS
+  /// (vtp, alpha_p) pair for a rising one. Exactly 1.0 for the default
+  /// class 0, so single-Vt netlists are timed bit-identically. Sta applies
+  /// it uniformly on every backend's transition/delay numbers — a table
+  /// backend characterized at base Vt is derated the same way the closed
+  /// form is. Throws std::out_of_range for a class the technology lacks.
+  double vt_derate(int vt_class, Edge out_edge) const;
+
   /// Default input transition (ps) assumed at a path input: the output
   /// transition of a reference inverter driving an equal-size load (FO1),
   /// i.e. the latch/driver is neither very fast nor degraded. The base

@@ -37,9 +37,12 @@ void Sta::compute_node(NodeId id, StaResult& r) const {
   const double cload = nl.load_ff(id) + nl.cpar_ff(id);
 
   for (Edge out : {Edge::Rise, Edge::Fall}) {
+    // High-Vt cells switch slower; the derate (exactly 1.0 on the default
+    // class) scales both the stage's slew and its delays uniformly.
+    const double derate = dm_->vt_derate(node.vt, out);
     // Slew is a property of the stage alone (eq. 2).
     r.slew_ps[static_cast<std::size_t>(id)][StaResult::idx(out)] =
-        dm_->transition_ps(cell, out, cin, cload);
+        dm_->transition_ps(cell, out, cin, cload) * derate;
 
     double best = kNegInf;
     PathPoint best_prev;
@@ -48,7 +51,7 @@ void Sta::compute_node(NodeId id, StaResult& r) const {
         const double at_f = r.arrival(f, ein);
         if (at_f == kNegInf) continue;
         const double d =
-            dm_->delay_ps(cell, out, r.slew(f, ein), cin, cload);
+            dm_->delay_ps(cell, out, r.slew(f, ein), cin, cload) * derate;
         if (at_f + d > best) {
           best = at_f + d;
           best_prev = {f, ein};
@@ -171,7 +174,9 @@ double Sta::compute_down(NodeId id, Edge e, const StaResult& result,
       const auto causes = cause_edges(cell, eout);
       if (std::find(causes.begin(), causes.end(), e) == causes.end())
         continue;
-      const double w = dm_->delay_ps(cell, eout, result.slew(id, e), cin, cload);
+      const double w = dm_->delay_ps(cell, eout, result.slew(id, e), cin,
+                                     cload) *
+                       dm_->vt_derate(nl.node(g).vt, eout);
       const double cand = w + down[vid(g, eout)];
       best = std::max(best, cand);
     }
@@ -313,7 +318,8 @@ std::vector<TimedPath> Sta::k_critical_paths(
         const std::size_t v2 = vid(g, eout);
         if (down[v2] == kNegInf) continue;
         const double w =
-            dm_->delay_ps(cell, eout, result.slew(node, e), cin, cload);
+            dm_->delay_ps(cell, eout, result.slew(node, e), cin, cload) *
+            dm_->vt_derate(nl.node(g).vt, eout);
         arena.push_back({v2, item.chain});
         heap.push({item.prefix + w + down[v2], item.prefix + w, v2,
                    static_cast<int>(arena.size()) - 1});
@@ -343,7 +349,8 @@ void Sta::compute_required(NodeId id, const StaResult& result, double tc_ps,
     for (Edge eout : {Edge::Rise, Edge::Fall}) {
       for (Edge ein : cause_edges(cell, eout)) {
         const double w =
-            dm_->delay_ps(cell, eout, result.slew(id, ein), cin, cload);
+            dm_->delay_ps(cell, eout, result.slew(id, ein), cin, cload) *
+            dm_->vt_derate(nl.node(g).vt, eout);
         double& cell_req = req[StaResult::idx(ein)];
         cell_req = std::min(
             cell_req,

@@ -12,6 +12,7 @@
 #include "pops/core/protocol.hpp"
 #include "pops/liberty/library.hpp"
 #include "pops/netlist/benchmarks.hpp"
+#include "pops/netlist/logic_sim.hpp"
 #include "pops/process/technology.hpp"
 #include "pops/spice/measure.hpp"
 #include "pops/timing/sta.hpp"

@@ -419,8 +419,8 @@ TEST(ResultCache, RunManyDeterministicWithCacheAcrossThreadCounts) {
 // ---------------------------------------------------------------------------
 
 TEST(PassRegistry, BuiltinsRegistered) {
-  const std::vector<std::string> expected = {"cancel-inverters", "protocol",
-                                             "shield", "sweep-dead"};
+  const std::vector<std::string> expected = {
+      "cancel-inverters", "multi-vt", "protocol", "shield", "sweep-dead"};
   EXPECT_EQ(PassRegistry::global().names(), expected);
   EXPECT_TRUE(PassRegistry::global().contains("protocol"));
   EXPECT_FALSE(PassRegistry::global().contains("retime"));

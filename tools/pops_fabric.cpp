@@ -49,7 +49,8 @@ void usage(std::FILE* out) {
       "  --workers LIST       comma-separated worker daemon addresses "
       "(required)\n"
       "  --spec FILE          submit this SweepSpec JSON\n"
-      "  --tc / --margins / --policies / --pipeline / --threads\n"
+      "  --tc / --margins / --policies / --temperature / --vt-policies /\n"
+      "  --power-model / --pipeline / --threads\n"
       "                       build the spec from flags (pops_sweep "
       "syntax)\n"
       "  --po-load FF         PO load for shipped .bench files (default "
@@ -130,6 +131,17 @@ int run(int argc, char** argv) {
       have_axis_flags = true;
     } else if (arg == "--policies") {
       policy_names = split_list(value(i, "--policies"));
+      have_axis_flags = true;
+    } else if (arg == "--temperature") {
+      spec.temperatures.clear();
+      for (const std::string& s : split_list(value(i, "--temperature")))
+        spec.temperatures.push_back(parse_double(s, "--temperature"));
+      have_axis_flags = true;
+    } else if (arg == "--vt-policies") {
+      spec.vt_policies = split_list(value(i, "--vt-policies"));
+      have_axis_flags = true;
+    } else if (arg == "--power-model") {
+      spec.base.power_model = value(i, "--power-model");
       have_axis_flags = true;
     } else if (arg == "--pipeline") {
       spec.pipeline = split_list(value(i, "--pipeline"));

@@ -85,7 +85,8 @@ void usage(std::FILE* out) {
       "Client options:\n"
       "  --host ADDR --port N daemon address (port is required)\n"
       "  --spec FILE          submit this SweepSpec JSON\n"
-      "  --tc / --margins / --policies / --pipeline / --threads\n"
+      "  --tc / --margins / --policies / --temperature / --vt-policies /\n"
+      "  --power-model / --pipeline / --threads\n"
       "                       build the spec from flags (pops_sweep "
       "syntax)\n"
       "  --po-load FF         PO load for shipped .bench files (default "
@@ -251,6 +252,17 @@ int run_client(int argc, char** argv) {
       opt.have_axis_flags = true;
     } else if (arg == "--policies") {
       policy_names = split_list(value(i, "--policies"));
+      opt.have_axis_flags = true;
+    } else if (arg == "--temperature") {
+      opt.spec.temperatures.clear();
+      for (const std::string& s : split_list(value(i, "--temperature")))
+        opt.spec.temperatures.push_back(parse_double(s, "--temperature"));
+      opt.have_axis_flags = true;
+    } else if (arg == "--vt-policies") {
+      opt.spec.vt_policies = split_list(value(i, "--vt-policies"));
+      opt.have_axis_flags = true;
+    } else if (arg == "--power-model") {
+      opt.spec.base.power_model = value(i, "--power-model");
       opt.have_axis_flags = true;
     } else if (arg == "--pipeline") {
       opt.spec.pipeline = split_list(value(i, "--pipeline"));

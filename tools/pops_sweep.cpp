@@ -1,8 +1,9 @@
 // pops_sweep — batch constraint-sweep front-end over pops::service.
 //
 // Loads .bench netlists (or built-in benchmarks with a leading '@'),
-// expands a declarative sweep grid (Tc ratios x shield margins x buffer
-// policies), runs it through SweepService — memoizing repeated points in
+// expands a declarative sweep grid (Tc ratios x shield margins x
+// temperatures x Vt policies x buffer policies), runs it through
+// SweepService — memoizing repeated points in
 // the context's ResultCache — and writes one JSON report. With --jsonl,
 // each completed point is additionally streamed to stdout as a compact
 // one-line record while the sweep runs. The grid may come from a JSON
@@ -57,12 +58,20 @@ void usage(std::FILE* out) {
                "(default 1.0)\n"
                "  --policies LIST    buffer policies: standard no-shield "
                "no-restructure minimal (default standard)\n"
+               "  --temperature LIST junction temperatures (degC) the "
+               "power section is\n"
+               "                     evaluated at (default 25)\n"
+               "  --vt-policies LIST Vt assignment regimes: none multi-vt "
+               "(default none)\n"
                "  --pipeline LIST    explicit pass sequence by registry "
                "name (default: standard pipeline)\n"
                "  --delay-model LIST delay-model backends to run the grid "
                "under: closed-form table\n"
                "                     (several = the whole sweep once per "
                "backend, side by side)\n"
+               "  --power-model NAME power backend for every point's power "
+               "section: proxy state\n"
+               "                     (default proxy)\n"
                "  --spec FILE        load the sweep spec from a JSON file "
                "(to_json(SweepSpec)\n"
                "                     schema); replaces axis/base flags "
@@ -204,6 +213,13 @@ Options parse_args(int argc, char** argv) {
           split_doubles(value(i, "--margins"), "--margins");
     } else if (arg == "--policies") {
       policy_names = split_list(value(i, "--policies"));
+    } else if (arg == "--temperature") {
+      opt.spec.temperatures =
+          split_doubles(value(i, "--temperature"), "--temperature");
+    } else if (arg == "--vt-policies") {
+      opt.spec.vt_policies = split_list(value(i, "--vt-policies"));
+    } else if (arg == "--power-model") {
+      opt.spec.base.power_model = value(i, "--power-model");
     } else if (arg == "--pipeline") {
       opt.spec.pipeline = split_list(value(i, "--pipeline"));
     } else if (arg == "--threads") {
